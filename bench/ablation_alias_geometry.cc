@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: how the aliasing mix (Figure 13's taxonomy) shifts with
+ * the level-2 table size. The paper measures one geometry
+ * (2^12/2^12); this sweep shows hash aliasing draining away as the
+ * level-2 table grows — the mechanism behind Figure 10's shrinking
+ * FCM/DFCM gap.
+ */
+
+#include "bench_util.hh"
+
+#include "core/alias_analysis.hh"
+#include "harness/table_printer.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("ablation_alias_geometry",
+                         "aliasing mix vs level-2 size");
+
+    harness::TraceCache cache;
+    TablePrinter table({"predictor", "l2_bits", "hash_frac",
+                        "l2_pc_frac", "none_frac", "accuracy"});
+
+    for (const bool differential : {false, true}) {
+        for (unsigned l2 : {8u, 10u, 12u, 14u, 16u}) {
+            FcmConfig cfg;
+            cfg.l1_bits = 12;
+            cfg.l2_bits = l2;
+            AliasBreakdown total;
+            for (const std::string& name : workloads::benchmarkNames()) {
+                AliasAnalyzer analyzer(cfg, differential);
+                total += analyzer.run(cache.get(name));
+            }
+            table.addRow(
+                    {differential ? "dfcm" : "fcm",
+                     TablePrinter::fmt(std::uint64_t{l2}),
+                     TablePrinter::fmt(
+                             total.fractionOfPredictions(AliasType::Hash),
+                             3),
+                     TablePrinter::fmt(
+                             total.fractionOfPredictions(
+                                     AliasType::L2Pc), 3),
+                     TablePrinter::fmt(
+                             total.fractionOfPredictions(AliasType::None),
+                             3),
+                     TablePrinter::fmt(total.total().accuracy())});
+        }
+    }
+
+    table.print(std::cout);
+    table.writeCsv("ablation_alias_geometry");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: how much is left on the table for better hashing? The
+ * paper's Section 4.2 ends with "the hashing function remains
+ * responsible for the majority of the mispredictions (59%), there
+ * is still plenty of room for improvement." This bench compares the
+ * real hashed FCM/DFCM against ideal-index variants (unbounded,
+ * collision-free level-2 lookup at the same order) — the upper
+ * bound any hash/table organization could reach.
+ */
+
+#include "bench_util.hh"
+
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/ideal_context_predictor.hh"
+#include "core/stats.hh"
+#include "harness/table_printer.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("ablation_ideal_hash",
+                         "hashed vs ideal-index context predictors");
+
+    harness::TraceCache cache;
+    TablePrinter table({"l2_bits", "order", "fcm", "ideal_fcm", "dfcm",
+                        "ideal_dfcm"});
+
+    for (unsigned l2 : {10u, 12u, 16u}) {
+        PredictorStats fcm_s, ifcm_s, dfcm_s, idfcm_s;
+        unsigned order = 0;
+        for (const std::string& name : workloads::benchmarkNames()) {
+            FcmPredictor fcm({.l1_bits = 16, .l2_bits = l2,
+                              .value_bits = 32, .hash = {}});
+            DfcmPredictor dfcm({.l1_bits = 16, .l2_bits = l2});
+            order = fcm.order();
+            IdealContextPredictor ifcm(16, order, false);
+            IdealContextPredictor idfcm(16, order, true);
+            const ValueTrace& trace = cache.get(name);
+            fcm_s += runTrace(fcm, trace);
+            ifcm_s += runTrace(ifcm, trace);
+            dfcm_s += runTrace(dfcm, trace);
+            idfcm_s += runTrace(idfcm, trace);
+        }
+        table.addRow({TablePrinter::fmt(std::uint64_t{l2}),
+                      TablePrinter::fmt(std::uint64_t{order}),
+                      TablePrinter::fmt(fcm_s.accuracy()),
+                      TablePrinter::fmt(ifcm_s.accuracy()),
+                      TablePrinter::fmt(dfcm_s.accuracy()),
+                      TablePrinter::fmt(idfcm_s.accuracy())});
+    }
+
+    table.print(std::cout);
+    table.writeCsv("ablation_ideal_hash");
+    std::cout << "\nideal_* = unbounded collision-free level-2 lookup "
+              << "at the same order: the headroom\nthe paper says "
+              << "remains for better hashing/tagging.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared boilerplate for the figure/table reproduction binaries.
+ */
+
+#ifndef DFCM_BENCH_BENCH_UTIL_HH
+#define DFCM_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "harness/trace_cache.hh"
+
+namespace vpred::bench
+{
+
+/** Prints the experiment banner and wall-clock time on destruction. */
+class Banner
+{
+  public:
+    Banner(const std::string& id, const std::string& description)
+        : start_(std::chrono::steady_clock::now())
+    {
+        std::cout << "=== " << id << ": " << description << " ===\n"
+                  << "trace scale: " << harness::envTraceScale()
+                  << " (set REPRO_TRACE_SCALE to adjust)\n\n";
+    }
+
+    ~Banner()
+    {
+        const auto elapsed = std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start_);
+        std::cout << "\n[done in " << elapsed.count() / 1000.0 << " s]\n";
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace vpred::bench
+
+#endif // DFCM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Robustness check (beyond the paper's figures): does the DFCM's
+ * advantage hold on workloads the suite was *not* tuned for? Runs
+ * the full predictor family comparison on the extra kernels (gzip:
+ * LZ77 matching; mcf: network arc pricing) at the Figure 10(b)
+ * geometry.
+ */
+
+#include "bench_util.hh"
+
+#include "core/predictor_factory.hh"
+#include "core/stats.hh"
+#include "harness/table_printer.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("extra_workloads",
+                         "predictor family on out-of-suite kernels");
+
+    harness::TraceCache cache;
+    TablePrinter table({"workload", "lvp", "stride", "fcm", "dfcm",
+                        "dfcm/fcm"});
+
+    for (const std::string& name : {std::string("gzip"),
+                                    std::string("mcf")}) {
+        auto acc = [&](PredictorKind kind) {
+            PredictorConfig cfg;
+            cfg.kind = kind;
+            cfg.l1_bits = 16;
+            cfg.l2_bits = 12;
+            auto p = makePredictor(cfg);
+            return runTrace(*p, cache.get(name)).accuracy();
+        };
+        const double fcm = acc(PredictorKind::Fcm);
+        const double dfcm = acc(PredictorKind::Dfcm);
+        table.addRow({name, TablePrinter::fmt(acc(PredictorKind::Lvp)),
+                      TablePrinter::fmt(acc(PredictorKind::Stride)),
+                      TablePrinter::fmt(fcm), TablePrinter::fmt(dfcm),
+                      TablePrinter::fmt(dfcm / fcm, 3)});
+    }
+
+    table.print(std::cout);
+    table.writeCsv("extra_workloads");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 3 reproduction: accuracy vs. predictor size (Kbit) for the
+ * last value predictor, the stride predictor and the FCM.
+ *
+ * Paper series: LVP and stride with 2^6..2^16 entries; FCM curves
+ * for level-1 sizes 2^0, 2^4, 2^6, ..., 2^16, each swept over
+ * level-2 sizes 2^8..2^20. Expected shape: FCM dominates both simple
+ * predictors at all but the smallest sizes, while needing huge
+ * level-2 tables to keep improving.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "harness/table_printer.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("fig03",
+                         "LVP / stride / FCM accuracy vs. size");
+
+    harness::TraceCache cache;
+    TablePrinter table({"series", "l1_bits", "l2_bits", "size_kbit",
+                        "accuracy"});
+
+    auto emit = [&](const std::string& series,
+                    const PredictorConfig& cfg) {
+        const harness::SuiteResult r = runBenchmarks(cache, cfg);
+        table.addRow({series, TablePrinter::fmt(std::uint64_t{cfg.l1_bits}),
+                      cfg.kind == PredictorKind::Fcm
+                              ? TablePrinter::fmt(
+                                        std::uint64_t{cfg.l2_bits})
+                              : "-",
+                      TablePrinter::fmt(r.storageKbit(), 1),
+                      TablePrinter::fmt(r.accuracy())});
+    };
+
+    for (unsigned bits : harness::paperSingleTableBits()) {
+        PredictorConfig cfg;
+        cfg.kind = PredictorKind::Lvp;
+        cfg.l1_bits = bits;
+        emit("lvp", cfg);
+    }
+    for (unsigned bits : harness::paperSingleTableBits()) {
+        PredictorConfig cfg;
+        cfg.kind = PredictorKind::Stride;
+        cfg.l1_bits = bits;
+        emit("stride", cfg);
+    }
+    for (unsigned l1 : harness::paperFcmL1Bits()) {
+        for (unsigned l2 : harness::paperL2Bits()) {
+            PredictorConfig cfg;
+            cfg.kind = PredictorKind::Fcm;
+            cfg.l1_bits = l1;
+            cfg.l2_bits = l2;
+            emit("fcm_L1=2^" + std::to_string(l1), cfg);
+        }
+    }
+
+    table.print(std::cout);
+    table.writeCsv("fig03_predictor_size_sweep");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10 reproduction: FCM vs DFCM prediction accuracy.
+ *
+ * (a) suite-weighted accuracy with a 2^16-entry level-1 table and
+ *     level-2 sizes 2^8..2^20. Paper: DFCM ahead everywhere, +33%
+ *     at small tables, +8% (.74 -> .79) at the largest.
+ * (b) per-benchmark accuracy at level-2 = 2^12. Paper: average +19%
+ *     (.62 -> .73), per-benchmark gains 8%..46%.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "harness/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("fig10", "FCM vs DFCM accuracy");
+
+    harness::TraceCache cache;
+
+    // --- (a): level-2 sweep at l1 = 2^16
+    TablePrinter ta({"l2_bits", "fcm", "dfcm", "dfcm/fcm"});
+    for (unsigned l2 : harness::paperL2Bits()) {
+        PredictorConfig cfg;
+        cfg.l1_bits = 16;
+        cfg.l2_bits = l2;
+        cfg.kind = PredictorKind::Fcm;
+        const double fcm = runBenchmarks(cache, cfg).accuracy();
+        cfg.kind = PredictorKind::Dfcm;
+        const double dfcm = runBenchmarks(cache, cfg).accuracy();
+        ta.addRow({TablePrinter::fmt(std::uint64_t{l2}),
+                   TablePrinter::fmt(fcm), TablePrinter::fmt(dfcm),
+                   TablePrinter::fmt(dfcm / fcm, 3)});
+    }
+    std::cout << "(a) suite accuracy, l1 = 2^16\n";
+    ta.print(std::cout);
+    ta.writeCsv("fig10a_l2_sweep");
+
+    // --- (b): per benchmark at l2 = 2^12
+    TablePrinter tb({"benchmark", "fcm", "dfcm", "dfcm/fcm"});
+    PredictorStats fcm_total, dfcm_total;
+    for (const std::string& name : workloads::benchmarkNames()) {
+        PredictorConfig cfg;
+        cfg.l1_bits = 16;
+        cfg.l2_bits = 12;
+        cfg.kind = PredictorKind::Fcm;
+        const auto rf = runOn(cache, name, cfg);
+        cfg.kind = PredictorKind::Dfcm;
+        const auto rd = runOn(cache, name, cfg);
+        fcm_total += rf.stats;
+        dfcm_total += rd.stats;
+        tb.addRow({name, TablePrinter::fmt(rf.accuracy()),
+                   TablePrinter::fmt(rd.accuracy()),
+                   TablePrinter::fmt(rd.accuracy() / rf.accuracy(), 3)});
+    }
+    tb.addRow({"average", TablePrinter::fmt(fcm_total.accuracy()),
+               TablePrinter::fmt(dfcm_total.accuracy()),
+               TablePrinter::fmt(
+                       dfcm_total.accuracy() / fcm_total.accuracy(), 3)});
+    std::cout << "\n(b) per-benchmark accuracy, l1 = 2^16, l2 = 2^12\n";
+    tb.print(std::cout);
+    tb.writeCsv("fig10b_per_benchmark");
+    return 0;
+}

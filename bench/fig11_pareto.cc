@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 11 reproduction.
+ *
+ * (a) DFCM accuracy vs total storage for level-1 sizes 2^10..2^16,
+ *     level-2 swept 2^8..2^20. Paper shape: higher accuracies than
+ *     FCM, influence of the level-2 size saturates earlier ("the
+ *     knee is sharper").
+ * (b) Pareto frontiers of FCM vs DFCM over the full (l1, l2) grids.
+ *     Paper: DFCM ahead by .06-.09 except at the smallest sizes,
+ *     e.g. .66 vs .57 around 200 Kbit (+15%).
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+#include "harness/pareto.hh"
+#include "harness/sweep.hh"
+#include "harness/table_printer.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("fig11",
+                         "DFCM size curves and FCM/DFCM Pareto graphs");
+
+    harness::TraceCache cache;
+
+    // --- (a): DFCM curves
+    TablePrinter ta({"l1_bits", "l2_bits", "size_kbit", "accuracy"});
+    std::vector<harness::ParetoPoint> dfcm_points;
+    for (unsigned l1 : harness::paperDfcmL1Bits()) {
+        for (unsigned l2 : harness::paperL2Bits()) {
+            PredictorConfig cfg;
+            cfg.kind = PredictorKind::Dfcm;
+            cfg.l1_bits = l1;
+            cfg.l2_bits = l2;
+            const harness::SuiteResult r = runBenchmarks(cache, cfg);
+            ta.addRow({TablePrinter::fmt(std::uint64_t{l1}),
+                       TablePrinter::fmt(std::uint64_t{l2}),
+                       TablePrinter::fmt(r.storageKbit(), 1),
+                       TablePrinter::fmt(r.accuracy())});
+            dfcm_points.push_back({r.storageKbit(), r.accuracy(),
+                                   r.predictor});
+        }
+    }
+    std::cout << "(a) DFCM accuracy vs size\n";
+    ta.print(std::cout);
+    ta.writeCsv("fig11a_dfcm_curves");
+
+    // --- (b): Pareto frontiers. The FCM grid includes the smaller
+    // level-1 sizes of Figure 3 so its frontier is not handicapped.
+    std::vector<harness::ParetoPoint> fcm_points;
+    for (unsigned l1 : harness::paperFcmL1Bits()) {
+        for (unsigned l2 : harness::paperL2Bits()) {
+            PredictorConfig cfg;
+            cfg.kind = PredictorKind::Fcm;
+            cfg.l1_bits = l1;
+            cfg.l2_bits = l2;
+            const harness::SuiteResult r = runBenchmarks(cache, cfg);
+            fcm_points.push_back({r.storageKbit(), r.accuracy(),
+                                  r.predictor});
+        }
+    }
+    // Extend the DFCM candidate set with the small level-1 sizes too.
+    for (unsigned l1 : {4u, 6u, 8u}) {
+        for (unsigned l2 : harness::paperL2Bits()) {
+            PredictorConfig cfg;
+            cfg.kind = PredictorKind::Dfcm;
+            cfg.l1_bits = l1;
+            cfg.l2_bits = l2;
+            const harness::SuiteResult r = runBenchmarks(cache, cfg);
+            dfcm_points.push_back({r.storageKbit(), r.accuracy(),
+                                   r.predictor});
+        }
+    }
+
+    TablePrinter tb({"series", "size_kbit", "accuracy", "config"});
+    for (const auto& [label, points] :
+         {std::pair<const char*, std::vector<harness::ParetoPoint>*>{
+                  "fcm", &fcm_points},
+          {"dfcm", &dfcm_points}}) {
+        for (const auto& p : harness::paretoFrontier(*points)) {
+            tb.addRow({label, TablePrinter::fmt(p.size_kbit, 1),
+                       TablePrinter::fmt(p.accuracy), p.label});
+        }
+    }
+    std::cout << "\n(b) Pareto frontiers\n";
+    tb.print(std::cout);
+    tb.writeCsv("fig11b_pareto");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 16 reproduction: FCM, DFCM and perfect-metapredictor
+ * hybrids (STRIDE+FCM, STRIDE+DFCM) vs. level-2 size; all level-1
+ * tables and the stride table have 2^16 entries.
+ *
+ * Paper shape: DFCM outperforms the perfect STRIDE+FCM hybrid at
+ * every level-2 size (by a small margin); perfect STRIDE+DFCM gains
+ * only .02-.04 over the plain DFCM. A realizable counter-meta hybrid
+ * is included as an extra series to show the oracle gap.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "harness/table_printer.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("fig16", "hybrid predictors vs DFCM");
+
+    harness::TraceCache cache;
+    TablePrinter table({"l2_bits", "fcm", "dfcm", "stride+fcm",
+                        "stride+dfcm", "real_stride+fcm"});
+
+    for (unsigned l2 : harness::paperL2Bits()) {
+        PredictorConfig cfg;
+        cfg.l1_bits = 16;
+        cfg.l2_bits = l2;
+
+        auto acc = [&](PredictorKind kind) {
+            cfg.kind = kind;
+            return runBenchmarks(cache, cfg).accuracy();
+        };
+        table.addRow({TablePrinter::fmt(std::uint64_t{l2}),
+                      TablePrinter::fmt(acc(PredictorKind::Fcm)),
+                      TablePrinter::fmt(acc(PredictorKind::Dfcm)),
+                      TablePrinter::fmt(
+                              acc(PredictorKind::PerfectStrideFcm)),
+                      TablePrinter::fmt(
+                              acc(PredictorKind::PerfectStrideDfcm)),
+                      TablePrinter::fmt(
+                              acc(PredictorKind::HybridStrideFcm))});
+    }
+
+    table.print(std::cout);
+    table.writeCsv("fig16_hybrid");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 17 reproduction: prediction accuracy under delayed update,
+ * d in {0, 16, 32, 64, 128, 256, 512}, FCM vs DFCM at 2^16-entry
+ * level-1 and 2^12-entry level-2 tables.
+ *
+ * Paper shape: both predictors suffer significantly, the DFCM
+ * slightly more, but the overall behavior is the same.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+#include "harness/table_printer.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("fig17", "accuracy under delayed update");
+
+    harness::TraceCache cache;
+    TablePrinter table({"delay", "fcm", "dfcm", "fcm_drop",
+                        "dfcm_drop"});
+
+    double fcm0 = 0, dfcm0 = 0;
+    for (unsigned delay : harness::paperUpdateDelays()) {
+        PredictorConfig cfg;
+        cfg.l1_bits = 16;
+        cfg.l2_bits = 12;
+        cfg.update_delay = delay;
+
+        cfg.kind = PredictorKind::Fcm;
+        const double fcm = runBenchmarks(cache, cfg).accuracy();
+        cfg.kind = PredictorKind::Dfcm;
+        const double dfcm = runBenchmarks(cache, cfg).accuracy();
+        if (delay == 0) {
+            fcm0 = fcm;
+            dfcm0 = dfcm;
+        }
+        table.addRow({TablePrinter::fmt(std::uint64_t{delay}),
+                      TablePrinter::fmt(fcm), TablePrinter::fmt(dfcm),
+                      TablePrinter::fmt(fcm0 - fcm, 3),
+                      TablePrinter::fmt(dfcm0 - dfcm, 3)});
+    }
+
+    table.print(std::cout);
+    table.writeCsv("fig17_delayed_update");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Related-work comparison (Section 5 of the paper, made executable):
+ * dynamic classification with per-class predictors (Rychlik et al.;
+ * Lee et al.) vs. the DFCM's dynamic table sharing.
+ *
+ * Paper quotes to check: Rychlik's classifier marks "more than 50%
+ * of the instructions as unpredictable", Lee reports 24%; Rychlik's
+ * overall prediction accuracy is 43%, far below the (D)FCM. The
+ * paper argues the fixed partitioning and hard assignment are the
+ * culprits — so the bench also reports the class census and the
+ * storage-matched DFCM accuracy.
+ */
+
+#include "bench_util.hh"
+
+#include "core/classifying_predictor.hh"
+#include "core/dfcm_predictor.hh"
+#include "core/stats.hh"
+#include "harness/table_printer.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("related_classification",
+                         "dynamic classification vs DFCM (Section 5)");
+
+    harness::TraceCache cache;
+
+    ClassifyingConfig ccfg;  // defaults: 14/14/14/12 tables
+    TablePrinter table({"benchmark", "classify_acc", "dfcm_acc",
+                        "unpredictable_frac", "stride_frac",
+                        "context_frac"});
+
+    PredictorStats ctotal, dtotal;
+    for (const std::string& name : workloads::benchmarkNames()) {
+        ClassifyingPredictor classifier(ccfg);
+        const PredictorStats cs =
+                runTrace(classifier, cache.get(name));
+        // Storage-matched DFCM (2^14 level-1 / 2^12 level-2 is
+        // slightly *smaller* than the classifier's four tables).
+        DfcmPredictor dfcm({.l1_bits = 14, .l2_bits = 12});
+        const PredictorStats ds = runTrace(dfcm, cache.get(name));
+        ctotal += cs;
+        dtotal += ds;
+
+        const auto census = classifier.classCensus();
+        double assigned = 0;
+        for (unsigned c = 1; c < census.size(); ++c)
+            assigned += static_cast<double>(census[c]);
+        auto frac = [&](ValueClass cls) {
+            return assigned == 0
+                ? 0.0
+                : census[static_cast<unsigned>(cls)] / assigned;
+        };
+        table.addRow({name, TablePrinter::fmt(cs.accuracy()),
+                      TablePrinter::fmt(ds.accuracy()),
+                      TablePrinter::fmt(
+                              frac(ValueClass::Unpredictable), 3),
+                      TablePrinter::fmt(frac(ValueClass::Stride), 3),
+                      TablePrinter::fmt(frac(ValueClass::Context), 3)});
+    }
+    table.addRow({"average", TablePrinter::fmt(ctotal.accuracy()),
+                  TablePrinter::fmt(dtotal.accuracy()), "-", "-", "-"});
+
+    table.print(std::cout);
+    table.writeCsv("related_classification");
+    std::cout << "\nPaper context: Rychlik's classifier achieves 43% "
+              << "overall accuracy and marks >50% of instructions\n"
+              << "unpredictable; the DFCM shares one table dynamically "
+              << "and needs no classifier at all.\n";
+    return 0;
+}

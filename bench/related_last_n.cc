@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Related-work comparison: last-n value prediction (Burtscher and
+ * Zorn, the paper's reference [2]) against the paper's predictors,
+ * over the benchmark suite at matched table sizes.
+ *
+ * Expected shape: last-n improves clearly on the last value
+ * predictor but cannot reach the stride predictor (no arithmetic
+ * extrapolation) nor the context predictors.
+ */
+
+#include "bench_util.hh"
+
+#include "core/dfcm_predictor.hh"
+#include "core/last_n_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/stats.hh"
+#include "core/stride_predictor.hh"
+#include "harness/table_printer.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("related_last_n",
+                         "last-n value prediction vs paper predictors");
+
+    harness::TraceCache cache;
+    TablePrinter table({"predictor", "size_kbit", "accuracy"});
+
+    auto runAll = [&](ValuePredictor& p) {
+        PredictorStats total;
+        for (const std::string& name : workloads::benchmarkNames())
+            total += runTrace(p, cache.get(name));
+        return total;
+        // (predictor state deliberately carries across benchmarks in
+        //  series, like one long trace; tables are large enough that
+        //  cross-benchmark pollution is negligible.)
+    };
+
+    {
+        LastValuePredictor p(16);
+        const PredictorStats s = runAll(p);
+        table.addRow({p.name(), TablePrinter::fmt(p.storageKbit(), 1),
+                      TablePrinter::fmt(s.accuracy())});
+    }
+    for (unsigned n : {2u, 4u, 8u}) {
+        LastNPredictor p(16, n);
+        const PredictorStats s = runAll(p);
+        table.addRow({p.name(), TablePrinter::fmt(p.storageKbit(), 1),
+                      TablePrinter::fmt(s.accuracy())});
+    }
+    {
+        StridePredictor p(16);
+        const PredictorStats s = runAll(p);
+        table.addRow({p.name(), TablePrinter::fmt(p.storageKbit(), 1),
+                      TablePrinter::fmt(s.accuracy())});
+    }
+    {
+        DfcmPredictor p({.l1_bits = 16, .l2_bits = 12});
+        const PredictorStats s = runAll(p);
+        table.addRow({p.name(), TablePrinter::fmt(p.storageKbit(), 1),
+                      TablePrinter::fmt(s.accuracy())});
+    }
+
+    table.print(std::cout);
+    table.writeCsv("related_last_n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 1 reproduction: the benchmark suite and the number of
+ * predicted instructions per benchmark.
+ *
+ * Paper: eight SPECint95 benchmarks, 122M-157M predictions each
+ * (200M-instruction traces). Here: the eight SPEC-like MiniRISC
+ * kernels at the configured trace scale; the same eligibility filter
+ * produces the prediction counts.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/table_printer.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    bench::Banner banner("table1", "benchmark suite and prediction counts");
+
+    harness::TraceCache cache;
+    harness::TablePrinter table(
+            {"benchmark", "description", "instructions", "predictions",
+             "pred/instr"});
+
+    std::uint64_t total_instr = 0, total_pred = 0;
+    for (const std::string& name : workloads::benchmarkNames()) {
+        const auto& r = cache.getResult(name);
+        total_instr += r.instructions;
+        total_pred += r.trace.size();
+        table.addRow({name, workloads::findWorkload(name).description,
+                      harness::TablePrinter::fmt(r.instructions),
+                      harness::TablePrinter::fmt(
+                              static_cast<std::uint64_t>(r.trace.size())),
+                      harness::TablePrinter::fmt(
+                              static_cast<double>(r.trace.size())
+                                      / r.instructions, 3)});
+    }
+    table.addRow({"total", "-", harness::TablePrinter::fmt(total_instr),
+                  harness::TablePrinter::fmt(total_pred),
+                  harness::TablePrinter::fmt(
+                          static_cast<double>(total_pred) / total_instr,
+                          3)});
+    table.print(std::cout);
+    table.writeCsv("table1_benchmarks");
+    return 0;
+}

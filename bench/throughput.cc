@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): predict+update
+ * throughput of each predictor family. Not a paper figure — it
+ * documents that trace-driven sweeps over billions of records are
+ * feasible with this implementation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/predictor_factory.hh"
+#include "tracegen/mixer.hh"
+
+namespace
+{
+
+using namespace vpred;
+
+const ValueTrace&
+benchTrace()
+{
+    static const ValueTrace trace = tracegen::makeMixedTrace(
+            {.stride_instructions = 24,
+             .constant_instructions = 6,
+             .context_instructions = 10,
+             .random_instructions = 2,
+             .seed = 20240607},
+            1 << 16);
+    return trace;
+}
+
+void
+runPredictor(benchmark::State& state, PredictorKind kind)
+{
+    PredictorConfig cfg;
+    cfg.kind = kind;
+    cfg.l1_bits = 16;
+    cfg.l2_bits = 12;
+    auto predictor = makePredictor(cfg);
+    const ValueTrace& trace = benchTrace();
+
+    std::uint64_t correct = 0;
+    for (auto _ : state) {
+        for (const TraceRecord& rec : trace)
+            correct += predictor->predictAndUpdate(rec.pc, rec.value);
+        benchmark::DoNotOptimize(correct);
+    }
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+
+void BM_Lvp(benchmark::State& s) { runPredictor(s, PredictorKind::Lvp); }
+void BM_Stride(benchmark::State& s)
+{
+    runPredictor(s, PredictorKind::Stride);
+}
+void BM_TwoDelta(benchmark::State& s)
+{
+    runPredictor(s, PredictorKind::TwoDelta);
+}
+void BM_Fcm(benchmark::State& s) { runPredictor(s, PredictorKind::Fcm); }
+void BM_Dfcm(benchmark::State& s)
+{
+    runPredictor(s, PredictorKind::Dfcm);
+}
+void BM_PerfectHybrid(benchmark::State& s)
+{
+    runPredictor(s, PredictorKind::PerfectStrideDfcm);
+}
+
+BENCHMARK(BM_Lvp);
+BENCHMARK(BM_Stride);
+BENCHMARK(BM_TwoDelta);
+BENCHMARK(BM_Fcm);
+BENCHMARK(BM_Dfcm);
+BENCHMARK(BM_PerfectHybrid);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload characterization (supports DESIGN.md §2's substitution
+ * argument): for every kernel, the fraction of predicted values
+ * that are constant (last-value hit), stride-predictable (side
+ * stride predictor hit), context-predictable (large FCM hit while
+ * not stride) and hard (none of the above). The paper's effects
+ * need a population with all four kinds; this table shows each
+ * kernel's mix.
+ */
+
+#include "bench_util.hh"
+
+#include <set>
+
+#include "core/fcm_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "harness/table_printer.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace vpred;
+    using harness::TablePrinter;
+    bench::Banner banner("characterization",
+                         "value-pattern mix per workload");
+
+    harness::TraceCache cache;
+    TablePrinter table({"workload", "constant", "stride_only",
+                        "context_only", "both", "hard", "static_pcs"});
+
+    for (const workloads::Workload& w : workloads::allWorkloads()) {
+        const ValueTrace& trace = cache.get(w.name);
+
+        LastValuePredictor lvp(16);
+        StridePredictor stride(16);
+        FcmPredictor fcm({.l1_bits = 16, .l2_bits = 18,
+                          .value_bits = 32, .hash = {}});
+        std::uint64_t constant = 0, stride_only = 0, context_only = 0,
+                      both = 0, hard = 0;
+        std::set<Pc> pcs;
+        for (const TraceRecord& rec : trace) {
+            pcs.insert(rec.pc);
+            const bool c = lvp.predict(rec.pc) == rec.value;
+            const bool s = stride.predict(rec.pc) == rec.value;
+            const bool x = fcm.predict(rec.pc) == rec.value;
+            if (c)
+                ++constant;
+            else if (s && x)
+                ++both;
+            else if (s)
+                ++stride_only;
+            else if (x)
+                ++context_only;
+            else
+                ++hard;
+            lvp.update(rec.pc, rec.value);
+            stride.update(rec.pc, rec.value);
+            fcm.update(rec.pc, rec.value);
+        }
+        const double n = static_cast<double>(trace.size());
+        table.addRow({w.name, TablePrinter::fmt(constant / n, 3),
+                      TablePrinter::fmt(stride_only / n, 3),
+                      TablePrinter::fmt(context_only / n, 3),
+                      TablePrinter::fmt(both / n, 3),
+                      TablePrinter::fmt(hard / n, 3),
+                      TablePrinter::fmt(
+                              static_cast<std::uint64_t>(pcs.size()))});
+    }
+
+    table.print(std::cout);
+    table.writeCsv("workload_characterization");
+    std::cout << "\nconstant: last-value hit; stride_only/context_only: "
+              << "only that detector hit;\nboth: stride and context "
+              << "detectors hit; hard: nothing hit.\n";
+    return 0;
+}

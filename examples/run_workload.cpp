@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: run one MiniRISC workload, trace it and compare every
+ * predictor family on the resulting value stream.
+ *
+ * Usage: run_workload [workload] [scale]
+ *        run_workload --list
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/predictor_factory.hh"
+#include "core/stats.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace vpred;
+
+    const std::string name = argc > 1 ? argv[1] : "li";
+    if (name == "--list") {
+        for (const auto& w : workloads::allWorkloads())
+            std::cout << w.name << "  -  " << w.description << "\n";
+        return 0;
+    }
+    const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+    if (std::none_of(workloads::allWorkloads().begin(),
+                     workloads::allWorkloads().end(),
+                     [&](const auto& w) { return w.name == name; })) {
+        std::cerr << "unknown workload '" << name
+                  << "' (try --list)\n";
+        return 1;
+    }
+    const auto& workload = workloads::findWorkload(name);
+    std::cout << "workload: " << workload.name << " ("
+              << workload.description << ")\n";
+
+    const sim::TraceResult result = workloads::runWorkload(workload, scale);
+    std::cout << "instructions: " << result.instructions
+              << "\npredicted:    " << result.trace.size()
+              << "\noutput:       " << result.output << "\n\n";
+
+    const PredictorConfig configs[] = {
+        {.kind = PredictorKind::Lvp, .l1_bits = 16},
+        {.kind = PredictorKind::Stride, .l1_bits = 16},
+        {.kind = PredictorKind::TwoDelta, .l1_bits = 16},
+        {.kind = PredictorKind::Fcm, .l1_bits = 16, .l2_bits = 12},
+        {.kind = PredictorKind::Dfcm, .l1_bits = 16, .l2_bits = 12},
+    };
+    for (const PredictorConfig& cfg : configs) {
+        auto predictor = makePredictor(cfg);
+        const PredictorStats stats = runTrace(*predictor, result.trace);
+        std::cout << predictor->name() << ": accuracy "
+                  << stats.accuracy() << " (" << stats.correct << "/"
+                  << stats.predictions << "), "
+                  << predictor->storageKbit() << " Kbit\n";
+    }
+    return 0;
+}

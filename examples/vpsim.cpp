@@ -1,0 +1,168 @@
+/**
+ * @file
+ * vpsim — the unified command-line driver for the library: run any
+ * predictor configuration over any workload or stored trace and
+ * report accuracy and storage.
+ *
+ * Usage:
+ *   vpsim [options]
+ *     --workload NAME     MiniRISC workload (default: li)
+ *     --trace FILE        use a stored trace instead (see trace_tool)
+ *     --predictor KIND    lvp | stride | 2delta | fcm | dfcm |
+ *                         hybrid-fcm | hybrid-dfcm | perfect-fcm |
+ *                         perfect-dfcm   (default: dfcm)
+ *     --l1 BITS           log2 level-1/table entries (default 16)
+ *     --l2 BITS           log2 level-2 entries (default 12)
+ *     --stride-bits BITS  DFCM stored-stride width (default 32)
+ *     --delay N           delayed update distance (default 0)
+ *     --scale X           workload trace scale (default 1.0)
+ *     --per-pc N          also print the N hardest instructions
+ *     --list              list available workloads and exit
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "core/vpred.hh"
+#include "harness/table_printer.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace vpred;
+
+PredictorKind
+parseKind(const std::string& s)
+{
+    static const std::map<std::string, PredictorKind> kinds = {
+        {"lvp", PredictorKind::Lvp},
+        {"stride", PredictorKind::Stride},
+        {"2delta", PredictorKind::TwoDelta},
+        {"fcm", PredictorKind::Fcm},
+        {"dfcm", PredictorKind::Dfcm},
+        {"hybrid-fcm", PredictorKind::HybridStrideFcm},
+        {"hybrid-dfcm", PredictorKind::HybridStrideDfcm},
+        {"perfect-fcm", PredictorKind::PerfectStrideFcm},
+        {"perfect-dfcm", PredictorKind::PerfectStrideDfcm},
+    };
+    const auto it = kinds.find(s);
+    if (it == kinds.end())
+        throw std::invalid_argument("unknown predictor '" + s + "'");
+    return it->second;
+}
+
+int
+usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--workload NAME | --trace FILE] [--predictor KIND]"
+              << " [--l1 N] [--l2 N]\n"
+              << "             [--stride-bits N] [--delay N]"
+              << " [--scale X] [--per-pc N] [--list]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string workload = "li";
+    std::string trace_file;
+    PredictorConfig cfg;
+    double scale = 1.0;
+    std::size_t per_pc = 0;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument(arg + " needs a value");
+                return argv[++i];
+            };
+            if (arg == "--list") {
+                for (const auto& w : workloads::allWorkloads())
+                    std::cout << w.name << "  -  " << w.description
+                              << "\n";
+                return 0;
+            } else if (arg == "--workload") {
+                workload = next();
+            } else if (arg == "--trace") {
+                trace_file = next();
+            } else if (arg == "--predictor") {
+                cfg.kind = parseKind(next());
+            } else if (arg == "--l1") {
+                cfg.l1_bits = std::stoul(next());
+            } else if (arg == "--l2") {
+                cfg.l2_bits = std::stoul(next());
+            } else if (arg == "--stride-bits") {
+                cfg.stride_bits = std::stoul(next());
+            } else if (arg == "--delay") {
+                cfg.update_delay = std::stoul(next());
+            } else if (arg == "--scale") {
+                scale = std::stod(next());
+            } else if (arg == "--per-pc") {
+                per_pc = std::stoul(next());
+            } else {
+                return usage(argv[0]);
+            }
+        }
+
+        const ValueTrace trace = trace_file.empty()
+            ? workloads::runWorkload(workload, scale).trace
+            : loadTrace(trace_file);
+        std::cout << "trace: "
+                  << (trace_file.empty() ? workload : trace_file)
+                  << ", " << trace.size() << " records\n";
+
+        auto predictor = makePredictor(cfg);
+        std::map<Pc, PredictorStats> per_pc_stats;
+        PredictorStats total;
+        for (const TraceRecord& rec : trace) {
+            const bool ok =
+                    predictor->predictAndUpdate(rec.pc, rec.value);
+            total.record(ok);
+            if (per_pc > 0)
+                per_pc_stats[rec.pc].record(ok);
+        }
+
+        std::cout << "predictor: " << predictor->name() << "\n"
+                  << "storage:   " << predictor->storageKbit()
+                  << " Kbit\n"
+                  << "accuracy:  " << total.accuracy() << " ("
+                  << total.correct << "/" << total.predictions
+                  << ")\n";
+
+        if (per_pc > 0) {
+            std::vector<std::pair<Pc, PredictorStats>> ranked(
+                    per_pc_stats.begin(), per_pc_stats.end());
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const auto& a, const auto& b) {
+                          const auto wrong = [](const auto& s) {
+                              return s.second.predictions
+                                      - s.second.correct;
+                          };
+                          return wrong(a) > wrong(b);
+                      });
+            std::cout << "\nhardest instructions (by mispredictions):\n";
+            harness::TablePrinter t({"pc", "count", "accuracy"});
+            for (std::size_t i = 0;
+                 i < std::min(per_pc, ranked.size()); ++i) {
+                t.addRow({std::to_string(ranked[i].first),
+                          harness::TablePrinter::fmt(
+                                  ranked[i].second.predictions),
+                          harness::TablePrinter::fmt(
+                                  ranked[i].second.accuracy())});
+            }
+            t.print(std::cout);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,181 @@
+#include "core/alias_analysis.hh"
+
+#include <cassert>
+
+namespace vpred
+{
+
+const char*
+aliasTypeName(AliasType type)
+{
+    switch (type) {
+      case AliasType::L1: return "l1";
+      case AliasType::Hash: return "hash";
+      case AliasType::L2Priv: return "l2_priv";
+      case AliasType::L2Pc: return "l2_pc";
+      case AliasType::None: return "none";
+    }
+    return "?";
+}
+
+PredictorStats
+AliasBreakdown::total() const
+{
+    PredictorStats t;
+    for (const PredictorStats& s : per_type)
+        t += s;
+    return t;
+}
+
+double
+AliasBreakdown::fractionOfPredictions(AliasType t) const
+{
+    const PredictorStats all = total();
+    if (all.predictions == 0)
+        return 0.0;
+    return static_cast<double>((*this)[t].predictions) / all.predictions;
+}
+
+double
+AliasBreakdown::fractionWrong(AliasType t) const
+{
+    const PredictorStats all = total();
+    if (all.predictions == 0)
+        return 0.0;
+    const PredictorStats& s = (*this)[t];
+    return static_cast<double>(s.predictions - s.correct)
+        / all.predictions;
+}
+
+AliasBreakdown&
+AliasBreakdown::operator+=(const AliasBreakdown& o)
+{
+    for (std::size_t i = 0; i < kAliasTypeCount; ++i)
+        per_type[i] += o.per_type[i];
+    return *this;
+}
+
+AliasAnalyzer::AliasAnalyzer(const FcmConfig& config, bool differential)
+    : cfg_(config), differential_(differential),
+      hash_(config.resolvedHash()), order_(hash_.order()),
+      l1_mask_(maskBits(config.l1_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      l1_(std::size_t{1} << config.l1_bits),
+      l2_(std::size_t{1} << config.l2_bits, 0),
+      l2_shadow_(std::size_t{1} << config.l2_bits)
+{
+    assert(config.l1_bits <= 24 && config.l2_bits <= 24);
+    for (L1Shadow& s : l1_) {
+        s.history.assign(order_, 0);
+        s.writers.assign(order_, kNoPc);
+    }
+    for (L2Shadow& s : l2_shadow_) {
+        s.history.assign(order_, 0);
+        s.writer = kNoPc;
+    }
+}
+
+std::uint64_t
+AliasAnalyzer::hashOf(const std::vector<Value>& history) const
+{
+    // The incremental FS R-k hash is an exact function of the last
+    // `order` values (older contributions are fully shifted out), so
+    // re-hashing the shadow history reproduces the functional
+    // predictor's level-1 hash register.
+    std::uint64_t h = 0;
+    for (Value v : history)
+        h = hash_.insert(h, v);
+    return h;
+}
+
+std::uint64_t
+AliasAnalyzer::privKey(std::size_t l1_idx, std::uint64_t l2_idx) const
+{
+    return (static_cast<std::uint64_t>(l1_idx) << cfg_.l2_bits) | l2_idx;
+}
+
+AliasType
+AliasAnalyzer::classify(Pc pc) const
+{
+    const std::size_t l1_idx = pc & l1_mask_;
+    const L1Shadow& s1 = l1_[l1_idx];
+    const std::uint64_t l2_idx = hashOf(s1.history);
+
+    // 1. Level-1 conflict: some history element was produced by a
+    //    different static instruction (or never produced at all).
+    for (Pc w : s1.writers) {
+        if (w != pc)
+            return AliasType::L1;
+    }
+
+    // 2. Hash conflict: the history recorded at the last update of
+    //    this level-2 entry differs from the current one.
+    const L2Shadow& s2 = l2_shadow_[l2_idx];
+    if (s2.history != s1.history)
+        return AliasType::Hash;
+
+    // 3. Private-table divergence: would a per-level-1-entry level-2
+    //    table predict differently? Private tables start out zeroed
+    //    like the global one.
+    const auto it = private_l2_.find(privKey(l1_idx, l2_idx));
+    const Value priv = it == private_l2_.end() ? 0 : it->second;
+    if (priv != l2_[l2_idx])
+        return AliasType::L2Priv;
+
+    // 4. Same history and content but last written by another
+    //    instruction: neutral/constructive sharing.
+    if (s2.writer != pc)
+        return AliasType::L2Pc;
+
+    return AliasType::None;
+}
+
+Value
+AliasAnalyzer::predictValue(Pc pc) const
+{
+    const L1Shadow& s1 = l1_[pc & l1_mask_];
+    const std::uint64_t l2_idx = hashOf(s1.history);
+    if (differential_)
+        return (s1.last + l2_[l2_idx]) & value_mask_;
+    return l2_[l2_idx];
+}
+
+void
+AliasAnalyzer::step(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+
+    const AliasType type = classify(pc);
+    const bool correct = predictValue(pc) == actual;
+    breakdown_.per_type[static_cast<unsigned>(type)].record(correct);
+
+    // --- update, mirroring Fcm/DfcmPredictor::update ---
+    const std::size_t l1_idx = pc & l1_mask_;
+    L1Shadow& s1 = l1_[l1_idx];
+    const std::uint64_t l2_idx = hashOf(s1.history);
+
+    const Value stored = differential_
+        ? ((actual - s1.last) & value_mask_) : actual;
+
+    l2_[l2_idx] = stored;
+    l2_shadow_[l2_idx].history = s1.history;
+    l2_shadow_[l2_idx].writer = pc;
+    private_l2_[privKey(l1_idx, l2_idx)] = stored;
+
+    // Advance the (difference) history and writer shadow.
+    s1.history.erase(s1.history.begin());
+    s1.history.push_back(stored);
+    s1.writers.erase(s1.writers.begin());
+    s1.writers.push_back(pc);
+    s1.last = actual;
+}
+
+AliasBreakdown
+AliasAnalyzer::run(const ValueTrace& trace)
+{
+    for (const TraceRecord& rec : trace)
+        step(rec.pc, rec.value);
+    return breakdown_;
+}
+
+} // namespace vpred

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Aliasing taxonomy for two-level context predictors, Section 4.2 /
+ * Figures 12-14 of the paper.
+ *
+ * Every prediction is put into exactly one of five categories, in
+ * this priority order (only the first matching rule counts):
+ *
+ *  - l1: some value in the history used to index the level-2 table
+ *    was produced by a different static instruction (level-1 table
+ *    conflict).
+ *  - hash: the complete (unhashed) history recorded at the last
+ *    update of the level-2 entry differs from the current history —
+ *    two different histories collided in the hash.
+ *  - l2_priv: a private per-level-1-entry level-2 table would have
+ *    produced a different prediction than the shared global one.
+ *  - l2_pc: the level-2 entry was last written by a different static
+ *    instruction (but with an identical history — constructive or
+ *    neutral sharing).
+ *  - none: no aliasing detected.
+ */
+
+#ifndef DFCM_CORE_ALIAS_ANALYSIS_HH
+#define DFCM_CORE_ALIAS_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fcm_predictor.hh"
+#include "core/stats.hh"
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/** The five aliasing categories, in classification priority order. */
+enum class AliasType : unsigned
+{
+    L1 = 0,
+    Hash,
+    L2Priv,
+    L2Pc,
+    None,
+};
+
+/** Number of AliasType categories. */
+constexpr std::size_t kAliasTypeCount = 5;
+
+/** Display name used in the paper's figures ("l1", "hash", ...). */
+const char* aliasTypeName(AliasType type);
+
+/** Per-category prediction statistics. */
+struct AliasBreakdown
+{
+    std::array<PredictorStats, kAliasTypeCount> per_type;
+
+    const PredictorStats&
+    operator[](AliasType t) const
+    {
+        return per_type[static_cast<unsigned>(t)];
+    }
+
+    /** Aggregate over all categories. */
+    PredictorStats total() const;
+
+    /** Fraction of all predictions in category @p t (Figure 13). */
+    double fractionOfPredictions(AliasType t) const;
+
+    /** Fraction of all predictions that are *mispredictions* in
+     *  category @p t (Figure 14: bar heights sum to the global
+     *  misprediction rate). */
+    double fractionWrong(AliasType t) const;
+
+    AliasBreakdown& operator+=(const AliasBreakdown& o);
+};
+
+/**
+ * An FCM or DFCM predictor instrumented with the shadow state needed
+ * for the aliasing taxonomy: full unhashed histories and writer PCs
+ * in the level-1 shadow, recorded histories and writer PCs per
+ * level-2 entry, and sparse private per-level-1-entry level-2
+ * tables.
+ *
+ * The functional tables behave exactly like FcmPredictor /
+ * DfcmPredictor (identical predictions); the shadow state is
+ * observation-only.
+ */
+class AliasAnalyzer
+{
+  public:
+    /**
+     * @param config Geometry/hash of the predictor to instrument.
+     * @param differential False = FCM (value histories), true = DFCM
+     *        (difference histories + last value).
+     */
+    AliasAnalyzer(const FcmConfig& config, bool differential);
+
+    /** Classify-then-update one trace record. */
+    void step(Pc pc, Value actual);
+
+    /** Run a whole trace. */
+    AliasBreakdown run(const ValueTrace& trace);
+
+    /** Statistics accumulated so far. */
+    const AliasBreakdown& breakdown() const { return breakdown_; }
+
+    /** Classification the next step(pc, ...) would assign
+     *  (inspection hook for tests). */
+    AliasType classify(Pc pc) const;
+
+    /** The value the functional tables would predict for @p pc. */
+    Value predictValue(Pc pc) const;
+
+    bool differential() const { return differential_; }
+    unsigned order() const { return order_; }
+
+  private:
+    struct L1Shadow
+    {
+        std::vector<Value> history;  //!< oldest..newest, size = order
+        std::vector<Pc> writers;     //!< producer of each element
+        Value last = 0;              //!< DFCM last value
+    };
+
+    struct L2Shadow
+    {
+        std::vector<Value> history;  //!< history at last update
+        Pc writer;                   //!< PC of last updater
+    };
+
+    std::uint64_t hashOf(const std::vector<Value>& history) const;
+    std::uint64_t privKey(std::size_t l1_idx, std::uint64_t l2_idx) const;
+
+    FcmConfig cfg_;
+    bool differential_;
+    ShiftFoldHash hash_;
+    unsigned order_;
+    std::uint64_t l1_mask_;
+    std::uint64_t value_mask_;
+    static constexpr Pc kNoPc = ~Pc{0};
+
+    std::vector<L1Shadow> l1_;
+    std::vector<Value> l2_;          //!< functional level-2 table
+    std::vector<L2Shadow> l2_shadow_;
+    std::unordered_map<std::uint64_t, Value> private_l2_;
+    AliasBreakdown breakdown_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_ALIAS_ANALYSIS_HH

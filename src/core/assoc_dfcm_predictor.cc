@@ -1,0 +1,137 @@
+#include "core/assoc_dfcm_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+AssocDfcmPredictor::AssocDfcmPredictor(const AssocDfcmConfig& config)
+    : cfg_(config),
+      hash_(ShiftFoldHash::fsR5(config.set_bits + config.tag_bits)),
+      l1_mask_(maskBits(config.l1_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      l1_(std::size_t{1} << config.l1_bits),
+      l2_((std::size_t{1} << config.set_bits) * config.ways)
+{
+    assert(config.l1_bits <= 28);
+    assert(config.set_bits >= 1 && config.set_bits <= 24);
+    assert(config.ways >= 1 && config.ways <= 8);
+    assert(config.tag_bits >= 1 && config.tag_bits <= 16);
+}
+
+std::uint64_t
+AssocDfcmPredictor::setOf(std::uint64_t hist) const
+{
+    return hist & maskBits(cfg_.set_bits);
+}
+
+std::uint32_t
+AssocDfcmPredictor::tagOf(std::uint64_t hist) const
+{
+    return static_cast<std::uint32_t>(hist >> cfg_.set_bits)
+        & static_cast<std::uint32_t>(maskBits(cfg_.tag_bits));
+}
+
+int
+AssocDfcmPredictor::findWay(std::uint64_t set, std::uint32_t tag) const
+{
+    const std::size_t base = set * cfg_.ways;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        const Way& way = l2_[base + w];
+        if (way.valid && way.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+Value
+AssocDfcmPredictor::predict(Pc pc) const
+{
+    const L1Entry& e = l1_[pc & l1_mask_];
+    const std::uint64_t set = setOf(e.hist);
+    const int w = findWay(set, tagOf(e.hist));
+    ++lookups_;
+    // On a tag miss the history is unknown to the table: predict a
+    // zero stride (last value) rather than a stranger's stride.
+    Value stride = 0;
+    if (w >= 0) {
+        ++hits_;
+        stride = l2_[set * cfg_.ways + w].stride;
+    }
+    return (e.last + stride) & value_mask_;
+}
+
+void
+AssocDfcmPredictor::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    L1Entry& e = l1_[pc & l1_mask_];
+    const std::uint64_t set = setOf(e.hist);
+    const std::uint32_t tag = tagOf(e.hist);
+    const std::size_t base = set * cfg_.ways;
+
+    const Value stride = (actual - e.last) & value_mask_;
+
+    int w = findWay(set, tag);
+    if (w < 0) {
+        // Allocate the LRU way.
+        w = 0;
+        for (unsigned i = 1; i < cfg_.ways; ++i) {
+            if (!l2_[base + i].valid) {
+                w = static_cast<int>(i);
+                break;
+            }
+            if (l2_[base + i].lru < l2_[base + w].lru)
+                w = static_cast<int>(i);
+        }
+        l2_[base + w].valid = true;
+        l2_[base + w].tag = tag;
+    }
+    l2_[base + w].stride = stride;
+
+    // LRU update: demote the others, promote the touched way.
+    for (unsigned i = 0; i < cfg_.ways; ++i) {
+        Way& way = l2_[base + i];
+        if (static_cast<int>(i) == w)
+            way.lru = static_cast<std::uint8_t>(cfg_.ways - 1);
+        else if (way.lru > 0)
+            --way.lru;
+    }
+
+    e.hist = hash_.insert(e.hist, stride);
+    e.last = actual;
+}
+
+std::uint64_t
+AssocDfcmPredictor::storageBits() const
+{
+    // L1: wide hash register + last value. L2: per way a stride, a
+    // tag, a valid bit and ceil(log2(ways)) LRU bits.
+    unsigned lru_bits = 0;
+    for (unsigned w = 1; w < cfg_.ways; w <<= 1)
+        ++lru_bits;
+    const std::uint64_t l1_entry =
+            cfg_.set_bits + cfg_.tag_bits + cfg_.value_bits;
+    const std::uint64_t way_bits =
+            cfg_.value_bits + cfg_.tag_bits + 1 + lru_bits;
+    return l1_.size() * l1_entry + l2_.size() * way_bits;
+}
+
+std::string
+AssocDfcmPredictor::name() const
+{
+    std::ostringstream os;
+    os << "adfcm(l1=" << cfg_.l1_bits << ",sets=" << cfg_.set_bits
+       << ",w=" << cfg_.ways << ",tag=" << cfg_.tag_bits << ")";
+    return os.str();
+}
+
+double
+AssocDfcmPredictor::hitRate() const
+{
+    return lookups_ == 0
+        ? 0.0 : static_cast<double>(hits_) / lookups_;
+}
+
+} // namespace vpred

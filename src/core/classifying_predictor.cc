@@ -1,0 +1,169 @@
+#include "core/classifying_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+const char*
+valueClassName(ValueClass cls)
+{
+    switch (cls) {
+      case ValueClass::Unknown: return "unknown";
+      case ValueClass::Constant: return "constant";
+      case ValueClass::Stride: return "stride";
+      case ValueClass::Context: return "context";
+      case ValueClass::Unpredictable: return "unpredictable";
+    }
+    return "?";
+}
+
+ClassifyingPredictor::ClassifyingPredictor(const ClassifyingConfig& config)
+    : cfg_(config), class_mask_(maskBits(config.class_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      lvp_(config.lvp_bits, config.value_bits),
+      stride_(config.stride_bits, config.value_bits),
+      fcm_(FcmConfig{.l1_bits = config.fcm_l1_bits,
+                     .l2_bits = config.fcm_l2_bits,
+                     .value_bits = config.value_bits,
+                     .hash = {}}),
+      classes_(std::size_t{1} << config.class_bits)
+{
+    assert(config.class_bits <= 28);
+    assert(config.warmup >= 4 && config.warmup <= 255);
+    assert(config.min_score_32nds <= 32);
+}
+
+ValueClass
+ClassifyingPredictor::classOf(Pc pc) const
+{
+    return classes_[pc & class_mask_].cls;
+}
+
+Value
+ClassifyingPredictor::predict(Pc pc) const
+{
+    switch (classOf(pc)) {
+      case ValueClass::Constant:
+        return lvp_.predict(pc);
+      case ValueClass::Stride:
+        return stride_.predict(pc);
+      case ValueClass::Context:
+        return fcm_.predict(pc);
+      case ValueClass::Unknown:
+      case ValueClass::Unpredictable:
+        // No predictor assigned: no meaningful prediction. Returning
+        // a sentinel keeps the ValuePredictor contract; accuracy
+        // accounting sees it as a miss (unless the value really is 0).
+        return 0;
+    }
+    return 0;
+}
+
+void
+ClassifyingPredictor::assign(ClassEntry& e)
+{
+    const unsigned need =
+            cfg_.warmup * cfg_.min_score_32nds / 32;
+    // Priority on ties: stride beats constant beats context, since
+    // cheaper predictors are preferable at equal accuracy; constants
+    // are also perfectly predicted by the stride predictor, so the
+    // dedicated constant class only wins clear cases.
+    std::uint8_t best = e.score_const;
+    ValueClass cls = ValueClass::Constant;
+    if (e.score_stride >= best) {
+        best = e.score_stride;
+        cls = ValueClass::Stride;
+    }
+    if (e.score_context > best) {
+        best = e.score_context;
+        cls = ValueClass::Context;
+    }
+    e.cls = best >= need ? cls : ValueClass::Unpredictable;
+    e.confidence = 8;
+}
+
+void
+ClassifyingPredictor::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    ClassEntry& e = classes_[pc & class_mask_];
+
+    switch (e.cls) {
+      case ValueClass::Unknown:
+        // Warm-up: score every class predictor and train them all.
+        if (lvp_.predict(pc) == actual)
+            ++e.score_const;
+        if (stride_.predict(pc) == actual)
+            ++e.score_stride;
+        if (fcm_.predict(pc) == actual)
+            ++e.score_context;
+        lvp_.update(pc, actual);
+        stride_.update(pc, actual);
+        fcm_.update(pc, actual);
+        if (++e.seen >= cfg_.warmup)
+            assign(e);
+        break;
+
+      case ValueClass::Constant:
+      case ValueClass::Stride:
+      case ValueClass::Context: {
+        // Assigned: only the owning predictor is consulted and
+        // trained (the resource-partitioning property).
+        ValuePredictor& owner =
+                e.cls == ValueClass::Constant
+                        ? static_cast<ValuePredictor&>(lvp_)
+                        : e.cls == ValueClass::Stride
+                                ? static_cast<ValuePredictor&>(stride_)
+                                : static_cast<ValuePredictor&>(fcm_);
+        const bool correct = owner.predict(pc) == actual;
+        owner.update(pc, actual);
+        if (correct) {
+            if (e.confidence < 15)
+                ++e.confidence;
+        } else if (e.confidence-- <= 1) {
+            // Assignment went stale: reclassify from scratch.
+            e = ClassEntry{};
+        }
+        break;
+      }
+
+      case ValueClass::Unpredictable:
+        // Periodically give the instruction another chance; a phase
+        // change may have made it predictable.
+        if (++e.seen == 0)
+            e = ClassEntry{};
+        break;
+    }
+}
+
+std::uint64_t
+ClassifyingPredictor::storageBits() const
+{
+    // Classifier entry: 3-bit class + 8-bit seen + 3 x 6-bit scores
+    // + 4-bit confidence = 33 bits.
+    return lvp_.storageBits() + stride_.storageBits()
+        + fcm_.storageBits() + classes_.size() * 33ull;
+}
+
+std::string
+ClassifyingPredictor::name() const
+{
+    std::ostringstream os;
+    os << "classify(lvp=" << cfg_.lvp_bits << ",stride="
+       << cfg_.stride_bits << ",fcm=" << cfg_.fcm_l1_bits << "/"
+       << cfg_.fcm_l2_bits << ")";
+    return os.str();
+}
+
+std::vector<std::uint64_t>
+ClassifyingPredictor::classCensus() const
+{
+    std::vector<std::uint64_t> census(5, 0);
+    for (const ClassEntry& e : classes_)
+        ++census[static_cast<unsigned>(e.cls)];
+    return census;
+}
+
+} // namespace vpred

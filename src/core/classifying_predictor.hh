@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dynamic-classification value predictor, modelled on the related
+ * work the paper discusses in Section 5 (Rychlik et al.; Lee, Wang
+ * and Yew): each static instruction is observed for a warm-up
+ * window, then assigned to exactly one of several class-specific
+ * predictors (constant / stride / context) or marked unpredictable.
+ *
+ * The paper's criticism, which this implementation lets you measure
+ * (bench_related_classification): the classification introduces a
+ * *fixed partitioning* of the table resources and a hard
+ * assignment, while the DFCM shares one level-2 table dynamically —
+ * constants use one entry, each distinct stride one entry, and the
+ * rest is available to context patterns.
+ */
+
+#ifndef DFCM_CORE_CLASSIFYING_PREDICTOR_HH
+#define DFCM_CORE_CLASSIFYING_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/fcm_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/** The classes an instruction can be assigned to. */
+enum class ValueClass : std::uint8_t
+{
+    Unknown = 0,    //!< still warming up
+    Constant,       //!< served by the last value predictor
+    Stride,         //!< served by the stride predictor
+    Context,        //!< served by the FCM
+    Unpredictable,  //!< no predictor assigned
+};
+
+/** Display name ("constant", "stride", ...). */
+const char* valueClassName(ValueClass cls);
+
+/** Configuration of the classifying predictor. */
+struct ClassifyingConfig
+{
+    unsigned class_bits = 16;   //!< log2(#classifier entries)
+    unsigned lvp_bits = 14;     //!< constant-class table
+    unsigned stride_bits = 14;  //!< stride-class table
+    unsigned fcm_l1_bits = 14;  //!< context-class level-1 table
+    unsigned fcm_l2_bits = 12;  //!< context-class level-2 table
+    unsigned value_bits = 32;
+    unsigned warmup = 32;       //!< observations before assignment
+    /** Minimum fraction (in 1/32ths) of warm-up hits a class needs;
+     *  below it the instruction is declared unpredictable. */
+    unsigned min_score_32nds = 16;
+};
+
+/**
+ * Hard-classifying hybrid: warm-up scoring, one-predictor
+ * assignment, confidence-based reclassification.
+ */
+class ClassifyingPredictor : public ValuePredictor
+{
+  public:
+    explicit ClassifyingPredictor(const ClassifyingConfig& config);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /** Current class of the instruction at @p pc. */
+    ValueClass classOf(Pc pc) const;
+
+    /** Number of classifier entries currently in each class
+     *  (diagnostics for the related-work bench). */
+    std::vector<std::uint64_t> classCensus() const;
+
+  private:
+    struct ClassEntry
+    {
+        ValueClass cls = ValueClass::Unknown;
+        std::uint8_t seen = 0;        //!< warm-up observations
+        std::uint8_t score_const = 0; //!< warm-up hits per class
+        std::uint8_t score_stride = 0;
+        std::uint8_t score_context = 0;
+        std::uint8_t confidence = 0;  //!< post-assignment confidence
+    };
+
+    void assign(ClassEntry& e);
+
+    ClassifyingConfig cfg_;
+    std::uint64_t class_mask_;
+    std::uint64_t value_mask_;
+    LastValuePredictor lvp_;
+    StridePredictor stride_;
+    FcmPredictor fcm_;
+    std::vector<ClassEntry> classes_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_CLASSIFYING_PREDICTOR_HH

@@ -1,0 +1,151 @@
+#include "core/confidence_dfcm.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+const char*
+confidenceModeName(ConfidenceMode mode)
+{
+    switch (mode) {
+      case ConfidenceMode::None: return "none";
+      case ConfidenceMode::Tag: return "tag";
+      case ConfidenceMode::Counter: return "counter";
+      case ConfidenceMode::TagAndCounter: return "tag+counter";
+    }
+    return "?";
+}
+
+ConfidenceDfcm::ConfidenceDfcm(const ConfidenceDfcmConfig& config)
+    : cfg_(config), hash_(ShiftFoldHash::fsR5(config.l2_bits)),
+      // The orthogonal hash: same window (shift) as the main hash so
+      // both see exactly the same history, but a different per-value
+      // mixing (scramble()) so collisions are independent.
+      tag_hash_(ShiftFoldHash::fsR5(config.l2_bits)),
+      l1_mask_(maskBits(config.l1_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      counter_max_(config.counter_bits == 0
+                           ? 0 : (1u << config.counter_bits) - 1),
+      l1_(std::size_t{1} << config.l1_bits),
+      l2_(std::size_t{1} << config.l2_bits)
+{
+    assert(config.l1_bits <= 28);
+    assert(config.l2_bits >= 1 && config.l2_bits <= 28);
+    assert(config.tag_bits <= 16);
+    assert(config.counter_bits <= 8);
+    assert(config.counter_threshold <= counter_max_
+           || config.counter_bits == 0);
+}
+
+std::uint32_t
+ConfidenceDfcm::tagOf(std::uint64_t tag_hist) const
+{
+    if (cfg_.tag_bits == 0)
+        return 0;
+    return static_cast<std::uint32_t>(foldXor(tag_hist, cfg_.tag_bits));
+}
+
+ConfidenceDfcm::Prediction
+ConfidenceDfcm::predict(Pc pc) const
+{
+    const L1Entry& e1 = l1_[pc & l1_mask_];
+    const L2Entry& e2 = l2_[e1.hist];
+
+    Prediction p;
+    p.value = (e1.last + e2.stride) & value_mask_;
+    p.tag_match = cfg_.tag_bits == 0 || e2.tag == tagOf(e1.tag_hist);
+    p.counter_ok = cfg_.counter_bits == 0
+        || e2.counter >= cfg_.counter_threshold;
+    switch (cfg_.mode) {
+      case ConfidenceMode::None:
+        p.confident = true;
+        break;
+      case ConfidenceMode::Tag:
+        p.confident = p.tag_match;
+        break;
+      case ConfidenceMode::Counter:
+        p.confident = p.counter_ok;
+        break;
+      case ConfidenceMode::TagAndCounter:
+        p.confident = p.tag_match && p.counter_ok;
+        break;
+    }
+    return p;
+}
+
+void
+ConfidenceDfcm::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    L1Entry& e1 = l1_[pc & l1_mask_];
+    L2Entry& e2 = l2_[e1.hist];
+
+    const Value stride = (actual - e1.last) & value_mask_;
+
+    // Train the entry's confidence counter on whether *it* would
+    // have predicted correctly, regardless of the gate.
+    if (cfg_.counter_bits > 0) {
+        const bool entry_correct =
+                ((e1.last + e2.stride) & value_mask_) == actual;
+        if (entry_correct) {
+            if (e2.counter < counter_max_)
+                ++e2.counter;
+        } else {
+            e2.counter = e2.counter < 2 ? 0 : e2.counter - 2;
+        }
+    }
+
+    e2.stride = stride;
+    e2.tag = tagOf(e1.tag_hist);
+    e1.hist = hash_.insert(e1.hist, stride);
+    e1.tag_hist = tag_hash_.insert(e1.tag_hist, scramble(stride));
+    e1.last = actual;
+}
+
+void
+ConfidenceDfcm::step(Pc pc, Value actual, GatedStats& stats)
+{
+    const Prediction p = predict(pc);
+    ++stats.total;
+    if (p.confident) {
+        ++stats.attempted;
+        if (p.value == (actual & value_mask_))
+            ++stats.correct;
+    }
+    update(pc, actual);
+}
+
+GatedStats
+ConfidenceDfcm::run(const ValueTrace& trace)
+{
+    GatedStats stats;
+    for (const TraceRecord& rec : trace)
+        step(rec.pc, rec.value, stats);
+    return stats;
+}
+
+std::uint64_t
+ConfidenceDfcm::storageBits() const
+{
+    // DFCM storage plus the second hash register per level-1 entry
+    // and tag + counter per level-2 entry.
+    const std::uint64_t l1_entry = cfg_.l2_bits + cfg_.value_bits
+        + (cfg_.tag_bits > 0 ? cfg_.l2_bits : 0);
+    const std::uint64_t l2_entry = cfg_.value_bits + cfg_.tag_bits
+        + cfg_.counter_bits;
+    return l1_.size() * l1_entry + l2_.size() * l2_entry;
+}
+
+std::string
+ConfidenceDfcm::name() const
+{
+    std::ostringstream os;
+    os << "cdfcm(l1=" << cfg_.l1_bits << ",l2=" << cfg_.l2_bits
+       << ",tag=" << cfg_.tag_bits << ",ctr=" << cfg_.counter_bits
+       << "," << confidenceModeName(cfg_.mode) << ")";
+    return os.str();
+}
+
+} // namespace vpred

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Confidence-estimating DFCM — the extension the paper sketches in
+ * Section 4.2: "the design of a confidence estimator for a (D)FCM
+ * predictor should include tagging the level-2 table with some
+ * information to track hash-aliasing [...] Some bits of a second
+ * hashing function, orthogonal to the main one, seems to be a good
+ * choice for the tag."
+ *
+ * This predictor extends the DFCM with two confidence sources:
+ *
+ *  - a per-level-2-entry *tag* holding bits of a second history hash
+ *    (same window as the main hash, decorrelated by multiplying each
+ *    inserted difference with a large odd constant before folding).
+ *    A tag mismatch at prediction time means the entry was last
+ *    written under a different history — precisely the paper's
+ *    "hash" aliasing class — so the prediction is untrusted;
+ *  - an optional per-entry saturating counter trained on the
+ *    entry's prediction outcomes (the classic confidence scheme the
+ *    tag is meant to improve on).
+ *
+ * Because gating predictions changes the metric (coverage vs.
+ * accuracy-of-attempted), this class reports GatedStats rather than
+ * implementing the plain ValuePredictor interface.
+ */
+
+#ifndef DFCM_CORE_CONFIDENCE_DFCM_HH
+#define DFCM_CORE_CONFIDENCE_DFCM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hash_function.hh"
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/** Which confidence sources gate a prediction. */
+enum class ConfidenceMode
+{
+    None,           //!< predict always (plain DFCM behaviour)
+    Tag,            //!< predict only on tag match
+    Counter,        //!< predict only at counter threshold
+    TagAndCounter,  //!< both conditions required
+};
+
+/** Name of a ConfidenceMode ("tag", "counter", ...). */
+const char* confidenceModeName(ConfidenceMode mode);
+
+/** Outcome accounting for a gated predictor. */
+struct GatedStats
+{
+    std::uint64_t total = 0;      //!< eligible instructions seen
+    std::uint64_t attempted = 0;  //!< predictions actually made
+    std::uint64_t correct = 0;    //!< correct attempted predictions
+
+    /** Fraction of instructions the predictor dared to predict. */
+    double
+    coverage() const
+    {
+        return total == 0 ? 0.0 : static_cast<double>(attempted) / total;
+    }
+
+    /** Accuracy among attempted predictions. */
+    double
+    accuracy() const
+    {
+        return attempted == 0
+            ? 0.0 : static_cast<double>(correct) / attempted;
+    }
+
+    /** Accuracy counting skipped predictions as wrong (comparable to
+     *  an ungated predictor's accuracy). */
+    double
+    effectiveAccuracy() const
+    {
+        return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+    }
+};
+
+/** Configuration of the confidence-estimating DFCM. */
+struct ConfidenceDfcmConfig
+{
+    unsigned l1_bits = 16;
+    unsigned l2_bits = 12;
+    unsigned value_bits = 32;
+    /** Tag width in bits (0 disables the tag machinery). */
+    unsigned tag_bits = 4;
+    /** Confidence counter width (0 disables counters). */
+    unsigned counter_bits = 2;
+    /** Counter value required to predict in Counter modes. */
+    unsigned counter_threshold = 2;
+    ConfidenceMode mode = ConfidenceMode::Tag;
+};
+
+/**
+ * DFCM with hash-alias-tracking tags and per-entry confidence
+ * counters.
+ */
+class ConfidenceDfcm
+{
+  public:
+    /** A gated prediction. */
+    struct Prediction
+    {
+        Value value = 0;     //!< predicted value (always computed)
+        bool confident = false;  //!< whether the gate would predict
+        bool tag_match = false;
+        bool counter_ok = false;
+    };
+
+    explicit ConfidenceDfcm(const ConfidenceDfcmConfig& config);
+
+    /** Inspect the prediction and its confidence for @p pc. */
+    Prediction predict(Pc pc) const;
+
+    /** Train tables (and the entry's confidence counter) with the
+     *  actual outcome. */
+    void update(Pc pc, Value actual);
+
+    /** One gated trace step; updates @p stats. */
+    void step(Pc pc, Value actual, GatedStats& stats);
+
+    /** Run a whole trace under the configured gate. */
+    GatedStats run(const ValueTrace& trace);
+
+    std::uint64_t storageBits() const;
+    std::string name() const;
+
+    const ConfidenceDfcmConfig& config() const { return cfg_; }
+
+  private:
+    struct L1Entry
+    {
+        Value last = 0;
+        std::uint64_t hist = 0;      //!< main hash (level-2 index)
+        std::uint64_t tag_hist = 0;  //!< orthogonal hash register
+    };
+
+    struct L2Entry
+    {
+        Value stride = 0;
+        std::uint32_t tag = 0;
+        std::uint32_t counter = 0;
+    };
+
+    /** Decorrelate a difference before it enters the tag hash. */
+    static std::uint64_t
+    scramble(std::uint64_t v)
+    {
+        return (v * 0x9E3779B1ull) & 0xFFFFFFFFull;
+    }
+
+    std::uint32_t tagOf(std::uint64_t tag_hist) const;
+
+    ConfidenceDfcmConfig cfg_;
+    ShiftFoldHash hash_;
+    ShiftFoldHash tag_hash_;
+    std::uint64_t l1_mask_;
+    std::uint64_t value_mask_;
+    unsigned counter_max_;
+    std::vector<L1Entry> l1_;
+    std::vector<L2Entry> l2_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_CONFIDENCE_DFCM_HH

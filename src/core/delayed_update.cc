@@ -1,0 +1,67 @@
+#include "core/delayed_update.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+DelayedUpdatePredictor::DelayedUpdatePredictor(
+        std::unique_ptr<ValuePredictor> inner, unsigned delay)
+    : inner_(std::move(inner)), delay_(delay)
+{
+    assert(inner_);
+}
+
+Value
+DelayedUpdatePredictor::predict(Pc pc) const
+{
+    return inner_->predict(pc);
+}
+
+void
+DelayedUpdatePredictor::update(Pc pc, Value actual)
+{
+    queue_.push_back({pc, actual});
+    // An entry leaves the queue after `delay_` further predictions;
+    // queueing then immediately releasing implements delay 0.
+    while (queue_.size() > delay_) {
+        const Pending p = queue_.front();
+        queue_.pop_front();
+        inner_->update(p.pc, p.actual);
+    }
+}
+
+bool
+DelayedUpdatePredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    const bool correct = inner_->predict(pc) == actual;
+    update(pc, actual);
+    return correct;
+}
+
+void
+DelayedUpdatePredictor::drain()
+{
+    while (!queue_.empty()) {
+        const Pending p = queue_.front();
+        queue_.pop_front();
+        inner_->update(p.pc, p.actual);
+    }
+}
+
+std::uint64_t
+DelayedUpdatePredictor::storageBits() const
+{
+    return inner_->storageBits();
+}
+
+std::string
+DelayedUpdatePredictor::name() const
+{
+    std::ostringstream os;
+    os << "delayed(" << delay_ << ")[" << inner_->name() << "]";
+    return os.str();
+}
+
+} // namespace vpred

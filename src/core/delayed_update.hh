@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Delayed-update evaluation model, Section 4.5 / Figure 17 of the
+ * paper.
+ */
+
+#ifndef DFCM_CORE_DELAYED_UPDATE_HH
+#define DFCM_CORE_DELAYED_UPDATE_HH
+
+#include <deque>
+#include <memory>
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/**
+ * Wraps a predictor so that the table update for a prediction is
+ * applied only after @c delay further predictions have been made.
+ * If the same static instruction occurs twice within the delay
+ * window, the second prediction is therefore based on stale history,
+ * exactly as in a real pipeline where the update happens at commit.
+ *
+ * A delay of 0 reproduces the immediate predict-then-update
+ * discipline.
+ *
+ * @note The wrapper derives correctness from the inner predictor's
+ * predict(); it therefore composes with any single-prediction
+ * predictor but not with PerfectHybridPredictor (whose correctness
+ * is oracle-defined). Figure 17 only needs FCM and DFCM.
+ */
+class DelayedUpdatePredictor : public ValuePredictor
+{
+  public:
+    DelayedUpdatePredictor(std::unique_ptr<ValuePredictor> inner,
+                           unsigned delay);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    bool predictAndUpdate(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /** Apply all queued updates (call at end of trace if the exact
+     *  final table state matters). */
+    void drain();
+
+    unsigned delay() const { return delay_; }
+
+  private:
+    struct Pending
+    {
+        Pc pc;
+        Value actual;
+    };
+
+    std::unique_ptr<ValuePredictor> inner_;
+    unsigned delay_;
+    std::deque<Pending> queue_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_DELAYED_UPDATE_HH

@@ -1,0 +1,67 @@
+#include "core/dfcm_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+DfcmPredictor::DfcmPredictor(const DfcmConfig& config)
+    : cfg_(config), hash_(config.resolvedHash()),
+      l1_mask_(maskBits(config.l1_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      stride_mask_(maskBits(config.stride_bits)),
+      l1_(std::size_t{1} << config.l1_bits),
+      l2_(std::size_t{1} << config.l2_bits, 0)
+{
+    assert(config.l1_bits <= 28);
+    assert(config.l2_bits >= 1 && config.l2_bits <= 28);
+    assert(config.stride_bits >= 1
+           && config.stride_bits <= config.value_bits);
+    assert(hash_.indexBits() == config.l2_bits);
+}
+
+Value
+DfcmPredictor::predict(Pc pc) const
+{
+    const L1Entry& e = l1_[l1Index(pc)];
+    return (e.last + widen(l2_[e.hist])) & value_mask_;
+}
+
+void
+DfcmPredictor::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    L1Entry& e = l1_[l1Index(pc)];
+
+    // New difference (modulo the value width); store it in the entry
+    // the prediction was read from, then advance the difference
+    // history and the last value.
+    const Value stride = (actual - e.last) & value_mask_;
+    l2_[e.hist] = stride & stride_mask_;
+    e.hist = hash_.insert(e.hist, stride);
+    e.last = actual;
+}
+
+std::uint64_t
+DfcmPredictor::storageBits() const
+{
+    // Level 1 stores the hashed history *and* the last value — the
+    // extra storage the paper charges the DFCM for. Level 2 stores
+    // one (possibly narrowed) stride per entry.
+    return std::uint64_t{l1_.size()} * (cfg_.l2_bits + cfg_.value_bits)
+        + std::uint64_t{l2_.size()} * cfg_.stride_bits;
+}
+
+std::string
+DfcmPredictor::name() const
+{
+    std::ostringstream os;
+    os << "dfcm(l1=" << cfg_.l1_bits << ",l2=" << cfg_.l2_bits;
+    if (cfg_.stride_bits != cfg_.value_bits)
+        os << ",sb=" << cfg_.stride_bits;
+    os << ")";
+    return os.str();
+}
+
+} // namespace vpred

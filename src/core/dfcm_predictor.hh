@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Differential finite context method (DFCM) predictor — the paper's
+ * contribution (Section 3 / Figure 7).
+ */
+
+#ifndef DFCM_CORE_DFCM_PREDICTOR_HH
+#define DFCM_CORE_DFCM_PREDICTOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/hash_function.hh"
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/** Geometry, hashing and stride-width of a DFCM predictor. */
+struct DfcmConfig
+{
+    unsigned l1_bits = 16;    //!< log2(#level-1 entries)
+    unsigned l2_bits = 12;    //!< log2(#level-2 entries)
+    unsigned value_bits = 32;
+    /**
+     * Width of the stride stored in each level-2 entry (Section 4.4).
+     * Strides narrower than value_bits are truncated on store and
+     * sign-extended on use. Defaults to full width.
+     */
+    unsigned stride_bits = 32;
+    /** History hash; FS R-5 over the stride history when unset. */
+    std::optional<ShiftFoldHash> hash;
+
+    ShiftFoldHash
+    resolvedHash() const
+    {
+        return hash ? *hash : ShiftFoldHash::fsR5(l2_bits);
+    }
+};
+
+/**
+ * The DFCM predictor.
+ *
+ * The level-1 table stores, per instruction, the last value and a
+ * hashed history of the *differences* between recent values. The
+ * level-2 table, indexed by the hashed difference history (the last
+ * value deliberately does not participate in the index), stores the
+ * next difference. The prediction is last value + predicted
+ * difference.
+ *
+ * Stride patterns therefore collapse to a single level-2 entry
+ * (their difference history is constant), which is the paper's key
+ * table-usage-efficiency argument.
+ */
+class DfcmPredictor : public ValuePredictor
+{
+  public:
+    explicit DfcmPredictor(const DfcmConfig& config);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /** Level-2 index the next predict(pc) would use (instrumentation
+     *  hook, see FcmPredictor::l2IndexFor). */
+    std::uint64_t l2IndexFor(Pc pc) const { return l1_[l1Index(pc)].hist; }
+
+    /** Last value currently stored for @p pc 's level-1 entry. */
+    Value lastValueFor(Pc pc) const { return l1_[l1Index(pc)].last; }
+
+    std::size_t l1Index(Pc pc) const { return pc & l1_mask_; }
+    unsigned order() const { return hash_.order(); }
+
+    const DfcmConfig& config() const { return cfg_; }
+    std::size_t l1Entries() const { return l1_.size(); }
+    std::size_t l2Entries() const { return l2_.size(); }
+
+  private:
+    struct L1Entry
+    {
+        Value last = 0;
+        std::uint64_t hist = 0;
+    };
+
+    /** Stored (possibly narrowed) stride -> full-width stride. */
+    Value
+    widen(Value stored) const
+    {
+        return signExtend(stored, cfg_.stride_bits) & value_mask_;
+    }
+
+    DfcmConfig cfg_;
+    ShiftFoldHash hash_;
+    std::uint64_t l1_mask_;
+    std::uint64_t value_mask_;
+    std::uint64_t stride_mask_;
+    std::vector<L1Entry> l1_;
+    std::vector<Value> l2_;  //!< next stride per history, narrowed
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_DFCM_PREDICTOR_HH

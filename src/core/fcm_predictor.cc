@@ -1,0 +1,55 @@
+#include "core/fcm_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+FcmPredictor::FcmPredictor(const FcmConfig& config)
+    : cfg_(config), hash_(config.resolvedHash()),
+      l1_mask_(maskBits(config.l1_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      l1_(std::size_t{1} << config.l1_bits, 0),
+      l2_(std::size_t{1} << config.l2_bits, 0)
+{
+    assert(config.l1_bits <= 28);
+    assert(config.l2_bits >= 1 && config.l2_bits <= 28);
+    assert(hash_.indexBits() == config.l2_bits);
+}
+
+Value
+FcmPredictor::predict(Pc pc) const
+{
+    return l2_[l1_[l1Index(pc)]];
+}
+
+void
+FcmPredictor::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    std::uint64_t& hist = l1_[l1Index(pc)];
+    // The correct value lands in the entry the prediction was read
+    // from; then the history is advanced with the new value.
+    l2_[hist] = actual;
+    hist = hash_.insert(hist, actual);
+}
+
+std::uint64_t
+FcmPredictor::storageBits() const
+{
+    // Level 1 holds one hashed history (l2_bits wide) per entry;
+    // level 2 holds one value per entry.
+    return std::uint64_t{l1_.size()} * cfg_.l2_bits
+        + std::uint64_t{l2_.size()} * cfg_.value_bits;
+}
+
+std::string
+FcmPredictor::name() const
+{
+    std::ostringstream os;
+    os << "fcm(l1=" << cfg_.l1_bits << ",l2=" << cfg_.l2_bits << ")";
+    return os.str();
+}
+
+} // namespace vpred

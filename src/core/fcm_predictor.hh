@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Finite context method (FCM) predictor, Section 2.3 / Figure 2 of
+ * the paper.
+ */
+
+#ifndef DFCM_CORE_FCM_PREDICTOR_HH
+#define DFCM_CORE_FCM_PREDICTOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/hash_function.hh"
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/** Geometry and hashing of a two-level context predictor. */
+struct FcmConfig
+{
+    unsigned l1_bits = 16;   //!< log2(#level-1 entries)
+    unsigned l2_bits = 12;   //!< log2(#level-2 entries)
+    unsigned value_bits = 32;
+    /**
+     * History hash; when unset, the paper's FS R-5 with
+     * order = ceil(l2_bits / 5) is used.
+     */
+    std::optional<ShiftFoldHash> hash;
+
+    /** Resolve the hash (explicit or the FS R-5 default). */
+    ShiftFoldHash
+    resolvedHash() const
+    {
+        return hash ? *hash : ShiftFoldHash::fsR5(l2_bits);
+    }
+};
+
+/**
+ * Order-k two-level FCM.
+ *
+ * The level-1 table, indexed by the low bits of the instruction
+ * identifier, stores the hashed history of recent values (only the
+ * hash is stored; the FS R-5 hash is updated incrementally). The
+ * hashed history indexes the level-2 table, which stores the value
+ * most likely to follow that history.
+ */
+class FcmPredictor : public ValuePredictor
+{
+  public:
+    explicit FcmPredictor(const FcmConfig& config);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /**
+     * Level-2 index the next predict(pc) would use. Exposed for the
+     * stride-occupancy profiler (Figures 6 and 9) and the aliasing
+     * instrumentation.
+     */
+    std::uint64_t l2IndexFor(Pc pc) const { return l1_[l1Index(pc)]; }
+
+    /** Level-1 index for @p pc. */
+    std::size_t l1Index(Pc pc) const { return pc & l1_mask_; }
+
+    /** History order implied by the hash function. */
+    unsigned order() const { return hash_.order(); }
+
+    const FcmConfig& config() const { return cfg_; }
+    std::size_t l1Entries() const { return l1_.size(); }
+    std::size_t l2Entries() const { return l2_.size(); }
+
+  private:
+    FcmConfig cfg_;
+    ShiftFoldHash hash_;
+    std::uint64_t l1_mask_;
+    std::uint64_t value_mask_;
+    std::vector<std::uint64_t> l1_;  //!< hashed history per entry
+    std::vector<Value> l2_;          //!< next value per history
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_FCM_PREDICTOR_HH

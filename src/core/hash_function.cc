@@ -1,0 +1,57 @@
+#include "core/hash_function.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+ShiftFoldHash::ShiftFoldHash(unsigned index_bits, unsigned shift,
+                             unsigned fold_bits)
+    : index_bits_(index_bits), shift_(shift), fold_bits_(fold_bits),
+      order_((index_bits + shift - 1) / shift), mask_(maskBits(index_bits))
+{
+    assert(index_bits >= 1 && index_bits <= 32);
+    assert(shift >= 1 && shift <= index_bits);
+    assert(fold_bits >= 1 && fold_bits <= 64);
+}
+
+ShiftFoldHash
+ShiftFoldHash::fsR5(unsigned index_bits)
+{
+    // For tiny tables the shift cannot exceed the index width.
+    const unsigned shift = index_bits < 5 ? index_bits : 5;
+    return ShiftFoldHash(index_bits, shift, index_bits);
+}
+
+ShiftFoldHash
+ShiftFoldHash::fsRk(unsigned index_bits, unsigned k)
+{
+    const unsigned shift = k > index_bits ? index_bits : k;
+    return ShiftFoldHash(index_bits, shift, index_bits);
+}
+
+ShiftFoldHash
+ShiftFoldHash::concat(unsigned index_bits, unsigned order)
+{
+    assert(order >= 1 && index_bits % order == 0);
+    const unsigned field = index_bits / order;
+    return ShiftFoldHash(index_bits, field, field);
+}
+
+std::string
+ShiftFoldHash::name() const
+{
+    std::ostringstream os;
+    if (fold_bits_ == index_bits_) {
+        os << "FS R-" << shift_ << "(" << index_bits_ << ")";
+    } else if (fold_bits_ == shift_) {
+        os << "concat-" << order_ << "(" << index_bits_ << ")";
+    } else {
+        os << "shiftfold(n=" << index_bits_ << ",s=" << shift_
+           << ",f=" << fold_bits_ << ")";
+    }
+    return os.str();
+}
+
+} // namespace vpred

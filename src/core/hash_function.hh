@@ -1,0 +1,136 @@
+/**
+ * @file
+ * History hashing for two-level context predictors.
+ *
+ * Sazeides and Smith ("Implementations of Context Based Value
+ * Predictors", TR ECE97-8) study hash functions that compress an
+ * order-k value history into a level-2 table index. The paper uses
+ * their FS R-5 function: each value is folded (XOR of n-bit chunks)
+ * into n bits, shifted left by 5 * age bit positions and the shifted
+ * values are XORed together into the index.
+ *
+ * Because the shift discards bits beyond the index width, the hash
+ * can be maintained *incrementally*: only the hashed history needs to
+ * be stored in the level-1 table, never the raw values. A value's
+ * contribution is fully shifted out after ceil(n / shift) insertions,
+ * which is exactly why the paper sets order = ceil(n / 5).
+ */
+
+#ifndef DFCM_CORE_HASH_FUNCTION_HH
+#define DFCM_CORE_HASH_FUNCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/**
+ * Fold a 64-bit value into @p bits bits by XOR-ing consecutive
+ * @p bits -wide chunks together.
+ *
+ * @param value The value to fold.
+ * @param bits Result width, 1..64.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t value, unsigned bits)
+{
+    if (bits >= 64)
+        return value;
+    std::uint64_t r = 0;
+    while (value != 0) {
+        r ^= value & maskBits(bits);
+        value >>= bits;
+    }
+    return r;
+}
+
+/**
+ * An incrementally-updatable shift-and-fold history hash.
+ *
+ * On each insertion the previous hash is shifted left by @c shift
+ * bits, the new value is folded into @c foldBits bits and XORed in,
+ * and the result is truncated to @c indexBits bits:
+ *
+ *     h' = ((h << shift) ^ fold(v, foldBits)) & mask(indexBits)
+ *
+ * Two members of this family matter for the paper:
+ *
+ *  - FS R-5 (the paper's choice): foldBits == indexBits, shift == 5.
+ *  - Concatenation (the Figure 4 walk-through): foldBits == shift ==
+ *    indexBits / order, so per-value fields do not overlap.
+ *
+ * The effective order (number of values influencing the hash) is
+ * ceil(indexBits / shift).
+ */
+class ShiftFoldHash
+{
+  public:
+    /**
+     * @param index_bits Width of the produced level-2 index (1..32).
+     * @param shift Left shift applied per insertion (1..index_bits).
+     * @param fold_bits Width each value is folded into (1..64).
+     */
+    ShiftFoldHash(unsigned index_bits, unsigned shift, unsigned fold_bits);
+
+    /** The paper's FS R-5 function for a 2^index_bits entry table. */
+    static ShiftFoldHash fsR5(unsigned index_bits);
+
+    /** FS R-k: fold to the index width, shift by @p k per value. */
+    static ShiftFoldHash fsRk(unsigned index_bits, unsigned k);
+
+    /**
+     * Non-overlapping concatenation of @p order folded values, as
+     * assumed in the paper's Figure 4 example. @p index_bits must be
+     * divisible by @p order.
+     */
+    static ShiftFoldHash concat(unsigned index_bits, unsigned order);
+
+    /** Insert @p value into hash state @p hash, returning the new
+     *  hash (which is also the level-2 index). */
+    std::uint64_t
+    insert(std::uint64_t hash, std::uint64_t value) const
+    {
+        return ((hash << shift_) ^ foldXor(value, fold_bits_)) & mask_;
+    }
+
+    /** Number of most-recent values that influence the hash. */
+    unsigned order() const { return order_; }
+
+    /** Width of the produced index in bits. */
+    unsigned indexBits() const { return index_bits_; }
+
+    /** Per-insertion shift distance. */
+    unsigned shift() const { return shift_; }
+
+    /** Per-value fold width. */
+    unsigned foldBits() const { return fold_bits_; }
+
+    /** Human-readable description, e.g. "FS R-5(12)". */
+    std::string name() const;
+
+    bool operator==(const ShiftFoldHash&) const = default;
+
+  private:
+    unsigned index_bits_;
+    unsigned shift_;
+    unsigned fold_bits_;
+    unsigned order_;
+    std::uint64_t mask_;
+};
+
+/**
+ * The level-2 index width to history order relation the paper uses
+ * for FS R-5: order = ceil(index_bits / 5).
+ */
+constexpr unsigned
+orderForL2Bits(unsigned index_bits, unsigned shift = 5)
+{
+    return (index_bits + shift - 1) / shift;
+}
+
+} // namespace vpred
+
+#endif // DFCM_CORE_HASH_FUNCTION_HH

@@ -1,0 +1,121 @@
+#include "core/hybrid_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+PerfectHybridPredictor::PerfectHybridPredictor(
+        std::unique_ptr<ValuePredictor> first,
+        std::unique_ptr<ValuePredictor> second)
+    : first_(std::move(first)), second_(std::move(second))
+{
+    assert(first_ && second_);
+}
+
+Value
+PerfectHybridPredictor::predict(Pc pc) const
+{
+    return first_->predict(pc);
+}
+
+void
+PerfectHybridPredictor::update(Pc pc, Value actual)
+{
+    first_->update(pc, actual);
+    second_->update(pc, actual);
+}
+
+bool
+PerfectHybridPredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    const bool first_correct = first_->predict(pc) == actual;
+    const bool second_correct = second_->predict(pc) == actual;
+    update(pc, actual);
+    return first_correct || second_correct;
+}
+
+std::uint64_t
+PerfectHybridPredictor::storageBits() const
+{
+    // The perfect oracle needs no meta table; the paper charges the
+    // hybrid only for its components.
+    return first_->storageBits() + second_->storageBits();
+}
+
+std::string
+PerfectHybridPredictor::name() const
+{
+    std::ostringstream os;
+    os << "perfect[" << first_->name() << "+" << second_->name() << "]";
+    return os.str();
+}
+
+CounterHybridPredictor::CounterHybridPredictor(
+        std::unique_ptr<ValuePredictor> first,
+        std::unique_ptr<ValuePredictor> second, const Config& config)
+    : first_(std::move(first)), second_(std::move(second)), cfg_(config),
+      meta_mask_(maskBits(config.meta_bits)),
+      counter_max_((1u << config.counter_bits) - 1),
+      counter_init_((counter_max_ + 1) / 2),
+      meta_(std::size_t{1} << config.meta_bits, counter_init_)
+{
+    assert(first_ && second_);
+    assert(config.meta_bits <= 28);
+    assert(config.counter_bits >= 1 && config.counter_bits <= 8);
+}
+
+bool
+CounterHybridPredictor::choosesFirst(Pc pc) const
+{
+    return meta_[pc & meta_mask_] >= counter_init_;
+}
+
+Value
+CounterHybridPredictor::predict(Pc pc) const
+{
+    return choosesFirst(pc) ? first_->predict(pc) : second_->predict(pc);
+}
+
+void
+CounterHybridPredictor::update(Pc pc, Value actual)
+{
+    // Train the chooser toward the component that was correct before
+    // updating the components themselves.
+    const bool first_correct = first_->predict(pc) == actual;
+    const bool second_correct = second_->predict(pc) == actual;
+    unsigned& ctr = meta_[pc & meta_mask_];
+    if (first_correct && !second_correct && ctr < counter_max_)
+        ++ctr;
+    else if (second_correct && !first_correct && ctr > 0)
+        --ctr;
+
+    first_->update(pc, actual);
+    second_->update(pc, actual);
+}
+
+bool
+CounterHybridPredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    const bool correct = predict(pc) == actual;
+    update(pc, actual);
+    return correct;
+}
+
+std::uint64_t
+CounterHybridPredictor::storageBits() const
+{
+    return first_->storageBits() + second_->storageBits()
+        + std::uint64_t{meta_.size()} * cfg_.counter_bits;
+}
+
+std::string
+CounterHybridPredictor::name() const
+{
+    std::ostringstream os;
+    os << "hybrid[" << first_->name() << "+" << second_->name() << "]";
+    return os.str();
+}
+
+} // namespace vpred

@@ -1,0 +1,81 @@
+#include "core/ideal_context_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+IdealContextPredictor::IdealContextPredictor(unsigned l1_bits,
+                                             unsigned order,
+                                             bool differential,
+                                             unsigned value_bits)
+    : l1_bits_(l1_bits), order_(order), differential_(differential),
+      value_bits_(value_bits), l1_mask_(maskBits(l1_bits)),
+      value_mask_(maskBits(value_bits)),
+      l1_(std::size_t{1} << l1_bits)
+{
+    assert(l1_bits <= 24);
+    assert(order >= 1 && order <= 16);
+    for (L1Entry& e : l1_)
+        e.history.assign(order_, 0);
+}
+
+std::string
+IdealContextPredictor::keyOf(const std::vector<Value>& history) const
+{
+    std::string key;
+    key.reserve(history.size() * 8);
+    for (Value v : history) {
+        for (int i = 0; i < 8; ++i)
+            key.push_back(static_cast<char>(v >> (8 * i)));
+    }
+    return key;
+}
+
+Value
+IdealContextPredictor::predict(Pc pc) const
+{
+    const L1Entry& e = l1_[pc & l1_mask_];
+    const auto it = l2_.find(keyOf(e.history));
+    const Value stored = it == l2_.end() ? 0 : it->second;
+    if (differential_)
+        return (e.last + stored) & value_mask_;
+    return stored;
+}
+
+void
+IdealContextPredictor::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    L1Entry& e = l1_[pc & l1_mask_];
+    const Value stored = differential_
+        ? ((actual - e.last) & value_mask_) : actual;
+
+    l2_[keyOf(e.history)] = stored;
+    e.history.erase(e.history.begin());
+    e.history.push_back(stored);
+    e.last = actual;
+}
+
+std::uint64_t
+IdealContextPredictor::storageBits() const
+{
+    // Reference only: current materialized size (unbounded model).
+    const std::uint64_t l1_entry =
+            std::uint64_t{order_} * value_bits_
+            + (differential_ ? value_bits_ : 0);
+    return l1_.size() * l1_entry
+        + l2_.size() * std::uint64_t{value_bits_};
+}
+
+std::string
+IdealContextPredictor::name() const
+{
+    std::ostringstream os;
+    os << (differential_ ? "ideal-dfcm" : "ideal-fcm") << "(l1="
+       << l1_bits_ << ",o=" << order_ << ")";
+    return os.str();
+}
+
+} // namespace vpred

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ideal-index context predictors: FCM/DFCM variants whose level-2
+ * "table" is an unbounded, collision-free map from the *exact*
+ * history to the stored value.
+ *
+ * The paper closes its aliasing analysis with: "the hashing function
+ * remains responsible for the majority of the mispredictions (59%),
+ * there is still plenty of room for improvement." These predictors
+ * measure that headroom: they remove hash aliasing (and capacity
+ * aliasing) entirely while keeping the two-level prediction
+ * principle, bounding what any better hash could achieve at a given
+ * order. They are analysis devices, not hardware proposals — their
+ * storage is unbounded, so storageBits() reports the *current* model
+ * size for reference only.
+ */
+
+#ifndef DFCM_CORE_IDEAL_CONTEXT_PREDICTOR_HH
+#define DFCM_CORE_IDEAL_CONTEXT_PREDICTOR_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/**
+ * Order-k context predictor with exact (collision-free) context
+ * lookup, in plain (FCM) or differential (DFCM) form.
+ *
+ * The level-1 table is still finite and untagged (indexed by the
+ * instruction's low bits) so level-1 behaviour matches the real
+ * predictors; only the level-2 indexing is idealized.
+ */
+class IdealContextPredictor : public ValuePredictor
+{
+  public:
+    /**
+     * @param l1_bits log2(#level-1 entries).
+     * @param order History length (values or differences).
+     * @param differential False = FCM form, true = DFCM form.
+     * @param value_bits Predicted value width.
+     */
+    IdealContextPredictor(unsigned l1_bits, unsigned order,
+                          bool differential, unsigned value_bits = 32);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /** Number of distinct contexts materialized so far. */
+    std::size_t contextCount() const { return l2_.size(); }
+
+    unsigned order() const { return order_; }
+
+  private:
+    struct L1Entry
+    {
+        Value last = 0;
+        std::vector<Value> history;  //!< oldest..newest, size = order
+    };
+
+    /** Collision-free key of a history (exact concatenation via
+     *  string of bytes). */
+    std::string keyOf(const std::vector<Value>& history) const;
+
+    unsigned l1_bits_;
+    unsigned order_;
+    bool differential_;
+    unsigned value_bits_;
+    std::uint64_t l1_mask_;
+    std::uint64_t value_mask_;
+    std::vector<L1Entry> l1_;
+    std::unordered_map<std::string, Value> l2_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_IDEAL_CONTEXT_PREDICTOR_HH

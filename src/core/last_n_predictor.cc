@@ -1,0 +1,86 @@
+#include "core/last_n_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+LastNPredictor::LastNPredictor(unsigned table_bits, unsigned n,
+                               unsigned value_bits)
+    : table_bits_(table_bits), n_(n), value_bits_(value_bits),
+      index_mask_(maskBits(table_bits)), value_mask_(maskBits(value_bits)),
+      table_(std::size_t{1} << table_bits)
+{
+    assert(table_bits <= 28);
+    assert(n >= 1 && n <= 8);
+    for (Entry& e : table_) {
+        e.values.assign(n_, 0);
+        e.hits.assign(n_, 0);
+    }
+}
+
+std::size_t
+LastNPredictor::chooseSlot(const Entry& e) const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n_; ++i) {
+        if (e.hits[i] > e.hits[best])
+            best = i;
+    }
+    return best;
+}
+
+Value
+LastNPredictor::predict(Pc pc) const
+{
+    const Entry& e = table_[pc & index_mask_];
+    return e.values[chooseSlot(e)];
+}
+
+void
+LastNPredictor::update(Pc pc, Value actual)
+{
+    actual &= value_mask_;
+    Entry& e = table_[pc & index_mask_];
+
+    // Train agreement counters: slots holding the actual value are
+    // reinforced, the others decay.
+    bool present = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (e.values[i] == actual) {
+            present = true;
+            if (e.hits[i] < kHitMax)
+                ++e.hits[i];
+        } else if (e.hits[i] > 0) {
+            --e.hits[i];
+        }
+    }
+
+    if (!present) {
+        // Insert MRU-first: shift values and counters down.
+        for (std::size_t i = n_ - 1; i > 0; --i) {
+            e.values[i] = e.values[i - 1];
+            e.hits[i] = e.hits[i - 1];
+        }
+        e.values[0] = actual;
+        e.hits[0] = 1;
+    }
+}
+
+std::uint64_t
+LastNPredictor::storageBits() const
+{
+    // n values + n 4-bit counters per entry.
+    return std::uint64_t{table_.size()} * n_ * (value_bits_ + 4);
+}
+
+std::string
+LastNPredictor::name() const
+{
+    std::ostringstream os;
+    os << "last" << n_ << "(t=" << table_bits_ << ")";
+    return os.str();
+}
+
+} // namespace vpred

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Last-n value predictor (Burtscher and Zorn, "Exploring Last n
+ * Value Prediction", PACT 1999 — the paper's reference [2]).
+ * Included as an additional related-work baseline.
+ */
+
+#ifndef DFCM_CORE_LAST_N_PREDICTOR_HH
+#define DFCM_CORE_LAST_N_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/**
+ * Keeps the last n distinct-slot values per instruction and predicts
+ * with the slot that has been most accurate recently.
+ *
+ * Per entry: n value slots (most recent first) and an n-way set of
+ * small saturating "agreement" counters. On update, every slot that
+ * matched the actual value gets its counter bumped; the predicted
+ * slot is the one with the highest counter (ties broken toward the
+ * most recent value, which makes n=1 degenerate exactly to the last
+ * value predictor). The new value is inserted MRU-first unless it
+ * already sits in a slot.
+ */
+class LastNPredictor : public ValuePredictor
+{
+  public:
+    /**
+     * @param table_bits log2(#entries).
+     * @param n Number of values kept per entry (1..8).
+     * @param value_bits Predicted value width.
+     */
+    LastNPredictor(unsigned table_bits, unsigned n,
+                   unsigned value_bits = 32);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    unsigned n() const { return n_; }
+
+  private:
+    struct Entry
+    {
+        std::vector<Value> values;      //!< MRU first
+        std::vector<std::uint8_t> hits; //!< agreement counters
+    };
+
+    std::size_t chooseSlot(const Entry& e) const;
+
+    unsigned table_bits_;
+    unsigned n_;
+    unsigned value_bits_;
+    std::uint64_t index_mask_;
+    std::uint64_t value_mask_;
+    std::vector<Entry> table_;
+
+    static constexpr std::uint8_t kHitMax = 15;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_LAST_N_PREDICTOR_HH

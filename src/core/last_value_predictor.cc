@@ -1,0 +1,45 @@
+#include "core/last_value_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+LastValuePredictor::LastValuePredictor(unsigned table_bits,
+                                       unsigned value_bits)
+    : table_bits_(table_bits), value_bits_(value_bits),
+      index_mask_(maskBits(table_bits)), value_mask_(maskBits(value_bits)),
+      table_(std::size_t{1} << table_bits, 0)
+{
+    assert(table_bits <= 28);
+    assert(value_bits >= 1 && value_bits <= 64);
+}
+
+Value
+LastValuePredictor::predict(Pc pc) const
+{
+    return table_[index(pc)];
+}
+
+void
+LastValuePredictor::update(Pc pc, Value actual)
+{
+    table_[index(pc)] = actual & value_mask_;
+}
+
+std::uint64_t
+LastValuePredictor::storageBits() const
+{
+    return std::uint64_t{table_.size()} * value_bits_;
+}
+
+std::string
+LastValuePredictor::name() const
+{
+    std::ostringstream os;
+    os << "lvp(t=" << table_bits_ << ")";
+    return os.str();
+}
+
+} // namespace vpred

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Last value predictor (Lipasti), Figure 1(a) of the paper.
+ */
+
+#ifndef DFCM_CORE_LAST_VALUE_PREDICTOR_HH
+#define DFCM_CORE_LAST_VALUE_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/**
+ * Predicts that an instruction produces the same value as the last
+ * time it executed. The table is direct-mapped on the low bits of
+ * the instruction identifier and untagged, exactly as in the paper.
+ */
+class LastValuePredictor : public ValuePredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the number of table entries.
+     * @param value_bits Width of the predicted values (storage
+     *        accounting and wrap-around arithmetic).
+     */
+    explicit LastValuePredictor(unsigned table_bits,
+                                unsigned value_bits = 32);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /** Number of table entries. */
+    std::size_t entries() const { return table_.size(); }
+
+  private:
+    std::size_t index(Pc pc) const { return pc & index_mask_; }
+
+    unsigned table_bits_;
+    unsigned value_bits_;
+    std::uint64_t index_mask_;
+    std::uint64_t value_mask_;
+    std::vector<Value> table_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_LAST_VALUE_PREDICTOR_HH

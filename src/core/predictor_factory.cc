@@ -1,0 +1,114 @@
+#include "core/predictor_factory.hh"
+
+#include <stdexcept>
+
+#include "core/delayed_update.hh"
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "core/two_delta_predictor.hh"
+
+namespace vpred
+{
+
+namespace
+{
+
+std::unique_ptr<ValuePredictor>
+makeFcm(const PredictorConfig& c)
+{
+    FcmConfig fc;
+    fc.l1_bits = c.l1_bits;
+    fc.l2_bits = c.l2_bits;
+    fc.value_bits = c.value_bits;
+    if (c.hash_shift != 5)
+        fc.hash = ShiftFoldHash::fsRk(c.l2_bits, c.hash_shift);
+    return std::make_unique<FcmPredictor>(fc);
+}
+
+std::unique_ptr<ValuePredictor>
+makeDfcm(const PredictorConfig& c)
+{
+    DfcmConfig dc;
+    dc.l1_bits = c.l1_bits;
+    dc.l2_bits = c.l2_bits;
+    dc.value_bits = c.value_bits;
+    dc.stride_bits = c.stride_bits;
+    if (c.hash_shift != 5)
+        dc.hash = ShiftFoldHash::fsRk(c.l2_bits, c.hash_shift);
+    return std::make_unique<DfcmPredictor>(dc);
+}
+
+std::unique_ptr<ValuePredictor>
+makeStride(const PredictorConfig& c)
+{
+    return std::make_unique<StridePredictor>(c.l1_bits, c.value_bits);
+}
+
+std::unique_ptr<ValuePredictor>
+makeBase(const PredictorConfig& c)
+{
+    switch (c.kind) {
+      case PredictorKind::Lvp:
+        return std::make_unique<LastValuePredictor>(c.l1_bits,
+                                                    c.value_bits);
+      case PredictorKind::Stride:
+        return makeStride(c);
+      case PredictorKind::TwoDelta:
+        return std::make_unique<TwoDeltaPredictor>(c.l1_bits,
+                                                   c.value_bits);
+      case PredictorKind::Fcm:
+        return makeFcm(c);
+      case PredictorKind::Dfcm:
+        return makeDfcm(c);
+      case PredictorKind::HybridStrideFcm:
+        return std::make_unique<CounterHybridPredictor>(
+                makeStride(c), makeFcm(c),
+                CounterHybridPredictor::Config{.meta_bits = c.l1_bits});
+      case PredictorKind::HybridStrideDfcm:
+        return std::make_unique<CounterHybridPredictor>(
+                makeStride(c), makeDfcm(c),
+                CounterHybridPredictor::Config{.meta_bits = c.l1_bits});
+      case PredictorKind::PerfectStrideFcm:
+        return std::make_unique<PerfectHybridPredictor>(makeStride(c),
+                                                        makeFcm(c));
+      case PredictorKind::PerfectStrideDfcm:
+        return std::make_unique<PerfectHybridPredictor>(makeStride(c),
+                                                        makeDfcm(c));
+    }
+    throw std::invalid_argument("unknown PredictorKind");
+}
+
+} // namespace
+
+std::unique_ptr<ValuePredictor>
+makePredictor(const PredictorConfig& config)
+{
+    auto p = makeBase(config);
+    if (config.update_delay > 0) {
+        p = std::make_unique<DelayedUpdatePredictor>(std::move(p),
+                                                     config.update_delay);
+    }
+    return p;
+}
+
+std::string
+kindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Lvp: return "lvp";
+      case PredictorKind::Stride: return "stride";
+      case PredictorKind::TwoDelta: return "2delta";
+      case PredictorKind::Fcm: return "fcm";
+      case PredictorKind::Dfcm: return "dfcm";
+      case PredictorKind::HybridStrideFcm: return "hybrid-stride+fcm";
+      case PredictorKind::HybridStrideDfcm: return "hybrid-stride+dfcm";
+      case PredictorKind::PerfectStrideFcm: return "perfect-stride+fcm";
+      case PredictorKind::PerfectStrideDfcm: return "perfect-stride+dfcm";
+    }
+    return "unknown";
+}
+
+} // namespace vpred

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Configuration-driven construction of value predictors.
+ *
+ * Benchmarks and examples describe the predictor they want as a
+ * PredictorConfig value; the factory turns it into a live predictor.
+ * This keeps every experiment's parameters in one declarative spot.
+ */
+
+#ifndef DFCM_CORE_PREDICTOR_FACTORY_HH
+#define DFCM_CORE_PREDICTOR_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/** Kinds of predictor the factory can build. */
+enum class PredictorKind
+{
+    Lvp,            //!< last value predictor
+    Stride,         //!< confidence-guarded stride predictor
+    TwoDelta,       //!< two-delta stride predictor
+    Fcm,            //!< finite context method
+    Dfcm,           //!< differential finite context method
+    HybridStrideFcm,        //!< counter-meta stride+FCM hybrid
+    HybridStrideDfcm,       //!< counter-meta stride+DFCM hybrid
+    PerfectStrideFcm,       //!< oracle-meta stride+FCM (Figure 16)
+    PerfectStrideDfcm,      //!< oracle-meta stride+DFCM (Figure 16)
+};
+
+/** Declarative description of a predictor instance. */
+struct PredictorConfig
+{
+    PredictorKind kind = PredictorKind::Dfcm;
+    /** log2(#entries): single table (LVP/stride/two-delta) or the
+     *  level-1 table (FCM/DFCM). For hybrids, also the stride
+     *  component's table size, as in Figure 16. */
+    unsigned l1_bits = 16;
+    /** log2(#level-2 entries); ignored by single-level predictors. */
+    unsigned l2_bits = 12;
+    unsigned value_bits = 32;
+    /** Stored-stride width for DFCM (Section 4.4). */
+    unsigned stride_bits = 32;
+    /** Delay updates by this many predictions (Figure 17). */
+    unsigned update_delay = 0;
+    /** Override the FS R-k shift for FCM/DFCM hashes (5 = paper). */
+    unsigned hash_shift = 5;
+};
+
+/** Build a predictor from its declarative description. */
+std::unique_ptr<ValuePredictor> makePredictor(const PredictorConfig& config);
+
+/** Short name for a PredictorKind, e.g. "dfcm". */
+std::string kindName(PredictorKind kind);
+
+} // namespace vpred
+
+#endif // DFCM_CORE_PREDICTOR_FACTORY_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Saturating confidence counter.
+ *
+ * The paper's stride predictor uses a 3-bit counter that is increased
+ * by 1 on a correct prediction and decreased by 2 on a wrong one
+ * (Section 4, "The confidence counter in the stride predictor...").
+ */
+
+#ifndef DFCM_CORE_SAT_COUNTER_HH
+#define DFCM_CORE_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace vpred
+{
+
+/**
+ * An unsigned saturating counter of configurable width.
+ *
+ * The counter saturates at 0 below and at 2^bits - 1 above. The
+ * increment/decrement step sizes are fixed at construction so a
+ * counter object fully captures a confidence policy.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..16).
+     * @param inc Step added on a correct prediction.
+     * @param dec Step subtracted on a wrong prediction.
+     * @param initial Initial counter value (clamped to the maximum).
+     */
+    explicit SatCounter(unsigned bits = 3, unsigned inc = 1,
+                        unsigned dec = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1), inc_(inc), dec_(dec),
+          value_(initial > max_ ? max_ : initial)
+    {
+        assert(bits >= 1 && bits <= 16);
+    }
+
+    /** Current counter value. */
+    unsigned value() const { return value_; }
+
+    /** Maximum (saturated) counter value. */
+    unsigned max() const { return max_; }
+
+    /** True iff the counter is at its maximum. */
+    bool isMax() const { return value_ == max_; }
+
+    /** True iff the counter is at zero. */
+    bool isMin() const { return value_ == 0; }
+
+    /** Apply the configured step for a correct (@c true) or wrong
+     *  (@c false) prediction. */
+    void
+    train(bool correct)
+    {
+        if (correct)
+            value_ = (value_ + inc_ > max_) ? max_ : value_ + inc_;
+        else
+            value_ = (value_ < dec_) ? 0 : value_ - dec_;
+    }
+
+    /** Reset to a given value (clamped). */
+    void reset(unsigned v = 0) { value_ = v > max_ ? max_ : v; }
+
+  private:
+    unsigned max_;
+    unsigned inc_;
+    unsigned dec_;
+    unsigned value_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_SAT_COUNTER_HH

@@ -1,0 +1,17 @@
+#include "core/stats.hh"
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+PredictorStats
+runTrace(ValuePredictor& predictor, const ValueTrace& trace)
+{
+    PredictorStats stats;
+    for (const TraceRecord& rec : trace)
+        stats.record(predictor.predictAndUpdate(rec.pc, rec.value));
+    return stats;
+}
+
+} // namespace vpred

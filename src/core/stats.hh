@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Prediction-accuracy accounting.
+ */
+
+#ifndef DFCM_CORE_STATS_HH
+#define DFCM_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace vpred
+{
+
+class ValuePredictor;
+
+/**
+ * Counts of predictions and correct predictions.
+ *
+ * Summing PredictorStats over several benchmarks and then taking
+ * accuracy() yields exactly the paper's "arithmetic mean over all
+ * SPECint benchmarks, weighted by the number of predicted
+ * instructions".
+ */
+struct PredictorStats
+{
+    std::uint64_t predictions = 0;
+    std::uint64_t correct = 0;
+
+    /** Record one prediction outcome. */
+    void
+    record(bool was_correct)
+    {
+        ++predictions;
+        if (was_correct)
+            ++correct;
+    }
+
+    /** Fraction of correct predictions (0 when nothing predicted). */
+    double
+    accuracy() const
+    {
+        return predictions == 0
+            ? 0.0 : static_cast<double>(correct) / predictions;
+    }
+
+    PredictorStats&
+    operator+=(const PredictorStats& o)
+    {
+        predictions += o.predictions;
+        correct += o.correct;
+        return *this;
+    }
+
+    bool operator==(const PredictorStats&) const = default;
+};
+
+/**
+ * Run a predictor over a complete trace in the paper's
+ * predict-then-update discipline.
+ */
+PredictorStats runTrace(ValuePredictor& predictor, const ValueTrace& trace);
+
+} // namespace vpred
+
+#endif // DFCM_CORE_STATS_HH

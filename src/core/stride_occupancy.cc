@@ -1,0 +1,68 @@
+#include "core/stride_occupancy.hh"
+
+#include <algorithm>
+
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/stride_predictor.hh"
+
+namespace vpred
+{
+
+std::uint64_t
+OccupancyResult::entriesAccessedMoreThan(std::uint64_t k) const
+{
+    // sorted_counts is descending: find the first entry <= k.
+    auto it = std::lower_bound(sorted_counts.begin(), sorted_counts.end(),
+                               k, [](std::uint64_t c, std::uint64_t key) {
+                                   return c > key;
+                               });
+    return static_cast<std::uint64_t>(it - sorted_counts.begin());
+}
+
+namespace
+{
+
+template <typename PredictorT>
+OccupancyResult
+profileImpl(PredictorT& predictor, const ValueTrace& trace,
+            unsigned side_stride_bits)
+{
+    StridePredictor detector(side_stride_bits,
+                             predictor.config().value_bits);
+    std::vector<std::uint64_t> counts(predictor.l2Entries(), 0);
+
+    OccupancyResult result;
+    result.total_accesses = trace.size();
+    for (const TraceRecord& rec : trace) {
+        const bool is_stride = detector.predict(rec.pc) == rec.value;
+        if (is_stride) {
+            ++counts[predictor.l2IndexFor(rec.pc)];
+            ++result.stride_accesses;
+        }
+        detector.update(rec.pc, rec.value);
+        predictor.update(rec.pc, rec.value);
+    }
+
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    result.sorted_counts = std::move(counts);
+    return result;
+}
+
+} // namespace
+
+OccupancyResult
+profileStrideOccupancy(FcmPredictor& predictor, const ValueTrace& trace,
+                       unsigned side_stride_bits)
+{
+    return profileImpl(predictor, trace, side_stride_bits);
+}
+
+OccupancyResult
+profileStrideOccupancy(DfcmPredictor& predictor, const ValueTrace& trace,
+                       unsigned side_stride_bits)
+{
+    return profileImpl(predictor, trace, side_stride_bits);
+}
+
+} // namespace vpred

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stride-occupancy profiling of the level-2 table (Section 2.4 /
+ * Figures 6 and 9 of the paper).
+ *
+ * The paper's measurement: a value is "part of a stride pattern" if
+ * a side stride predictor predicts it correctly. Every time the
+ * two-level predictor is accessed for such a value, the counter of
+ * the level-2 entry it reads is incremented. Sorting the counters in
+ * descending order visualizes how many level-2 entries stride
+ * patterns crowd into.
+ */
+
+#ifndef DFCM_CORE_STRIDE_OCCUPANCY_HH
+#define DFCM_CORE_STRIDE_OCCUPANCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace vpred
+{
+
+class FcmPredictor;
+class DfcmPredictor;
+
+/** Outcome of a stride-occupancy profiling run. */
+struct OccupancyResult
+{
+    /** Per-level-2-entry stride-access counts, descending. */
+    std::vector<std::uint64_t> sorted_counts;
+    /** Total accesses flagged as part of a stride pattern. */
+    std::uint64_t stride_accesses = 0;
+    /** Total trace records processed. */
+    std::uint64_t total_accesses = 0;
+
+    /** Number of level-2 entries accessed more than @p k times by
+     *  stride-pattern values (the summary statistic quoted in the
+     *  paper: ">100 entries more than 100 times" etc.). */
+    std::uint64_t entriesAccessedMoreThan(std::uint64_t k) const;
+};
+
+/**
+ * Profile which level-2 entries an FCM touches for stride-pattern
+ * values.
+ *
+ * @param predictor The predictor under observation; it is trained
+ *        on the trace as a side effect.
+ * @param trace The value trace.
+ * @param side_stride_bits log2(#entries) of the side stride
+ *        predictor used as the stride-pattern detector (the paper
+ *        uses 64K entries).
+ */
+OccupancyResult profileStrideOccupancy(FcmPredictor& predictor,
+                                       const ValueTrace& trace,
+                                       unsigned side_stride_bits = 16);
+
+/** DFCM overload of profileStrideOccupancy(). */
+OccupancyResult profileStrideOccupancy(DfcmPredictor& predictor,
+                                       const ValueTrace& trace,
+                                       unsigned side_stride_bits = 16);
+
+} // namespace vpred
+
+#endif // DFCM_CORE_STRIDE_OCCUPANCY_HH

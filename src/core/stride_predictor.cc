@@ -1,0 +1,79 @@
+#include "core/stride_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+StridePredictor::StridePredictor(const Config& config)
+    : cfg_(config), index_mask_(maskBits(config.table_bits)),
+      value_mask_(maskBits(config.value_bits)),
+      counter_max_((1u << config.counter_bits) - 1),
+      table_(std::size_t{1} << config.table_bits)
+{
+    assert(config.table_bits <= 28);
+    assert(config.value_bits >= 1 && config.value_bits <= 64);
+    assert(config.counter_bits >= 1 && config.counter_bits <= 16);
+}
+
+StridePredictor::StridePredictor(unsigned table_bits, unsigned value_bits)
+    : StridePredictor(Config{.table_bits = table_bits,
+                             .value_bits = value_bits})
+{
+}
+
+Value
+StridePredictor::predict(Pc pc) const
+{
+    const Entry& e = table_[index(pc)];
+    return (e.last + e.stride) & value_mask_;
+}
+
+void
+StridePredictor::update(Pc pc, Value actual)
+{
+    Entry& e = table_[index(pc)];
+    actual &= value_mask_;
+
+    const bool correct = ((e.last + e.stride) & value_mask_) == actual;
+
+    // Replacement decision on the pre-training counter: a saturated
+    // entry keeps its stride across one misprediction.
+    if (e.confidence < counter_max_)
+        e.stride = (actual - e.last) & value_mask_;
+
+    if (correct) {
+        e.confidence = std::min(e.confidence + cfg_.counter_inc,
+                                counter_max_);
+    } else {
+        e.confidence = e.confidence < cfg_.counter_dec
+            ? 0 : e.confidence - cfg_.counter_dec;
+    }
+
+    e.last = actual;
+}
+
+std::uint64_t
+StridePredictor::storageBits() const
+{
+    const std::uint64_t per_entry = 2ull * cfg_.value_bits
+        + (cfg_.count_counter_bits ? cfg_.counter_bits : 0);
+    return std::uint64_t{table_.size()} * per_entry;
+}
+
+std::string
+StridePredictor::name() const
+{
+    std::ostringstream os;
+    os << "stride(t=" << cfg_.table_bits << ")";
+    return os.str();
+}
+
+unsigned
+StridePredictor::confidenceAt(Pc pc) const
+{
+    return table_[index(pc)].confidence;
+}
+
+} // namespace vpred

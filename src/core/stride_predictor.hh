@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Confidence-guarded stride predictor, Section 2.2 of the paper.
+ *
+ * The paper's flavor: a single stride per entry plus a saturating
+ * confidence counter; the stride is only replaced while the counter
+ * is below its maximum. This achieves the two-delta method's
+ * "one misprediction per loop reset" property with one stride field.
+ */
+
+#ifndef DFCM_CORE_STRIDE_PREDICTOR_HH
+#define DFCM_CORE_STRIDE_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/sat_counter.hh"
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/**
+ * Stride predictor with saturating-counter stride protection.
+ *
+ * Per entry: last value, stride, confidence counter (3 bits by
+ * default, +1 on correct, -2 on wrong, as specified in Section 4 of
+ * the paper). On update, the stride-replacement decision uses the
+ * counter value *before* this update's training step, so a single
+ * misprediction at a fully-confident entry (e.g. a loop-control
+ * reset) does not destroy a well-established stride.
+ */
+class StridePredictor : public ValuePredictor
+{
+  public:
+    /** Confidence policy knobs (paper defaults). */
+    struct Config
+    {
+        unsigned table_bits = 16;   //!< log2(#entries)
+        unsigned value_bits = 32;   //!< predicted value width
+        unsigned counter_bits = 3;  //!< confidence counter width
+        unsigned counter_inc = 1;   //!< step on correct prediction
+        unsigned counter_dec = 2;   //!< step on wrong prediction
+        /**
+         * Whether the counter is charged to this predictor's storage.
+         * The paper argues the counter "is usually already present to
+         * track the confidence, so no additional storage is needed";
+         * we charge it by default and expose the knob for sensitivity
+         * checks.
+         */
+        bool count_counter_bits = true;
+    };
+
+    explicit StridePredictor(const Config& config);
+
+    /** Convenience constructor with paper-default policy. */
+    explicit StridePredictor(unsigned table_bits, unsigned value_bits = 32);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    std::size_t entries() const { return table_.size(); }
+
+    /** Confidence counter value of the entry @p pc maps to
+     *  (inspection hook for tests and instrumentation). */
+    unsigned confidenceAt(Pc pc) const;
+
+  private:
+    struct Entry
+    {
+        Value last = 0;
+        Value stride = 0;       // modulo 2^value_bits
+        unsigned confidence = 0;
+    };
+
+    std::size_t index(Pc pc) const { return pc & index_mask_; }
+
+    Config cfg_;
+    std::uint64_t index_mask_;
+    std::uint64_t value_mask_;
+    unsigned counter_max_;
+    std::vector<Entry> table_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_STRIDE_PREDICTOR_HH

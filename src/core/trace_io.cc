@@ -1,0 +1,140 @@
+#include "core/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace vpred
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'V', 'P', 'T', '1'};
+
+void
+putU64(std::ostream& os, std::uint64_t v)
+{
+    std::array<char, 8> buf;
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>(v >> (8 * i));
+    os.write(buf.data(), buf.size());
+}
+
+std::uint64_t
+getU64(std::istream& is)
+{
+    std::array<char, 8> buf;
+    is.read(buf.data(), buf.size());
+    if (!is)
+        throw TraceIoError("truncated trace file");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[i]))
+                << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+writeTraceBinary(std::ostream& os, const ValueTrace& trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putU64(os, trace.size());
+    for (const TraceRecord& rec : trace) {
+        putU64(os, rec.pc);
+        putU64(os, rec.value);
+    }
+}
+
+ValueTrace
+readTraceBinary(std::istream& is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw TraceIoError("not a VPT1 trace file");
+    const std::uint64_t count = getU64(is);
+    // Defensive cap: a count beyond a few billion records is a
+    // corrupt header, not a real trace.
+    if (count > (1ull << 33))
+        throw TraceIoError("implausible record count");
+    ValueTrace trace;
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t pc = getU64(is);
+        const std::uint64_t value = getU64(is);
+        trace.push_back({pc, value});
+    }
+    return trace;
+}
+
+void
+writeTraceCsv(std::ostream& os, const ValueTrace& trace)
+{
+    os << "pc,value\n";
+    for (const TraceRecord& rec : trace)
+        os << rec.pc << "," << rec.value << "\n";
+}
+
+ValueTrace
+readTraceCsv(std::istream& is)
+{
+    ValueTrace trace;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line_no == 1 && line.rfind("pc", 0) == 0)
+            continue;  // header
+        const std::size_t comma = line.find(',');
+        if (comma == std::string::npos) {
+            throw TraceIoError("line " + std::to_string(line_no)
+                               + ": expected pc,value");
+        }
+        try {
+            const std::uint64_t pc = std::stoull(line.substr(0, comma));
+            const std::uint64_t value =
+                    std::stoull(line.substr(comma + 1));
+            trace.push_back({pc, value});
+        } catch (const std::exception&) {
+            throw TraceIoError("line " + std::to_string(line_no)
+                               + ": bad number");
+        }
+    }
+    return trace;
+}
+
+void
+saveTrace(const std::string& path, const ValueTrace& trace)
+{
+    const bool csv = path.size() > 4
+        && path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::ofstream out(path, csv ? std::ios::out
+                                : std::ios::out | std::ios::binary);
+    if (!out)
+        throw TraceIoError("cannot open " + path + " for writing");
+    if (csv)
+        writeTraceCsv(out, trace);
+    else
+        writeTraceBinary(out, trace);
+}
+
+ValueTrace
+loadTrace(const std::string& path)
+{
+    const bool csv = path.size() > 4
+        && path.compare(path.size() - 4, 4, ".csv") == 0;
+    std::ifstream in(path, csv ? std::ios::in
+                               : std::ios::in | std::ios::binary);
+    if (!in)
+        throw TraceIoError("cannot open " + path);
+    return csv ? readTraceCsv(in) : readTraceBinary(in);
+}
+
+} // namespace vpred

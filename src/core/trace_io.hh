@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Value-trace serialization.
+ *
+ * The paper generates traces on the fly; for a library, persistent
+ * traces are useful to decouple (slow, one-off) workload execution
+ * from (repeated) predictor sweeps, and to import traces from other
+ * simulators. Two formats:
+ *
+ *  - binary "VPT1": magic, record count, then (pc, value) pairs as
+ *    little-endian u64 — compact and exact;
+ *  - CSV with a "pc,value" header — for interop and eyeballing.
+ */
+
+#ifndef DFCM_CORE_TRACE_IO_HH
+#define DFCM_CORE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/** Error raised on malformed trace files. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Write @p trace in the binary VPT1 format. */
+void writeTraceBinary(std::ostream& os, const ValueTrace& trace);
+
+/** Read a binary VPT1 trace. @throws TraceIoError */
+ValueTrace readTraceBinary(std::istream& is);
+
+/** Write @p trace as "pc,value" CSV (decimal). */
+void writeTraceCsv(std::ostream& os, const ValueTrace& trace);
+
+/** Read a "pc,value" CSV trace (header optional).
+ *  @throws TraceIoError */
+ValueTrace readTraceCsv(std::istream& is);
+
+/** Convenience: write to a path, selecting the format from the
+ *  extension (".csv" = CSV, anything else = binary). */
+void saveTrace(const std::string& path, const ValueTrace& trace);
+
+/** Convenience: read from a path, selecting the format from the
+ *  extension. @throws TraceIoError */
+ValueTrace loadTrace(const std::string& path);
+
+} // namespace vpred
+
+#endif // DFCM_CORE_TRACE_IO_HH

@@ -1,0 +1,53 @@
+#include "core/two_delta_predictor.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace vpred
+{
+
+TwoDeltaPredictor::TwoDeltaPredictor(unsigned table_bits,
+                                     unsigned value_bits)
+    : table_bits_(table_bits), value_bits_(value_bits),
+      index_mask_(maskBits(table_bits)), value_mask_(maskBits(value_bits)),
+      table_(std::size_t{1} << table_bits)
+{
+    assert(table_bits <= 28);
+    assert(value_bits >= 1 && value_bits <= 64);
+}
+
+Value
+TwoDeltaPredictor::predict(Pc pc) const
+{
+    const Entry& e = table_[index(pc)];
+    return (e.last + e.s1) & value_mask_;
+}
+
+void
+TwoDeltaPredictor::update(Pc pc, Value actual)
+{
+    Entry& e = table_[index(pc)];
+    actual &= value_mask_;
+
+    const Value new_stride = (actual - e.last) & value_mask_;
+    if (new_stride == e.s2)
+        e.s1 = new_stride;
+    e.s2 = new_stride;
+    e.last = actual;
+}
+
+std::uint64_t
+TwoDeltaPredictor::storageBits() const
+{
+    return std::uint64_t{table_.size()} * (3ull * value_bits_);
+}
+
+std::string
+TwoDeltaPredictor::name() const
+{
+    std::ostringstream os;
+    os << "2delta(t=" << table_bits_ << ")";
+    return os.str();
+}
+
+} // namespace vpred

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Two-delta stride predictor (Eickemeyer and Vassiliadis), described
+ * in Section 2.2 of the paper as the classic alternative to the
+ * confidence-guarded stride predictor. Included as an extra baseline.
+ */
+
+#ifndef DFCM_CORE_TWO_DELTA_PREDICTOR_HH
+#define DFCM_CORE_TWO_DELTA_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/value_predictor.hh"
+
+namespace vpred
+{
+
+/**
+ * Two-delta stride predictor.
+ *
+ * Per entry: last value and two strides s1 and s2. Predictions use
+ * s1. On update the new stride (actual - last) is always stored in
+ * s2, and promoted to s1 only when it equals the previous s2, i.e.
+ * when the same stride occurred twice in a row. A one-off stride
+ * break (loop-control reset) therefore causes a single
+ * misprediction.
+ */
+class TwoDeltaPredictor : public ValuePredictor
+{
+  public:
+    explicit TwoDeltaPredictor(unsigned table_bits,
+                               unsigned value_bits = 32);
+
+    Value predict(Pc pc) const override;
+    void update(Pc pc, Value actual) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    std::size_t entries() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        Value last = 0;
+        Value s1 = 0;
+        Value s2 = 0;
+    };
+
+    std::size_t index(Pc pc) const { return pc & index_mask_; }
+
+    unsigned table_bits_;
+    unsigned value_bits_;
+    std::uint64_t index_mask_;
+    std::uint64_t value_mask_;
+    std::vector<Entry> table_;
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_TWO_DELTA_PREDICTOR_HH

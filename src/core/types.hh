@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental types shared by all value-prediction components.
+ *
+ * The paper (Goeman et al., "Differential FCM", HPCA 2001) predicts
+ * 32-bit MIPS register values. All predictors in this library carry
+ * values in 64-bit integers but operate modulo a configurable value
+ * width (32 bits by default) so that stride arithmetic wraps exactly
+ * like the hardware the paper models.
+ */
+
+#ifndef DFCM_CORE_TYPES_HH
+#define DFCM_CORE_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vpred
+{
+
+/** A register value as seen by the predictor. */
+using Value = std::uint64_t;
+
+/**
+ * A static-instruction identifier. The MiniRISC tracer emits the
+ * instruction *index* (pc / 4); synthetic generators may use any
+ * dense identifier. Predictors index their tables with the low bits.
+ */
+using Pc = std::uint64_t;
+
+/**
+ * Return a mask with the low @p bits set.
+ *
+ * @param bits Number of low bits, 0..64 inclusive.
+ */
+constexpr std::uint64_t
+maskBits(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** True iff @p x is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Sign-extend the low @p bits of @p v to a full 64-bit two's
+ * complement value. Used when the DFCM stores narrowed strides
+ * (Section 4.4 of the paper).
+ */
+constexpr std::uint64_t
+signExtend(std::uint64_t v, unsigned bits)
+{
+    if (bits == 0 || bits >= 64)
+        return v;
+    const std::uint64_t m = std::uint64_t{1} << (bits - 1);
+    v &= maskBits(bits);
+    return (v ^ m) - m;
+}
+
+/**
+ * One element of a value trace: a static instruction identifier and
+ * the value it produced. This is the only information a trace-driven
+ * value-predictor evaluation needs (Section 4 of the paper).
+ */
+struct TraceRecord
+{
+    Pc pc;
+    Value value;
+
+    bool operator==(const TraceRecord&) const = default;
+};
+
+/** A complete value trace for one workload. */
+using ValueTrace = std::vector<TraceRecord>;
+
+} // namespace vpred
+
+#endif // DFCM_CORE_TYPES_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Abstract interface for trace-driven value predictors.
+ *
+ * The paper evaluates predictors in isolation on instruction-result
+ * traces (Section 4): for every eligible dynamic instruction the
+ * predictor first produces a prediction and is then updated with the
+ * architecturally-correct value. Accuracy is the fraction of correct
+ * predictions; no confidence gating is applied to the headline
+ * numbers.
+ */
+
+#ifndef DFCM_CORE_VALUE_PREDICTOR_HH
+#define DFCM_CORE_VALUE_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/**
+ * A value predictor evaluated in the paper's predict-then-update
+ * trace discipline.
+ *
+ * Implementations must keep predict() free of side effects: all
+ * table state changes happen in update(). This allows wrappers (the
+ * delayed-update model, the aliasing instrumentation) to interleave
+ * predictions and updates arbitrarily.
+ */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /**
+     * Predict the next value the instruction at @p pc will produce.
+     * Must not modify predictor state.
+     */
+    virtual Value predict(Pc pc) const = 0;
+
+    /**
+     * Train the predictor with the actual outcome @p actual of the
+     * instruction at @p pc.
+     */
+    virtual void update(Pc pc, Value actual) = 0;
+
+    /**
+     * Perform one trace step: predict, check, update.
+     *
+     * The default implementation composes predict() and update().
+     * Predictors whose correctness cannot be expressed through a
+     * single predicted value (e.g. the perfect-metapredictor hybrid
+     * of Figure 16) override this.
+     *
+     * @return True iff the prediction was correct.
+     */
+    virtual bool
+    predictAndUpdate(Pc pc, Value actual)
+    {
+        const bool correct = predict(pc) == actual;
+        update(pc, actual);
+        return correct;
+    }
+
+    /**
+     * Total storage in bits, using the accounting model documented
+     * in DESIGN.md Section 5 (the quantity on the x axes of
+     * Figures 3 and 11).
+     */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Short human-readable name, e.g. "dfcm(l1=16,l2=12)". */
+    virtual std::string name() const = 0;
+
+    /** Storage in Kbit as plotted in the paper. */
+    double storageKbit() const { return storageBits() / 1024.0; }
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_VALUE_PREDICTOR_HH

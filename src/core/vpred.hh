@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Umbrella header: the complete public API of the value-prediction
+ * library. Include this to get every predictor, the instrumentation
+ * and the trace utilities in one line; fine-grained headers remain
+ * available for faster builds.
+ */
+
+#ifndef DFCM_CORE_VPRED_HH
+#define DFCM_CORE_VPRED_HH
+
+#include "core/alias_analysis.hh"
+#include "core/classifying_predictor.hh"
+#include "core/confidence_dfcm.hh"
+#include "core/delayed_update.hh"
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/hash_function.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_n_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/predictor_factory.hh"
+#include "core/sat_counter.hh"
+#include "core/stats.hh"
+#include "core/stride_occupancy.hh"
+#include "core/stride_predictor.hh"
+#include "core/trace_io.hh"
+#include "core/types.hh"
+#include "core/value_predictor.hh"
+
+#endif // DFCM_CORE_VPRED_HH

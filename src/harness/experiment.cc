@@ -1,0 +1,42 @@
+#include "harness/experiment.hh"
+
+#include "workloads/workload.hh"
+
+namespace vpred::harness
+{
+
+RunResult
+runOn(TraceCache& cache, const std::string& workload,
+      const PredictorConfig& config)
+{
+    auto predictor = makePredictor(config);
+    RunResult result;
+    result.workload = workload;
+    result.predictor = predictor->name();
+    result.stats = runTrace(*predictor, cache.get(workload));
+    result.storage_bits = predictor->storageBits();
+    return result;
+}
+
+SuiteResult
+runSuite(TraceCache& cache, const std::vector<std::string>& workload_names,
+         const PredictorConfig& config)
+{
+    SuiteResult suite;
+    for (const std::string& name : workload_names) {
+        RunResult r = runOn(cache, name, config);
+        suite.predictor = r.predictor;
+        suite.storage_bits = r.storage_bits;
+        suite.total += r.stats;
+        suite.per_workload.push_back(std::move(r));
+    }
+    return suite;
+}
+
+SuiteResult
+runBenchmarks(TraceCache& cache, const PredictorConfig& config)
+{
+    return runSuite(cache, workloads::benchmarkNames(), config);
+}
+
+} // namespace vpred::harness

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment driver: run predictor configurations over the benchmark
+ * suite and aggregate accuracy the way the paper does.
+ */
+
+#ifndef DFCM_HARNESS_EXPERIMENT_HH
+#define DFCM_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/predictor_factory.hh"
+#include "core/stats.hh"
+#include "harness/trace_cache.hh"
+
+namespace vpred::harness
+{
+
+/** Result of one (workload, predictor-config) run. */
+struct RunResult
+{
+    std::string workload;
+    std::string predictor;
+    PredictorStats stats;
+    std::uint64_t storage_bits = 0;
+
+    double accuracy() const { return stats.accuracy(); }
+    double storageKbit() const { return storage_bits / 1024.0; }
+};
+
+/** Aggregate of one predictor configuration over a benchmark suite. */
+struct SuiteResult
+{
+    std::string predictor;
+    std::uint64_t storage_bits = 0;
+    PredictorStats total;                 //!< paper's weighted mean
+    std::vector<RunResult> per_workload;
+
+    double accuracy() const { return total.accuracy(); }
+    double storageKbit() const { return storage_bits / 1024.0; }
+};
+
+/** Run one configuration over one cached workload trace. */
+RunResult runOn(TraceCache& cache, const std::string& workload,
+                const PredictorConfig& config);
+
+/**
+ * Run one configuration over a set of workloads and aggregate.
+ * Summing the per-workload counters reproduces the paper's
+ * "arithmetic mean weighted by the number of predicted
+ * instructions".
+ */
+SuiteResult runSuite(TraceCache& cache,
+                     const std::vector<std::string>& workload_names,
+                     const PredictorConfig& config);
+
+/** Shorthand: the paper's eight-benchmark suite. */
+SuiteResult runBenchmarks(TraceCache& cache,
+                          const PredictorConfig& config);
+
+} // namespace vpred::harness
+
+#endif // DFCM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,29 @@
+#include "harness/pareto.hh"
+
+#include <algorithm>
+
+namespace vpred::harness
+{
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint& a, const ParetoPoint& b) {
+                  if (a.size_kbit != b.size_kbit)
+                      return a.size_kbit < b.size_kbit;
+                  return a.accuracy > b.accuracy;
+              });
+
+    std::vector<ParetoPoint> frontier;
+    double best = -1.0;
+    for (const ParetoPoint& p : points) {
+        if (p.accuracy > best) {
+            frontier.push_back(p);
+            best = p.accuracy;
+        }
+    }
+    return frontier;
+}
+
+} // namespace vpred::harness

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Pareto-frontier construction for (size, accuracy) points, as used
+ * in the paper's Figure 11(b): keep only configurations with higher
+ * accuracy than every configuration of the same or smaller size.
+ */
+
+#ifndef DFCM_HARNESS_PARETO_HH
+#define DFCM_HARNESS_PARETO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpred::harness
+{
+
+/** One candidate predictor configuration. */
+struct ParetoPoint
+{
+    double size_kbit = 0.0;
+    double accuracy = 0.0;
+    std::string label;
+
+    bool operator==(const ParetoPoint&) const = default;
+};
+
+/**
+ * Return the Pareto-optimal subset of @p points, sorted by size
+ * ascending (accuracy strictly increasing along the frontier).
+ */
+std::vector<ParetoPoint> paretoFrontier(std::vector<ParetoPoint> points);
+
+} // namespace vpred::harness
+
+#endif // DFCM_HARNESS_PARETO_HH

@@ -1,0 +1,60 @@
+#include "harness/sweep.hh"
+
+namespace vpred::harness
+{
+
+const std::vector<unsigned>&
+paperL2Bits()
+{
+    static const std::vector<unsigned> bits = {8, 10, 12, 14, 16, 18, 20};
+    return bits;
+}
+
+const std::vector<unsigned>&
+paperFcmL1Bits()
+{
+    static const std::vector<unsigned> bits = {0, 4, 6, 8, 10, 12, 14, 16};
+    return bits;
+}
+
+const std::vector<unsigned>&
+paperDfcmL1Bits()
+{
+    static const std::vector<unsigned> bits = {10, 12, 14, 16};
+    return bits;
+}
+
+const std::vector<unsigned>&
+paperSingleTableBits()
+{
+    static const std::vector<unsigned> bits = {6, 8, 10, 12, 14, 16};
+    return bits;
+}
+
+const std::vector<unsigned>&
+paperUpdateDelays()
+{
+    static const std::vector<unsigned> delays = {0, 16, 32, 64, 128, 256,
+                                                 512};
+    return delays;
+}
+
+std::vector<PredictorConfig>
+twoLevelGrid(PredictorKind kind, const std::vector<unsigned>& l1_bits,
+             const std::vector<unsigned>& l2_bits)
+{
+    std::vector<PredictorConfig> grid;
+    grid.reserve(l1_bits.size() * l2_bits.size());
+    for (unsigned l1 : l1_bits) {
+        for (unsigned l2 : l2_bits) {
+            PredictorConfig cfg;
+            cfg.kind = kind;
+            cfg.l1_bits = l1;
+            cfg.l2_bits = l2;
+            grid.push_back(cfg);
+        }
+    }
+    return grid;
+}
+
+} // namespace vpred::harness

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The paper's standard parameter grids (Figures 3, 10, 11, 16, 17).
+ */
+
+#ifndef DFCM_HARNESS_SWEEP_HH
+#define DFCM_HARNESS_SWEEP_HH
+
+#include <vector>
+
+#include "core/predictor_factory.hh"
+
+namespace vpred::harness
+{
+
+/** Level-2 sizes used throughout the paper: 2^8 .. 2^20. */
+const std::vector<unsigned>& paperL2Bits();
+
+/** FCM level-1 sizes of Figure 3: 2^0, 2^4, 2^6, ..., 2^16. */
+const std::vector<unsigned>& paperFcmL1Bits();
+
+/** DFCM level-1 sizes of Figure 11(a): 2^10, 2^12, 2^14, 2^16. */
+const std::vector<unsigned>& paperDfcmL1Bits();
+
+/** LVP/stride table sizes of Figure 3: 2^6 .. 2^16. */
+const std::vector<unsigned>& paperSingleTableBits();
+
+/** Update delays of Figure 17: 0, 16, 32, 64, 128, 256, 512. */
+const std::vector<unsigned>& paperUpdateDelays();
+
+/** Full (l1, l2) grid for a two-level predictor kind. */
+std::vector<PredictorConfig> twoLevelGrid(
+        PredictorKind kind, const std::vector<unsigned>& l1_bits,
+        const std::vector<unsigned>& l2_bits);
+
+} // namespace vpred::harness
+
+#endif // DFCM_HARNESS_SWEEP_HH

@@ -1,0 +1,90 @@
+#include "harness/table_printer.hh"
+
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace vpred::harness
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    assert(!columns_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::fmt(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::setw(static_cast<int>(widths[c])) << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+    line(columns_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto& row : rows_)
+        line(row);
+}
+
+void
+TablePrinter::writeCsv(const std::string& name) const
+{
+    namespace fs = std::filesystem;
+    try {
+        fs::create_directories("results");
+        std::ofstream out("results/" + name + ".csv");
+        if (!out) {
+            std::cerr << "warning: cannot write results/" << name
+                      << ".csv\n";
+            return;
+        }
+        auto csvLine = [&](const std::vector<std::string>& cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                out << cells[c] << (c + 1 == cells.size() ? "\n" : ",");
+        };
+        csvLine(columns_);
+        for (const auto& row : rows_)
+            csvLine(row);
+    } catch (const std::exception& e) {
+        std::cerr << "warning: CSV write failed: " << e.what() << "\n";
+    }
+}
+
+} // namespace vpred::harness

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned console tables and CSV output for the benchmark harness.
+ *
+ * Every bench binary prints the paper's rows/series through this
+ * class and mirrors them into results/<experiment>.csv.
+ */
+
+#ifndef DFCM_HARNESS_TABLE_PRINTER_HH
+#define DFCM_HARNESS_TABLE_PRINTER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vpred::harness
+{
+
+/** A simple column-aligned table with CSV export. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> columns);
+
+    /** Append a row; must have as many cells as there are columns. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Cell formatting helpers. */
+    static std::string fmt(double v, int precision = 4);
+    static std::string fmt(std::uint64_t v);
+
+    /** Print as an aligned table. */
+    void print(std::ostream& os) const;
+
+    /**
+     * Write as CSV to results/<name>.csv (the directory is created
+     * if needed); best effort — failures are reported on stderr but
+     * never fatal, so benches still print to the console.
+     */
+    void writeCsv(const std::string& name) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vpred::harness
+
+#endif // DFCM_HARNESS_TABLE_PRINTER_HH

@@ -1,0 +1,46 @@
+#include "harness/trace_cache.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "workloads/workload.hh"
+
+namespace vpred::harness
+{
+
+double
+envTraceScale()
+{
+    const char* env = std::getenv("REPRO_TRACE_SCALE");
+    if (env == nullptr)
+        return 1.0;
+    const double v = std::atof(env);
+    if (v <= 0.0)
+        return 1.0;
+    return std::clamp(v, 0.01, 100.0);
+}
+
+TraceCache::TraceCache(double scale)
+    : scale_(scale > 0.0 ? scale : envTraceScale())
+{
+}
+
+const sim::TraceResult&
+TraceCache::getResult(const std::string& workload_name)
+{
+    auto it = cache_.find(workload_name);
+    if (it == cache_.end()) {
+        it = cache_.emplace(workload_name,
+                            workloads::runWorkload(workload_name, scale_))
+                .first;
+    }
+    return it->second;
+}
+
+const ValueTrace&
+TraceCache::get(const std::string& workload_name)
+{
+    return getResult(workload_name).trace;
+}
+
+} // namespace vpred::harness

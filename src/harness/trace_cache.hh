@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload trace caching for the experiment harness.
+ *
+ * The paper regenerates traces on the fly for every predictor
+ * configuration; we run each MiniRISC workload once and keep the
+ * trace in memory across the (many) predictor configurations of a
+ * sweep. The trace scale can be adjusted globally through the
+ * REPRO_TRACE_SCALE environment variable (default 1.0) to trade
+ * experiment fidelity for runtime.
+ */
+
+#ifndef DFCM_HARNESS_TRACE_CACHE_HH
+#define DFCM_HARNESS_TRACE_CACHE_HH
+
+#include <map>
+#include <string>
+
+#include "core/types.hh"
+#include "sim/tracer.hh"
+
+namespace vpred::harness
+{
+
+/** Scale factor from REPRO_TRACE_SCALE (default 1.0, clamped to
+ *  [0.01, 100]). */
+double envTraceScale();
+
+/** Lazily-built, memoized workload traces. */
+class TraceCache
+{
+  public:
+    /** @param scale Trace scale; NaN or <= 0 selects envTraceScale(). */
+    explicit TraceCache(double scale = 0.0);
+
+    /** Trace of @p workload_name, running the VM on first use. */
+    const ValueTrace& get(const std::string& workload_name);
+
+    /** Full trace result (instruction counts, program output). */
+    const sim::TraceResult& getResult(const std::string& workload_name);
+
+    double scale() const { return scale_; }
+
+  private:
+    double scale_;
+    std::map<std::string, sim::TraceResult> cache_;
+};
+
+} // namespace vpred::harness
+
+#endif // DFCM_HARNESS_TRACE_CACHE_HH

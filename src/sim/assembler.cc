@@ -1,0 +1,777 @@
+#include "sim/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+namespace vpred::sim
+{
+
+namespace
+{
+
+/** One source statement after lexical splitting. */
+struct Statement
+{
+    int line = 0;
+    std::vector<std::string> labels;
+    std::string mnemonic;            // lower-cased; empty if label-only
+    std::vector<std::string> operands;
+    std::string raw_operands;        // original operand text (.asciiz)
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_'
+        || c == '.';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_'
+        || c == '.';
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/** Strip a trailing comment, honoring string and char literals. */
+std::string
+stripComment(const std::string& line)
+{
+    bool in_str = false, in_chr = false, esc = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (esc) {
+            esc = false;
+            continue;
+        }
+        if (c == '\\' && (in_str || in_chr)) {
+            esc = true;
+            continue;
+        }
+        if (c == '"' && !in_chr)
+            in_str = !in_str;
+        else if (c == '\'' && !in_str)
+            in_chr = !in_chr;
+        else if ((c == '#' || c == ';') && !in_str && !in_chr)
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Split an operand list on top-level commas (not inside quotes). */
+std::vector<std::string>
+splitOperands(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_str = false, in_chr = false, esc = false;
+    for (char c : text) {
+        if (esc) {
+            cur += c;
+            esc = false;
+            continue;
+        }
+        if (c == '\\' && (in_str || in_chr)) {
+            cur += c;
+            esc = true;
+            continue;
+        }
+        if (c == '"' && !in_chr)
+            in_str = !in_str;
+        else if (c == '\'' && !in_str)
+            in_chr = !in_chr;
+        if (c == ',' && !in_str && !in_chr) {
+            out.push_back(trim(cur));
+            cur.clear();
+            continue;
+        }
+        cur += c;
+    }
+    cur = trim(cur);
+    if (!cur.empty() || !out.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Decode one character-literal body (between the quotes). */
+char
+decodeEscape(const std::string& body, int line)
+{
+    if (body.size() == 1)
+        return body[0];
+    if (body.size() == 2 && body[0] == '\\') {
+        switch (body[1]) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+        }
+    }
+    throw AsmError(line, "bad character literal '" + body + "'");
+}
+
+std::string
+decodeString(const std::string& tok, int line)
+{
+    if (tok.size() < 2 || tok.front() != '"' || tok.back() != '"')
+        throw AsmError(line, "expected string literal, got '" + tok + "'");
+    std::string out;
+    for (std::size_t i = 1; i + 1 < tok.size(); ++i) {
+        char c = tok[i];
+        if (c == '\\') {
+            if (i + 2 >= tok.size())
+                throw AsmError(line, "dangling escape in string");
+            out += decodeEscape(tok.substr(i, 2), line);
+            ++i;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+const std::unordered_map<std::string, unsigned> kRegNames = {
+    {"zero", 0}, {"at", 1}, {"v0", 2}, {"v1", 3},
+    {"a0", 4}, {"a1", 5}, {"a2", 6}, {"a3", 7},
+    {"t0", 8}, {"t1", 9}, {"t2", 10}, {"t3", 11},
+    {"t4", 12}, {"t5", 13}, {"t6", 14}, {"t7", 15},
+    {"s0", 16}, {"s1", 17}, {"s2", 18}, {"s3", 19},
+    {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+    {"t8", 24}, {"t9", 25}, {"k0", 26}, {"k1", 27},
+    {"gp", 28}, {"sp", 29}, {"fp", 30}, {"s8", 30}, {"ra", 31},
+};
+
+/** The assembler proper: two passes over pre-split statements. */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string_view source) { lex(source); }
+
+    Program
+    run()
+    {
+        passOne();
+        passTwo();
+        if (auto it = prog_.symbols.find("main");
+            it != prog_.symbols.end()) {
+            prog_.entry = it->second / 4;
+        }
+        return std::move(prog_);
+    }
+
+  private:
+    // ---- lexical pass ----
+    void
+    lex(std::string_view source)
+    {
+        int line_no = 0;
+        std::size_t pos = 0;
+        while (pos <= source.size()) {
+            const std::size_t nl = source.find('\n', pos);
+            std::string line(source.substr(
+                    pos, nl == std::string_view::npos ? std::string_view::npos
+                                                      : nl - pos));
+            pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+            ++line_no;
+
+            line = stripComment(line);
+            Statement st;
+            st.line = line_no;
+
+            // Peel off leading labels ("name:").
+            std::string rest = trim(line);
+            while (true) {
+                std::size_t i = 0;
+                while (i < rest.size() && isIdentChar(rest[i]))
+                    ++i;
+                if (i > 0 && i < rest.size() && rest[i] == ':'
+                    && isIdentStart(rest[0])) {
+                    st.labels.push_back(rest.substr(0, i));
+                    rest = trim(rest.substr(i + 1));
+                } else {
+                    break;
+                }
+            }
+            if (!rest.empty()) {
+                std::size_t i = 0;
+                while (i < rest.size()
+                       && !std::isspace(static_cast<unsigned char>(rest[i])))
+                    ++i;
+                st.mnemonic = toLower(rest.substr(0, i));
+                st.raw_operands = trim(rest.substr(i));
+                st.operands = splitOperands(st.raw_operands);
+            }
+            if (!st.labels.empty() || !st.mnemonic.empty())
+                statements_.push_back(std::move(st));
+        }
+    }
+
+    // ---- pass 1: addresses and symbols ----
+    void
+    defineSymbol(const std::string& name, std::uint32_t value, int line)
+    {
+        if (!prog_.symbols.emplace(name, value).second)
+            throw AsmError(line, "duplicate label '" + name + "'");
+    }
+
+    void
+    passOne()
+    {
+        bool in_text = true;
+        std::uint32_t text_index = 0;
+        std::uint32_t data_off = 0;
+
+        for (const Statement& st : statements_) {
+            // Auto-aligning data directives align before the label on
+            // the same line is bound, so labels point at the datum.
+            if (!in_text) {
+                if (st.mnemonic == ".word")
+                    data_off = alignUp(data_off, 4);
+                else if (st.mnemonic == ".half")
+                    data_off = alignUp(data_off, 2);
+            }
+            for (const std::string& lab : st.labels) {
+                defineSymbol(lab,
+                             in_text ? text_index * 4
+                                     : Program::kDataBase + data_off,
+                             st.line);
+            }
+            if (st.mnemonic.empty())
+                continue;
+
+            if (st.mnemonic[0] == '.') {
+                handleDirectiveSize(st, in_text, data_off);
+                continue;
+            }
+            if (!in_text)
+                throw AsmError(st.line, "instruction in .data segment");
+            ++text_index;
+        }
+        prog_.data.assign(data_off, 0);
+    }
+
+    static std::uint32_t
+    alignUp(std::uint32_t v, std::uint32_t a)
+    {
+        return (v + a - 1) & ~(a - 1);
+    }
+
+    void
+    handleDirectiveSize(const Statement& st, bool& in_text,
+                        std::uint32_t& data_off)
+    {
+        const std::string& d = st.mnemonic;
+        if (d == ".text") {
+            in_text = true;
+        } else if (d == ".data") {
+            in_text = false;
+        } else if (d == ".globl" || d == ".global") {
+            // accepted and ignored
+        } else if (d == ".equ") {
+            if (st.operands.size() != 2)
+                throw AsmError(st.line, ".equ needs name, value");
+            defineSymbol(st.operands[0],
+                         static_cast<std::uint32_t>(
+                                 parseNumber(st.operands[1], st.line)),
+                         st.line);
+        } else if (d == ".word") {
+            // Already aligned by the caller.
+            data_off += 4 * static_cast<std::uint32_t>(st.operands.size());
+        } else if (d == ".half") {
+            data_off += 2 * static_cast<std::uint32_t>(st.operands.size());
+        } else if (d == ".byte") {
+            data_off += static_cast<std::uint32_t>(st.operands.size());
+        } else if (d == ".space") {
+            if (st.operands.size() != 1)
+                throw AsmError(st.line, ".space needs a size");
+            // parseExpr so .equ constants work as sizes (labels
+            // defined later do not — sizes must be known here).
+            data_off += static_cast<std::uint32_t>(
+                    parseExpr(st.operands[0], st.line));
+        } else if (d == ".align") {
+            if (st.operands.size() != 1)
+                throw AsmError(st.line, ".align needs an exponent");
+            const auto n = parseNumber(st.operands[0], st.line);
+            data_off = alignUp(data_off, 1u << n);
+        } else if (d == ".asciiz") {
+            data_off += static_cast<std::uint32_t>(
+                    decodeString(trim(st.raw_operands), st.line).size() + 1);
+        } else {
+            throw AsmError(st.line, "unknown directive '" + d + "'");
+        }
+        if (d == ".word" || d == ".half") {
+            // Alignment affects where the *label* should have pointed;
+            // forbid a label directly before a misaligned .word to keep
+            // pass-1 label values exact.
+        }
+    }
+
+    // ---- pass 2: code and data emission ----
+    void
+    passTwo()
+    {
+        bool in_text = true;
+        std::uint32_t data_off = 0;
+
+        for (const Statement& st : statements_) {
+            if (st.mnemonic.empty())
+                continue;
+            if (st.mnemonic[0] == '.') {
+                emitDirective(st, in_text, data_off);
+                continue;
+            }
+            prog_.text.push_back(encode(st));
+        }
+    }
+
+    void
+    putByte(std::uint32_t off, std::uint8_t b)
+    {
+        prog_.data.at(off) = b;
+    }
+
+    void
+    emitDirective(const Statement& st, bool& in_text,
+                  std::uint32_t& data_off)
+    {
+        const std::string& d = st.mnemonic;
+        if (d == ".text") {
+            in_text = true;
+        } else if (d == ".data") {
+            in_text = false;
+        } else if (d == ".globl" || d == ".global" || d == ".equ") {
+            // no emission
+        } else if (d == ".word") {
+            data_off = alignUp(data_off, 4);
+            for (const std::string& op : st.operands) {
+                const std::uint32_t v = static_cast<std::uint32_t>(
+                        parseExpr(op, st.line));
+                for (int i = 0; i < 4; ++i)
+                    putByte(data_off++,
+                            static_cast<std::uint8_t>(v >> (8 * i)));
+            }
+        } else if (d == ".half") {
+            data_off = alignUp(data_off, 2);
+            for (const std::string& op : st.operands) {
+                const std::uint32_t v = static_cast<std::uint32_t>(
+                        parseExpr(op, st.line));
+                for (int i = 0; i < 2; ++i)
+                    putByte(data_off++,
+                            static_cast<std::uint8_t>(v >> (8 * i)));
+            }
+        } else if (d == ".byte") {
+            for (const std::string& op : st.operands) {
+                putByte(data_off++, static_cast<std::uint8_t>(
+                                parseExpr(op, st.line)));
+            }
+        } else if (d == ".space") {
+            data_off += static_cast<std::uint32_t>(
+                    parseExpr(st.operands[0], st.line));
+        } else if (d == ".align") {
+            data_off = alignUp(data_off,
+                               1u << parseNumber(st.operands[0], st.line));
+        } else if (d == ".asciiz") {
+            const std::string s =
+                    decodeString(trim(st.raw_operands), st.line);
+            for (char c : s)
+                putByte(data_off++, static_cast<std::uint8_t>(c));
+            putByte(data_off++, 0);
+        }
+    }
+
+    // ---- operand parsing ----
+    static std::int64_t
+    parseNumber(const std::string& tok, int line)
+    {
+        const std::string t = trim(tok);
+        if (t.empty())
+            throw AsmError(line, "expected number");
+        if (t.front() == '\'') {
+            if (t.size() < 3 || t.back() != '\'')
+                throw AsmError(line, "bad character literal " + t);
+            return decodeEscape(t.substr(1, t.size() - 2), line);
+        }
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(t.c_str(), &end, 0);
+        if (end == t.c_str() || *end != '\0' || errno == ERANGE)
+            throw AsmError(line, "bad number '" + t + "'");
+        return v;
+    }
+
+    std::int64_t
+    parseExpr(const std::string& tok, int line) const
+    {
+        const std::string t = trim(tok);
+        if (t.empty())
+            throw AsmError(line, "expected expression");
+        if (std::isdigit(static_cast<unsigned char>(t[0])) || t[0] == '-'
+            || t[0] == '+' || t[0] == '\'') {
+            return parseNumber(t, line);
+        }
+        if (!isIdentStart(t[0]))
+            throw AsmError(line, "bad expression '" + t + "'");
+        std::size_t i = 0;
+        while (i < t.size() && isIdentChar(t[i]))
+            ++i;
+        const std::string name = t.substr(0, i);
+        const auto it = prog_.symbols.find(name);
+        if (it == prog_.symbols.end())
+            throw AsmError(line, "undefined symbol '" + name + "'");
+        std::int64_t value = it->second;
+        const std::string rest = trim(t.substr(i));
+        if (!rest.empty()) {
+            if (rest[0] != '+' && rest[0] != '-')
+                throw AsmError(line, "bad expression '" + t + "'");
+            const std::int64_t off = parseNumber(rest.substr(1), line);
+            value += rest[0] == '+' ? off : -off;
+        }
+        return value;
+    }
+
+    /**
+     * Registers must be written "$name", "$N" or "rN". Bare numbers
+     * and bare names are rejected so that a constant in a register
+     * slot (e.g. "mul $t0, $t1, 21") is a loud error instead of a
+     * silent reference to r21.
+     */
+    static unsigned
+    parseReg(const std::string& tok, int line)
+    {
+        std::string t = toLower(trim(tok));
+        if (t.empty())
+            throw AsmError(line, "expected register");
+        bool prefixed = false;
+        if (t[0] == '$') {
+            t = t.substr(1);
+            prefixed = true;
+            if (auto it = kRegNames.find(t); it != kRegNames.end())
+                return it->second;
+        } else if (t[0] == 'r' && t.size() > 1
+                   && std::isdigit(static_cast<unsigned char>(t[1]))) {
+            t = t.substr(1);
+            prefixed = true;
+        }
+        if (prefixed && !t.empty()
+            && std::isdigit(static_cast<unsigned char>(t[0]))) {
+            char* end = nullptr;
+            const unsigned long n = std::strtoul(t.c_str(), &end, 10);
+            if (*end == '\0' && n < kNumRegs)
+                return static_cast<unsigned>(n);
+        }
+        throw AsmError(line, "bad register '" + tok + "'");
+    }
+
+    /** Parse "expr($reg)", "($reg)" or "expr" memory operands. */
+    void
+    parseMem(const std::string& tok, int line, unsigned& base,
+             std::int64_t& offset) const
+    {
+        const std::string t = trim(tok);
+        const std::size_t open = t.find('(');
+        if (open == std::string::npos) {
+            base = 0;
+            offset = parseExpr(t, line);
+            return;
+        }
+        if (t.back() != ')')
+            throw AsmError(line, "bad memory operand '" + tok + "'");
+        const std::string off = trim(t.substr(0, open));
+        base = parseReg(t.substr(open + 1, t.size() - open - 2), line);
+        offset = off.empty() ? 0 : parseExpr(off, line);
+    }
+
+    std::int64_t
+    branchTarget(const std::string& tok, int line) const
+    {
+        const std::int64_t addr = parseExpr(tok, line);
+        if (addr % 4 != 0)
+            throw AsmError(line, "branch target not instruction-aligned");
+        if (addr < 0
+            || addr >= static_cast<std::int64_t>(Program::kDataBase))
+            throw AsmError(line, "branch target outside text segment");
+        return addr / 4;
+    }
+
+    // ---- instruction encoding ----
+    void
+    expect(const Statement& st, std::size_t n) const
+    {
+        if (st.operands.size() != n) {
+            throw AsmError(st.line, st.mnemonic + " expects "
+                           + std::to_string(n) + " operands");
+        }
+    }
+
+    Instr
+    encode(const Statement& st) const
+    {
+        const std::string& m = st.mnemonic;
+        const int line = st.line;
+        Instr in;
+
+        auto r3 = [&](Op op) {
+            expect(st, 3);
+            in.op = op;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0], line));
+            in.rs = static_cast<std::uint8_t>(parseReg(st.operands[1], line));
+            in.rt = static_cast<std::uint8_t>(parseReg(st.operands[2], line));
+            return in;
+        };
+        auto ri = [&](Op op) {
+            expect(st, 3);
+            in.op = op;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0], line));
+            in.rs = static_cast<std::uint8_t>(parseReg(st.operands[1], line));
+            in.imm = parseExpr(st.operands[2], line);
+            return in;
+        };
+        auto load = [&](Op op) {
+            expect(st, 2);
+            in.op = op;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0], line));
+            unsigned base;
+            std::int64_t off;
+            parseMem(st.operands[1], line, base, off);
+            in.rs = static_cast<std::uint8_t>(base);
+            in.imm = off;
+            return in;
+        };
+        auto store = [&](Op op) {
+            expect(st, 2);
+            in.op = op;
+            in.rt = static_cast<std::uint8_t>(parseReg(st.operands[0], line));
+            unsigned base;
+            std::int64_t off;
+            parseMem(st.operands[1], line, base, off);
+            in.rs = static_cast<std::uint8_t>(base);
+            in.imm = off;
+            return in;
+        };
+        auto branch = [&](Op op, bool swap = false) {
+            expect(st, 3);
+            in.op = op;
+            const unsigned a = parseReg(st.operands[0], line);
+            const unsigned b = parseReg(st.operands[1], line);
+            in.rs = static_cast<std::uint8_t>(swap ? b : a);
+            in.rt = static_cast<std::uint8_t>(swap ? a : b);
+            in.imm = branchTarget(st.operands[2], line);
+            return in;
+        };
+        auto branchZero = [&](Op op, bool operand_first) {
+            expect(st, 2);
+            in.op = op;
+            const unsigned r = parseReg(st.operands[0], line);
+            in.rs = static_cast<std::uint8_t>(operand_first ? r : 0);
+            in.rt = static_cast<std::uint8_t>(operand_first ? 0 : r);
+            in.imm = branchTarget(st.operands[1], line);
+            return in;
+        };
+
+        // register-register ALU
+        if (m == "add") return r3(Op::Add);
+        if (m == "sub") return r3(Op::Sub);
+        if (m == "mul") return r3(Op::Mul);
+        if (m == "div") return r3(Op::Div);
+        if (m == "divu") return r3(Op::Divu);
+        if (m == "rem") return r3(Op::Rem);
+        if (m == "remu") return r3(Op::Remu);
+        if (m == "and") return r3(Op::And);
+        if (m == "or") return r3(Op::Or);
+        if (m == "xor") return r3(Op::Xor);
+        if (m == "nor") return r3(Op::Nor);
+        if (m == "slt") return r3(Op::Slt);
+        if (m == "sltu") return r3(Op::Sltu);
+
+        // shifts: register or immediate third operand
+        if (m == "sll" || m == "srl" || m == "sra") {
+            expect(st, 3);
+            const std::string& third = st.operands[2];
+            const bool is_reg = !third.empty()
+                && (third[0] == '$'
+                    || (third[0] == 'r'
+                        && third.size() > 1
+                        && std::isdigit(static_cast<unsigned char>(
+                                third[1]))));
+            if (is_reg) {
+                return r3(m == "sll" ? Op::Sllv
+                          : m == "srl" ? Op::Srlv : Op::Srav);
+            }
+            return ri(m == "sll" ? Op::Slli
+                      : m == "srl" ? Op::Srli : Op::Srai);
+        }
+
+        // immediate ALU
+        if (m == "addi" || m == "addiu") return ri(Op::Addi);
+        if (m == "andi") return ri(Op::Andi);
+        if (m == "ori") return ri(Op::Ori);
+        if (m == "xori") return ri(Op::Xori);
+        if (m == "slti") return ri(Op::Slti);
+        if (m == "sltiu") return ri(Op::Sltiu);
+        if (m == "subi") {
+            Instr i = ri(Op::Addi);
+            i.imm = -i.imm;
+            return i;
+        }
+        if (m == "lui") {
+            expect(st, 2);
+            in.op = Op::Lui;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0],
+                                                       line));
+            in.imm = parseExpr(st.operands[1], line);
+            return in;
+        }
+        if (m == "li" || m == "la") {
+            expect(st, 2);
+            in.op = Op::Li;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0],
+                                                       line));
+            in.imm = parseExpr(st.operands[1], line);
+            return in;
+        }
+        if (m == "move") {
+            expect(st, 2);
+            in.op = Op::Addi;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0],
+                                                       line));
+            in.rs = static_cast<std::uint8_t>(parseReg(st.operands[1],
+                                                       line));
+            in.imm = 0;
+            return in;
+        }
+        if (m == "neg") {
+            expect(st, 2);
+            in.op = Op::Sub;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0],
+                                                       line));
+            in.rs = 0;
+            in.rt = static_cast<std::uint8_t>(parseReg(st.operands[1],
+                                                       line));
+            return in;
+        }
+        if (m == "not") {
+            expect(st, 2);
+            in.op = Op::Nor;
+            in.rd = static_cast<std::uint8_t>(parseReg(st.operands[0],
+                                                       line));
+            in.rs = static_cast<std::uint8_t>(parseReg(st.operands[1],
+                                                       line));
+            in.rt = 0;
+            return in;
+        }
+
+        // memory
+        if (m == "lw") return load(Op::Lw);
+        if (m == "lh") return load(Op::Lh);
+        if (m == "lhu") return load(Op::Lhu);
+        if (m == "lb") return load(Op::Lb);
+        if (m == "lbu") return load(Op::Lbu);
+        if (m == "sw") return store(Op::Sw);
+        if (m == "sh") return store(Op::Sh);
+        if (m == "sb") return store(Op::Sb);
+
+        // branches
+        if (m == "beq") return branch(Op::Beq);
+        if (m == "bne") return branch(Op::Bne);
+        if (m == "blt") return branch(Op::Blt);
+        if (m == "bge") return branch(Op::Bge);
+        if (m == "bltu") return branch(Op::Bltu);
+        if (m == "bgeu") return branch(Op::Bgeu);
+        if (m == "bgt") return branch(Op::Blt, /*swap=*/true);
+        if (m == "ble") return branch(Op::Bge, /*swap=*/true);
+        if (m == "bgtu") return branch(Op::Bltu, /*swap=*/true);
+        if (m == "bleu") return branch(Op::Bgeu, /*swap=*/true);
+        if (m == "beqz") return branchZero(Op::Beq, true);
+        if (m == "bnez") return branchZero(Op::Bne, true);
+        if (m == "bltz") return branchZero(Op::Blt, true);
+        if (m == "bgez") return branchZero(Op::Bge, true);
+        if (m == "bgtz") return branchZero(Op::Blt, false);
+        if (m == "blez") return branchZero(Op::Bge, false);
+
+        // jumps
+        if (m == "j" || m == "b") {
+            expect(st, 1);
+            in.op = Op::J;
+            in.imm = branchTarget(st.operands[0], line);
+            return in;
+        }
+        if (m == "jal") {
+            expect(st, 1);
+            in.op = Op::Jal;
+            in.rd = reg::ra;
+            in.imm = branchTarget(st.operands[0], line);
+            return in;
+        }
+        if (m == "jr") {
+            expect(st, 1);
+            in.op = Op::Jr;
+            in.rs = static_cast<std::uint8_t>(parseReg(st.operands[0],
+                                                       line));
+            return in;
+        }
+        if (m == "jalr") {
+            in.op = Op::Jalr;
+            if (st.operands.size() == 1) {
+                in.rd = reg::ra;
+                in.rs = static_cast<std::uint8_t>(
+                        parseReg(st.operands[0], line));
+            } else {
+                expect(st, 2);
+                in.rd = static_cast<std::uint8_t>(
+                        parseReg(st.operands[0], line));
+                in.rs = static_cast<std::uint8_t>(
+                        parseReg(st.operands[1], line));
+            }
+            return in;
+        }
+
+        if (m == "syscall") {
+            expect(st, 0);
+            in.op = Op::Syscall;
+            return in;
+        }
+        if (m == "nop") {
+            expect(st, 0);
+            in.op = Op::Nop;
+            return in;
+        }
+
+        throw AsmError(line, "unknown mnemonic '" + m + "'");
+    }
+
+    std::vector<Statement> statements_;
+    Program prog_;
+};
+
+} // namespace
+
+Program
+assemble(std::string_view source)
+{
+    return Assembler(source).run();
+}
+
+} // namespace vpred::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-pass assembler for MiniRISC assembly text.
+ *
+ * Supported syntax (MIPS-flavored):
+ *
+ *     # comment                ; also a comment
+ *             .text
+ *     main:   li   $t0, 100
+ *     loop:   addi $t0, $t0, -1
+ *             sw   $t0, 4($sp)
+ *             bnez $t0, loop
+ *             li   $v0, 10
+ *             syscall
+ *             .data
+ *     arr:    .word 1, 2, 3, arr
+ *     buf:    .space 400
+ *     msg:    .asciiz "hello\n"
+ *
+ * Registers: $zero/$at/$v0../$ra, $0..$31 or r0..r31. Immediates:
+ * decimal, 0x hex, 'c' character literals, and label±offset
+ * expressions. Pseudo-instructions (each expands to exactly one
+ * MiniRISC instruction): li, la, move, neg, not, b, beqz, bnez,
+ * bltz, bgez, blez, bgtz, bgt, ble, bgtu, bleu, subi.
+ */
+
+#ifndef DFCM_SIM_ASSEMBLER_HH
+#define DFCM_SIM_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/program.hh"
+
+namespace vpred::sim
+{
+
+/** Assembly error with 1-based source line information. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string& message)
+        : std::runtime_error("asm line " + std::to_string(line) + ": "
+                             + message),
+          line_(line)
+    {}
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/**
+ * Assemble MiniRISC source text into a Program.
+ *
+ * @throws AsmError on any syntax or semantic error.
+ */
+Program assemble(std::string_view source);
+
+} // namespace vpred::sim
+
+#endif // DFCM_SIM_ASSEMBLER_HH

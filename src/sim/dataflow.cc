@@ -1,0 +1,89 @@
+#include "sim/dataflow.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+#include "sim/tracer.hh"
+
+namespace vpred::sim
+{
+
+IlpResult
+dataflowLimit(const Program& program, PredictionModel model,
+              ValuePredictor* predictor, std::uint64_t max_steps,
+              std::span<const std::pair<unsigned, std::uint32_t>> init_regs,
+              bool memory_deps)
+{
+    assert(model != PredictionModel::Real || predictor != nullptr);
+
+    Machine::Config cfg;
+    if (max_steps != 0)
+        cfg.max_steps = max_steps;
+    Machine machine(program, cfg);
+    for (const auto& [r, v] : init_regs)
+        machine.setReg(r, v);
+
+    // Completion time of the last writer of each register / word.
+    std::array<std::uint64_t, kNumRegs> reg_ready{};
+    std::unordered_map<std::uint32_t, std::uint64_t> mem_ready;
+
+    IlpResult result;
+    while (!machine.halted()) {
+        if (machine.instructionsExecuted() >= cfg.max_steps)
+            throw VmError("dataflow step budget exhausted");
+
+        const Instr& instr = program.text[machine.pc()];
+        std::uint8_t srcs[2];
+        const unsigned n_srcs = instrSources(instr, srcs);
+
+        const StepInfo info = machine.step();
+        ++result.instructions;
+
+        std::uint64_t start = 0;
+        for (unsigned i = 0; i < n_srcs; ++i)
+            start = std::max(start, reg_ready[srcs[i]]);
+        if (memory_deps && isLoad(info.op)) {
+            const auto it = mem_ready.find(info.mem_addr & ~3u);
+            if (it != mem_ready.end())
+                start = std::max(start, it->second);
+        }
+        const std::uint64_t complete = start + 1;
+        result.critical_path = std::max(result.critical_path, complete);
+
+        if (memory_deps && isStore(info.op))
+            mem_ready[info.mem_addr & ~3u] = complete;
+
+        if (info.wrote_reg) {
+            bool value_known_early = false;
+            if (isPredicted(info)) {
+                switch (model) {
+                  case PredictionModel::None:
+                    break;
+                  case PredictionModel::Perfect:
+                    ++result.predicted;
+                    ++result.correct;
+                    value_known_early = true;
+                    break;
+                  case PredictionModel::Real: {
+                    ++result.predicted;
+                    const bool ok = predictor->predictAndUpdate(
+                            info.pc, info.value);
+                    if (ok) {
+                        ++result.correct;
+                        value_known_early = true;
+                    }
+                    break;
+                  }
+                }
+            }
+            // A correctly-predicted value is available to consumers
+            // immediately; otherwise at the producer's completion.
+            reg_ready[info.rd] = value_known_early ? 0 : complete;
+        }
+    }
+    return result;
+}
+
+} // namespace vpred::sim

@@ -1,0 +1,199 @@
+#include "sim/isa.hh"
+
+#include <sstream>
+
+namespace vpred::sim
+{
+
+const char*
+opName(Op op)
+{
+    switch (op) {
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Divu: return "divu";
+      case Op::Rem: return "rem";
+      case Op::Remu: return "remu";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Nor: return "nor";
+      case Op::Sllv: return "sllv";
+      case Op::Srlv: return "srlv";
+      case Op::Srav: return "srav";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Addi: return "addi";
+      case Op::Andi: return "andi";
+      case Op::Ori: return "ori";
+      case Op::Xori: return "xori";
+      case Op::Slti: return "slti";
+      case Op::Sltiu: return "sltiu";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Srai: return "srai";
+      case Op::Lui: return "lui";
+      case Op::Li: return "li";
+      case Op::Lw: return "lw";
+      case Op::Lh: return "lh";
+      case Op::Lhu: return "lhu";
+      case Op::Lb: return "lb";
+      case Op::Lbu: return "lbu";
+      case Op::Sw: return "sw";
+      case Op::Sh: return "sh";
+      case Op::Sb: return "sb";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Bltu: return "bltu";
+      case Op::Bgeu: return "bgeu";
+      case Op::J: return "j";
+      case Op::Jal: return "jal";
+      case Op::Jr: return "jr";
+      case Op::Jalr: return "jalr";
+      case Op::Syscall: return "syscall";
+      case Op::Nop: return "nop";
+    }
+    return "?";
+}
+
+bool
+isControl(Op op)
+{
+    switch (op) {
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+      case Op::J: case Op::Jal: case Op::Jr: case Op::Jalr:
+      case Op::Syscall:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::Lw: case Op::Lh: case Op::Lhu: case Op::Lb: case Op::Lbu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    return op == Op::Sw || op == Op::Sh || op == Op::Sb;
+}
+
+bool
+writesRegister(const Instr& instr)
+{
+    if (instr.rd == 0)
+        return false;
+    switch (instr.op) {
+      case Op::Sw: case Op::Sh: case Op::Sb:
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+      case Op::J: case Op::Jr:
+      case Op::Syscall: case Op::Nop:
+        return false;
+      // Jal/Jalr write the link register; they are register writes
+      // but remain excluded from value prediction via isControl().
+      default:
+        return true;
+    }
+}
+
+unsigned
+instrSources(const Instr& instr, std::uint8_t out[2])
+{
+    bool reads_rs = false, reads_rt = false;
+    switch (instr.op) {
+      // rs and rt
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+      case Op::Slt: case Op::Sltu:
+      case Op::Sw: case Op::Sh: case Op::Sb:
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        reads_rs = reads_rt = true;
+        break;
+      // rs only
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slti: case Op::Sltiu:
+      case Op::Slli: case Op::Srli: case Op::Srai:
+      case Op::Lw: case Op::Lh: case Op::Lhu: case Op::Lb: case Op::Lbu:
+      case Op::Jr: case Op::Jalr:
+        reads_rs = true;
+        break;
+      // no register sources
+      case Op::Lui: case Op::Li: case Op::J: case Op::Jal:
+      case Op::Syscall: case Op::Nop:
+        break;
+    }
+    unsigned n = 0;
+    if (reads_rs && instr.rs != 0)
+        out[n++] = instr.rs;
+    if (reads_rt && instr.rt != 0 && (!reads_rs || instr.rt != instr.rs))
+        out[n++] = instr.rt;
+    return n;
+}
+
+std::string
+disassemble(const Instr& in)
+{
+    std::ostringstream os;
+    os << opName(in.op);
+    auto r = [](unsigned n) {
+        return "r" + std::to_string(n);
+    };
+    switch (in.op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+      case Op::Slt: case Op::Sltu:
+        os << " " << r(in.rd) << ", " << r(in.rs) << ", " << r(in.rt);
+        break;
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slti: case Op::Sltiu:
+      case Op::Slli: case Op::Srli: case Op::Srai:
+        os << " " << r(in.rd) << ", " << r(in.rs) << ", " << in.imm;
+        break;
+      case Op::Lui: case Op::Li:
+        os << " " << r(in.rd) << ", " << in.imm;
+        break;
+      case Op::Lw: case Op::Lh: case Op::Lhu: case Op::Lb: case Op::Lbu:
+        os << " " << r(in.rd) << ", " << in.imm << "(" << r(in.rs) << ")";
+        break;
+      case Op::Sw: case Op::Sh: case Op::Sb:
+        os << " " << r(in.rt) << ", " << in.imm << "(" << r(in.rs) << ")";
+        break;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        os << " " << r(in.rs) << ", " << r(in.rt) << ", #" << in.imm;
+        break;
+      case Op::J: case Op::Jal:
+        os << " #" << in.imm;
+        break;
+      case Op::Jr:
+        os << " " << r(in.rs);
+        break;
+      case Op::Jalr:
+        os << " " << r(in.rd) << ", " << r(in.rs);
+        break;
+      case Op::Syscall: case Op::Nop:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace vpred::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * MiniRISC instruction set.
+ *
+ * MiniRISC is a 32-bit MIPS-like ISA used as this reproduction's
+ * substitute for SimpleScalar's MIPS (DESIGN.md Section 2). It is a
+ * Harvard-style *decoded* representation: programs are vectors of
+ * Instr structs, not encoded words, because the experiments only
+ * need architecturally-correct value streams, never binary images.
+ *
+ * Conventions:
+ *  - 32 general registers, r0 hard-wired to zero;
+ *  - pc is an instruction index; register-held code addresses are
+ *    byte addresses (index * 4), so jump tables work naturally;
+ *  - data lives at byte addresses >= Program::kDataBase, which keeps
+ *    code and data address ranges disjoint.
+ */
+
+#ifndef DFCM_SIM_ISA_HH
+#define DFCM_SIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vpred::sim
+{
+
+/** MiniRISC opcodes (decoded form). */
+enum class Op : std::uint8_t
+{
+    // ALU, register-register
+    Add, Sub, Mul, Div, Divu, Rem, Remu,
+    And, Or, Xor, Nor,
+    Sllv, Srlv, Srav,
+    Slt, Sltu,
+    // ALU, register-immediate
+    Addi, Andi, Ori, Xori, Slti, Sltiu,
+    Slli, Srli, Srai,
+    Lui,
+    Li,      //!< rd = imm (assembler pseudo li/la, full 32-bit)
+    // memory
+    Lw, Lh, Lhu, Lb, Lbu,
+    Sw, Sh, Sb,
+    // control
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    J, Jal, Jr, Jalr,
+    Syscall,
+    Nop,
+};
+
+/** Total number of opcodes. */
+constexpr unsigned kOpCount = static_cast<unsigned>(Op::Nop) + 1;
+
+/** One decoded MiniRISC instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    std::uint8_t rd = 0;  //!< destination register
+    std::uint8_t rs = 0;  //!< first source register
+    std::uint8_t rt = 0;  //!< second source register
+    /**
+     * Immediate: ALU immediate operand, memory offset, or branch /
+     * jump target (an instruction index for Beq..Jal).
+     */
+    std::int64_t imm = 0;
+
+    bool operator==(const Instr&) const = default;
+};
+
+/** Mnemonic of an opcode ("addi", "lw", ...). */
+const char* opName(Op op);
+
+/** True for branch and jump opcodes (and syscall), which the paper
+ *  excludes from value prediction. */
+bool isControl(Op op);
+
+/** True for load opcodes (predicted, per the paper). */
+bool isLoad(Op op);
+
+/** True for store opcodes (no register result). */
+bool isStore(Op op);
+
+/** True iff the instruction writes an integer register. */
+bool writesRegister(const Instr& instr);
+
+/**
+ * Collect the architectural registers the instruction *reads* into
+ * @p out (at most 2). r0 is never reported (it is constant).
+ *
+ * @return The number of source registers written to @p out.
+ */
+unsigned instrSources(const Instr& instr, std::uint8_t out[2]);
+
+/** Render an instruction for diagnostics, e.g. "addi r8, r8, 1". */
+std::string disassemble(const Instr& instr);
+
+/** Number of general registers. */
+constexpr unsigned kNumRegs = 32;
+
+/** Conventional register numbers (MIPS O32 names). */
+namespace reg
+{
+constexpr unsigned zero = 0;
+constexpr unsigned at = 1;
+constexpr unsigned v0 = 2;
+constexpr unsigned v1 = 3;
+constexpr unsigned a0 = 4;
+constexpr unsigned a1 = 5;
+constexpr unsigned a2 = 6;
+constexpr unsigned a3 = 7;
+constexpr unsigned t0 = 8;   // t0..t7 = 8..15
+constexpr unsigned s0 = 16;  // s0..s7 = 16..23
+constexpr unsigned t8 = 24;
+constexpr unsigned t9 = 25;
+constexpr unsigned k0 = 26;
+constexpr unsigned k1 = 27;
+constexpr unsigned gp = 28;
+constexpr unsigned sp = 29;
+constexpr unsigned fp = 30;
+constexpr unsigned ra = 31;
+} // namespace reg
+
+/** Syscall service numbers (in $v0 at the syscall). */
+namespace sys
+{
+constexpr std::uint32_t printInt = 1;   //!< print $a0 as signed int
+constexpr std::uint32_t printStr = 4;   //!< print NUL-terminated @$a0
+constexpr std::uint32_t exit = 10;      //!< halt the machine
+constexpr std::uint32_t printChar = 11; //!< print $a0 as a character
+constexpr std::uint32_t printHex = 34;  //!< print $a0 as 0x%08x
+} // namespace sys
+
+} // namespace vpred::sim
+
+#endif // DFCM_SIM_ISA_HH

@@ -1,0 +1,343 @@
+#include "sim/machine.hh"
+
+#include <cstring>
+#include <sstream>
+
+namespace vpred::sim
+{
+
+Machine::Machine(const Program& program) : Machine(program, Config{}) {}
+
+Machine::Machine(const Program& program, const Config& config)
+    : prog_(program), cfg_(config), pc_(program.entry),
+      mem_(config.memory_size, 0)
+{
+    if (Program::kDataBase + prog_.data.size() > mem_.size())
+        throw VmError("data segment does not fit in memory");
+    std::memcpy(mem_.data() + Program::kDataBase, prog_.data.data(),
+                prog_.data.size());
+    // Stack grows down from the top of memory; leave a red zone.
+    regs_[reg::sp] = static_cast<std::uint32_t>(mem_.size() - 16);
+    regs_[reg::gp] = Program::kDataBase;
+}
+
+void
+Machine::setReg(unsigned r, std::uint32_t v)
+{
+    if (r == 0 || r >= kNumRegs)
+        throw VmError("setReg: bad register");
+    regs_[r] = v;
+}
+
+void
+Machine::checkAddr(std::uint32_t addr, std::uint32_t size) const
+{
+    if (addr % size != 0) {
+        std::ostringstream os;
+        os << "misaligned access of size " << size << " at 0x" << std::hex
+           << addr << " (pc " << std::dec << pc_ << ")";
+        throw VmError(os.str());
+    }
+    if (addr + size > mem_.size() || addr + size < addr) {
+        std::ostringstream os;
+        os << "out-of-range access at 0x" << std::hex << addr << " (pc "
+           << std::dec << pc_ << ")";
+        throw VmError(os.str());
+    }
+}
+
+std::uint8_t
+Machine::loadByte(std::uint32_t addr) const
+{
+    checkAddr(addr, 1);
+    return mem_[addr];
+}
+
+std::uint16_t
+Machine::loadHalf(std::uint32_t addr) const
+{
+    checkAddr(addr, 2);
+    return static_cast<std::uint16_t>(mem_[addr]
+                                      | (mem_[addr + 1] << 8));
+}
+
+std::uint32_t
+Machine::loadWord(std::uint32_t addr) const
+{
+    checkAddr(addr, 4);
+    return static_cast<std::uint32_t>(mem_[addr])
+        | (static_cast<std::uint32_t>(mem_[addr + 1]) << 8)
+        | (static_cast<std::uint32_t>(mem_[addr + 2]) << 16)
+        | (static_cast<std::uint32_t>(mem_[addr + 3]) << 24);
+}
+
+void
+Machine::storeByte(std::uint32_t addr, std::uint8_t value)
+{
+    checkAddr(addr, 1);
+    mem_[addr] = value;
+}
+
+void
+Machine::storeHalf(std::uint32_t addr, std::uint16_t value)
+{
+    checkAddr(addr, 2);
+    mem_[addr] = static_cast<std::uint8_t>(value);
+    mem_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void
+Machine::storeWord(std::uint32_t addr, std::uint32_t value)
+{
+    checkAddr(addr, 4);
+    mem_[addr] = static_cast<std::uint8_t>(value);
+    mem_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    mem_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    mem_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+void
+Machine::doSyscall(StepInfo& info)
+{
+    switch (regs_[reg::v0]) {
+      case sys::printInt:
+        output_ += std::to_string(
+                static_cast<std::int32_t>(regs_[reg::a0]));
+        break;
+      case sys::printStr: {
+        std::uint32_t addr = regs_[reg::a0];
+        while (true) {
+            const std::uint8_t c = loadByte(addr++);
+            if (c == 0)
+                break;
+            output_ += static_cast<char>(c);
+        }
+        break;
+      }
+      case sys::exit:
+        halted_ = true;
+        info.halted = true;
+        break;
+      case sys::printChar:
+        output_ += static_cast<char>(regs_[reg::a0]);
+        break;
+      case sys::printHex: {
+        std::ostringstream os;
+        os << "0x" << std::hex << regs_[reg::a0];
+        output_ += os.str();
+        break;
+      }
+      default:
+        throw VmError("unknown syscall "
+                      + std::to_string(regs_[reg::v0]));
+    }
+}
+
+StepInfo
+Machine::step()
+{
+    if (halted_)
+        throw VmError("step() on a halted machine");
+    if (pc_ >= prog_.text.size()) {
+        throw VmError("pc out of text segment: "
+                      + std::to_string(pc_));
+    }
+
+    const Instr& in = prog_.text[pc_];
+    StepInfo info;
+    info.pc = pc_;
+    info.op = in.op;
+
+    const std::uint32_t rs = regs_[in.rs];
+    const std::uint32_t rt = regs_[in.rt];
+    const auto srs = static_cast<std::int32_t>(rs);
+    const auto srt = static_cast<std::int32_t>(rt);
+    const auto imm = static_cast<std::uint32_t>(in.imm);
+    const auto simm = static_cast<std::int32_t>(in.imm);
+
+    std::uint32_t next_pc = pc_ + 1;
+    std::uint32_t result = 0;
+    bool writes = true;
+
+    switch (in.op) {
+      case Op::Add: result = rs + rt; break;
+      case Op::Sub: result = rs - rt; break;
+      case Op::Mul: result = rs * rt; break;
+      case Op::Div:
+        if (rt == 0)
+            throw VmError("division by zero at pc "
+                          + std::to_string(pc_));
+        // INT_MIN / -1 overflows in C++; the hardware wraps.
+        result = (rs == 0x80000000u && rt == 0xFFFFFFFFu)
+            ? 0x80000000u
+            : static_cast<std::uint32_t>(srs / srt);
+        break;
+      case Op::Divu:
+        if (rt == 0)
+            throw VmError("division by zero at pc "
+                          + std::to_string(pc_));
+        result = rs / rt;
+        break;
+      case Op::Rem:
+        if (rt == 0)
+            throw VmError("division by zero at pc "
+                          + std::to_string(pc_));
+        result = (rs == 0x80000000u && rt == 0xFFFFFFFFu)
+            ? 0 : static_cast<std::uint32_t>(srs % srt);
+        break;
+      case Op::Remu:
+        if (rt == 0)
+            throw VmError("division by zero at pc "
+                          + std::to_string(pc_));
+        result = rs % rt;
+        break;
+      case Op::And: result = rs & rt; break;
+      case Op::Or: result = rs | rt; break;
+      case Op::Xor: result = rs ^ rt; break;
+      case Op::Nor: result = ~(rs | rt); break;
+      case Op::Sllv: result = rs << (rt & 31); break;
+      case Op::Srlv: result = rs >> (rt & 31); break;
+      case Op::Srav:
+        result = static_cast<std::uint32_t>(srs >> (rt & 31));
+        break;
+      case Op::Slt: result = srs < srt ? 1 : 0; break;
+      case Op::Sltu: result = rs < rt ? 1 : 0; break;
+
+      case Op::Addi: result = rs + imm; break;
+      case Op::Andi: result = rs & imm; break;
+      case Op::Ori: result = rs | imm; break;
+      case Op::Xori: result = rs ^ imm; break;
+      case Op::Slti: result = srs < simm ? 1 : 0; break;
+      case Op::Sltiu: result = rs < imm ? 1 : 0; break;
+      case Op::Slli: result = rs << (imm & 31); break;
+      case Op::Srli: result = rs >> (imm & 31); break;
+      case Op::Srai:
+        result = static_cast<std::uint32_t>(srs >> (imm & 31));
+        break;
+      case Op::Lui: result = imm << 16; break;
+      case Op::Li: result = imm; break;
+
+      case Op::Lw:
+        info.mem_addr = rs + imm;
+        result = loadWord(rs + imm);
+        break;
+      case Op::Lh:
+        info.mem_addr = rs + imm;
+        result = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int16_t>(loadHalf(rs + imm))));
+        break;
+      case Op::Lhu:
+        info.mem_addr = rs + imm;
+        result = loadHalf(rs + imm);
+        break;
+      case Op::Lb:
+        info.mem_addr = rs + imm;
+        result = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                static_cast<std::int8_t>(loadByte(rs + imm))));
+        break;
+      case Op::Lbu:
+        info.mem_addr = rs + imm;
+        result = loadByte(rs + imm);
+        break;
+
+      case Op::Sw:
+        info.mem_addr = rs + imm;
+        storeWord(rs + imm, rt);
+        writes = false;
+        break;
+      case Op::Sh:
+        info.mem_addr = rs + imm;
+        storeHalf(rs + imm, static_cast<std::uint16_t>(rt));
+        writes = false;
+        break;
+      case Op::Sb:
+        info.mem_addr = rs + imm;
+        storeByte(rs + imm, static_cast<std::uint8_t>(rt));
+        writes = false;
+        break;
+
+      case Op::Beq:
+        if (rs == rt) next_pc = imm;
+        writes = false;
+        break;
+      case Op::Bne:
+        if (rs != rt) next_pc = imm;
+        writes = false;
+        break;
+      case Op::Blt:
+        if (srs < srt) next_pc = imm;
+        writes = false;
+        break;
+      case Op::Bge:
+        if (srs >= srt) next_pc = imm;
+        writes = false;
+        break;
+      case Op::Bltu:
+        if (rs < rt) next_pc = imm;
+        writes = false;
+        break;
+      case Op::Bgeu:
+        if (rs >= rt) next_pc = imm;
+        writes = false;
+        break;
+
+      case Op::J:
+        next_pc = imm;
+        writes = false;
+        break;
+      case Op::Jal:
+        result = (pc_ + 1) * 4;  // link: byte return address
+        next_pc = imm;
+        break;
+      case Op::Jr:
+        if (rs % 4 != 0)
+            throw VmError("jr to unaligned address");
+        next_pc = rs / 4;
+        writes = false;
+        break;
+      case Op::Jalr:
+        result = (pc_ + 1) * 4;
+        if (rs % 4 != 0)
+            throw VmError("jalr to unaligned address");
+        next_pc = rs / 4;
+        break;
+
+      case Op::Syscall:
+        doSyscall(info);
+        writes = false;
+        break;
+      case Op::Nop:
+        writes = false;
+        break;
+    }
+
+    if (writes && in.rd != 0) {
+        regs_[in.rd] = result;
+        info.wrote_reg = true;
+        info.rd = in.rd;
+        info.value = result;
+    }
+
+    pc_ = next_pc;
+    ++executed_;
+    return info;
+}
+
+std::uint64_t
+Machine::run(std::uint64_t max_steps)
+{
+    const std::uint64_t limit = max_steps == 0 ? cfg_.max_steps
+                                               : max_steps;
+    std::uint64_t steps = 0;
+    while (!halted_) {
+        if (steps >= limit) {
+            throw VmError("step budget exhausted after "
+                          + std::to_string(steps) + " instructions");
+        }
+        step();
+        ++steps;
+    }
+    return steps;
+}
+
+} // namespace vpred::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * MiniRISC functional interpreter.
+ */
+
+#ifndef DFCM_SIM_MACHINE_HH
+#define DFCM_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/program.hh"
+
+namespace vpred::sim
+{
+
+/** Runtime error raised by the interpreter (bad address, division by
+ *  zero, runaway program, ...). */
+class VmError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** What a single executed instruction did, as seen by the tracer. */
+struct StepInfo
+{
+    std::uint32_t pc = 0;       //!< instruction index before execution
+    Op op = Op::Nop;
+    bool wrote_reg = false;     //!< wrote a non-zero integer register
+    std::uint8_t rd = 0;        //!< destination register if wrote_reg
+    std::uint32_t value = 0;    //!< value written if wrote_reg
+    bool halted = false;        //!< program exited on this step
+    /** Effective byte address of a load/store (query isLoad/isStore
+     *  on op); used by the dataflow-limit analyzer. */
+    std::uint32_t mem_addr = 0;
+};
+
+/**
+ * A MiniRISC machine: registers, flat little-endian memory and a
+ * program. Execution is purely functional (no timing); the machine
+ * exists to produce architecturally-correct value streams.
+ */
+class Machine
+{
+  public:
+    struct Config
+    {
+        std::size_t memory_size = 8u << 20;  //!< bytes, data+stack
+        std::uint64_t max_steps = 1ull << 32; //!< runaway guard
+    };
+
+    explicit Machine(const Program& program);
+    Machine(const Program& program, const Config& config);
+
+    /** Execute one instruction. @throws VmError */
+    StepInfo step();
+
+    /**
+     * Run until exit or @p max_steps instructions (0 = the config
+     * limit). @return the number of instructions executed.
+     * @throws VmError including when the step budget is exhausted
+     * before the program exits.
+     */
+    std::uint64_t run(std::uint64_t max_steps = 0);
+
+    bool halted() const { return halted_; }
+
+    std::uint32_t reg(unsigned r) const { return regs_[r]; }
+    void setReg(unsigned r, std::uint32_t v);
+
+    std::uint32_t pc() const { return pc_; }
+
+    /** Everything the program printed via syscalls. */
+    const std::string& output() const { return output_; }
+
+    std::uint64_t instructionsExecuted() const { return executed_; }
+
+    /** Direct memory access for tests and harnesses. */
+    std::uint32_t loadWord(std::uint32_t addr) const;
+    void storeWord(std::uint32_t addr, std::uint32_t value);
+
+  private:
+    std::uint8_t loadByte(std::uint32_t addr) const;
+    std::uint16_t loadHalf(std::uint32_t addr) const;
+    void storeByte(std::uint32_t addr, std::uint8_t value);
+    void storeHalf(std::uint32_t addr, std::uint16_t value);
+    void checkAddr(std::uint32_t addr, std::uint32_t size) const;
+    void doSyscall(StepInfo& info);
+
+    const Program& prog_;
+    Config cfg_;
+    std::array<std::uint32_t, kNumRegs> regs_{};
+    std::uint32_t pc_;
+    bool halted_ = false;
+    std::uint64_t executed_ = 0;
+    std::vector<std::uint8_t> mem_;
+    std::string output_;
+};
+
+} // namespace vpred::sim
+
+#endif // DFCM_SIM_MACHINE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * An assembled MiniRISC program image.
+ */
+
+#ifndef DFCM_SIM_PROGRAM_HH
+#define DFCM_SIM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/isa.hh"
+
+namespace vpred::sim
+{
+
+/**
+ * The output of the assembler: decoded text, an initialized data
+ * segment and the symbol table.
+ */
+struct Program
+{
+    /** Base byte address of the data segment. Code byte addresses
+     *  (instruction index * 4) stay below this. */
+    static constexpr std::uint32_t kDataBase = 0x10000;
+
+    /** Decoded instructions; pc is an index into this vector. */
+    std::vector<Instr> text;
+
+    /** Initial data segment contents, loaded at kDataBase. */
+    std::vector<std::uint8_t> data;
+
+    /**
+     * Symbol values: text labels map to byte addresses
+     * (index * 4), data labels to absolute byte addresses
+     * (kDataBase + offset).
+     */
+    std::unordered_map<std::string, std::uint32_t> symbols;
+
+    /** Entry point (instruction index); "main" if defined, else 0. */
+    std::uint32_t entry = 0;
+
+    /** Look up a symbol; throws std::out_of_range if absent. */
+    std::uint32_t
+    symbol(const std::string& name) const
+    {
+        return symbols.at(name);
+    }
+};
+
+} // namespace vpred::sim
+
+#endif // DFCM_SIM_PROGRAM_HH

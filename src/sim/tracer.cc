@@ -1,0 +1,33 @@
+#include "sim/tracer.hh"
+
+namespace vpred::sim
+{
+
+TraceResult
+traceProgram(const Program& program, std::uint64_t max_steps,
+             std::span<const std::pair<unsigned, std::uint32_t>> init_regs,
+             const Machine::Config& config)
+{
+    Machine::Config cfg = config;
+    if (max_steps != 0)
+        cfg.max_steps = max_steps;
+    Machine machine(program, cfg);
+    for (const auto& [r, v] : init_regs)
+        machine.setReg(r, v);
+
+    TraceResult result;
+    result.trace.reserve(4096);
+    while (!machine.halted()) {
+        if (machine.instructionsExecuted() >= cfg.max_steps) {
+            throw VmError("trace step budget exhausted");
+        }
+        const StepInfo info = machine.step();
+        if (isPredicted(info))
+            result.trace.push_back({info.pc, info.value});
+    }
+    result.instructions = machine.instructionsExecuted();
+    result.output = machine.output();
+    return result;
+}
+
+} // namespace vpred::sim

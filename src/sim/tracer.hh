@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Value-trace extraction with the paper's prediction-eligibility
+ * filter.
+ *
+ * Section 4 of the paper: "Only integer instructions that produce an
+ * integer register value are predicted, including load instructions.
+ * [...] value prediction was not performed for branch and jump
+ * instructions." MiniRISC has no two-result instructions, so the
+ * multiply/divide one-result rule is satisfied trivially.
+ */
+
+#ifndef DFCM_SIM_TRACER_HH
+#define DFCM_SIM_TRACER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "core/types.hh"
+#include "sim/machine.hh"
+
+namespace vpred::sim
+{
+
+/** A traced workload run. */
+struct TraceResult
+{
+    ValueTrace trace;                 //!< eligible (pc, value) records
+    std::uint64_t instructions = 0;   //!< total dynamic instructions
+    std::string output;               //!< program console output
+};
+
+/** True iff @p info is an eligible prediction per the paper's rules. */
+inline bool
+isPredicted(const StepInfo& info)
+{
+    return info.wrote_reg && !isControl(info.op);
+}
+
+/**
+ * Run @p program to completion, collecting the eligible value trace.
+ *
+ * @param program The assembled program.
+ * @param max_steps Dynamic instruction budget (VmError beyond it).
+ * @param init_regs Registers to preset before the run (e.g. the
+ *        workload scale factor in $a0).
+ * @param config Machine configuration.
+ */
+TraceResult traceProgram(
+        const Program& program, std::uint64_t max_steps,
+        std::span<const std::pair<unsigned, std::uint32_t>> init_regs = {},
+        const Machine::Config& config = {});
+
+} // namespace vpred::sim
+
+#endif // DFCM_SIM_TRACER_HH

@@ -1,0 +1,95 @@
+#include "tracegen/mixer.hh"
+
+#include <cassert>
+#include <numeric>
+
+namespace vpred::tracegen
+{
+
+void
+TraceMixer::add(Pc pc, std::unique_ptr<PatternSource> source,
+                unsigned weight)
+{
+    assert(source);
+    assert(weight >= 1);
+    entries_.push_back({pc, std::move(source), weight});
+}
+
+ValueTrace
+TraceMixer::generate(std::size_t records)
+{
+    assert(!entries_.empty());
+    ValueTrace trace;
+    trace.reserve(records);
+
+    // One "loop iteration" emits each instruction `weight` times, in
+    // round-robin order, until the requested length is reached.
+    while (trace.size() < records) {
+        for (Entry& e : entries_) {
+            for (unsigned i = 0; i < e.weight; ++i) {
+                if (trace.size() >= records)
+                    return trace;
+                trace.push_back({e.pc, e.source->next()});
+            }
+        }
+    }
+    return trace;
+}
+
+ValueTrace
+TraceMixer::generateStochastic(std::size_t records)
+{
+    assert(!entries_.empty());
+    const std::uint64_t total = std::accumulate(
+            entries_.begin(), entries_.end(), std::uint64_t{0},
+            [](std::uint64_t acc, const Entry& e) {
+                return acc + e.weight;
+            });
+
+    ValueTrace trace;
+    trace.reserve(records);
+    while (trace.size() < records) {
+        std::uint64_t pick = rng_.nextBelow(total);
+        for (Entry& e : entries_) {
+            if (pick < e.weight) {
+                trace.push_back({e.pc, e.source->next()});
+                break;
+            }
+            pick -= e.weight;
+        }
+    }
+    return trace;
+}
+
+ValueTrace
+makeMixedTrace(const MixSpec& spec, std::size_t records)
+{
+    TraceMixer mixer(spec.seed);
+    Xorshift rng(spec.seed);
+    Pc pc = 0;
+
+    for (unsigned i = 0; i < spec.stride_instructions; ++i) {
+        const Value base = rng.next() & maskBits(24);
+        const Value stride = 1 + rng.nextBelow(16);
+        const std::uint64_t length = 8 + rng.nextBelow(200);
+        mixer.add(pc++, std::make_unique<StridePattern>(
+                base, stride, length, spec.value_bits));
+    }
+    for (unsigned i = 0; i < spec.constant_instructions; ++i) {
+        mixer.add(pc++, std::make_unique<ConstantPattern>(
+                rng.next() & maskBits(spec.value_bits)));
+    }
+    for (unsigned i = 0; i < spec.context_instructions; ++i) {
+        std::vector<Value> seq(spec.context_period);
+        for (Value& v : seq)
+            v = rng.next() & maskBits(spec.value_bits);
+        mixer.add(pc++, std::make_unique<SequencePattern>(std::move(seq)));
+    }
+    for (unsigned i = 0; i < spec.random_instructions; ++i) {
+        mixer.add(pc++, std::make_unique<RandomPattern>(rng.next(),
+                                                        spec.value_bits));
+    }
+    return mixer.generate(records);
+}
+
+} // namespace vpred::tracegen

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Composition of per-instruction pattern sources into a value trace.
+ */
+
+#ifndef DFCM_TRACEGEN_MIXER_HH
+#define DFCM_TRACEGEN_MIXER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hh"
+#include "tracegen/pattern.hh"
+
+namespace vpred::tracegen
+{
+
+/**
+ * Builds a ValueTrace by interleaving several static instructions,
+ * each driven by its own PatternSource and occurrence weight.
+ *
+ * Two interleaving modes:
+ *
+ *  - weighted round-robin (deterministic): instructions appear in a
+ *    fixed schedule proportional to their weights, modelling a loop
+ *    body executed over and over;
+ *  - stochastic: each trace slot picks an instruction with
+ *    probability proportional to its weight (seeded, reproducible).
+ */
+class TraceMixer
+{
+  public:
+    explicit TraceMixer(std::uint64_t seed = 12345) : rng_(seed) {}
+
+    /**
+     * Register an instruction.
+     *
+     * @param pc Static-instruction identifier.
+     * @param source Pattern generating the instruction's results.
+     * @param weight Relative dynamic frequency (>= 1).
+     */
+    void add(Pc pc, std::unique_ptr<PatternSource> source,
+             unsigned weight = 1);
+
+    /** Deterministic weighted round-robin interleaving. */
+    ValueTrace generate(std::size_t records);
+
+    /** Stochastic interleaving (weights as probabilities). */
+    ValueTrace generateStochastic(std::size_t records);
+
+    /** Number of registered instructions. */
+    std::size_t instructionCount() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        Pc pc;
+        std::unique_ptr<PatternSource> source;
+        unsigned weight;
+    };
+
+    std::vector<Entry> entries_;
+    Xorshift rng_;
+};
+
+/**
+ * Convenience: the paper's motivating mixture — a population of
+ * stride patterns (different bases/strides/ranges), constant
+ * patterns, context (sequence) patterns and noise, with the given
+ * instruction counts. Used by property tests and the custom_trace
+ * example.
+ */
+struct MixSpec
+{
+    unsigned stride_instructions = 16;
+    unsigned constant_instructions = 4;
+    unsigned context_instructions = 8;
+    unsigned random_instructions = 2;
+    unsigned context_period = 12;   //!< repeating-sequence length
+    std::uint64_t seed = 42;
+    unsigned value_bits = 32;
+};
+
+/** Build a mixed trace per @p spec with @p records records. */
+ValueTrace makeMixedTrace(const MixSpec& spec, std::size_t records);
+
+} // namespace vpred::tracegen
+
+#endif // DFCM_TRACEGEN_MIXER_HH

@@ -1,0 +1,43 @@
+#include "tracegen/pattern.hh"
+
+#include <cassert>
+
+namespace vpred::tracegen
+{
+
+MarkovPattern::MarkovPattern(std::vector<Value> alphabet, unsigned fanout,
+                             std::uint64_t seed)
+    : alphabet_(std::move(alphabet)), seed_(seed), rng_(seed), state_(0)
+{
+    assert(!alphabet_.empty());
+    assert(fanout >= 1);
+
+    // Build a fixed successor graph from a dedicated RNG so that the
+    // *structure* is a function of the seed and the walk itself uses
+    // fresh randomness.
+    Xorshift graph_rng(seed ^ 0xA5A5A5A5A5A5A5A5ull);
+    successors_.resize(alphabet_.size());
+    for (auto& succ : successors_) {
+        succ.resize(fanout);
+        for (auto& s : succ)
+            s = graph_rng.nextBelow(alphabet_.size());
+    }
+}
+
+Value
+MarkovPattern::next()
+{
+    const Value v = alphabet_[state_];
+    const auto& succ = successors_[state_];
+    state_ = succ[rng_.nextBelow(succ.size())];
+    return v;
+}
+
+void
+MarkovPattern::reset()
+{
+    rng_ = Xorshift(seed_);
+    state_ = 0;
+}
+
+} // namespace vpred::tracegen

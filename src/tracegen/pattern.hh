@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Synthetic value-pattern sources.
+ *
+ * These model the pattern population the paper reasons about:
+ * constant patterns (e.g. slt results), stride patterns of arbitrary
+ * step and range (loop counters, array addresses), repeating
+ * non-stride sequences (the context patterns two-level predictors
+ * exist for), finite-context Markov chains, and unpredictable
+ * values. Used by unit/property tests and the custom_trace example;
+ * the full-scale experiments use the MiniRISC workloads instead.
+ */
+
+#ifndef DFCM_TRACEGEN_PATTERN_HH
+#define DFCM_TRACEGEN_PATTERN_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace vpred::tracegen
+{
+
+/**
+ * Deterministic xorshift64* pseudo-random generator. Simulations
+ * must be exactly reproducible, so the library never uses
+ * std::random devices.
+ */
+class Xorshift
+{
+  public:
+    explicit Xorshift(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545F4914F6CDD1Dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound) { return next() % bound; }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** A source of successive values for one static instruction. */
+class PatternSource
+{
+  public:
+    virtual ~PatternSource() = default;
+
+    /** Produce the next value of the pattern. */
+    virtual Value next() = 0;
+
+    /** Restart the pattern from its initial state. */
+    virtual void reset() = 0;
+};
+
+/** Always the same value (the paper's "constant pattern"). */
+class ConstantPattern : public PatternSource
+{
+  public:
+    explicit ConstantPattern(Value value) : value_(value) {}
+
+    Value next() override { return value_; }
+    void reset() override {}
+
+  private:
+    Value value_;
+};
+
+/**
+ * Arithmetic stride pattern with optional wrap-around, e.g.
+ * 0 1 2 3 4 5 6 0 1 2 ... (base 0, stride 1, length 7). With
+ * length == 0 the pattern never wraps (a pure induction variable).
+ */
+class StridePattern : public PatternSource
+{
+  public:
+    StridePattern(Value base, Value stride, std::uint64_t length = 0,
+                  unsigned value_bits = 32)
+        : base_(base), stride_(stride), length_(length),
+          mask_(maskBits(value_bits)), position_(0)
+    {}
+
+    Value
+    next() override
+    {
+        const Value v = (base_ + stride_ * position_) & mask_;
+        ++position_;
+        if (length_ != 0 && position_ == length_)
+            position_ = 0;
+        return v;
+    }
+
+    void reset() override { position_ = 0; }
+
+  private:
+    Value base_;
+    Value stride_;
+    std::uint64_t length_;
+    std::uint64_t mask_;
+    std::uint64_t position_;
+};
+
+/**
+ * A fixed repeating sequence of arbitrary values — the "irregular
+ * repeating pattern" that only a context predictor can capture.
+ */
+class SequencePattern : public PatternSource
+{
+  public:
+    explicit SequencePattern(std::vector<Value> values)
+        : values_(std::move(values)), position_(0)
+    {}
+
+    Value
+    next() override
+    {
+        const Value v = values_[position_];
+        position_ = (position_ + 1) % values_.size();
+        return v;
+    }
+
+    void reset() override { position_ = 0; }
+
+  private:
+    std::vector<Value> values_;
+    std::size_t position_;
+};
+
+/**
+ * A first-order Markov walk over a small alphabet: from each symbol,
+ * one of a few successors is chosen pseudo-randomly. Produces
+ * context-predictable-but-not-periodic streams.
+ */
+class MarkovPattern : public PatternSource
+{
+  public:
+    /**
+     * @param alphabet The values the walk visits.
+     * @param fanout Number of possible successors per value (1 =
+     *        deterministic cycle).
+     * @param seed RNG seed.
+     */
+    MarkovPattern(std::vector<Value> alphabet, unsigned fanout,
+                  std::uint64_t seed);
+
+    Value next() override;
+    void reset() override;
+
+  private:
+    std::vector<Value> alphabet_;
+    std::vector<std::vector<std::size_t>> successors_;
+    std::uint64_t seed_;
+    Xorshift rng_;
+    std::size_t state_;
+};
+
+/** Uniformly pseudo-random values — unpredictable by design. */
+class RandomPattern : public PatternSource
+{
+  public:
+    explicit RandomPattern(std::uint64_t seed, unsigned value_bits = 32)
+        : seed_(seed), rng_(seed), mask_(maskBits(value_bits))
+    {}
+
+    Value next() override { return rng_.next() & mask_; }
+    void reset() override { rng_ = Xorshift(seed_); }
+
+  private:
+    std::uint64_t seed_;
+    Xorshift rng_;
+    std::uint64_t mask_;
+};
+
+} // namespace vpred::tracegen
+
+#endif // DFCM_TRACEGEN_PATTERN_HH

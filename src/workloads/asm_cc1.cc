@@ -1,0 +1,306 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * Tokenizer + recursive-descent expression compiler (the "cc1"
+ * analogue). A ~12 KiB pseudo-C source buffer of assignment
+ * statements in four syntactic shapes is synthesized once; each pass
+ * tokenizes it and parses it with a recursive-descent
+ * expr/term/factor grammar, evaluating into a 26-entry symbol table.
+ * Value population: character loads and scan pointers, token codes
+ * (context), parser stack traffic, evaluated expression values.
+ *
+ * $a0 = number of parse passes.
+ */
+const char*
+cc1Assembly()
+{
+    return R"(
+# cc1: tokenizer + recursive-descent parser/evaluator
+        .data
+src:    .space 12288
+vars:   .space 104              # 26 variables
+        .text
+main:   move $s7, $a0           # passes
+        li   $s6, 0             # checksum
+
+        # ==== source generator ====
+        # statements: v = <expr> ;  in four shapes
+        la   $s0, src           # emit pointer
+        li   $s2, 987654321     # x
+        la   $s4, src
+        li   $t0, 12224
+        add  $s4, $s4, $t0      # emit limit
+gstmt:  bgeu $s0, $s4, gdone
+        li   $t0, 1103515245   # x = lcg(x)
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t1, $s2, 4        # lhs variable
+        li   $t2, 26
+        rem  $t1, $t1, $t2
+        addi $t1, $t1, 97
+        sb   $t1, 0($s0)
+        li   $t2, ' '
+        sb   $t2, 1($s0)
+        li   $t2, '='
+        sb   $t2, 2($s0)
+        li   $t3, ' '
+        sb   $t3, 3($s0)
+        addi $s0, $s0, 4
+        srl  $t1, $s2, 9        # rhs variable  -> $s1
+        li   $t2, 26
+        rem  $t1, $t1, $t2
+        addi $s1, $t1, 97
+        srl  $t1, $s2, 14       # second rhs variable -> $s3
+        li   $t2, 26
+        rem  $t1, $t1, $t2
+        addi $s3, $t1, 97
+        srl  $t1, $s2, 16       # first number -> $s5 (1..999)
+        li   $t2, 999
+        rem  $t1, $t1, $t2
+        addi $s5, $t1, 1
+        srl  $t1, $s2, 22       # shape
+        andi $t1, $t1, 3
+        beqz $t1, shape0
+        li   $t2, 1
+        beq  $t1, $t2, shape1
+        li   $t2, 2
+        beq  $t1, $t2, shape2
+        j    shape3
+
+shape0: # n + v
+        move $a1, $s5
+        jal  emitnum
+        li   $t2, '+'
+        sb   $t2, 0($s0)
+        li   $t3, ' '
+        sb   $t3, 1($s0)
+        sb   $s1, 2($s0)
+        addi $s0, $s0, 3
+        j    gend
+shape1: # v * ( n + w )
+        sb   $s1, 0($s0)
+        li   $t2, '*'
+        sb   $t2, 1($s0)
+        li   $t2, '('
+        sb   $t2, 2($s0)
+        addi $s0, $s0, 3
+        move $a1, $s5
+        jal  emitnum
+        li   $t2, '+'
+        sb   $t2, 0($s0)
+        sb   $s3, 1($s0)
+        li   $t2, ')'
+        sb   $t2, 2($s0)
+        addi $s0, $s0, 3
+        j    gend
+shape2: # n * 7 + v
+        move $a1, $s5
+        jal  emitnum
+        li   $t2, '*'
+        sb   $t2, 0($s0)
+        li   $t2, '7'
+        sb   $t2, 1($s0)
+        li   $t2, '+'
+        sb   $t2, 2($s0)
+        sb   $s1, 3($s0)
+        addi $s0, $s0, 4
+        j    gend
+shape3: # ( v + n ) * 3
+        li   $t2, '('
+        sb   $t2, 0($s0)
+        sb   $s1, 1($s0)
+        li   $t2, '+'
+        sb   $t2, 2($s0)
+        addi $s0, $s0, 3
+        move $a1, $s5
+        jal  emitnum
+        li   $t2, ')'
+        sb   $t2, 0($s0)
+        li   $t2, '*'
+        sb   $t2, 1($s0)
+        li   $t2, '3'
+        sb   $t2, 2($s0)
+        addi $s0, $s0, 3
+gend:   li   $t2, ';'
+        sb   $t2, 0($s0)
+        li   $t2, '\n'
+        sb   $t2, 1($s0)
+        addi $s0, $s0, 2
+        j    gstmt
+gdone:  sb   $zero, 0($s0)      # NUL terminator
+
+        # ==== parse passes ====
+pass:   la   $s0, src           # scan pointer
+        jal  nexttok
+ploop:  beqz $s1, pdone
+        li   $t4, 2
+        bne  $s1, $t4, pskip
+        move $s3, $s2           # lhs variable index
+        jal  nexttok            # consume '='
+        jal  nexttok
+        jal  expr
+        sll  $t4, $s3, 2        # vars[lhs] = value
+        la   $t5, vars
+        add  $t5, $t5, $t4
+        sw   $v0, 0($t5)
+        add  $s6, $s6, $v0
+        jal  nexttok            # consume ';'
+        j    ploop
+pskip:  jal  nexttok
+        j    ploop
+pdone:  subi $s7, $s7, 1
+        bnez $s7, pass
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+
+# ---- emitnum: write decimal of $a1 (1..999) at $s0, advance $s0
+emitnum:
+        li   $t0, 100
+        blt  $a1, $t0, en2
+        div  $t1, $a1, $t0
+        addi $t2, $t1, 48
+        sb   $t2, 0($s0)
+        addi $s0, $s0, 1
+        mul  $t3, $t1, $t0
+        sub  $a1, $a1, $t3
+        li   $t0, 10
+        div  $t1, $a1, $t0
+        addi $t2, $t1, 48
+        sb   $t2, 0($s0)
+        addi $s0, $s0, 1
+        mul  $t3, $t1, $t0
+        sub  $a1, $a1, $t3
+        j    enlast
+en2:    li   $t0, 10
+        blt  $a1, $t0, enlast
+        div  $t1, $a1, $t0
+        addi $t2, $t1, 48
+        sb   $t2, 0($s0)
+        addi $s0, $s0, 1
+        mul  $t3, $t1, $t0
+        sub  $a1, $a1, $t3
+enlast: addi $t2, $a1, 48
+        sb   $t2, 0($s0)
+        addi $s0, $s0, 1
+        jr   $ra
+
+# ---- nexttok: scan token at $s0; type -> $s1, value -> $s2
+#      types: 0 EOF, 1 number, 2 variable, else the character
+#      clobbers $t0..$t3 only
+nexttok:
+ntskip: lbu  $t0, 0($s0)
+        li   $t1, ' '
+        beq  $t0, $t1, ntadv
+        li   $t1, '\n'
+        bne  $t0, $t1, ntcls
+ntadv:  addi $s0, $s0, 1
+        j    ntskip
+ntcls:  beqz $t0, nteof
+        li   $t1, '0'
+        blt  $t0, $t1, ntchr
+        li   $t1, '9'
+        bgt  $t0, $t1, ntalph
+        li   $t2, 10            # number
+        li   $s2, 0
+ntnum:  mul  $s2, $s2, $t2
+        subi $t3, $t0, 48
+        add  $s2, $s2, $t3
+        addi $s0, $s0, 1
+        lbu  $t0, 0($s0)
+        li   $t1, '0'
+        blt  $t0, $t1, ntnumd
+        li   $t1, '9'
+        ble  $t0, $t1, ntnum
+ntnumd: li   $s1, 1
+        jr   $ra
+ntalph: li   $t1, 'a'
+        blt  $t0, $t1, ntchr
+        li   $t1, 'z'
+        bgt  $t0, $t1, ntchr
+        li   $s1, 2             # variable
+        subi $s2, $t0, 97
+        addi $s0, $s0, 1
+        jr   $ra
+ntchr:  move $s1, $t0           # operator/punctuation
+        addi $s0, $s0, 1
+        jr   $ra
+nteof:  li   $s1, 0
+        jr   $ra
+
+# ---- expr: term (('+') term)* -> $v0
+expr:   subi $sp, $sp, 8
+        sw   $ra, 0($sp)
+        jal  term
+        sw   $v0, 4($sp)
+exloop: li   $t4, '+'
+        bne  $s1, $t4, exdone
+        jal  nexttok
+        jal  term
+        lw   $t4, 4($sp)
+        add  $t4, $t4, $v0
+        sw   $t4, 4($sp)
+        j    exloop
+exdone: lw   $v0, 4($sp)
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+
+# ---- term: factor (('*') factor)* -> $v0
+term:   subi $sp, $sp, 8
+        sw   $ra, 0($sp)
+        jal  factor
+        sw   $v0, 4($sp)
+tmloop: li   $t4, '*'
+        bne  $s1, $t4, tmdone
+        jal  nexttok
+        jal  factor
+        lw   $t4, 4($sp)
+        mul  $t4, $t4, $v0
+        sw   $t4, 4($sp)
+        j    tmloop
+tmdone: lw   $v0, 4($sp)
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+
+# ---- factor: NUM | VAR | '(' expr ')' -> $v0
+factor: subi $sp, $sp, 4
+        sw   $ra, 0($sp)
+        li   $t4, 1
+        beq  $s1, $t4, fnum
+        li   $t4, 2
+        beq  $s1, $t4, fvar
+        li   $t4, '('
+        beq  $s1, $t4, fpar
+        li   $v0, 0             # error recovery
+        jal  nexttok
+        j    fret
+fnum:   move $v1, $s2
+        jal  nexttok
+        move $v0, $v1
+        j    fret
+fvar:   sll  $t5, $s2, 2
+        la   $t6, vars
+        add  $t6, $t6, $t5
+        lw   $v1, 0($t6)
+        jal  nexttok
+        move $v0, $v1
+        j    fret
+fpar:   jal  nexttok
+        jal  expr
+        jal  nexttok            # consume ')'
+        j    fret
+fret:   lw   $ra, 0($sp)
+        addi $sp, $sp, 4
+        jr   $ra
+)";
+}
+
+} // namespace vpred::workloads

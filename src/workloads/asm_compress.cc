@@ -1,0 +1,121 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * LZW-style compressor (the "compress" analogue). A 32 KiB input
+ * buffer is synthesized once from an LCG with a periodic motif
+ * overlay (so real dictionary matches occur), then compressed with a
+ * hash-table dictionary. Value population: byte loads, rolling
+ * dictionary codes (context patterns), hash probe indices, table
+ * clear strides.
+ *
+ * $a0 = number of compression passes.
+ */
+const char*
+compressAssembly()
+{
+    return R"(
+# compress: LZW with a 4096-entry open-addressed dictionary
+        .equ INSIZE, 32768
+        .data
+inbuf:  .space 32768
+hkey:   .space 16384            # 4096 words: (w<<8)|c key, 0 = empty
+hval:   .space 16384            # 4096 words: dictionary code
+motif:  .asciiz "abracadabrab"
+        .text
+main:   move $s5, $a0           # passes
+        li   $s6, 0             # checksum
+        li   $s7, 0             # emitted code count
+
+        # ---- synthesize input: skewed LCG bytes + motif overlay
+        la   $s0, inbuf
+        li   $s1, 0             # i
+        li   $s2, 12345         # x
+gen:    li   $t0, 1103515245
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t1, $s2, 16
+        andi $t1, $t1, 7
+        addi $t1, $t1, 97       # 'a' + r
+        andi $t2, $s1, 63
+        li   $t3, 24
+        bge  $t2, $t3, nomot    # first 24 of each 64 = motif
+        li   $t4, 12
+        rem  $t5, $t2, $t4
+        la   $t6, motif
+        add  $t6, $t6, $t5
+        lbu  $t1, 0($t6)
+nomot:  add  $t7, $s0, $s1
+        sb   $t1, 0($t7)
+        addi $s1, $s1, 1
+        li   $t8, INSIZE
+        blt  $s1, $t8, gen
+
+        # ---- one LZW pass per iteration
+pass:   la   $t0, hkey          # clear dictionary keys (unrolled x4)
+        li   $t1, 0
+clr:    sw   $zero, 0($t0)
+        sw   $zero, 4($t0)
+        sw   $zero, 8($t0)
+        sw   $zero, 12($t0)
+        addi $t0, $t0, 16
+        addi $t1, $t1, 4
+        li   $t2, 4096
+        blt  $t1, $t2, clr
+        li   $s3, 256           # next_code
+        li   $s4, 0             # entries in dictionary
+        la   $s0, inbuf
+        lbu  $s1, 0($s0)        # w = code of first byte
+        addi $s0, $s0, 1
+        li   $s2, 1             # bytes consumed
+byte:   lbu  $t0, 0($s0)        # c
+        sll  $t1, $s1, 8
+        or   $t1, $t1, $t0      # k = (w << 8) | c
+        li   $t2, 0x9E3779B1    # Fibonacci hash of k
+        mul  $t3, $t1, $t2
+        srl  $t3, $t3, 20
+        andi $t3, $t3, 4095
+probe:  sll  $t4, $t3, 2
+        la   $t5, hkey
+        add  $t5, $t5, $t4
+        lw   $t6, 0($t5)
+        beq  $t6, $t1, hit
+        beqz $t6, miss
+        addi $t3, $t3, 1
+        andi $t3, $t3, 4095
+        j    probe
+hit:    la   $t7, hval          # w = dict[k]
+        add  $t7, $t7, $t4
+        lw   $s1, 0($t7)
+        j    nextb
+miss:   add  $s6, $s6, $s1      # emit w into the checksum
+        addi $s7, $s7, 1
+        li   $t8, 3072          # capacity guard (keeps probes finite)
+        bge  $s4, $t8, full
+        sw   $t1, 0($t5)        # dict[k] = next_code++
+        la   $t7, hval
+        add  $t7, $t7, $t4
+        sw   $s3, 0($t7)
+        addi $s3, $s3, 1
+        addi $s4, $s4, 1
+full:   move $s1, $t0           # w = c
+nextb:  addi $s0, $s0, 1
+        addi $s2, $s2, 1
+        li   $t9, INSIZE
+        blt  $s2, $t9, byte
+        add  $s6, $s6, $s1      # emit final w
+        addi $s7, $s7, 1
+        subi $s5, $s5, 1
+        bnez $s5, pass
+
+        add  $a0, $s6, $s7      # checksum + code count
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

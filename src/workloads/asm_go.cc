@@ -1,0 +1,162 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * Board-evaluation kernel (the "go" analogue). Pseudo-random stones
+ * are dropped on a bordered 19x19 board; after every ten moves the
+ * whole board is evaluated: influence for empty points, liberties
+ * for stones, with branchy per-point heuristics. Value population:
+ * LCG move coordinates (hard), neighbor-offset address arithmetic
+ * (strides), per-point scan counters, near-constant comparison
+ * results.
+ *
+ * $a0 = number of games.
+ */
+const char*
+goAssembly()
+{
+    return R"(
+# go: stone placement + whole-board evaluation
+        .data
+board:  .space 441              # 21 x 21, border sentinel = 3
+        .text
+main:   move $s7, $a0           # games
+        li   $s6, 0             # checksum
+        li   $s5, 1             # game number
+
+game:   # ---- board init: all border, then clear interior
+        la   $t0, board
+        li   $t1, 0
+bset:   li   $t2, 3
+        sb   $t2, 0($t0)
+        addi $t0, $t0, 1
+        addi $t1, $t1, 1
+        li   $t3, 441
+        blt  $t1, $t3, bset
+        li   $t1, 1             # y
+yclr:   li   $t2, 1             # x
+        li   $at, 21
+        mul  $t4, $t1, $at
+xclr:   add  $t5, $t4, $t2
+        la   $t0, board
+        add  $t5, $t0, $t5
+        sb   $zero, 0($t5)
+        addi $t2, $t2, 1
+        li   $t3, 20
+        blt  $t2, $t3, xclr
+        addi $t1, $t1, 1
+        blt  $t1, $t3, yclr
+
+        li   $t9, 0x9E3779B1    # per-game RNG seed
+        mul  $s0, $s5, $t9      # s0 = rng state
+        li   $s1, 0             # move number
+
+move:   li   $t0, 1103515245   # x = x * a + c
+        mul  $s0, $s0, $t0
+        addi $s0, $s0, 12345
+        srl  $t1, $s0, 8
+        li   $t2, 361
+        rem  $t1, $t1, $t2      # point 0..360
+        li   $t3, 19
+        div  $t4, $t1, $t3      # py
+        rem  $t5, $t1, $t3      # px
+        addi $t4, $t4, 1
+        addi $t5, $t5, 1
+        li   $at, 21
+        mul  $t6, $t4, $at
+        add  $t6, $t6, $t5
+        la   $t7, board
+        add  $t6, $t7, $t6
+        lbu  $t8, 0($t6)        # occupied?
+        bnez $t8, skip
+        andi $t0, $s1, 1        # stone color 1/2
+        addi $t0, $t0, 1
+        sb   $t0, 0($t6)
+skip:   addi $s1, $s1, 1
+        li   $t0, 10
+        rem  $t1, $s1, $t0      # evaluate after every 10th move
+        bnez $t1, nmove
+
+        # ---- evaluate the whole board
+        li   $s2, 1             # y
+evy:    li   $s3, 1             # x
+evx:    li   $at, 21
+        mul  $t0, $s2, $at
+        add  $t0, $t0, $s3      # idx
+        la   $t1, board
+        add  $t1, $t1, $t0      # &board[idx]
+        lbu  $t2, 0($t1)        # c = board[idx]
+        lbu  $t3, -21($t1)      # north
+        lbu  $t4, 21($t1)       # south
+        lbu  $t5, -1($t1)       # west
+        lbu  $t6, 1($t1)        # east
+        bnez $t2, stone
+        # empty: influence = #(neighbors==1) - #(neighbors==2)
+        li   $t7, 0
+        li   $t8, 1
+        xor  $t9, $t3, $t8      # n == 1 ?
+        sltiu $t9, $t9, 1
+        add  $t7, $t7, $t9
+        xor  $t9, $t4, $t8
+        sltiu $t9, $t9, 1
+        add  $t7, $t7, $t9
+        xor  $t9, $t5, $t8
+        sltiu $t9, $t9, 1
+        add  $t7, $t7, $t9
+        xor  $t9, $t6, $t8
+        sltiu $t9, $t9, 1
+        add  $t7, $t7, $t9
+        li   $t8, 2
+        xor  $t9, $t3, $t8
+        sltiu $t9, $t9, 1
+        sub  $t7, $t7, $t9
+        xor  $t9, $t4, $t8
+        sltiu $t9, $t9, 1
+        sub  $t7, $t7, $t9
+        xor  $t9, $t5, $t8
+        sltiu $t9, $t9, 1
+        sub  $t7, $t7, $t9
+        xor  $t9, $t6, $t8
+        sltiu $t9, $t9, 1
+        sub  $t7, $t7, $t9
+        add  $s6, $s6, $t7
+        j    nextp
+stone:  # stone: liberties = #(neighbors == 0)
+        li   $t7, 0
+        sltiu $t9, $t3, 1
+        add  $t7, $t7, $t9
+        sltiu $t9, $t4, 1
+        add  $t7, $t7, $t9
+        sltiu $t9, $t5, 1
+        add  $t7, $t7, $t9
+        sltiu $t9, $t6, 1
+        add  $t7, $t7, $t9
+        bnez $t7, alive
+        subi $s6, $s6, 5        # captured-looking stone
+        j    nextp
+alive:  mul  $t8, $t7, $t2      # color-weighted liberties
+        add  $s6, $s6, $t8
+nextp:  addi $s3, $s3, 1
+        li   $t0, 20
+        blt  $s3, $t0, evx
+        addi $s2, $s2, 1
+        blt  $s2, $t0, evy
+
+nmove:  li   $t0, 120
+        blt  $s1, $t0, move
+
+        addi $s5, $s5, 1
+        subi $s7, $s7, 1
+        bnez $s7, game
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,139 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * LZ77 sliding-window matcher (a "gzip"-flavoured extra workload,
+ * not part of the paper's suite — used by the robustness bench).
+ * A 16 KiB buffer is scanned with a 3-byte hash head table and
+ * greedy match extension. Value population: hash-chain heads
+ * (context), match-length counters (small strides), window offsets,
+ * literal bytes.
+ *
+ * $a0 = number of passes.
+ */
+const char*
+gzipAssembly()
+{
+    return R"(
+# gzip: LZ77 with a 4096-entry 3-byte-hash head table
+        .equ BUFSZ, 16384
+        .data
+buf:    .space 16384
+heads:  .space 16384            # 4096 words: last position + 1, 0 = none
+        .text
+main:   move $s7, $a0           # passes
+        li   $s6, 0             # checksum
+
+        # ---- synthesize input: LCG bytes with motif overlay
+        la   $s0, buf
+        li   $s1, 0
+        li   $s2, 777777
+gen:    li   $t0, 1103515245
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t1, $s2, 18
+        andi $t1, $t1, 7
+        addi $t1, $t1, 97       # 'a'..'h'
+        andi $t2, $s1, 127
+        li   $t3, 48
+        bge  $t2, $t3, raw      # 48 of every 128 bytes: repeated motif
+        li   $t4, 16
+        rem  $t5, $t2, $t4
+        addi $t1, $t5, 103      # 'g'..'v' cycle
+raw:    add  $t6, $s0, $s1
+        sb   $t1, 0($t6)
+        addi $s1, $s1, 1
+        li   $t7, BUFSZ
+        blt  $s1, $t7, gen
+
+pass:   la   $t0, heads         # clear head table
+        li   $t1, 0
+hclr:   sw   $zero, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        li   $t2, 4096
+        blt  $t1, $t2, hclr
+
+        li   $s0, 0             # pos
+        li   $s3, 0             # literals emitted
+        li   $s4, 0             # matches emitted
+scan:   li   $t9, BUFSZ
+        subi $t9, $t9, 4        # stop margin
+        bge  $s0, $t9, passend
+
+        # h = hash of 3 bytes at pos
+        la   $t0, buf
+        add  $t0, $t0, $s0
+        lbu  $t1, 0($t0)
+        lbu  $t2, 1($t0)
+        lbu  $t3, 2($t0)
+        sll  $t4, $t1, 10
+        sll  $t5, $t2, 5
+        add  $t4, $t4, $t5
+        add  $t4, $t4, $t3
+        li   $t5, 0x9E3779B1
+        mul  $t4, $t4, $t5
+        srl  $t4, $t4, 20
+        andi $t4, $t4, 4095     # h
+
+        sll  $t5, $t4, 2        # candidate = heads[h] - 1
+        la   $t6, heads
+        add  $t6, $t6, $t5
+        lw   $t7, 0($t6)
+        addi $t8, $s0, 1        # heads[h] = pos + 1
+        sw   $t8, 0($t6)
+        beqz $t7, literal
+        subi $t7, $t7, 1        # candidate pos
+
+        # extend match: buf[cand + len] == buf[pos + len]
+        li   $t8, 0             # len
+        la   $t0, buf
+mext:   add  $t1, $s0, $t8
+        li   $t9, BUFSZ
+        bge  $t1, $t9, mdone
+        add  $t2, $t0, $t1
+        lbu  $t3, 0($t2)
+        add  $t1, $t7, $t8
+        add  $t2, $t0, $t1
+        lbu  $t4, 0($t2)
+        bne  $t3, $t4, mdone
+        addi $t8, $t8, 1
+        li   $t9, 64            # cap match length
+        blt  $t8, $t9, mext
+mdone:  li   $t9, 3
+        blt  $t8, $t9, literal
+
+        # emit match (distance, length)
+        sub  $t1, $s0, $t7      # distance
+        add  $s6, $s6, $t1
+        add  $s6, $s6, $t8
+        addi $s4, $s4, 1
+        add  $s0, $s0, $t8      # pos += len
+        j    scan
+
+literal:
+        la   $t0, buf
+        add  $t0, $t0, $s0
+        lbu  $t1, 0($t0)
+        add  $s6, $s6, $t1
+        addi $s3, $s3, 1
+        addi $s0, $s0, 1
+        j    scan
+
+passend:
+        add  $s6, $s6, $s3
+        add  $s6, $s6, $s4
+        subi $s7, $s7, 1
+        bnez $s7, pass
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,198 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * Blocked integer DCT kernel (the "ijpeg" analogue). A synthetic
+ * 128x64 image is carved into 8x8 blocks; each block goes through a
+ * separable integer transform (two 8x8 matrix products against a
+ * small coefficient table) and quantization. Value population: dense
+ * stride families (pixel addresses, block offsets, accumulator
+ * updates), loop counters at three nesting depths, quantized
+ * coefficients.
+ *
+ * $a0 = number of passes over the image.
+ */
+const char*
+ijpegAssembly()
+{
+    return R"(
+# ijpeg: 8x8 blocked separable integer transform + quantization
+        .data
+image:  .space 8192             # 128 x 64 bytes
+coef:   .space 256              # 8x8 transform coefficients (words)
+quant:  .space 256              # 64 quantization divisors (words)
+blk:    .space 256              # current block (words)
+tmp:    .space 256              # row-transformed block (words)
+        .text
+main:   move $s7, $a0           # passes
+        li   $s6, 0             # checksum
+
+        # ---- image init: pixel(x, y) = ((x ^ y) + 3x + 5y) & 255
+        la   $t0, image
+        li   $t1, 0             # y
+imy:    li   $t2, 0             # x
+imx:    xor  $t3, $t1, $t2
+        li   $at, 3
+        mul  $t4, $t2, $at
+        add  $t3, $t3, $t4
+        li   $at, 5
+        mul  $t4, $t1, $at
+        add  $t3, $t3, $t4
+        sb   $t3, 0($t0)
+        addi $t0, $t0, 1
+        addi $t2, $t2, 1
+        li   $t5, 128
+        blt  $t2, $t5, imx
+        addi $t1, $t1, 1
+        li   $t5, 64
+        blt  $t1, $t5, imy
+
+        # ---- coef[k][n] = ((7 k n + 3 k + n) % 17) - 8
+        la   $t0, coef
+        li   $t1, 0             # k
+cfk:    li   $t2, 0             # n
+cfn:    mul  $t3, $t1, $t2
+        li   $at, 7
+        mul  $t3, $t3, $at
+        li   $at, 3
+        mul  $t4, $t1, $at
+        add  $t3, $t3, $t4
+        add  $t3, $t3, $t2
+        li   $t5, 17
+        rem  $t3, $t3, $t5
+        subi $t3, $t3, 8
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        li   $t5, 8
+        blt  $t2, $t5, cfn
+        addi $t1, $t1, 1
+        blt  $t1, $t5, cfk
+
+        # ---- quant[i] = 1 + i / 4
+        la   $t0, quant
+        li   $t1, 0
+qt:     srl  $t2, $t1, 2
+        addi $t2, $t2, 1
+        sw   $t2, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        li   $t3, 64
+        blt  $t1, $t3, qt
+
+        # ---- per pass: every 8x8 block
+pass:   li   $s0, 0             # by
+bly:    li   $s1, 0             # bx
+blx:    # load block: blk[r][c] = image[(8 by + r) * 128 + 8 bx + c]
+        li   $t1, 0             # r
+ldr:    sll  $t2, $s0, 3
+        add  $t2, $t2, $t1      # 8 by + r
+        sll  $t2, $t2, 7        # * 128
+        sll  $t3, $s1, 3
+        add  $t2, $t2, $t3      # + 8 bx
+        la   $t4, image
+        add  $t4, $t4, $t2
+        sll  $t5, $t1, 5        # r * 8 words
+        la   $t6, blk
+        add  $t6, $t6, $t5
+        li   $t0, 0             # c
+ldc:    lbu  $t7, 0($t4)
+        sw   $t7, 0($t6)
+        addi $t4, $t4, 1
+        addi $t6, $t6, 4
+        addi $t0, $t0, 1
+        li   $t8, 8
+        blt  $t0, $t8, ldc
+        addi $t1, $t1, 1
+        blt  $t1, $t8, ldr
+
+        # row transform: tmp[k][c] = sum_r coef[k][r] * blk[r][c]
+        li   $t1, 0             # k
+rtk:    li   $t0, 0             # c
+rtc:    li   $t9, 0             # acc
+        li   $t2, 0             # r
+rtr:    sll  $t3, $t1, 5        # coef[k][r]
+        sll  $t4, $t2, 2
+        add  $t3, $t3, $t4
+        la   $t5, coef
+        add  $t5, $t5, $t3
+        lw   $t6, 0($t5)
+        sll  $t3, $t2, 5        # blk[r][c]
+        sll  $t4, $t0, 2
+        add  $t3, $t3, $t4
+        la   $t5, blk
+        add  $t5, $t5, $t3
+        lw   $t7, 0($t5)
+        mul  $t6, $t6, $t7
+        add  $t9, $t9, $t6
+        addi $t2, $t2, 1
+        li   $t8, 8
+        blt  $t2, $t8, rtr
+        sll  $t3, $t1, 5        # tmp[k][c] = acc
+        sll  $t4, $t0, 2
+        add  $t3, $t3, $t4
+        la   $t5, tmp
+        add  $t5, $t5, $t3
+        sw   $t9, 0($t5)
+        addi $t0, $t0, 1
+        blt  $t0, $t8, rtc
+        addi $t1, $t1, 1
+        blt  $t1, $t8, rtk
+
+        # column transform + quantize:
+        # q = (sum_c tmp[k][c] * coef[l][c]) >> 4 / quant[8k + l]
+        li   $t1, 0             # k
+ctk:    li   $t0, 0             # l
+ctl:    li   $t9, 0             # acc
+        li   $t2, 0             # c
+ctc:    sll  $t3, $t1, 5        # tmp[k][c]
+        sll  $t4, $t2, 2
+        add  $t3, $t3, $t4
+        la   $t5, tmp
+        add  $t5, $t5, $t3
+        lw   $t6, 0($t5)
+        sll  $t3, $t0, 5        # coef[l][c]
+        sll  $t4, $t2, 2
+        add  $t3, $t3, $t4
+        la   $t5, coef
+        add  $t5, $t5, $t3
+        lw   $t7, 0($t5)
+        mul  $t6, $t6, $t7
+        add  $t9, $t9, $t6
+        addi $t2, $t2, 1
+        li   $t8, 8
+        blt  $t2, $t8, ctc
+        sra  $t9, $t9, 4
+        sll  $t3, $t1, 3        # quant[8 k + l]
+        add  $t3, $t3, $t0
+        sll  $t3, $t3, 2
+        la   $t5, quant
+        add  $t5, $t5, $t3
+        lw   $t6, 0($t5)
+        div  $t9, $t9, $t6
+        add  $s6, $s6, $t9      # accumulate quantized coefficient
+        addi $t0, $t0, 1
+        blt  $t0, $t8, ctl
+        addi $t1, $t1, 1
+        blt  $t1, $t8, ctk
+
+        addi $s1, $s1, 1
+        li   $t0, 16
+        blt  $s1, $t0, blx
+        addi $s0, $s0, 1
+        li   $t0, 8
+        blt  $s0, $t0, bly
+        subi $s7, $s7, 1
+        bnez $s7, pass
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

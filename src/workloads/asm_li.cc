@@ -1,0 +1,133 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * Cons-cell list kernel (the "li" analogue). A bump-allocated heap
+ * of (car, cdr) cells is repeatedly used to build, sum (recursively),
+ * map, reverse and scan lists. Value population: cell addresses from
+ * the bump allocator (strides), pointer chasing through cdr fields
+ * (context patterns), recursion return addresses and stack pointers,
+ * list payloads.
+ *
+ * $a0 = number of outer iterations.
+ */
+const char*
+liAssembly()
+{
+    return R"(
+# li: cons-cell list interpreter primitives
+        .equ NELEM, 400
+        .data
+heap:   .space 65536            # 8192 cells of (car, cdr)
+        .text
+main:   move $s7, $a0           # outer iterations
+        li   $s6, 0             # checksum
+        li   $s5, 1             # iteration number
+
+iter:   li   $s4, 0             # rep 0..4
+rep:    la   $s3, heap          # reset bump pointer (hp = $s3)
+
+        # ---- build: list of NELEM values v = 7 iter + rep + 3 i
+        li   $t8, 0             # head = nil
+        li   $t7, 0             # i
+bld:    li   $at, 7
+        mul  $t0, $s5, $at
+        add  $t0, $t0, $s4
+        li   $at, 3
+        mul  $t1, $t7, $at
+        add  $t0, $t0, $t1      # value
+        sw   $t0, 0($s3)        # car = value
+        sw   $t8, 4($s3)        # cdr = previous head
+        move $t8, $s3
+        addi $s3, $s3, 8
+        addi $t7, $t7, 1
+        li   $t9, NELEM
+        blt  $t7, $t9, bld
+        move $s0, $t8           # l1
+
+        # ---- recursive sum of l1
+        move $a1, $s0
+        jal  sumlist
+        add  $s6, $s6, $v0
+
+        # ---- map: l2 = (+ rep) over l1 (iterative, allocates)
+        li   $t8, 0             # new head
+        move $t6, $s0           # cursor
+map:    beqz $t6, mapdone
+        lw   $t0, 0($t6)        # car
+        add  $t0, $t0, $s4
+        sw   $t0, 0($s3)
+        sw   $t8, 4($s3)
+        move $t8, $s3
+        addi $s3, $s3, 8
+        lw   $t6, 4($t6)        # cursor = cdr
+        j    map
+mapdone:
+        move $s1, $t8           # l2
+
+        # ---- recursive sum of l2
+        move $a1, $s1
+        jal  sumlist
+        add  $s6, $s6, $v0
+
+        # ---- reverse l2 in place
+        li   $t8, 0             # prev
+        move $t6, $s1
+rev:    beqz $t6, revdone
+        lw   $t0, 4($t6)        # next
+        sw   $t8, 4($t6)
+        move $t8, $t6
+        move $t6, $t0
+        j    rev
+revdone:
+        move $s2, $t8           # l3
+
+        # ---- count elements divisible by 5 in l3
+        li   $t7, 0             # count
+        move $t6, $s2
+cnt:    beqz $t6, cntdone
+        lw   $t0, 0($t6)
+        li   $t1, 5
+        rem  $t2, $t0, $t1
+        bnez $t2, cskip
+        addi $t7, $t7, 1
+cskip:  lw   $t6, 4($t6)
+        j    cnt
+cntdone:
+        add  $s6, $s6, $t7
+
+        addi $s4, $s4, 1
+        li   $t9, 5
+        blt  $s4, $t9, rep
+        addi $s5, $s5, 1
+        subi $s7, $s7, 1
+        bnez $s7, iter
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+
+# ---- int sumlist(list $a1): recursive sum of car fields
+sumlist:
+        bnez $a1, sumrec
+        li   $v0, 0
+        jr   $ra
+sumrec: subi $sp, $sp, 8
+        sw   $ra, 0($sp)
+        lw   $t0, 0($a1)        # car
+        sw   $t0, 4($sp)
+        lw   $a1, 4($a1)        # cdr
+        jal  sumlist
+        lw   $t0, 4($sp)
+        add  $v0, $v0, $t0
+        lw   $ra, 0($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,193 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * CPU-simulator-in-simulator (the "m88ksim" analogue). The host
+ * program interprets a byte-coded 16-register guest CPU through a
+ * jump-table dispatch loop; the guest runs a squares-and-memory
+ * summation loop. Value population: the guest pc (repeating context
+ * pattern), fetched opcode/operand bytes (context), dispatch-table
+ * addresses, guest register values (strides and accumulators).
+ *
+ * $a0 = outer repetitions (16 guest runs each).
+ */
+const char*
+m88ksimAssembly()
+{
+    return R"(
+# m88ksim: jump-table interpreter for a byte-coded guest CPU
+        .data
+gregs:  .space 64               # 16 guest registers
+gmem:   .space 4096             # 1024 guest memory words
+        # guest opcodes: 0 halt, 1 ldi, 2 mov, 3 add, 4 sub, 5 jnz,
+        #                6 out, 7 addi, 8 mul, 9 ld, 10 st
+gprog:  .byte 1, 1, 0           #  0: ldi  r1, 0      s = 0
+        .byte 1, 2, 200         #  3: ldi  r2, 200    i = 200
+        .byte 1, 4, 0           #  6: ldi  r4, 0      addr = 0
+        .byte 2, 3, 2           #  9: mov  r3, r2
+        .byte 8, 3, 3           # 12: mul  r3, r3     r3 = i * i
+        .byte 3, 1, 3           # 15: add  r1, r3     s += i * i
+        .byte 7, 4, 1           # 18: addi r4, 1      addr++
+        .byte 10, 4, 1          # 21: st   [r4], r1
+        .byte 9, 5, 4           # 24: ld   r5, [r4]
+        .byte 3, 1, 5           # 27: add  r1, r5     s += mem
+        .byte 7, 2, 255         # 30: addi r2, -1     i--
+        .byte 5, 2, 9           # 33: jnz  r2, #9
+        .byte 6, 1, 0           # 36: out  r1
+        .byte 0, 0, 0           # 39: halt
+        .align 2
+jtab:   .word op_halt, op_ldi, op_mov, op_add, op_sub, op_jnz
+        .word op_out, op_addi, op_mul, op_ld, op_st
+        .text
+main:   move $s7, $a0           # outer repetitions
+        li   $s6, 0             # checksum
+
+outer:  li   $s5, 0             # guest run 0..15
+
+run:    la   $t0, gregs         # clear guest registers
+        li   $t1, 0
+rclr:   sw   $zero, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        li   $t2, 16
+        blt  $t1, $t2, rclr
+        # seed guest r6 with the run number (varies the data a bit)
+        la   $t0, gregs
+        sw   $s5, 24($t0)
+        li   $s0, 0             # guest pc
+
+gloop:  la   $t1, gprog         # fetch
+        add  $t1, $t1, $s0
+        lbu  $t2, 0($t1)        # opcode
+        lbu  $t3, 1($t1)        # operand a
+        lbu  $t4, 2($t1)        # operand b
+        li   $t5, 11
+        bgeu $t2, $t5, rundone  # defensive: bad opcode halts
+        sll  $t6, $t2, 2        # dispatch through the jump table
+        la   $t7, jtab
+        add  $t7, $t7, $t6
+        lw   $t8, 0($t7)
+        jr   $t8
+
+op_halt:
+        j    rundone
+op_ldi: sll  $t6, $t3, 2        # regs[a] = b
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        sw   $t4, 0($t7)
+        j    gnext
+op_mov: sll  $t6, $t4, 2        # regs[a] = regs[b]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        sw   $t9, 0($t7)
+        j    gnext
+op_add: sll  $t6, $t4, 2        # regs[a] += regs[b]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t0, 0($t7)
+        add  $t0, $t0, $t9
+        sw   $t0, 0($t7)
+        j    gnext
+op_sub: sll  $t6, $t4, 2        # regs[a] -= regs[b]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t0, 0($t7)
+        sub  $t0, $t0, $t9
+        sw   $t0, 0($t7)
+        j    gnext
+op_jnz: sll  $t6, $t3, 2        # if (regs[a]) pc = b
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        beqz $t9, gnext
+        move $s0, $t4
+        j    gloop
+op_out: sll  $t6, $t3, 2        # checksum += regs[a]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        add  $s6, $s6, $t9
+        j    gnext
+op_addi:
+        sll  $t4, $t4, 24       # regs[a] += signext8(b)
+        sra  $t4, $t4, 24
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t0, 0($t7)
+        add  $t0, $t0, $t4
+        sw   $t0, 0($t7)
+        j    gnext
+op_mul: sll  $t6, $t4, 2        # regs[a] *= regs[b]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t0, 0($t7)
+        mul  $t0, $t0, $t9
+        sw   $t0, 0($t7)
+        j    gnext
+op_ld:  sll  $t6, $t4, 2        # regs[a] = gmem[regs[b] & 1023]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        andi $t9, $t9, 1023
+        sll  $t9, $t9, 2
+        la   $t7, gmem
+        add  $t7, $t7, $t9
+        lw   $t9, 0($t7)
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        sw   $t9, 0($t7)
+        j    gnext
+op_st:  sll  $t6, $t4, 2        # gmem[regs[a] & 1023] = regs[b]
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t9, 0($t7)
+        sll  $t6, $t3, 2
+        la   $t7, gregs
+        add  $t7, $t7, $t6
+        lw   $t0, 0($t7)
+        andi $t0, $t0, 1023
+        sll  $t0, $t0, 2
+        la   $t7, gmem
+        add  $t7, $t7, $t0
+        sw   $t9, 0($t7)
+        j    gnext
+
+gnext:  addi $s0, $s0, 3
+        j    gloop
+
+rundone:
+        addi $s5, $s5, 1
+        li   $t0, 16
+        blt  $s5, $t0, run
+        subi $s7, $s7, 1
+        bnez $s7, outer
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,141 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * Network-flow pricing kernel (an "mcf"-flavoured extra workload,
+ * not part of the paper's suite — used by the robustness bench).
+ * A random bipartite arc array is repeatedly priced: reduced costs
+ * from node potentials, cheapest-arc selection per node, potential
+ * updates along the winner. Value population: arc-record addresses
+ * (16-byte strides), node indices (context), costs and potentials
+ * (slow-moving accumulators), comparison flags.
+ *
+ * $a0 = number of pricing rounds.
+ */
+const char*
+mcfAssembly()
+{
+    return R"(
+# mcf: arc pricing over a synthetic network
+        .equ NARCS, 3000
+        .equ NNODES, 256
+        .data
+arcs:   .space 48000            # NARCS records: from, to, cost (3 words)
+pot:    .space 1024             # NNODES node potentials
+best:   .space 1024             # per-node best reduced cost this round
+        .text
+main:   move $s7, $a0           # rounds
+        li   $s6, 0             # checksum
+
+        # ---- build arcs: from/to via LCG, cost = pattern
+        li   $s2, 424242
+        li   $s0, 0             # arc index
+abld:   li   $t0, 1103515245
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t1, $s2, 9
+        andi $t1, $t1, 255      # from
+        srl  $t2, $s2, 17
+        andi $t2, $t2, 255      # to
+        li   $at, 13
+        mul  $t3, $s0, $at
+        li   $t4, 997
+        rem  $t3, $t3, $t4
+        addi $t3, $t3, 3        # cost
+        li   $at, 12
+        mul  $t5, $s0, $at
+        la   $t6, arcs
+        add  $t6, $t6, $t5
+        sw   $t1, 0($t6)
+        sw   $t2, 4($t6)
+        sw   $t3, 8($t6)
+        addi $s0, $s0, 1
+        li   $t7, NARCS
+        blt  $s0, $t7, abld
+
+        # ---- initialize potentials
+        li   $t0, 0
+pinit:  sll  $t1, $t0, 2
+        la   $t2, pot
+        add  $t2, $t2, $t1
+        li   $at, 7
+        mul  $t3, $t0, $at
+        sw   $t3, 0($t2)
+        addi $t0, $t0, 1
+        li   $t4, NNODES
+        blt  $t0, $t4, pinit
+
+round:  # reset per-node best to a large value
+        li   $t0, 0
+binit:  sll  $t1, $t0, 2
+        la   $t2, best
+        add  $t2, $t2, $t1
+        li   $t3, 0x7FFFFFFF
+        sw   $t3, 0($t2)
+        addi $t0, $t0, 1
+        li   $t4, NNODES
+        blt  $t0, $t4, binit
+
+        # price every arc: rc = cost + pot[from] - pot[to]
+        li   $s0, 0             # arc index
+price:  li   $at, 12
+        mul  $t0, $s0, $at
+        la   $t1, arcs
+        add  $t1, $t1, $t0
+        lw   $t2, 0($t1)        # from
+        lw   $t3, 4($t1)        # to
+        lw   $t4, 8($t1)        # cost
+        sll  $t5, $t2, 2
+        la   $t6, pot
+        add  $t6, $t6, $t5
+        lw   $t7, 0($t6)        # pot[from]
+        sll  $t5, $t3, 2
+        la   $t6, pot
+        add  $t6, $t6, $t5
+        lw   $t8, 0($t6)        # pot[to]
+        add  $t9, $t4, $t7
+        sub  $t9, $t9, $t8      # reduced cost
+        sll  $t5, $t3, 2        # best[to] = min(best[to], rc)
+        la   $t6, best
+        add  $t6, $t6, $t5
+        lw   $t0, 0($t6)
+        slt  $t1, $t9, $t0      # near-constant comparison flag
+        beqz $t1, nopiv
+        sw   $t9, 0($t6)
+nopiv:  addi $s0, $s0, 1
+        li   $t2, NARCS
+        blt  $s0, $t2, price
+
+        # update potentials from the round's best reduced costs
+        li   $t0, 0
+pupd:   sll  $t1, $t0, 2
+        la   $t2, best
+        add  $t2, $t2, $t1
+        lw   $t3, 0($t2)
+        li   $t4, 0x7FFFFFFF
+        beq  $t3, $t4, pskip
+        sra  $t5, $t3, 3        # damped step
+        la   $t6, pot
+        add  $t6, $t6, $t1
+        lw   $t7, 0($t6)
+        sub  $t7, $t7, $t5
+        sw   $t7, 0($t6)
+        add  $s6, $s6, $t3
+pskip:  addi $t0, $t0, 1
+        li   $t8, NNODES
+        blt  $t0, $t8, pupd
+
+        subi $s7, $s7, 1
+        bnez $s7, round
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,117 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * The paper's Figure 5 microkernel, in an integer variant: every row
+ * of a 200x100 matrix is scaled by the largest absolute value in the
+ * row. The compiler-visible induction variables (i, j, row and
+ * element pointers) produce the many overlapping stride patterns the
+ * paper dissects in Figure 6(a); the explicit slt sequences produce
+ * its "almost constant" patterns.
+ *
+ * $a0 = number of normalization passes over the matrix.
+ */
+const char*
+normAssembly()
+{
+    return R"(
+# norm: Figure 5 row-normalization kernel (integer variant)
+        .data
+matrix: .space 80000            # 200 x 100 words
+        .text
+main:   move $s7, $a0           # outer repetitions
+
+        # ---- initialize matrix[i][j] = (31*i + 17*j) % 1000 - 500
+        la   $t0, matrix
+        li   $t1, 0             # i
+ini_i:  li   $t2, 0             # j
+ini_j:  li   $at, 31
+        mul  $t3, $t1, $at
+        li   $at, 17
+        mul  $t4, $t2, $at
+        add  $t3, $t3, $t4
+        li   $t5, 1000
+        rem  $t3, $t3, $t5
+        subi $t3, $t3, 500
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        li   $t6, 100
+        blt  $t2, $t6, ini_j
+        addi $t1, $t1, 1
+        li   $t6, 200
+        blt  $t1, $t6, ini_i
+
+        # ---- void norm(int matrix[200][100])
+outer:  la   $s0, matrix        # &matrix[i]
+        li   $s1, 0             # i
+row:    lw   $s2, 396($s0)      # max = matrix[i][99]
+        sra  $t1, $s2, 31       # max = |max|
+        xor  $s2, $s2, $t1
+        sub  $s2, $s2, $t1
+        li   $s3, 0             # j
+        move $t9, $s0           # &matrix[i][j]
+find:   lw   $t0, 0($t9)
+        sra  $t1, $t0, 31       # t2 = |matrix[i][j]|
+        xor  $t2, $t0, $t1
+        sub  $t2, $t2, $t1
+        slt  $t3, $s2, $t2      # max < |m[i][j]| ? (near-constant)
+        beqz $t3, noup
+        move $s2, $t2
+noup:   addi $t9, $t9, 4
+        addi $s3, $s3, 1
+        li   $t4, 99
+        blt  $s3, $t4, find
+        bnez $s2, divok         # if (max == 0) max = 1
+        li   $s2, 1
+divok:  li   $s3, 0             # j
+        move $t9, $s0
+        # scale loop unrolled x4 (cf. the paper's -funroll_loops)
+scale:  lw   $t0, 0($t9)        # m[i][j] = (m[i][j] * 64) / max
+        sll  $t1, $t0, 6
+        div  $t1, $t1, $s2
+        sw   $t1, 0($t9)
+        lw   $t0, 4($t9)
+        sll  $t1, $t0, 6
+        div  $t1, $t1, $s2
+        sw   $t1, 4($t9)
+        lw   $t0, 8($t9)
+        sll  $t1, $t0, 6
+        div  $t1, $t1, $s2
+        sw   $t1, 8($t9)
+        lw   $t0, 12($t9)
+        sll  $t1, $t0, 6
+        div  $t1, $t1, $s2
+        sw   $t1, 12($t9)
+        addi $t9, $t9, 16
+        addi $s3, $s3, 4
+        li   $t4, 100
+        blt  $s3, $t4, scale
+        addi $s0, $s0, 400
+        addi $s1, $s1, 1
+        li   $t4, 200
+        blt  $s1, $t4, row
+        subi $s7, $s7, 1
+        bnez $s7, outer
+
+        # ---- checksum: sum of all elements
+        la   $t0, matrix
+        li   $t1, 0             # index
+        li   $t2, 0             # sum
+cksum:  lw   $t3, 0($t0)
+        add  $t2, $t2, $t3
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        li   $t4, 20000
+        blt  $t1, $t4, cksum
+        move $a0, $t2
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

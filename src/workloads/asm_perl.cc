@@ -1,0 +1,186 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * String hashing/scoring kernel (the "perl" analogue of the paper's
+ * scrabbl.pl run). A table of 256 pseudo-words is synthesized once;
+ * each pass hashes and scores every word (letter-value table
+ * lookups), inserts it into an open-addressed table and then answers
+ * a mixed hit/miss query stream. Value population: character loads
+ * (context), rolling hash accumulators, probe indices, scores.
+ *
+ * $a0 = number of passes (3 insert+query rounds each).
+ */
+const char*
+perlAssembly()
+{
+    return R"(
+# perl: word hashing, scoring and associative lookup
+        .data
+wordbuf: .space 4096            # 256 slots of 16: len byte + chars
+lettval: .space 32              # letter values 'a'..'z'
+hkey:   .space 2048             # 512-entry hash table: hash keys
+hval:   .space 2048             # 512-entry hash table: scores
+        .text
+main:   move $s7, $a0           # passes
+        li   $s6, 0             # checksum
+
+        # ---- letter values: val(c) = (7 c) % 9 + 1
+        li   $t0, 0
+lv:     li   $at, 7
+        mul  $t1, $t0, $at
+        li   $t2, 9
+        rem  $t1, $t1, $t2
+        addi $t1, $t1, 1
+        la   $t3, lettval
+        add  $t3, $t3, $t0
+        sb   $t1, 0($t3)
+        addi $t0, $t0, 1
+        li   $t2, 26
+        blt  $t0, $t2, lv
+
+        # ---- synthesize 256 pseudo-words, lengths 3..10
+        li   $s0, 0             # word index
+        li   $s2, 31415926      # x
+wgen:   li   $t0, 1103515245
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t1, $s2, 7
+        andi $t1, $t1, 7
+        addi $t1, $t1, 3        # len
+        sll  $t2, $s0, 4
+        la   $t3, wordbuf
+        add  $t3, $t3, $t2      # slot
+        sb   $t1, 0($t3)
+        li   $t4, 0             # j
+wch:    li   $t0, 1103515245
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t5, $s2, 11
+        li   $t6, 26
+        rem  $t5, $t5, $t6
+        addi $t5, $t5, 97
+        add  $t7, $t3, $t4
+        sb   $t5, 1($t7)
+        addi $t4, $t4, 1
+        blt  $t4, $t1, wch
+        addi $s0, $s0, 1
+        li   $t2, 256
+        blt  $s0, $t2, wgen
+
+        # ---- passes
+pass:   li   $s5, 0             # round 0..2
+round:  la   $t0, hkey          # clear table
+        li   $t1, 0
+hclr:   sw   $zero, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        li   $t2, 512
+        blt  $t1, $t2, hclr
+
+        # insert every word
+        li   $s0, 0             # word index
+ins:    sll  $t0, $s0, 4
+        la   $t1, wordbuf
+        add  $t1, $t1, $t0      # slot
+        lbu  $t2, 0($t1)        # len
+        li   $t3, 0             # h
+        li   $t4, 0             # score
+        li   $t5, 0             # j
+hsh:    add  $t6, $t1, $t5
+        lbu  $t7, 1($t6)        # c
+        li   $t8, 31
+        mul  $t3, $t3, $t8
+        add  $t3, $t3, $t7
+        subi $t8, $t7, 97
+        la   $t9, lettval
+        add  $t9, $t9, $t8
+        lbu  $t8, 0($t9)
+        add  $t4, $t4, $t8
+        addi $t5, $t5, 1
+        blt  $t5, $t2, hsh
+        li   $t5, 6             # long-word bonus
+        ble  $t2, $t5, nobon
+        sll  $t4, $t4, 1
+nobon:  add  $s6, $s6, $t4
+        andi $t5, $t3, 511      # probe
+ipr:    sll  $t6, $t5, 2
+        la   $t7, hkey
+        add  $t7, $t7, $t6
+        lw   $t8, 0($t7)
+        beqz $t8, islot
+        beq  $t8, $t3, islot
+        addi $t5, $t5, 1
+        andi $t5, $t5, 511
+        j    ipr
+islot:  sw   $t3, 0($t7)
+        la   $t9, hval
+        add  $t9, $t9, $t6
+        sw   $t4, 0($t9)
+        addi $s0, $s0, 1
+        li   $t0, 256
+        blt  $s0, $t0, ins
+
+        # query stream: 512 lookups, ~20% synthetic misses
+        li   $s0, 0             # query number
+        li   $s4, 271828182     # y
+qry:    li   $t0, 1103515245
+        mul  $s4, $s4, $t0
+        addi $s4, $s4, 12345
+        srl  $t1, $s4, 10
+        li   $t2, 320
+        rem  $t1, $t1, $t2      # 0..319; >= 256 = synthetic miss key
+        li   $t2, 256
+        blt  $t1, $t2, qword
+        ori  $t3, $s4, 1        # unlikely-to-exist hash
+        j    qprobe
+qword:  sll  $t0, $t1, 4        # rehash the word's characters
+        la   $t1, wordbuf
+        add  $t1, $t1, $t0
+        lbu  $t2, 0($t1)        # len
+        li   $t3, 0             # h
+        li   $t5, 0             # j
+qh:     add  $t6, $t1, $t5
+        lbu  $t7, 1($t6)
+        li   $t8, 31
+        mul  $t3, $t3, $t8
+        add  $t3, $t3, $t7
+        addi $t5, $t5, 1
+        blt  $t5, $t2, qh
+qprobe: andi $t5, $t3, 511
+qpr:    sll  $t6, $t5, 2
+        la   $t7, hkey
+        add  $t7, $t7, $t6
+        lw   $t8, 0($t7)
+        beqz $t8, qmiss
+        beq  $t8, $t3, qhit
+        addi $t5, $t5, 1
+        andi $t5, $t5, 511
+        j    qpr
+qhit:   la   $t9, hval
+        add  $t9, $t9, $t6
+        lw   $t8, 0($t9)
+        add  $s6, $s6, $t8
+        j    qnext
+qmiss:  addi $s6, $s6, 1
+qnext:  addi $s0, $s0, 1
+        li   $t0, 512
+        blt  $s0, $t0, qry
+
+        addi $s5, $s5, 1
+        li   $t0, 3
+        blt  $s5, $t0, round
+        subi $s7, $s7, 1
+        bnez $s7, pass
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Internal: assembly source text of each workload kernel.
+ */
+
+#ifndef DFCM_WORKLOADS_ASM_SOURCES_HH
+#define DFCM_WORKLOADS_ASM_SOURCES_HH
+
+namespace vpred::workloads
+{
+
+const char* normAssembly();      //!< Figure 5 row-normalization kernel
+const char* compressAssembly();  //!< LZW-style compressor (compress)
+const char* cc1Assembly();       //!< tokenizer + expression parser (cc1)
+const char* goAssembly();        //!< board evaluation kernel (go)
+const char* ijpegAssembly();     //!< blocked integer DCT kernel (ijpeg)
+const char* liAssembly();        //!< cons-cell list interpreter (li)
+const char* m88ksimAssembly();   //!< CPU-simulator-in-simulator (m88ksim)
+const char* perlAssembly();      //!< string hash/score kernel (perl)
+const char* vortexAssembly();    //!< object-store / db kernel (vortex)
+const char* gzipAssembly();      //!< LZ77 matcher (extra workload)
+const char* mcfAssembly();       //!< network pricing (extra workload)
+
+} // namespace vpred::workloads
+
+#endif // DFCM_WORKLOADS_ASM_SOURCES_HH

@@ -1,0 +1,120 @@
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+/**
+ * Hashed object-store kernel (the "vortex" analogue). Each pass
+ * bulk-inserts 4096 keyed records into 512 chained buckets, answers
+ * 4096 lookups that walk the chains and mutate the found records,
+ * then checksums the store with a sequential scan. Value population:
+ * record addresses from the bump allocator (pure strides), chain
+ * pointers (context), keys (hard), bucket indices, scan loads.
+ *
+ * $a0 = number of passes.
+ */
+const char*
+vortexAssembly()
+{
+    return R"(
+# vortex: chained-bucket object store
+        .data
+recs:   .space 65536            # 4096 records: key, val, next, pad
+buckets: .space 2048            # 512 chain heads
+        .text
+main:   move $s7, $a0           # passes
+        li   $s6, 0             # checksum
+        li   $s5, 1             # pass number
+
+pass:   la   $t0, buckets       # clear buckets
+        li   $t1, 0
+bclr:   sw   $zero, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        li   $t2, 512
+        blt  $t1, $t2, bclr
+
+        # ---- bulk insert 4096 records
+        li   $t9, 0x9E3779B1
+        mul  $s2, $s5, $t9      # x = per-pass seed
+        li   $s0, 0             # record index
+ins:    li   $t0, 1103515245
+        mul  $s2, $s2, $t0
+        addi $s2, $s2, 12345
+        srl  $t1, $s2, 8
+        andi $t1, $t1, 8191     # key
+        sll  $t2, $s0, 4
+        la   $t3, recs
+        add  $t3, $t3, $t2      # record address (bump allocation)
+        sw   $t1, 0($t3)        # rec.key
+        xor  $t4, $t1, $s0
+        sw   $t4, 4($t3)        # rec.val = key ^ i
+        andi $t5, $t1, 511      # bucket
+        sll  $t5, $t5, 2
+        la   $t6, buckets
+        add  $t6, $t6, $t5
+        lw   $t7, 0($t6)        # rec.next = bucket head
+        sw   $t7, 8($t3)
+        sw   $t3, 0($t6)        # bucket head = rec
+        addi $s0, $s0, 1
+        li   $t8, 4096
+        blt  $s0, $t8, ins
+
+        # ---- 4096 lookups with chain walks
+        li   $t9, 0x85EBCA6B
+        mul  $s3, $s5, $t9      # y = query seed
+        li   $s0, 0
+qry:    li   $t0, 1103515245
+        mul  $s3, $s3, $t0
+        addi $s3, $s3, 12345
+        srl  $t1, $s3, 8
+        andi $t1, $t1, 8191     # probe key
+        andi $t2, $t1, 511
+        sll  $t2, $t2, 2
+        la   $t3, buckets
+        add  $t3, $t3, $t2
+        lw   $t4, 0($t3)        # chain cursor
+walk:   beqz $t4, qmiss
+        lw   $t5, 0($t4)        # rec.key
+        beq  $t5, $t1, qhit
+        lw   $t4, 8($t4)        # cursor = rec.next
+        j    walk
+qhit:   lw   $t6, 4($t4)        # checksum += rec.val++
+        add  $s6, $s6, $t6
+        addi $t6, $t6, 1
+        sw   $t6, 4($t4)
+        j    qnext
+qmiss:  addi $s6, $s6, 1
+qnext:  addi $s0, $s0, 1
+        li   $t8, 4096
+        blt  $s0, $t8, qry
+
+        # ---- sequential scan checksum (unrolled x4)
+        la   $t0, recs
+        li   $t1, 0
+scan:   lw   $t2, 4($t0)
+        add  $s6, $s6, $t2
+        lw   $t2, 20($t0)
+        add  $s6, $s6, $t2
+        lw   $t2, 36($t0)
+        add  $s6, $s6, $t2
+        lw   $t2, 52($t0)
+        add  $s6, $s6, $t2
+        addi $t0, $t0, 64
+        addi $t1, $t1, 4
+        li   $t3, 4096
+        blt  $t1, $t3, scan
+
+        addi $s5, $s5, 1
+        subi $s7, $s7, 1
+        bnez $s7, pass
+
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+)";
+}
+
+} // namespace vpred::workloads

@@ -1,0 +1,86 @@
+#include "workloads/workload.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/assembler.hh"
+#include "workloads/asm_sources.hh"
+
+namespace vpred::workloads
+{
+
+const std::vector<Workload>&
+allWorkloads()
+{
+    // Order matches the paper's Table 1; "norm" (Figure 5) last.
+    // max_steps is the dynamic-instruction guard at scale 1.0 with
+    // ample headroom; it scales with the requested trace scale.
+    static const std::vector<Workload> workloads = {
+        {"compress", "LZW-style compressor over a synthetic text buffer",
+         compressAssembly(), 2, 80u << 20},
+        {"cc1", "tokenizer and recursive-descent expression compiler",
+         cc1Assembly(), 12, 80u << 20},
+        {"go", "board evaluation with pattern scanning and heuristics",
+         goAssembly(), 15, 80u << 20},
+        {"ijpeg", "blocked integer DCT over a synthetic image",
+         ijpegAssembly(), 1, 80u << 20},
+        {"li", "cons-cell list interpreter with recursive traversals",
+         liAssembly(), 28, 80u << 20},
+        {"m88ksim", "byte-coded guest CPU simulator (jump-table dispatch)",
+         m88ksimAssembly(), 3, 80u << 20},
+        {"perl", "string hashing, scoring and associative lookup",
+         perlAssembly(), 10, 80u << 20},
+        {"vortex", "hashed object store: inserts, lookups and scans",
+         vortexAssembly(), 10, 80u << 20},
+        {"norm", "Figure 5 row-normalization microkernel",
+         normAssembly(), 6, 80u << 20},
+        // Extra workloads beyond the paper's suite (robustness bench).
+        {"gzip", "LZ77 sliding-window matcher with hash heads",
+         gzipAssembly(), 7, 80u << 20},
+        {"mcf", "network arc pricing with node potentials",
+         mcfAssembly(), 24, 80u << 20},
+    };
+    return workloads;
+}
+
+const std::vector<std::string>&
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "compress", "cc1", "go", "ijpeg", "li", "m88ksim", "perl",
+        "vortex",
+    };
+    return names;
+}
+
+const Workload&
+findWorkload(const std::string& name)
+{
+    for (const Workload& w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    throw std::out_of_range("unknown workload '" + name + "'");
+}
+
+sim::TraceResult
+runWorkload(const Workload& workload, double scale)
+{
+    const sim::Program program = sim::assemble(workload.assembly);
+    const auto reps = static_cast<std::uint32_t>(
+            std::max(1.0, std::round(workload.default_scale * scale)));
+    const std::pair<unsigned, std::uint32_t> init[] = {
+        {sim::reg::a0, reps},
+    };
+    const auto budget = static_cast<std::uint64_t>(
+            workload.max_steps * std::max(1.0, scale));
+    return sim::traceProgram(program, budget, init);
+}
+
+sim::TraceResult
+runWorkload(const std::string& name, double scale)
+{
+    return runWorkload(findWorkload(name), scale);
+}
+
+} // namespace vpred::workloads

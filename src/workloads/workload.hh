@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The SPEC-like MiniRISC workload suite (DESIGN.md Section 2).
+ *
+ * Each workload is a hand-written MiniRISC assembly kernel that
+ * reproduces the value-pattern population of one SPECint95 benchmark
+ * the paper traces (Table 1), plus the paper's norm() microkernel
+ * (Figure 5). Every kernel reads its repetition count from $a0 so
+ * trace length scales smoothly, prints a checksum so tests can pin
+ * behaviour, and exits via syscall 10.
+ */
+
+#ifndef DFCM_WORKLOADS_WORKLOAD_HH
+#define DFCM_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/tracer.hh"
+
+namespace vpred::workloads
+{
+
+/** A registered workload kernel. */
+struct Workload
+{
+    std::string name;          //!< short id, e.g. "li"
+    std::string description;   //!< what it models (Table 1 analogue)
+    const char* assembly;      //!< MiniRISC source text
+    std::uint32_t default_scale; //!< $a0 value at scale 1.0
+    std::uint64_t max_steps;   //!< dynamic-instruction guard at scale 1
+};
+
+/** All workloads: the eight SPEC-like kernels, in the paper's Table 1
+ *  order, followed by "norm" (Figure 5) and the extra robustness
+ *  kernels "gzip" and "mcf". */
+const std::vector<Workload>& allWorkloads();
+
+/** The eight SPEC-like benchmark names (excludes "norm"). */
+const std::vector<std::string>& benchmarkNames();
+
+/** Look up a workload by name. @throws std::out_of_range. */
+const Workload& findWorkload(const std::string& name);
+
+/**
+ * Assemble and run a workload, returning its eligible value trace.
+ *
+ * @param workload The workload to run.
+ * @param scale Multiplier on the kernel's default repetition count;
+ *        the dynamic instruction budget scales along.
+ */
+sim::TraceResult runWorkload(const Workload& workload, double scale = 1.0);
+
+/** Convenience overload by name. */
+sim::TraceResult runWorkload(const std::string& name, double scale = 1.0);
+
+} // namespace vpred::workloads
+
+#endif // DFCM_WORKLOADS_WORKLOAD_HH

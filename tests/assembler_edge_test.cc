@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Edge-case and negative tests for the assembler (complements
+ * assembler_test.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+
+namespace vpred::sim
+{
+namespace
+{
+
+TEST(AssemblerEdge, RejectsBareNumberAsRegister)
+{
+    // The silent-constant-in-register-slot trap must be an error.
+    EXPECT_THROW(assemble("mul $t0, $t1, 21\n"), AsmError);
+    EXPECT_THROW(assemble("add $t0, 5, $t1\n"), AsmError);
+}
+
+TEST(AssemblerEdge, RejectsBareNameAsRegister)
+{
+    EXPECT_THROW(assemble("add t0, $t1, $t2\n"), AsmError);
+}
+
+TEST(AssemblerEdge, AcceptsDollarNumberAndRNumber)
+{
+    const Program p = assemble("add $8, r9, $t2\n");
+    EXPECT_EQ(p.text[0].rd, 8u);
+    EXPECT_EQ(p.text[0].rs, 9u);
+    EXPECT_EQ(p.text[0].rt, 10u);
+}
+
+TEST(AssemblerEdge, CharLiteralsEverywhere)
+{
+    const Program p = assemble("li $t0, 'A'\n"
+                               "li $t1, '\\n'\n"
+                               "li $t2, '\\\\'\n"
+                               ".data\nc: .byte 'x', '\\0'\n");
+    EXPECT_EQ(p.text[0].imm, 65);
+    EXPECT_EQ(p.text[1].imm, 10);
+    EXPECT_EQ(p.text[2].imm, 92);
+    EXPECT_EQ(p.data[0], 'x');
+    EXPECT_EQ(p.data[1], 0u);
+}
+
+TEST(AssemblerEdge, StringsWithCommasAndEscapes)
+{
+    const Program p =
+            assemble(".data\ns: .asciiz \"a,b \\\"q\\\" ;#\"\n");
+    const char* expect = "a,b \"q\" ;#";
+    for (std::size_t i = 0; expect[i]; ++i)
+        EXPECT_EQ(p.data[i], static_cast<std::uint8_t>(expect[i]));
+}
+
+TEST(AssemblerEdge, CommentCharactersInsideLiterals)
+{
+    // '#' and ';' inside string/char literals are data, not comments.
+    const Program p = assemble("li $t0, '#'\n"
+                               ".data\ns: .asciiz \"#;\"\n");
+    EXPECT_EQ(p.text[0].imm, '#');
+    EXPECT_EQ(p.data[0], '#');
+    EXPECT_EQ(p.data[1], ';');
+}
+
+TEST(AssemblerEdge, AlignPadsData)
+{
+    const Program p = assemble(".data\n"
+                               "a: .byte 1\n"
+                               "   .align 3\n"
+                               "b: .byte 2\n");
+    EXPECT_EQ(p.symbols.at("b"), Program::kDataBase + 8);
+}
+
+TEST(AssemblerEdge, MultipleLabelsOnOneLine)
+{
+    const Program p = assemble("x: y: z: nop\n");
+    EXPECT_EQ(p.symbols.at("x"), 0u);
+    EXPECT_EQ(p.symbols.at("y"), 0u);
+    EXPECT_EQ(p.symbols.at("z"), 0u);
+}
+
+TEST(AssemblerEdge, LabelOnOwnLine)
+{
+    const Program p = assemble("top:\n    nop\n    j top\n");
+    EXPECT_EQ(p.text[1].imm, 0);
+}
+
+TEST(AssemblerEdge, NegativeAndHexExpressions)
+{
+    const Program p = assemble("li $t0, -0x10\n"
+                               "la $t1, d-4\n"
+                               ".data\nd: .word 0\n");
+    EXPECT_EQ(p.text[0].imm, -16);
+    EXPECT_EQ(p.text[1].imm,
+              static_cast<std::int64_t>(Program::kDataBase) - 4);
+}
+
+TEST(AssemblerEdge, EmptySourceAndLabelOnly)
+{
+    EXPECT_TRUE(assemble("").text.empty());
+    EXPECT_TRUE(assemble("\n\n# only comments\n").text.empty());
+    const Program p = assemble("just_a_label:\n");
+    EXPECT_EQ(p.symbols.at("just_a_label"), 0u);
+}
+
+TEST(AssemblerEdge, RejectsBadStringAndChar)
+{
+    EXPECT_THROW(assemble(".data\ns: .asciiz nope\n"), AsmError);
+    EXPECT_THROW(assemble("li $t0, '\\q'\n"), AsmError);
+    EXPECT_THROW(assemble("li $t0, 'ab'\n"), AsmError);
+}
+
+TEST(AssemblerEdge, RejectsUnknownDirective)
+{
+    EXPECT_THROW(assemble(".frobnicate 1\n"), AsmError);
+}
+
+TEST(AssemblerEdge, RejectsBadEqu)
+{
+    EXPECT_THROW(assemble(".equ ONLYNAME\n"), AsmError);
+    // .equ takes numbers only (no forward label refs).
+    EXPECT_THROW(assemble(".equ X, somelabel\nsomelabel: nop\n"),
+                 AsmError);
+}
+
+TEST(AssemblerEdge, RejectsJumpToDataSegment)
+{
+    EXPECT_THROW(assemble("j d\n.data\nd: .word 0\n"), AsmError);
+}
+
+TEST(AssemblerEdge, EquUsableInSpace)
+{
+    const Program p = assemble(".equ N, 8\n"
+                               ".data\nb: .space N\nc: .byte 1\n");
+    EXPECT_EQ(p.symbols.at("c"), Program::kDataBase + 8);
+}
+
+} // namespace
+} // namespace vpred::sim

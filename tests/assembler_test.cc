@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the MiniRISC assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+
+namespace vpred::sim
+{
+namespace
+{
+
+TEST(Assembler, EncodesRegisterAluOps)
+{
+    const Program p = assemble("add $t0, $t1, $t2\n"
+                               "sub r3, r4, r5\n");
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(p.text[0], (Instr{Op::Add, 8, 9, 10, 0}));
+    EXPECT_EQ(p.text[1], (Instr{Op::Sub, 3, 4, 5, 0}));
+}
+
+TEST(Assembler, EncodesImmediates)
+{
+    const Program p = assemble("addi $t0, $t0, -5\n"
+                               "li   $v0, 0x10\n"
+                               "ori  $a0, $zero, 'A'\n");
+    EXPECT_EQ(p.text[0].imm, -5);
+    EXPECT_EQ(p.text[1].op, Op::Li);
+    EXPECT_EQ(p.text[1].imm, 16);
+    EXPECT_EQ(p.text[2].imm, 'A');
+}
+
+TEST(Assembler, ShiftsSelectRegisterOrImmediateForm)
+{
+    const Program p = assemble("sll $t0, $t1, 3\n"
+                               "sll $t0, $t1, $t2\n");
+    EXPECT_EQ(p.text[0].op, Op::Slli);
+    EXPECT_EQ(p.text[1].op, Op::Sllv);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels)
+{
+    const Program p = assemble(
+            "start: addi $t0, $t0, 1\n"
+            "       bne  $t0, $t1, start\n"
+            "       j    end\n"
+            "       nop\n"
+            "end:   syscall\n");
+    EXPECT_EQ(p.text[1].imm, 0);  // back to instruction 0
+    EXPECT_EQ(p.text[2].imm, 4);  // forward to instruction 4
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    const Program p = assemble("lw $t0, 8($sp)\n"
+                               "sw $t1, ($gp)\n"
+                               "lb $t2, -4($fp)\n");
+    EXPECT_EQ(p.text[0], (Instr{Op::Lw, 8, 29, 0, 8}));
+    EXPECT_EQ(p.text[1].imm, 0);
+    EXPECT_EQ(p.text[1].rt, 9u);
+    EXPECT_EQ(p.text[2].imm, -4);
+}
+
+TEST(Assembler, DataDirectivesAndSymbols)
+{
+    const Program p = assemble(
+            "        .data\n"
+            "a:      .word 1, 2, 0x30\n"
+            "b:      .byte 7\n"
+            "c:      .half 0x1234\n"
+            "d:      .space 3\n"
+            "e:      .asciiz \"hi\\n\"\n");
+    EXPECT_EQ(p.symbols.at("a"), Program::kDataBase);
+    EXPECT_EQ(p.symbols.at("b"), Program::kDataBase + 12);
+    EXPECT_EQ(p.symbols.at("c"), Program::kDataBase + 14);
+    // .half aligns to 2 -> byte 13 is padding, value at 14.
+    EXPECT_EQ(p.data[12], 7u);
+    EXPECT_EQ(p.data[14], 0x34u);
+    EXPECT_EQ(p.data[15], 0x12u);
+    EXPECT_EQ(p.symbols.at("e"), Program::kDataBase + 19);
+    EXPECT_EQ(p.data[19], 'h');
+    EXPECT_EQ(p.data[20], 'i');
+    EXPECT_EQ(p.data[21], '\n');
+    EXPECT_EQ(p.data[22], 0u);
+    // .word values little-endian.
+    EXPECT_EQ(p.data[0], 1u);
+    EXPECT_EQ(p.data[8], 0x30u);
+}
+
+TEST(Assembler, LaLoadsSymbolAddresses)
+{
+    const Program p = assemble("        la $t0, buf\n"
+                               "        la $t1, buf+8\n"
+                               "        .data\n"
+                               "buf:    .space 16\n");
+    EXPECT_EQ(p.text[0].imm,
+              static_cast<std::int64_t>(Program::kDataBase));
+    EXPECT_EQ(p.text[1].imm,
+              static_cast<std::int64_t>(Program::kDataBase) + 8);
+}
+
+TEST(Assembler, EquConstants)
+{
+    const Program p = assemble(".equ SIZE, 400\n"
+                               "li $t0, SIZE\n");
+    EXPECT_EQ(p.text[0].imm, 400);
+}
+
+TEST(Assembler, PseudoBranches)
+{
+    const Program p = assemble("x: bgt  $t0, $t1, x\n"
+                               "   beqz $t2, x\n"
+                               "   blez $t3, x\n");
+    // bgt a,b -> blt b,a
+    EXPECT_EQ(p.text[0].op, Op::Blt);
+    EXPECT_EQ(p.text[0].rs, 9u);
+    EXPECT_EQ(p.text[0].rt, 8u);
+    // beqz r -> beq r, zero
+    EXPECT_EQ(p.text[1].op, Op::Beq);
+    EXPECT_EQ(p.text[1].rt, 0u);
+    // blez r -> bge zero, r
+    EXPECT_EQ(p.text[2].op, Op::Bge);
+    EXPECT_EQ(p.text[2].rs, 0u);
+    EXPECT_EQ(p.text[2].rt, 11u);
+}
+
+TEST(Assembler, PseudoAluForms)
+{
+    const Program p = assemble("move $t0, $t1\n"
+                               "neg  $t2, $t3\n"
+                               "not  $t4, $t5\n"
+                               "subi $t6, $t6, 7\n");
+    EXPECT_EQ(p.text[0], (Instr{Op::Addi, 8, 9, 0, 0}));
+    EXPECT_EQ(p.text[1], (Instr{Op::Sub, 10, 0, 11, 0}));
+    EXPECT_EQ(p.text[2], (Instr{Op::Nor, 12, 13, 0, 0}));
+    EXPECT_EQ(p.text[3], (Instr{Op::Addi, 14, 14, 0, -7}));
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble(
+            "# full comment line\n"
+            "   \n"
+            "add $t0, $t0, $t0   # trailing\n"
+            "nop ; semicolon comment\n");
+    EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Assembler, JumpTableOfCodeLabels)
+{
+    const Program p = assemble(
+            "        j b\n"
+            "a:      nop\n"
+            "b:      syscall\n"
+            "        .data\n"
+            "tab:    .word a, b\n");
+    // Code label values are byte addresses (index * 4).
+    EXPECT_EQ(p.data[0], 4u);
+    EXPECT_EQ(p.data[4], 8u);
+}
+
+TEST(Assembler, EntryPointIsMainIfPresent)
+{
+    EXPECT_EQ(assemble("nop\nmain: nop\n").entry, 1u);
+    EXPECT_EQ(assemble("nop\nnop\n").entry, 0u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nfrobnicate $t0\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError& e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_NE(std::string(e.what()).find("frobnicate"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsBadRegister)
+{
+    EXPECT_THROW(assemble("add $t0, $t1, $zz\n"), AsmError);
+    EXPECT_THROW(assemble("add $t0, $t1, $32\n"), AsmError);
+}
+
+TEST(Assembler, RejectsUndefinedSymbol)
+{
+    EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel)
+{
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);
+}
+
+TEST(Assembler, RejectsWrongOperandCount)
+{
+    EXPECT_THROW(assemble("add $t0, $t1\n"), AsmError);
+    EXPECT_THROW(assemble("nop $t0\n"), AsmError);
+}
+
+TEST(Assembler, RejectsInstructionInDataSegment)
+{
+    EXPECT_THROW(assemble(".data\nadd $t0, $t0, $t0\n"), AsmError);
+}
+
+TEST(Assembler, RejectsMisalignedBranchTarget)
+{
+    EXPECT_THROW(assemble("beq $t0, $t1, 3\n"), AsmError);
+}
+
+} // namespace
+} // namespace vpred::sim

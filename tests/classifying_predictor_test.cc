@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the dynamic-classification predictor (Section 5
+ * related-work baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classifying_predictor.hh"
+#include "core/dfcm_predictor.hh"
+#include "core/stats.hh"
+#include "tracegen/mixer.hh"
+#include "tracegen/pattern.hh"
+#include "workloads/workload.hh"
+
+namespace vpred
+{
+namespace
+{
+
+ClassifyingConfig
+smallConfig()
+{
+    ClassifyingConfig cfg;
+    cfg.class_bits = 8;
+    cfg.lvp_bits = 8;
+    cfg.stride_bits = 8;
+    cfg.fcm_l1_bits = 8;
+    cfg.fcm_l2_bits = 10;
+    return cfg;
+}
+
+TEST(ClassifyingPredictor, AssignsStrideClassToStrideData)
+{
+    ClassifyingPredictor p(smallConfig());
+    for (unsigned i = 0; i < 40; ++i)
+        p.update(1, 5 * i);
+    EXPECT_EQ(p.classOf(1), ValueClass::Stride);
+    // And predicts correctly afterwards.
+    EXPECT_EQ(p.predict(1), 5u * 40);
+}
+
+TEST(ClassifyingPredictor, AssignsContextClassToIrregularPattern)
+{
+    ClassifyingPredictor p(smallConfig());
+    const Value pattern[] = {11, 3, 99, 40, 7};
+    for (int lap = 0; lap < 12; ++lap)  // 60 > warmup observations
+        for (Value v : pattern)
+            p.update(2, v);
+    EXPECT_EQ(p.classOf(2), ValueClass::Context);
+    PredictorStats s;
+    for (int lap = 0; lap < 10; ++lap)
+        for (Value v : pattern)
+            s.record(p.predictAndUpdate(2, v));
+    EXPECT_GT(s.accuracy(), 0.9);
+}
+
+TEST(ClassifyingPredictor, MarksNoiseUnpredictable)
+{
+    ClassifyingPredictor p(smallConfig());
+    tracegen::RandomPattern noise(4242);
+    for (int i = 0; i < 40; ++i)
+        p.update(3, noise.next());
+    EXPECT_EQ(p.classOf(3), ValueClass::Unpredictable);
+}
+
+TEST(ClassifyingPredictor, UnknownDuringWarmup)
+{
+    ClassifyingPredictor p(smallConfig());
+    for (int i = 0; i < 10; ++i)
+        p.update(4, i);
+    EXPECT_EQ(p.classOf(4), ValueClass::Unknown);
+}
+
+TEST(ClassifyingPredictor, ReclassifiesAfterPhaseChange)
+{
+    ClassifyingPredictor p(smallConfig());
+    for (unsigned i = 0; i < 40; ++i)
+        p.update(5, 3 * i);
+    ASSERT_EQ(p.classOf(5), ValueClass::Stride);
+    // The instruction turns into a repeating context pattern; the
+    // stride predictor keeps missing, confidence collapses, and the
+    // entry re-enters warm-up.
+    const Value pattern[] = {8, 1, 62, 30};
+    for (int lap = 0; lap < 30; ++lap)
+        for (Value v : pattern)
+            p.update(5, v);
+    EXPECT_NE(p.classOf(5), ValueClass::Stride);
+}
+
+TEST(ClassifyingPredictor, CensusCoversAllEntries)
+{
+    ClassifyingPredictor p(smallConfig());
+    for (unsigned i = 0; i < 40; ++i) {
+        p.update(1, 5 * i);     // stride
+        p.update(2, 1234);      // constant-ish (stride 0 also fits)
+    }
+    const auto census = p.classCensus();
+    std::uint64_t total = 0;
+    for (std::uint64_t c : census)
+        total += c;
+    EXPECT_EQ(total, 1u << 8);
+}
+
+TEST(ClassifyingPredictor, LosesToDfcmOnRealMixedWorkloads)
+{
+    // The paper's Section 5 argument in executable form: hard
+    // classification with fixed partitions loses to the DFCM's
+    // dynamic table sharing on workloads whose instructions mix
+    // pattern kinds (perl: string scanning + hashing + lookups).
+    // Full-suite numbers: bench_related_classification.
+    const ValueTrace trace =
+            workloads::runWorkload("perl", 0.1).trace;
+    ClassifyingConfig cfg;  // default partitioned tables
+    ClassifyingPredictor classifier(cfg);
+    DfcmPredictor dfcm({.l1_bits = 14, .l2_bits = 12});
+    EXPECT_LT(runTrace(classifier, trace).accuracy() + 0.05,
+              runTrace(dfcm, trace).accuracy());
+}
+
+TEST(ClassifyingPredictor, ClassNames)
+{
+    EXPECT_STREQ(valueClassName(ValueClass::Stride), "stride");
+    EXPECT_STREQ(valueClassName(ValueClass::Unpredictable),
+                 "unpredictable");
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the confidence-estimating DFCM (the Section 4.2
+ * extension: level-2 tags from a second, orthogonal hash).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/confidence_dfcm.hh"
+#include "core/dfcm_predictor.hh"
+#include "core/stats.hh"
+#include "tracegen/mixer.hh"
+
+namespace vpred
+{
+namespace
+{
+
+ConfidenceDfcmConfig
+config(ConfidenceMode mode, unsigned tag_bits = 4)
+{
+    ConfidenceDfcmConfig cfg;
+    cfg.l1_bits = 10;
+    cfg.l2_bits = 10;  // small table -> real hash aliasing
+    cfg.tag_bits = tag_bits;
+    cfg.mode = mode;
+    return cfg;
+}
+
+ValueTrace
+aliasHeavyTrace()
+{
+    tracegen::MixSpec spec;
+    spec.stride_instructions = 30;
+    spec.context_instructions = 25;
+    spec.random_instructions = 4;
+    spec.seed = 2718;
+    return tracegen::makeMixedTrace(spec, 120000);
+}
+
+TEST(ConfidenceDfcm, UngatedMatchesPlainDfcm)
+{
+    const ValueTrace trace = aliasHeavyTrace();
+    ConfidenceDfcm gated(config(ConfidenceMode::None));
+    const GatedStats gs = gated.run(trace);
+
+    DfcmPredictor plain({.l1_bits = 10, .l2_bits = 10});
+    const PredictorStats ps = runTrace(plain, trace);
+
+    EXPECT_EQ(gs.attempted, gs.total);
+    EXPECT_EQ(gs.correct, ps.correct);
+    EXPECT_DOUBLE_EQ(gs.coverage(), 1.0);
+}
+
+TEST(ConfidenceDfcm, TagGateRaisesAccuracyOfAttempted)
+{
+    // The paper's premise: hash aliasing causes most mispredictions,
+    // and a second-hash tag detects it. Gated accuracy must beat the
+    // ungated accuracy at less-than-total but substantial coverage.
+    const ValueTrace trace = aliasHeavyTrace();
+    const GatedStats ungated =
+            ConfidenceDfcm(config(ConfidenceMode::None)).run(trace);
+    const GatedStats gated =
+            ConfidenceDfcm(config(ConfidenceMode::Tag)).run(trace);
+
+    EXPECT_LT(gated.coverage(), 1.0);
+    EXPECT_GT(gated.coverage(), 0.5);
+    EXPECT_GT(gated.accuracy(), ungated.accuracy() + 0.05);
+}
+
+TEST(ConfidenceDfcm, MoreTagBitsMoreFiltering)
+{
+    const ValueTrace trace = aliasHeavyTrace();
+    double prev_acc = 0.0;
+    for (unsigned bits : {1u, 2u, 4u, 8u}) {
+        const GatedStats s =
+                ConfidenceDfcm(config(ConfidenceMode::Tag, bits))
+                        .run(trace);
+        // Wider tags filter at least as precisely (small tolerance
+        // for hash luck).
+        EXPECT_GT(s.accuracy(), prev_acc - 0.02) << bits << " bits";
+        prev_acc = s.accuracy();
+    }
+}
+
+TEST(ConfidenceDfcm, CounterGateAlsoFilters)
+{
+    const ValueTrace trace = aliasHeavyTrace();
+    const GatedStats ungated =
+            ConfidenceDfcm(config(ConfidenceMode::None)).run(trace);
+    const GatedStats gated =
+            ConfidenceDfcm(config(ConfidenceMode::Counter)).run(trace);
+    EXPECT_LT(gated.coverage(), 1.0);
+    EXPECT_GT(gated.accuracy(), ungated.accuracy());
+}
+
+TEST(ConfidenceDfcm, CombinedGateIsStricterThanEither)
+{
+    const ValueTrace trace = aliasHeavyTrace();
+    const GatedStats tag =
+            ConfidenceDfcm(config(ConfidenceMode::Tag)).run(trace);
+    const GatedStats ctr =
+            ConfidenceDfcm(config(ConfidenceMode::Counter)).run(trace);
+    const GatedStats both =
+            ConfidenceDfcm(config(ConfidenceMode::TagAndCounter))
+                    .run(trace);
+    EXPECT_LE(both.attempted, tag.attempted);
+    EXPECT_LE(both.attempted, ctr.attempted);
+    EXPECT_GE(both.accuracy(), std::max(tag.accuracy(), ctr.accuracy())
+                      - 0.02);
+}
+
+TEST(ConfidenceDfcm, PerfectPatternStaysFullyCovered)
+{
+    // A pure stride at a private pc: no aliasing, the tag always
+    // matches after warm-up, so the gate barely costs coverage.
+    ConfidenceDfcm p(config(ConfidenceMode::Tag));
+    GatedStats stats;
+    for (int i = 0; i < 5000; ++i)
+        p.step(1, 3 * i, stats);
+    EXPECT_GT(stats.coverage(), 0.99);
+    EXPECT_GT(stats.accuracy(), 0.99);
+}
+
+TEST(ConfidenceDfcm, EffectiveAccuracyNeverExceedsCoverageBound)
+{
+    const ValueTrace trace = aliasHeavyTrace();
+    const GatedStats s =
+            ConfidenceDfcm(config(ConfidenceMode::Tag)).run(trace);
+    EXPECT_LE(s.effectiveAccuracy(), s.coverage());
+    EXPECT_LE(s.effectiveAccuracy(), s.accuracy());
+    EXPECT_EQ(s.total, trace.size());
+}
+
+TEST(ConfidenceDfcm, StorageAccountsForTagsAndCounters)
+{
+    ConfidenceDfcmConfig cfg;
+    cfg.l1_bits = 10;
+    cfg.l2_bits = 10;
+    cfg.tag_bits = 4;
+    cfg.counter_bits = 2;
+    const ConfidenceDfcm p(cfg);
+    // L1: hist + last + tag hist; L2: stride + tag + counter.
+    EXPECT_EQ(p.storageBits(),
+              1024u * (10 + 32 + 10) + 1024u * (32 + 4 + 2));
+}
+
+TEST(ConfidenceDfcm, Name)
+{
+    EXPECT_EQ(ConfidenceDfcm(config(ConfidenceMode::Tag)).name(),
+              "cdfcm(l1=10,l2=10,tag=4,ctr=2,tag)");
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the delayed-update wrapper (Figure 17's model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delayed_update.hh"
+#include "core/last_value_predictor.hh"
+#include "core/stats.hh"
+#include "core/stride_predictor.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(DelayedUpdate, DelayZeroMatchesImmediateUpdate)
+{
+    ValueTrace trace;
+    for (int i = 0; i < 200; ++i)
+        trace.push_back({static_cast<Pc>(i % 7),
+                         static_cast<Value>(3 * i)});
+
+    StridePredictor immediate(8);
+    DelayedUpdatePredictor delayed(
+            std::make_unique<StridePredictor>(8), 0);
+    EXPECT_EQ(runTrace(immediate, trace), runTrace(delayed, trace));
+}
+
+TEST(DelayedUpdate, StaleHistoryWithinTheWindow)
+{
+    // With delay 2, the second occurrence of a pc within 2
+    // predictions sees the old table state.
+    DelayedUpdatePredictor p(std::make_unique<LastValuePredictor>(4), 2);
+    p.predictAndUpdate(1, 100);
+    // Update for (1, 100) is still queued:
+    EXPECT_EQ(p.predict(1), 0u);
+    p.predictAndUpdate(2, 5);
+    EXPECT_EQ(p.predict(1), 0u);
+    p.predictAndUpdate(3, 6);
+    // Now (1, 100) has been applied (2 predictions later).
+    EXPECT_EQ(p.predict(1), 100u);
+}
+
+TEST(DelayedUpdate, DrainAppliesEverything)
+{
+    DelayedUpdatePredictor p(std::make_unique<LastValuePredictor>(4),
+                             100);
+    p.predictAndUpdate(1, 7);
+    p.predictAndUpdate(2, 8);
+    EXPECT_EQ(p.predict(1), 0u);
+    p.drain();
+    EXPECT_EQ(p.predict(1), 7u);
+    EXPECT_EQ(p.predict(2), 8u);
+}
+
+TEST(DelayedUpdate, HurtsTightLoopAccuracy)
+{
+    // A pc recurring every iteration: delay makes the stride
+    // predictor work from values d iterations old.
+    ValueTrace trace;
+    for (int i = 0; i < 2000; ++i)
+        trace.push_back({1, static_cast<Value>(i)});
+
+    StridePredictor immediate(8);
+    const double acc0 = runTrace(immediate, trace).accuracy();
+
+    DelayedUpdatePredictor delayed(
+            std::make_unique<StridePredictor>(8), 16);
+    const double acc16 = runTrace(delayed, trace).accuracy();
+
+    EXPECT_GT(acc0, 0.99);
+    EXPECT_LT(acc16, acc0);
+}
+
+TEST(DelayedUpdate, StorageAndNameDelegate)
+{
+    DelayedUpdatePredictor p(std::make_unique<LastValuePredictor>(4),
+                             16);
+    EXPECT_EQ(p.storageBits(), LastValuePredictor(4).storageBits());
+    EXPECT_EQ(p.name(), "delayed(16)[lvp(t=4)]");
+}
+
+} // namespace
+} // namespace vpred

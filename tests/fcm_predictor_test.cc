@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the FCM predictor, including the paper's Figure 4
+ * worked example (stride patterns scatter over the level-2 table).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fcm_predictor.hh"
+#include "core/stats.hh"
+
+namespace vpred
+{
+namespace
+{
+
+FcmConfig
+smallConfig()
+{
+    FcmConfig cfg;
+    cfg.l1_bits = 6;
+    cfg.l2_bits = 12;
+    return cfg;
+}
+
+TEST(FcmPredictor, LearnsARepeatingContextPattern)
+{
+    FcmPredictor p(smallConfig());
+    const Value pattern[] = {17, 4, 99, 4, 23};
+    PredictorStats s;
+    for (int lap = 0; lap < 40; ++lap) {
+        for (Value v : pattern)
+            s.record(p.predictAndUpdate(1, v));
+    }
+    // After learning, the irregular repeating pattern is predicted.
+    EXPECT_GT(s.accuracy(), 0.9);
+}
+
+TEST(FcmPredictor, PredictsStridePatternsAfterOneFullPeriod)
+{
+    // The FCM can predict strides, but only after the pattern has
+    // repeated (it memorizes each context separately).
+    FcmPredictor p(smallConfig());
+    int wrong_second_lap = 0;
+    for (int lap = 0; lap < 2; ++lap) {
+        for (int i = 0; i < 50; ++i) {
+            const bool ok = p.predictAndUpdate(1, i);
+            if (lap == 1 && !ok)
+                ++wrong_second_lap;
+        }
+    }
+    EXPECT_LE(wrong_second_lap, 3);
+}
+
+TEST(FcmPredictor, CannotPredictAnUnseenStrideContinuation)
+{
+    // First pass over a stride: every prediction of a new value
+    // fails — the paper's "learning period is longer" remark.
+    FcmPredictor p(smallConfig());
+    PredictorStats s;
+    for (int i = 1; i <= 50; ++i)
+        s.record(p.predictAndUpdate(1, 100 + 3 * i));
+    EXPECT_EQ(s.correct, 0u);
+}
+
+TEST(FcmPredictor, Figure4StrideOccupiesManyL2Entries)
+{
+    // The pattern 0 1 2 3 4 5 6 repeated: an order-3 FCM stores it
+    // in as many level-2 entries as there are distinct values.
+    FcmConfig cfg;
+    cfg.l1_bits = 4;
+    cfg.l2_bits = 12;
+    cfg.hash = ShiftFoldHash::concat(12, 3);
+    FcmPredictor p(cfg);
+
+    // Warm up one lap (the cold zero-history contexts differ).
+    for (int v = 0; v <= 6; ++v)
+        p.update(1, v);
+    std::set<std::uint64_t> entries;
+    for (int lap = 0; lap < 5; ++lap) {
+        for (int v = 0; v <= 6; ++v) {
+            entries.insert(p.l2IndexFor(1));
+            p.update(1, v);
+        }
+    }
+    // 7 distinct contexts (one per value in the pattern).
+    EXPECT_EQ(entries.size(), 7u);
+}
+
+TEST(FcmPredictor, UpdateWritesEntryPredictionWasReadFrom)
+{
+    FcmPredictor p(smallConfig());
+    const std::uint64_t idx = p.l2IndexFor(3);
+    p.update(3, 1234);
+    // A different pc mapping to the same history would now read 1234.
+    FcmConfig cfg = smallConfig();
+    (void)cfg;
+    EXPECT_EQ(p.l2IndexFor(3), ShiftFoldHash::fsR5(12).insert(idx, 1234));
+}
+
+TEST(FcmPredictor, SharedL2IsVisibleAcrossInstructions)
+{
+    // Identical histories from different PCs share level-2 entries
+    // (the paper's l2_pc aliasing, constructive for equal patterns).
+    FcmPredictor p(smallConfig());
+    for (int lap = 0; lap < 30; ++lap) {
+        for (Value v : {5u, 9u, 2u})
+            p.predictAndUpdate(1, v);
+    }
+    // pc 2 has never been seen, but after its history warms up it
+    // inherits pc 1's pattern knowledge.
+    PredictorStats s;
+    for (int lap = 0; lap < 4; ++lap) {
+        for (Value v : {5u, 9u, 2u})
+            s.record(p.predictAndUpdate(2, v));
+    }
+    EXPECT_GT(s.accuracy(), 0.5);
+}
+
+TEST(FcmPredictor, StorageModel)
+{
+    // L1: one hashed history (l2_bits) per entry; L2: one value.
+    FcmConfig cfg;
+    cfg.l1_bits = 16;
+    cfg.l2_bits = 12;
+    FcmPredictor p(cfg);
+    EXPECT_EQ(p.storageBits(),
+              (1ull << 16) * 12 + (1ull << 12) * 32);
+}
+
+TEST(FcmPredictor, OrderFollowsHash)
+{
+    FcmConfig cfg;
+    cfg.l1_bits = 4;
+    cfg.l2_bits = 20;
+    EXPECT_EQ(FcmPredictor(cfg).order(), 4u);
+    cfg.l2_bits = 8;
+    EXPECT_EQ(FcmPredictor(cfg).order(), 2u);
+}
+
+TEST(FcmPredictor, Name)
+{
+    FcmConfig cfg;
+    cfg.l1_bits = 16;
+    cfg.l2_bits = 12;
+    EXPECT_EQ(FcmPredictor(cfg).name(), "fcm(l1=16,l2=12)");
+}
+
+} // namespace
+} // namespace vpred

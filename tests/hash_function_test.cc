@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for foldXor and ShiftFoldHash (the FS R-5 family).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hash_function.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(FoldXor, IdentityWhenValueFits)
+{
+    EXPECT_EQ(foldXor(0x3F, 8), 0x3Fu);
+    EXPECT_EQ(foldXor(0, 12), 0u);
+    EXPECT_EQ(foldXor(0xABC, 12), 0xABCu);
+}
+
+TEST(FoldXor, FoldsChunksTogether)
+{
+    // 0x12345678 in 16-bit chunks: 0x1234 ^ 0x5678.
+    EXPECT_EQ(foldXor(0x12345678u, 16), 0x1234u ^ 0x5678u);
+    // 8-bit chunks: 0x12 ^ 0x34 ^ 0x56 ^ 0x78.
+    EXPECT_EQ(foldXor(0x12345678u, 8),
+              std::uint64_t{0x12 ^ 0x34 ^ 0x56 ^ 0x78});
+}
+
+TEST(FoldXor, FullWidthIsIdentity)
+{
+    EXPECT_EQ(foldXor(0xDEADBEEFCAFEF00Dull, 64), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(FoldXor, ResultAlwaysInRange)
+{
+    for (unsigned bits = 1; bits <= 24; ++bits) {
+        for (std::uint64_t v : {0x0ull, 0x1ull, 0xFFFFFFFFull,
+                                0x123456789ABCDEFull}) {
+            EXPECT_LE(foldXor(v, bits), maskBits(bits))
+                    << "bits=" << bits << " v=" << v;
+        }
+    }
+}
+
+TEST(ShiftFoldHash, FsR5OrderMatchesPaperTable)
+{
+    // The paper's table: L2 bits {8,10,12,14,16,18,20} ->
+    // order {2,2,3,3,4,4,4}.
+    const std::pair<unsigned, unsigned> expected[] = {
+        {8, 2}, {10, 2}, {12, 3}, {14, 3}, {16, 4}, {18, 4}, {20, 4},
+    };
+    for (const auto& [bits, order] : expected) {
+        EXPECT_EQ(ShiftFoldHash::fsR5(bits).order(), order)
+                << "l2 bits " << bits;
+        EXPECT_EQ(orderForL2Bits(bits), order);
+    }
+}
+
+TEST(ShiftFoldHash, InsertStaysInRange)
+{
+    const ShiftFoldHash h = ShiftFoldHash::fsR5(12);
+    std::uint64_t state = 0;
+    for (std::uint64_t v = 0; v < 1000; ++v) {
+        state = h.insert(state, v * 0x9E3779B97F4A7C15ull);
+        EXPECT_LE(state, maskBits(12));
+    }
+}
+
+TEST(ShiftFoldHash, HashDependsOnlyOnLastOrderValues)
+{
+    // Insert different prefixes, then the same `order` values: the
+    // hashes must agree (old contributions fully shifted out).
+    const ShiftFoldHash h = ShiftFoldHash::fsR5(12);
+    const unsigned order = h.order();
+
+    std::uint64_t a = 0, b = 0;
+    a = h.insert(a, 111);
+    a = h.insert(a, 222);
+    b = h.insert(b, 98765);
+    b = h.insert(b, 1);
+    b = h.insert(b, 4242);
+    for (unsigned i = 0; i < order; ++i) {
+        a = h.insert(a, 1000 + i);
+        b = h.insert(b, 1000 + i);
+    }
+    EXPECT_EQ(a, b);
+}
+
+TEST(ShiftFoldHash, OlderValuesWithinOrderStillMatter)
+{
+    const ShiftFoldHash h = ShiftFoldHash::fsR5(12);
+    // Two histories differing only in the oldest in-window value.
+    std::uint64_t a = h.insert(0, 1);
+    std::uint64_t b = h.insert(0, 2);
+    for (unsigned i = 1; i < h.order(); ++i) {
+        a = h.insert(a, 7 * i);
+        b = h.insert(b, 7 * i);
+    }
+    EXPECT_NE(a, b);
+}
+
+TEST(ShiftFoldHash, ConcatMatchesFigure4Example)
+{
+    // Order-3 concatenation over a 12-bit index: fields of 4 bits.
+    const ShiftFoldHash h = ShiftFoldHash::concat(12, 3);
+    EXPECT_EQ(h.order(), 3u);
+    std::uint64_t s = 0;
+    s = h.insert(s, 1);
+    s = h.insert(s, 2);
+    s = h.insert(s, 3);
+    EXPECT_EQ(s, 0x123u);
+}
+
+TEST(ShiftFoldHash, TinyIndexClampsShift)
+{
+    const ShiftFoldHash h = ShiftFoldHash::fsR5(4);
+    EXPECT_EQ(h.shift(), 4u);
+    EXPECT_EQ(h.order(), 1u);
+}
+
+TEST(ShiftFoldHash, DistributesStridesAcrossTable)
+{
+    // A value sequence 0,1,2,...: an FCM history hash should spread
+    // over many entries (this is exactly the paper's inefficiency).
+    const ShiftFoldHash h = ShiftFoldHash::fsR5(12);
+    std::uint64_t state = 0;
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        state = h.insert(state, v);
+        seen.insert(state);
+    }
+    EXPECT_GT(seen.size(), 1000u);
+}
+
+TEST(ShiftFoldHash, Names)
+{
+    EXPECT_EQ(ShiftFoldHash::fsR5(12).name(), "FS R-5(12)");
+    EXPECT_EQ(ShiftFoldHash::concat(12, 3).name(), "concat-3(12)");
+}
+
+} // namespace
+} // namespace vpred

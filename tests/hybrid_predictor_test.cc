@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the perfect-meta and counter-meta hybrids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/stats.hh"
+#include "core/stride_predictor.hh"
+
+namespace vpred
+{
+namespace
+{
+
+std::unique_ptr<ValuePredictor>
+makeStride()
+{
+    return std::make_unique<StridePredictor>(8);
+}
+
+std::unique_ptr<ValuePredictor>
+makeFcm()
+{
+    FcmConfig cfg;
+    cfg.l1_bits = 8;
+    cfg.l2_bits = 12;
+    return std::make_unique<FcmPredictor>(cfg);
+}
+
+TEST(PerfectHybrid, CorrectWhenEitherComponentIsCorrect)
+{
+    PerfectHybridPredictor hybrid(makeStride(), makeFcm());
+    // Stride pattern: the stride side nails it, FCM lags.
+    PredictorStats s;
+    for (int i = 0; i < 100; ++i)
+        s.record(hybrid.predictAndUpdate(1, 3 * i));
+    StridePredictor alone(8);
+    PredictorStats s_alone = runTrace(alone, [] {
+        ValueTrace t;
+        for (int i = 0; i < 100; ++i)
+            t.push_back({1, static_cast<Value>(3 * i)});
+        return t;
+    }());
+    EXPECT_GE(s.correct, s_alone.correct);
+}
+
+TEST(PerfectHybrid, AtLeastAsGoodAsEachComponentOnMixedTrace)
+{
+    // Interleave a stride pattern and a context pattern.
+    ValueTrace trace;
+    const Value ctx[] = {9, 1, 7, 7, 2};
+    for (int i = 0; i < 300; ++i) {
+        trace.push_back({1, static_cast<Value>(5 * i)});
+        trace.push_back({2, ctx[i % 5]});
+    }
+
+    PerfectHybridPredictor hybrid(makeStride(), makeFcm());
+    const PredictorStats sh = runTrace(hybrid, trace);
+
+    StridePredictor stride(8);
+    const PredictorStats ss = runTrace(stride, trace);
+    FcmPredictor fcm({.l1_bits = 8, .l2_bits = 12});
+    const PredictorStats sf = runTrace(fcm, trace);
+
+    EXPECT_GE(sh.correct, ss.correct);
+    EXPECT_GE(sh.correct, sf.correct);
+}
+
+TEST(PerfectHybrid, StorageIsSumOfComponents)
+{
+    PerfectHybridPredictor hybrid(makeStride(), makeFcm());
+    EXPECT_EQ(hybrid.storageBits(),
+              makeStride()->storageBits() + makeFcm()->storageBits());
+}
+
+TEST(PerfectHybrid, UpdatesBothComponents)
+{
+    auto stride = makeStride();
+    auto* stride_raw = static_cast<StridePredictor*>(stride.get());
+    PerfectHybridPredictor hybrid(std::move(stride), makeFcm());
+    for (int i = 0; i < 10; ++i)
+        hybrid.predictAndUpdate(1, 4 * i);
+    // The stride component saw every update.
+    EXPECT_EQ(stride_raw->predict(1), 40u);
+}
+
+TEST(CounterHybrid, ConvergesToTheBetterComponentPerPc)
+{
+    CounterHybridPredictor hybrid(
+            makeStride(),
+            std::make_unique<LastValuePredictor>(8),
+            CounterHybridPredictor::Config{.meta_bits = 8});
+    // Stride data: the chooser should settle on the stride side.
+    for (int i = 0; i < 50; ++i)
+        hybrid.predictAndUpdate(1, 10 * i);
+    EXPECT_TRUE(hybrid.choosesFirst(1));
+
+    // A pattern where LVP wins: values alternate A A B B A A B B, so
+    // the stride side keeps mispredicting the transitions with a
+    // stale stride while LVP gets every second value.
+    for (int i = 0; i < 200; ++i)
+        hybrid.predictAndUpdate(2, (i / 2) % 2 == 0 ? 5 : 900);
+    EXPECT_FALSE(hybrid.choosesFirst(2));
+    // The earlier pc is unaffected (separate chooser entries).
+    EXPECT_TRUE(hybrid.choosesFirst(1));
+}
+
+TEST(CounterHybrid, WorseThanPerfectHybrid)
+{
+    ValueTrace trace;
+    const Value ctx[] = {9, 1, 7, 7, 2};
+    for (int i = 0; i < 500; ++i) {
+        trace.push_back({1, static_cast<Value>(5 * i)});
+        trace.push_back({2, ctx[i % 5]});
+    }
+    CounterHybridPredictor real(
+            makeStride(), makeFcm(),
+            CounterHybridPredictor::Config{.meta_bits = 8});
+    PerfectHybridPredictor perfect(makeStride(), makeFcm());
+    EXPECT_LE(runTrace(real, trace).correct,
+              runTrace(perfect, trace).correct);
+}
+
+TEST(CounterHybrid, StorageIncludesMetaTable)
+{
+    CounterHybridPredictor hybrid(
+            makeStride(), makeFcm(),
+            CounterHybridPredictor::Config{.meta_bits = 10,
+                                           .counter_bits = 2});
+    EXPECT_EQ(hybrid.storageBits(),
+              makeStride()->storageBits() + makeFcm()->storageBits()
+                      + 1024u * 2);
+}
+
+} // namespace
+} // namespace vpred

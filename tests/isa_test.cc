@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the MiniRISC ISA metadata and disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/isa.hh"
+
+#include <set>
+#include <string>
+
+namespace vpred::sim
+{
+namespace
+{
+
+TEST(Isa, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Op::Beq));
+    EXPECT_TRUE(isControl(Op::Bgeu));
+    EXPECT_TRUE(isControl(Op::J));
+    EXPECT_TRUE(isControl(Op::Jal));
+    EXPECT_TRUE(isControl(Op::Jr));
+    EXPECT_TRUE(isControl(Op::Jalr));
+    EXPECT_TRUE(isControl(Op::Syscall));
+    EXPECT_FALSE(isControl(Op::Add));
+    EXPECT_FALSE(isControl(Op::Lw));
+    EXPECT_FALSE(isControl(Op::Slt));
+    EXPECT_FALSE(isControl(Op::Li));
+}
+
+TEST(Isa, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Op::Lw));
+    EXPECT_TRUE(isLoad(Op::Lbu));
+    EXPECT_FALSE(isLoad(Op::Sw));
+    EXPECT_TRUE(isStore(Op::Sb));
+    EXPECT_FALSE(isStore(Op::Lb));
+    EXPECT_FALSE(isStore(Op::Add));
+}
+
+TEST(Isa, WritesRegister)
+{
+    EXPECT_TRUE(writesRegister({Op::Add, 5, 1, 2, 0}));
+    EXPECT_TRUE(writesRegister({Op::Lw, 5, 1, 0, 4}));
+    EXPECT_TRUE(writesRegister({Op::Jal, 31, 0, 0, 8}));
+    // rd == 0 never counts.
+    EXPECT_FALSE(writesRegister({Op::Add, 0, 1, 2, 0}));
+    // Stores, branches, plain jumps and syscall never write.
+    EXPECT_FALSE(writesRegister({Op::Sw, 0, 1, 5, 0}));
+    EXPECT_FALSE(writesRegister({Op::Beq, 5, 1, 2, 0}));
+    EXPECT_FALSE(writesRegister({Op::J, 5, 0, 0, 0}));
+    EXPECT_FALSE(writesRegister({Op::Syscall, 5, 0, 0, 0}));
+}
+
+TEST(Isa, OpNamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (unsigned i = 0; i < kOpCount; ++i) {
+        const std::string n = opName(static_cast<Op>(i));
+        EXPECT_FALSE(n.empty());
+        EXPECT_NE(n, "?");
+        EXPECT_TRUE(names.insert(n).second) << "duplicate: " << n;
+    }
+}
+
+TEST(Isa, DisassembleFormats)
+{
+    EXPECT_EQ(disassemble({Op::Add, 8, 9, 10, 0}), "add r8, r9, r10");
+    EXPECT_EQ(disassemble({Op::Addi, 8, 8, 0, -1}), "addi r8, r8, -1");
+    EXPECT_EQ(disassemble({Op::Lw, 4, 29, 0, 8}), "lw r4, 8(r29)");
+    EXPECT_EQ(disassemble({Op::Sw, 0, 29, 4, 8}), "sw r4, 8(r29)");
+    EXPECT_EQ(disassemble({Op::Beq, 0, 1, 2, 7}), "beq r1, r2, #7");
+    EXPECT_EQ(disassemble({Op::J, 0, 0, 0, 3}), "j #3");
+    EXPECT_EQ(disassemble({Op::Jr, 0, 31, 0, 0}), "jr r31");
+    EXPECT_EQ(disassemble({Op::Li, 2, 0, 0, 10}), "li r2, 10");
+    EXPECT_EQ(disassemble({Op::Syscall, 0, 0, 0, 0}), "syscall");
+    EXPECT_EQ(disassemble({Op::Nop, 0, 0, 0, 0}), "nop");
+}
+
+} // namespace
+} // namespace vpred::sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the last value predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/last_value_predictor.hh"
+#include "core/stats.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(LastValuePredictor, PredictsZeroWhenCold)
+{
+    LastValuePredictor p(4);
+    EXPECT_EQ(p.predict(0x1234), 0u);
+}
+
+TEST(LastValuePredictor, PredictsLastValue)
+{
+    LastValuePredictor p(4);
+    p.update(7, 42);
+    EXPECT_EQ(p.predict(7), 42u);
+    p.update(7, 43);
+    EXPECT_EQ(p.predict(7), 43u);
+}
+
+TEST(LastValuePredictor, PerfectOnConstantPattern)
+{
+    LastValuePredictor p(8);
+    PredictorStats s;
+    for (int i = 0; i < 100; ++i)
+        s.record(p.predictAndUpdate(3, 1234));
+    EXPECT_EQ(s.correct, 99u);  // only the cold start misses
+}
+
+TEST(LastValuePredictor, FailsOnStridePattern)
+{
+    LastValuePredictor p(8);
+    PredictorStats s;
+    for (int i = 0; i < 100; ++i)
+        s.record(p.predictAndUpdate(3, 100 + 4 * i));
+    EXPECT_EQ(s.correct, 0u);
+}
+
+TEST(LastValuePredictor, UntaggedTableAliases)
+{
+    // Two instructions whose low table_bits collide share an entry.
+    LastValuePredictor p(4);
+    p.update(0x10, 7);  // same low 4 bits as 0x20? no: 0x10 & 0xF = 0
+    p.update(0x20, 9);  // 0x20 & 0xF = 0 -> same entry
+    EXPECT_EQ(p.predict(0x10), 9u);
+}
+
+TEST(LastValuePredictor, ValuesMaskedToValueWidth)
+{
+    LastValuePredictor p(4, 16);
+    p.update(1, 0x12345);
+    EXPECT_EQ(p.predict(1), 0x2345u);
+}
+
+TEST(LastValuePredictor, StorageModel)
+{
+    // E entries of value_bits each.
+    EXPECT_EQ(LastValuePredictor(10, 32).storageBits(), 1024u * 32u);
+    EXPECT_EQ(LastValuePredictor(6, 32).storageBits(), 64u * 32u);
+    EXPECT_DOUBLE_EQ(LastValuePredictor(10, 32).storageKbit(), 32.0);
+}
+
+TEST(LastValuePredictor, Name)
+{
+    EXPECT_EQ(LastValuePredictor(12).name(), "lvp(t=12)");
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Exhaustive per-opcode semantics tests for the MiniRISC
+ * interpreter (complements machine_test.cc's scenario tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+#include "sim/machine.hh"
+
+namespace vpred::sim
+{
+namespace
+{
+
+/** Run a straight-line snippet that ends with exit. The exit
+ *  sequence is inserted before any .data section in the snippet. */
+std::array<std::uint32_t, kNumRegs>
+regsAfter(const std::string& body)
+{
+    const std::string exit_seq = "\nli $v0, 10\nsyscall\n";
+    std::string source = body;
+    if (const std::size_t data = source.find(".data");
+        data != std::string::npos) {
+        source.insert(data, exit_seq + "\n");
+    } else {
+        source += exit_seq;
+    }
+    const Program program = assemble(source);
+    Machine m(program);
+    m.run(100000);
+    std::array<std::uint32_t, kNumRegs> regs;
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        regs[r] = m.reg(r);
+    return regs;
+}
+
+TEST(MachineOps, Lui)
+{
+    const auto r = regsAfter("lui $t0, 0x1234\n"
+                             "lui $t1, 0xFFFF\n");
+    EXPECT_EQ(r[8], 0x12340000u);
+    EXPECT_EQ(r[9], 0xFFFF0000u);
+}
+
+TEST(MachineOps, XoriAndNor)
+{
+    const auto r = regsAfter("li   $t0, 0xFF00\n"
+                             "xori $t1, $t0, 0x0FF0\n"
+                             "nor  $t2, $t0, $zero\n");
+    EXPECT_EQ(r[9], 0xF0F0u);
+    EXPECT_EQ(r[10], ~0xFF00u);
+}
+
+TEST(MachineOps, VariableShifts)
+{
+    const auto r = regsAfter("li  $t0, 0x80000000\n"
+                             "li  $t1, 4\n"
+                             "sll $t2, $t1, $t1\n"     // 64
+                             "srl $t3, $t0, $t1\n"     // 0x08000000
+                             "sra $t4, $t0, $t1\n"     // 0xF8000000
+                             "li  $t5, 33\n"
+                             "sll $t6, $t1, $t5\n");   // shift & 31 = 1
+    EXPECT_EQ(r[10], 64u);
+    EXPECT_EQ(r[11], 0x08000000u);
+    EXPECT_EQ(r[12], 0xF8000000u);
+    EXPECT_EQ(r[14], 8u);
+}
+
+TEST(MachineOps, UnsignedDivRem)
+{
+    const auto r = regsAfter("li   $t0, -4\n"      // 0xFFFFFFFC
+                             "li   $t1, 3\n"
+                             "divu $t2, $t0, $t1\n"
+                             "remu $t3, $t0, $t1\n"
+                             "div  $t4, $t0, $t1\n"
+                             "rem  $t5, $t0, $t1\n");
+    EXPECT_EQ(r[10], 0xFFFFFFFCu / 3);
+    EXPECT_EQ(r[11], 0xFFFFFFFCu % 3);
+    EXPECT_EQ(r[12], static_cast<std::uint32_t>(-1));
+    EXPECT_EQ(r[13], static_cast<std::uint32_t>(-1));
+}
+
+TEST(MachineOps, MulWrapsModulo32)
+{
+    const auto r = regsAfter("li  $t0, 0x10001\n"
+                             "mul $t1, $t0, $t0\n");
+    EXPECT_EQ(r[9], 0x10001u * 0x10001u);  // wraps in uint32
+}
+
+TEST(MachineOps, SltiuWithLargeImmediate)
+{
+    const auto r = regsAfter("li    $t0, 5\n"
+                             "sltiu $t1, $t0, -1\n");  // unsigned max
+    EXPECT_EQ(r[9], 1u);
+}
+
+TEST(MachineOps, HalfwordSignedness)
+{
+    const auto r = regsAfter("la $t0, d\n"
+                             "lh  $t1, 0($t0)\n"
+                             "lhu $t2, 0($t0)\n"
+                             "lh  $t3, 2($t0)\n"
+                             ".data\nd: .half 0x8001, 0x7FFF\n");
+    EXPECT_EQ(r[9], 0xFFFF8001u);
+    EXPECT_EQ(r[10], 0x8001u);
+    EXPECT_EQ(r[11], 0x7FFFu);
+}
+
+TEST(MachineOps, StoreHalfAndByteTruncate)
+{
+    const auto r = regsAfter("la $t0, d\n"
+                             "li $t1, 0x12345678\n"
+                             "sh $t1, 0($t0)\n"
+                             "sb $t1, 2($t0)\n"
+                             "lw $t2, 0($t0)\n"
+                             ".data\nd: .word 0\n");
+    EXPECT_EQ(r[10], 0x00785678u);
+}
+
+TEST(MachineOps, JalrLinksAndJumps)
+{
+    const Program p = assemble(
+            "main:   la   $t0, callee\n"
+            "        jalr $t1, $t0\n"
+            "after:  li   $v0, 10\n"
+            "        syscall\n"
+            "callee: jr   $t1\n");
+    Machine m(p);
+    m.run(100);
+    EXPECT_TRUE(m.halted());
+    // $t1 held the return byte address (instruction 2 * 4).
+    EXPECT_EQ(m.reg(9), 8u);
+}
+
+TEST(MachineOps, BgeuBleuPseudoSwap)
+{
+    const auto r = regsAfter(
+            "        li   $t0, 0xFFFFFFFF\n"
+            "        li   $t1, 1\n"
+            "        li   $t2, 0\n"
+            "        bgtu $t0, $t1, a\n"   // unsigned: max > 1
+            "        li   $t2, 5\n"
+            "a:      li   $t3, 0\n"
+            "        bleu $t1, $t0, b\n"
+            "        li   $t3, 5\n"
+            "b:      nop\n");
+    EXPECT_EQ(r[10], 0u);
+    EXPECT_EQ(r[11], 0u);
+}
+
+TEST(MachineOps, GpPointsAtDataBase)
+{
+    const auto r = regsAfter("move $t0, $gp\n"
+                             "lw   $t1, d($zero)\n"
+                             ".data\nd: .word 321\n");
+    EXPECT_EQ(r[8], Program::kDataBase);
+    EXPECT_EQ(r[9], 321u);  // absolute-address load
+}
+
+TEST(MachineOps, StackPushPopConvention)
+{
+    const auto r = regsAfter("li   $t0, 77\n"
+                             "subi $sp, $sp, 8\n"
+                             "sw   $t0, 0($sp)\n"
+                             "sw   $t0, 4($sp)\n"
+                             "lw   $t1, 4($sp)\n"
+                             "addi $sp, $sp, 8\n");
+    EXPECT_EQ(r[9], 77u);
+}
+
+TEST(MachineOps, InstructionCountTracksExecution)
+{
+    const Program p = assemble("nop\nnop\nli $v0, 10\nsyscall\n");
+    Machine m(p);
+    m.run(100);
+    EXPECT_EQ(m.instructionsExecuted(), 4u);
+}
+
+} // namespace
+} // namespace vpred::sim

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the MiniRISC interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+#include "sim/machine.hh"
+
+namespace vpred::sim
+{
+namespace
+{
+
+/** Assemble, run to completion, and return the machine. */
+Machine
+runProgram(const std::string& asm_text, std::uint32_t a0 = 0)
+{
+    static std::vector<std::unique_ptr<Program>> keep_alive;
+    keep_alive.push_back(std::make_unique<Program>(assemble(asm_text)));
+    Machine m(*keep_alive.back());
+    if (a0 != 0)
+        m.setReg(reg::a0, a0);
+    m.run(1u << 24);
+    return m;
+}
+
+const char* kExit = "li $v0, 10\nsyscall\n";
+
+TEST(Machine, ArithmeticBasics)
+{
+    Machine m = runProgram(
+            "li  $t0, 21\n"
+            "add $t1, $t0, $t0\n"   // 42
+            "mul $t2, $t0, $t0\n"   // 441
+            "sub $t3, $t1, $t0\n"   // 21
+            "li  $t4, -7\n"
+            "div $t5, $t2, $t4\n"   // -63
+            "rem $t6, $t2, $t0\n"   // 0
+            + std::string(kExit));
+    EXPECT_EQ(m.reg(9), 42u);
+    EXPECT_EQ(m.reg(10), 441u);
+    EXPECT_EQ(m.reg(11), 21u);
+    EXPECT_EQ(m.reg(13), static_cast<std::uint32_t>(-63));
+    EXPECT_EQ(m.reg(14), 0u);
+}
+
+TEST(Machine, RegisterZeroIsHardwired)
+{
+    Machine m = runProgram("li $zero, 99\nli $t0, 5\n"
+                           + std::string(kExit));
+    EXPECT_EQ(m.reg(0), 0u);
+    EXPECT_EQ(m.reg(8), 5u);
+}
+
+TEST(Machine, LogicAndShifts)
+{
+    Machine m = runProgram(
+            "li  $t0, 0xF0F0\n"
+            "li  $t1, 0x0FF0\n"
+            "and $t2, $t0, $t1\n"
+            "or  $t3, $t0, $t1\n"
+            "xor $t4, $t0, $t1\n"
+            "sll $t5, $t1, 4\n"
+            "srl $t6, $t0, 4\n"
+            "li  $t7, -16\n"
+            "sra $t8, $t7, 2\n"
+            + std::string(kExit));
+    EXPECT_EQ(m.reg(10), 0x00F0u);
+    EXPECT_EQ(m.reg(11), 0xFFF0u);
+    EXPECT_EQ(m.reg(12), 0xFF00u);
+    EXPECT_EQ(m.reg(13), 0xFF00u);
+    EXPECT_EQ(m.reg(14), 0x0F0Fu);
+    EXPECT_EQ(m.reg(24), static_cast<std::uint32_t>(-4));
+}
+
+TEST(Machine, SltFamily)
+{
+    Machine m = runProgram(
+            "li   $t0, -1\n"
+            "li   $t1, 1\n"
+            "slt  $t2, $t0, $t1\n"   // signed: -1 < 1 -> 1
+            "sltu $t3, $t0, $t1\n"   // unsigned: huge < 1 -> 0
+            "slti $t4, $t1, 100\n"
+            "sltiu $t5, $t1, 1\n"
+            + std::string(kExit));
+    EXPECT_EQ(m.reg(10), 1u);
+    EXPECT_EQ(m.reg(11), 0u);
+    EXPECT_EQ(m.reg(12), 1u);
+    EXPECT_EQ(m.reg(13), 0u);
+}
+
+TEST(Machine, MemoryLoadStoreRoundTrip)
+{
+    Machine m = runProgram(
+            "        la  $t0, buf\n"
+            "        li  $t1, 0x12345678\n"
+            "        sw  $t1, 0($t0)\n"
+            "        lw  $t2, 0($t0)\n"
+            "        lbu $t3, 0($t0)\n"   // little endian: 0x78
+            "        lb  $t4, 3($t0)\n"   // 0x12
+            "        lhu $t5, 2($t0)\n"   // 0x1234
+            "        li  $t6, -2\n"
+            "        sb  $t6, 4($t0)\n"
+            "        lb  $t7, 4($t0)\n"   // sign-extended -2
+            "        lbu $t8, 4($t0)\n"   // 0xFE
+            + std::string(kExit)
+            + "        .data\nbuf:    .space 16\n");
+    EXPECT_EQ(m.reg(10), 0x12345678u);
+    EXPECT_EQ(m.reg(11), 0x78u);
+    EXPECT_EQ(m.reg(12), 0x12u);
+    EXPECT_EQ(m.reg(13), 0x1234u);
+    EXPECT_EQ(m.reg(15), static_cast<std::uint32_t>(-2));
+    EXPECT_EQ(m.reg(24), 0xFEu);
+}
+
+TEST(Machine, DataSegmentIsLoaded)
+{
+    Machine m = runProgram(
+            "la $t0, tab\n"
+            "lw $t1, 4($t0)\n"
+            + std::string(kExit)
+            + ".data\ntab: .word 11, 22, 33\n");
+    EXPECT_EQ(m.reg(9), 22u);
+}
+
+TEST(Machine, BranchesAndLoops)
+{
+    Machine m = runProgram(
+            "        li  $t0, 0\n"
+            "        li  $t1, 0\n"
+            "loop:   add $t1, $t1, $t0\n"
+            "        addi $t0, $t0, 1\n"
+            "        li  $t2, 10\n"
+            "        blt $t0, $t2, loop\n"
+            + std::string(kExit));
+    EXPECT_EQ(m.reg(9), 45u);  // sum 0..9
+}
+
+TEST(Machine, SignedVsUnsignedBranches)
+{
+    Machine m = runProgram(
+            "        li   $t0, -1\n"
+            "        li   $t1, 1\n"
+            "        li   $t2, 0\n"
+            "        blt  $t0, $t1, a\n"
+            "        li   $t2, 99\n"
+            "a:      li   $t3, 0\n"
+            "        bltu $t0, $t1, b\n"
+            "        li   $t3, 7\n"
+            "b:      nop\n"
+            + std::string(kExit));
+    EXPECT_EQ(m.reg(10), 0u);  // signed branch taken
+    EXPECT_EQ(m.reg(11), 7u);  // unsigned branch not taken
+}
+
+TEST(Machine, JalAndJrImplementCalls)
+{
+    Machine m = runProgram(
+            "main:   li  $a0, 5\n"
+            "        jal double\n"
+            "        move $t0, $v0\n"
+            "        li  $v0, 10\n"
+            "        syscall\n"
+            "double: add $v0, $a0, $a0\n"
+            "        jr  $ra\n");
+    EXPECT_EQ(m.reg(8), 10u);
+}
+
+TEST(Machine, JumpTableViaJr)
+{
+    Machine m = runProgram(
+            "        la  $t0, tab\n"
+            "        lw  $t1, 4($t0)\n"
+            "        jr  $t1\n"
+            "case0:  li  $t2, 100\n"
+            "        j   done\n"
+            "case1:  li  $t2, 200\n"
+            "        j   done\n"
+            "done:   li  $v0, 10\n"
+            "        syscall\n"
+            "        .data\n"
+            "tab:    .word case0, case1\n");
+    EXPECT_EQ(m.reg(10), 200u);
+}
+
+TEST(Machine, SyscallOutput)
+{
+    Machine m = runProgram(
+            "li $a0, -42\n"
+            "li $v0, 1\n"
+            "syscall\n"
+            "li $a0, '!'\n"
+            "li $v0, 11\n"
+            "syscall\n"
+            "la $a0, msg\n"
+            "li $v0, 4\n"
+            "syscall\n"
+            + std::string(kExit)
+            + ".data\nmsg: .asciiz \" ok\"\n");
+    EXPECT_EQ(m.output(), "-42! ok");
+}
+
+TEST(Machine, InitialRegistersViaSetReg)
+{
+    Machine m = runProgram("add $t0, $a0, $a0\n" + std::string(kExit),
+                           21);
+    EXPECT_EQ(m.reg(8), 42u);
+}
+
+TEST(Machine, HaltsOnExitSyscall)
+{
+    Machine m = runProgram(std::string(kExit));
+    EXPECT_TRUE(m.halted());
+    EXPECT_THROW(m.step(), VmError);
+}
+
+TEST(Machine, ThrowsOnDivisionByZero)
+{
+    EXPECT_THROW(runProgram("li $t0, 1\ndiv $t1, $t0, $zero\n"
+                            + std::string(kExit)),
+                 VmError);
+}
+
+TEST(Machine, ThrowsOnMisalignedWordAccess)
+{
+    EXPECT_THROW(runProgram("la $t0, b\nlw $t1, 1($t0)\n"
+                            + std::string(kExit)
+                            + ".data\nb: .space 8\n"),
+                 VmError);
+}
+
+TEST(Machine, ThrowsOnOutOfRangeAccess)
+{
+    EXPECT_THROW(runProgram("li $t0, 0x7FFFFFF0\nlw $t1, 0($t0)\n"
+                            + std::string(kExit)),
+                 VmError);
+}
+
+TEST(Machine, ThrowsOnRunawayProgram)
+{
+    const Program p = assemble("x: j x\n");
+    Machine m(p);
+    EXPECT_THROW(m.run(1000), VmError);
+}
+
+TEST(Machine, ThrowsWhenPcFallsOffText)
+{
+    const Program p = assemble("nop\n");
+    Machine m(p);
+    m.step();
+    EXPECT_THROW(m.step(), VmError);
+}
+
+TEST(Machine, Int32DivisionOverflowWraps)
+{
+    Machine m = runProgram(
+            "li  $t0, 0x80000000\n"
+            "li  $t1, -1\n"
+            "div $t2, $t0, $t1\n"
+            "rem $t3, $t0, $t1\n"
+            + std::string(kExit));
+    EXPECT_EQ(m.reg(10), 0x80000000u);
+    EXPECT_EQ(m.reg(11), 0u);
+}
+
+} // namespace
+} // namespace vpred::sim

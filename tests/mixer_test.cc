@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the trace mixer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tracegen/mixer.hh"
+
+namespace vpred::tracegen
+{
+namespace
+{
+
+TEST(TraceMixer, RoundRobinHonorsWeights)
+{
+    TraceMixer m;
+    m.add(1, std::make_unique<ConstantPattern>(0), 3);
+    m.add(2, std::make_unique<ConstantPattern>(0), 1);
+    const ValueTrace t = m.generate(4000);
+
+    std::map<Pc, int> counts;
+    for (const TraceRecord& r : t)
+        ++counts[r.pc];
+    EXPECT_EQ(counts[1], 3000);
+    EXPECT_EQ(counts[2], 1000);
+}
+
+TEST(TraceMixer, ExactLength)
+{
+    TraceMixer m;
+    m.add(1, std::make_unique<ConstantPattern>(5), 7);
+    EXPECT_EQ(m.generate(123).size(), 123u);
+    TraceMixer m2;
+    m2.add(1, std::make_unique<ConstantPattern>(5));
+    EXPECT_EQ(m2.generateStochastic(77).size(), 77u);
+}
+
+TEST(TraceMixer, PatternsAdvancePerInstruction)
+{
+    TraceMixer m;
+    m.add(1, std::make_unique<StridePattern>(0, 1));
+    m.add(2, std::make_unique<StridePattern>(100, 10));
+    const ValueTrace t = m.generate(6);
+    // Round robin: 1, 2, 1, 2, ...
+    EXPECT_EQ(t[0], (TraceRecord{1, 0}));
+    EXPECT_EQ(t[1], (TraceRecord{2, 100}));
+    EXPECT_EQ(t[2], (TraceRecord{1, 1}));
+    EXPECT_EQ(t[3], (TraceRecord{2, 110}));
+}
+
+TEST(TraceMixer, StochasticIsSeededDeterministic)
+{
+    auto build = [] {
+        TraceMixer m(555);
+        m.add(1, std::make_unique<StridePattern>(0, 1), 2);
+        m.add(2, std::make_unique<RandomPattern>(9), 1);
+        return m.generateStochastic(500);
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(MakeMixedTrace, HasRequestedComposition)
+{
+    const MixSpec spec{.stride_instructions = 5,
+                       .constant_instructions = 2,
+                       .context_instructions = 3,
+                       .random_instructions = 1,
+                       .seed = 21};
+    const ValueTrace t = makeMixedTrace(spec, 10000);
+    EXPECT_EQ(t.size(), 10000u);
+
+    std::map<Pc, int> counts;
+    for (const TraceRecord& r : t)
+        ++counts[r.pc];
+    EXPECT_EQ(counts.size(), 11u);  // 5 + 2 + 3 + 1 instructions
+}
+
+TEST(MakeMixedTrace, DeterministicPerSeed)
+{
+    const MixSpec spec{.seed = 9};
+    EXPECT_EQ(makeMixedTrace(spec, 2000), makeMixedTrace(spec, 2000));
+
+    const MixSpec other{.seed = 10};
+    EXPECT_NE(makeMixedTrace(spec, 2000), makeMixedTrace(other, 2000));
+}
+
+TEST(MakeMixedTrace, ValuesFitValueBits)
+{
+    MixSpec spec;
+    spec.value_bits = 16;
+    spec.seed = 31;
+    for (const TraceRecord& r : makeMixedTrace(spec, 5000))
+        EXPECT_LE(r.value, maskBits(16));
+}
+
+} // namespace
+} // namespace vpred::tracegen

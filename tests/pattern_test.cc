@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the synthetic pattern sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tracegen/pattern.hh"
+
+namespace vpred::tracegen
+{
+namespace
+{
+
+TEST(Xorshift, DeterministicPerSeed)
+{
+    Xorshift a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c;
+    }
+    EXPECT_NE(Xorshift(42).next(), Xorshift(43).next());
+}
+
+TEST(Xorshift, ZeroSeedIsValid)
+{
+    Xorshift z(0);
+    EXPECT_NE(z.next(), 0u);
+}
+
+TEST(Xorshift, NextBelowInRange)
+{
+    Xorshift r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(13), 13u);
+}
+
+TEST(ConstantPattern, AlwaysSame)
+{
+    ConstantPattern p(99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(p.next(), 99u);
+}
+
+TEST(StridePattern, ProducesArithmeticSequence)
+{
+    StridePattern p(100, 7);
+    EXPECT_EQ(p.next(), 100u);
+    EXPECT_EQ(p.next(), 107u);
+    EXPECT_EQ(p.next(), 114u);
+}
+
+TEST(StridePattern, WrapsAtLength)
+{
+    StridePattern p(0, 1, 3);
+    EXPECT_EQ(p.next(), 0u);
+    EXPECT_EQ(p.next(), 1u);
+    EXPECT_EQ(p.next(), 2u);
+    EXPECT_EQ(p.next(), 0u);  // wrap
+    EXPECT_EQ(p.next(), 1u);
+}
+
+TEST(StridePattern, ResetRestarts)
+{
+    StridePattern p(5, 2);
+    p.next();
+    p.next();
+    p.reset();
+    EXPECT_EQ(p.next(), 5u);
+}
+
+TEST(StridePattern, MasksToValueBits)
+{
+    StridePattern p(0xFFFF, 1, 0, 16);
+    EXPECT_EQ(p.next(), 0xFFFFu);
+    EXPECT_EQ(p.next(), 0u);  // wraps in 16 bits
+}
+
+TEST(SequencePattern, CyclesThroughValues)
+{
+    SequencePattern p({4, 8, 15});
+    EXPECT_EQ(p.next(), 4u);
+    EXPECT_EQ(p.next(), 8u);
+    EXPECT_EQ(p.next(), 15u);
+    EXPECT_EQ(p.next(), 4u);
+}
+
+TEST(MarkovPattern, StaysInAlphabet)
+{
+    MarkovPattern p({10, 20, 30, 40}, 2, 99);
+    for (int i = 0; i < 500; ++i) {
+        const Value v = p.next();
+        EXPECT_TRUE(v == 10 || v == 20 || v == 30 || v == 40);
+    }
+}
+
+TEST(MarkovPattern, DeterministicAfterReset)
+{
+    MarkovPattern p({1, 2, 3, 4, 5}, 3, 1234);
+    std::vector<Value> first;
+    for (int i = 0; i < 50; ++i)
+        first.push_back(p.next());
+    p.reset();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(p.next(), first[i]);
+}
+
+TEST(MarkovPattern, FanoutOneIsACycle)
+{
+    // With one successor per symbol the walk is eventually periodic
+    // and fully deterministic.
+    MarkovPattern a({7, 8, 9}, 1, 5);
+    MarkovPattern b({7, 8, 9}, 1, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomPattern, RespectsValueBits)
+{
+    RandomPattern p(3, 12);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LE(p.next(), maskBits(12));
+}
+
+} // namespace
+} // namespace vpred::tracegen

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for configuration-driven predictor construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor_factory.hh"
+#include "core/stats.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(PredictorFactory, BuildsEveryKind)
+{
+    const PredictorKind kinds[] = {
+        PredictorKind::Lvp,
+        PredictorKind::Stride,
+        PredictorKind::TwoDelta,
+        PredictorKind::Fcm,
+        PredictorKind::Dfcm,
+        PredictorKind::HybridStrideFcm,
+        PredictorKind::HybridStrideDfcm,
+        PredictorKind::PerfectStrideFcm,
+        PredictorKind::PerfectStrideDfcm,
+    };
+    for (PredictorKind kind : kinds) {
+        PredictorConfig cfg;
+        cfg.kind = kind;
+        cfg.l1_bits = 8;
+        cfg.l2_bits = 10;
+        auto p = makePredictor(cfg);
+        ASSERT_NE(p, nullptr) << kindName(kind);
+        // Exercise the object minimally.
+        p->predictAndUpdate(1, 42);
+        EXPECT_GT(p->storageBits(), 0u) << kindName(kind);
+        EXPECT_FALSE(p->name().empty());
+    }
+}
+
+TEST(PredictorFactory, DelayWrapsThePredictor)
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Lvp;
+    cfg.l1_bits = 4;
+    cfg.update_delay = 8;
+    auto p = makePredictor(cfg);
+    EXPECT_NE(p->name().find("delayed(8)"), std::string::npos);
+    p->predictAndUpdate(1, 7);
+    EXPECT_EQ(p->predict(1), 0u);  // update still queued
+}
+
+TEST(PredictorFactory, StrideBitsReachTheDfcm)
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Dfcm;
+    cfg.l1_bits = 8;
+    cfg.l2_bits = 10;
+    cfg.stride_bits = 8;
+    auto narrow = makePredictor(cfg);
+    cfg.stride_bits = 32;
+    auto wide = makePredictor(cfg);
+    EXPECT_LT(narrow->storageBits(), wide->storageBits());
+}
+
+TEST(PredictorFactory, HashShiftOverride)
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Fcm;
+    cfg.l1_bits = 8;
+    cfg.l2_bits = 12;
+    cfg.hash_shift = 3;  // order becomes ceil(12/3) = 4
+    auto p = makePredictor(cfg);
+    // Indirect check: the FS R-3 order-4 FCM needs 4 warm-up values
+    // before a 4-periodic pattern becomes unambiguous; just verify it
+    // still learns.
+    PredictorStats s;
+    for (int lap = 0; lap < 60; ++lap)
+        for (Value v : {3u, 1u, 4u, 1u, 5u})
+            s.record(p->predictAndUpdate(2, v));
+    EXPECT_GT(s.accuracy(), 0.8);
+}
+
+TEST(PredictorFactory, KindNames)
+{
+    EXPECT_EQ(kindName(PredictorKind::Lvp), "lvp");
+    EXPECT_EQ(kindName(PredictorKind::Dfcm), "dfcm");
+    EXPECT_EQ(kindName(PredictorKind::PerfectStrideDfcm),
+              "perfect-stride+dfcm");
+}
+
+} // namespace
+} // namespace vpred

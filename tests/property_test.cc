@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Property-style parameterized tests over table geometries: the
+ * paper's qualitative claims must hold for *every* configuration,
+ * not just the ones plotted.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/predictor_factory.hh"
+#include "core/stride_predictor.hh"
+#include "core/stats.hh"
+#include "tracegen/mixer.hh"
+#include "tracegen/pattern.hh"
+
+namespace vpred
+{
+namespace
+{
+
+/** Stride-rich mixed trace (the regime the DFCM is built for). */
+ValueTrace
+strideRichTrace(std::uint64_t seed, std::size_t records)
+{
+    tracegen::MixSpec spec;
+    spec.stride_instructions = 24;
+    spec.constant_instructions = 6;
+    spec.context_instructions = 6;
+    spec.random_instructions = 2;
+    spec.seed = seed;
+    return tracegen::makeMixedTrace(spec, records);
+}
+
+using Geometry = std::tuple<unsigned, unsigned>;  // (l1_bits, l2_bits)
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(GeometrySweep, DfcmBeatsFcmOnStrideRichTraces)
+{
+    // The paper's core claim, as an invariant across geometries.
+    const auto [l1, l2] = GetParam();
+    const ValueTrace trace = strideRichTrace(l1 * 100 + l2, 80000);
+
+    FcmPredictor fcm({.l1_bits = l1, .l2_bits = l2});
+    DfcmPredictor dfcm({.l1_bits = l1, .l2_bits = l2});
+    const double fcm_acc = runTrace(fcm, trace).accuracy();
+    const double dfcm_acc = runTrace(dfcm, trace).accuracy();
+    EXPECT_GT(dfcm_acc, fcm_acc)
+            << "l1=" << l1 << " l2=" << l2;
+}
+
+TEST_P(GeometrySweep, PredictionsAreDeterministic)
+{
+    const auto [l1, l2] = GetParam();
+    const ValueTrace trace = strideRichTrace(7, 20000);
+
+    DfcmPredictor a({.l1_bits = l1, .l2_bits = l2});
+    DfcmPredictor b({.l1_bits = l1, .l2_bits = l2});
+    EXPECT_EQ(runTrace(a, trace), runTrace(b, trace));
+}
+
+TEST_P(GeometrySweep, PredictIsSideEffectFree)
+{
+    const auto [l1, l2] = GetParam();
+    DfcmPredictor p({.l1_bits = l1, .l2_bits = l2});
+    FcmPredictor q({.l1_bits = l1, .l2_bits = l2});
+    for (int i = 0; i < 500; ++i) {
+        p.update(i % 17, 3 * i);
+        q.update(i % 17, 3 * i);
+    }
+    const Value v1 = p.predict(5);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(p.predict(5), v1);
+        EXPECT_EQ(q.predict(5), q.predict(5));
+    }
+}
+
+TEST_P(GeometrySweep, StorageAccountingMatchesFormulas)
+{
+    const auto [l1, l2] = GetParam();
+    FcmPredictor fcm({.l1_bits = l1, .l2_bits = l2});
+    DfcmPredictor dfcm({.l1_bits = l1, .l2_bits = l2});
+    EXPECT_EQ(fcm.storageBits(),
+              (1ull << l1) * l2 + (1ull << l2) * 32);
+    EXPECT_EQ(dfcm.storageBits(),
+              (1ull << l1) * (l2 + 32) + (1ull << l2) * 32);
+    // DFCM always costs more at equal geometry (the last values).
+    EXPECT_GT(dfcm.storageBits(), fcm.storageBits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Geometries, GeometrySweep,
+        ::testing::Combine(::testing::Values(6u, 8u, 10u, 12u),
+                           ::testing::Values(8u, 10u, 12u, 14u)),
+        [](const auto& info) {
+            return "l1_" + std::to_string(std::get<0>(info.param))
+                    + "_l2_" + std::to_string(std::get<1>(info.param));
+        });
+
+class StrideWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(StrideWidthSweep, NarrowStridesNeverBeatFullWidth)
+{
+    // Section 4.4: narrowing the stored stride can only lose
+    // accuracy (it is a lossy compression of the level-2 payload).
+    const unsigned bits = GetParam();
+    const ValueTrace trace = strideRichTrace(99, 60000);
+
+    DfcmPredictor full({.l1_bits = 10, .l2_bits = 12});
+    DfcmPredictor narrow(
+            {.l1_bits = 10, .l2_bits = 12, .stride_bits = bits});
+    const double acc_full = runTrace(full, trace).accuracy();
+    const double acc_narrow = runTrace(narrow, trace).accuracy();
+    EXPECT_LE(acc_narrow, acc_full + 1e-9) << "stride bits " << bits;
+    // Even 8-bit strides retain most of the benefit on small-stride
+    // data (the paper's .05-.08 drop).
+    if (bits >= 8) {
+        EXPECT_GT(acc_narrow, acc_full - 0.25);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StrideWidthSweep,
+                         ::testing::Values(4u, 8u, 12u, 16u, 24u, 32u),
+                         [](const auto& info) {
+                             return "sb" + std::to_string(info.param);
+                         });
+
+class DelaySweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DelaySweep, DelayNeverHelpsOnTightLoops)
+{
+    const unsigned delay = GetParam();
+    ValueTrace trace;
+    for (int i = 0; i < 30000; ++i)
+        trace.push_back({static_cast<Pc>(i % 3),
+                         static_cast<Value>(7 * i + (i % 3))});
+
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Dfcm;
+    cfg.l1_bits = 8;
+    cfg.l2_bits = 10;
+    auto baseline = makePredictor(cfg);
+    cfg.update_delay = delay;
+    auto delayed = makePredictor(cfg);
+
+    const double acc0 = runTrace(*baseline, trace).accuracy();
+    const double accd = runTrace(*delayed, trace).accuracy();
+    EXPECT_LE(accd, acc0 + 1e-9) << "delay " << delay;
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, DelaySweep,
+                         ::testing::Values(0u, 4u, 16u, 64u, 256u),
+                         [](const auto& info) {
+                             return "d" + std::to_string(info.param);
+                         });
+
+TEST(Property, LargerL2NeverHurtsMuchOnAverage)
+{
+    // Growing the level-2 table monotonically reduces interference on
+    // a fixed trace (allowing a tiny tolerance for hash accidents).
+    const ValueTrace trace = strideRichTrace(1234, 80000);
+    double prev = 0.0;
+    for (unsigned l2 : {8u, 10u, 12u, 14u, 16u}) {
+        FcmPredictor fcm({.l1_bits = 12, .l2_bits = l2});
+        const double acc = runTrace(fcm, trace).accuracy();
+        EXPECT_GT(acc, prev - 0.02) << "l2=" << l2;
+        prev = acc;
+    }
+}
+
+TEST(Property, FcmAndDfcmComparableOnPureContextPatterns)
+{
+    // Section 3: "Both forms of storing the history are equivalent"
+    // for non-stride patterns — with ample tables the two predictors
+    // should score nearly the same on pure repeating sequences.
+    tracegen::MixSpec spec;
+    spec.stride_instructions = 0;
+    spec.constant_instructions = 0;
+    spec.context_instructions = 12;
+    spec.random_instructions = 0;
+    spec.context_period = 9;
+    spec.seed = 4242;
+    const ValueTrace trace = tracegen::makeMixedTrace(spec, 60000);
+
+    FcmPredictor fcm({.l1_bits = 12, .l2_bits = 16});
+    DfcmPredictor dfcm({.l1_bits = 12, .l2_bits = 16});
+    const double fa = runTrace(fcm, trace).accuracy();
+    const double da = runTrace(dfcm, trace).accuracy();
+    EXPECT_GT(fa, 0.9);
+    EXPECT_NEAR(fa, da, 0.05);
+}
+
+TEST(Property, DfcmDegeneratesToStrideOnPureStrideData)
+{
+    // With only stride instructions, the DFCM should approach the
+    // stride predictor's accuracy (every pattern collapses to a
+    // constant-difference history).
+    tracegen::MixSpec spec;
+    spec.stride_instructions = 16;
+    spec.constant_instructions = 0;
+    spec.context_instructions = 0;
+    spec.random_instructions = 0;
+    spec.seed = 777;
+    const ValueTrace trace = tracegen::makeMixedTrace(spec, 60000);
+
+    StridePredictor stride(12);
+    DfcmPredictor dfcm({.l1_bits = 12, .l2_bits = 12});
+    const double sa = runTrace(stride, trace).accuracy();
+    const double da = runTrace(dfcm, trace).accuracy();
+    EXPECT_GT(da, sa - 0.05);
+}
+
+TEST(Property, HybridOracleIsAnUpperBoundOfComponents)
+{
+    const ValueTrace trace = strideRichTrace(777, 60000);
+    for (unsigned l2 : {8u, 12u, 16u}) {
+        PredictorConfig cfg;
+        cfg.l1_bits = 10;
+        cfg.l2_bits = l2;
+
+        cfg.kind = PredictorKind::Fcm;
+        auto fcm = makePredictor(cfg);
+        cfg.kind = PredictorKind::Stride;
+        auto stride = makePredictor(cfg);
+        cfg.kind = PredictorKind::PerfectStrideFcm;
+        auto hybrid = makePredictor(cfg);
+
+        const auto sf = runTrace(*fcm, trace);
+        const auto ss = runTrace(*stride, trace);
+        const auto sh = runTrace(*hybrid, trace);
+        EXPECT_GE(sh.correct, sf.correct) << "l2=" << l2;
+        EXPECT_GE(sh.correct, ss.correct) << "l2=" << l2;
+    }
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Reproduction-regression pins: the qualitative results recorded in
+ * EXPERIMENTS.md, asserted at a reduced trace scale so any code
+ * change that silently breaks a paper claim fails the suite.
+ *
+ * The pins are deliberately bands, not exact values — the exact
+ * numbers belong to the bench binaries; these tests protect the
+ * *shape* (who wins, roughly by how much).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dfcm_predictor.hh"
+#include "core/fcm_predictor.hh"
+#include "core/hybrid_predictor.hh"
+#include "core/stride_predictor.hh"
+#include "core/stats.hh"
+#include "harness/experiment.hh"
+#include "harness/trace_cache.hh"
+#include "workloads/workload.hh"
+
+namespace vpred
+{
+namespace
+{
+
+/** Shared reduced-scale cache across all pins in this file. */
+harness::TraceCache&
+cache()
+{
+    static harness::TraceCache c(0.2);
+    return c;
+}
+
+double
+suiteAccuracy(PredictorKind kind, unsigned l1, unsigned l2)
+{
+    PredictorConfig cfg;
+    cfg.kind = kind;
+    cfg.l1_bits = l1;
+    cfg.l2_bits = l2;
+    return harness::runBenchmarks(cache(), cfg).accuracy();
+}
+
+TEST(ReproRegression, Figure10SmallTableGap)
+{
+    // Paper: up to +33% at small level-2 tables. Pin: >= +25% at 2^10.
+    const double fcm = suiteAccuracy(PredictorKind::Fcm, 16, 10);
+    const double dfcm = suiteAccuracy(PredictorKind::Dfcm, 16, 10);
+    EXPECT_GT(dfcm, fcm * 1.25);
+}
+
+TEST(ReproRegression, Figure10LargeTableGapShrinks)
+{
+    // Paper: the gap shrinks to ~8% at the largest tables. Pin: the
+    // ratio at 2^18 is much smaller than at 2^10 but still > 1.
+    const double small_ratio =
+            suiteAccuracy(PredictorKind::Dfcm, 16, 10)
+            / suiteAccuracy(PredictorKind::Fcm, 16, 10);
+    const double large_ratio =
+            suiteAccuracy(PredictorKind::Dfcm, 16, 18)
+            / suiteAccuracy(PredictorKind::Fcm, 16, 18);
+    EXPECT_GT(large_ratio, 1.0);
+    EXPECT_LT(large_ratio, small_ratio - 0.1);
+}
+
+TEST(ReproRegression, Figure10DfcmWinsEveryBenchmark)
+{
+    for (const std::string& name : workloads::benchmarkNames()) {
+        PredictorConfig cfg;
+        cfg.l1_bits = 16;
+        cfg.l2_bits = 12;
+        cfg.kind = PredictorKind::Fcm;
+        const double fcm =
+                harness::runOn(cache(), name, cfg).accuracy();
+        cfg.kind = PredictorKind::Dfcm;
+        const double dfcm =
+                harness::runOn(cache(), name, cfg).accuracy();
+        EXPECT_GT(dfcm, fcm) << name;
+    }
+}
+
+TEST(ReproRegression, Figure3FcmBeatsSimplePredictorsAtLargeSizes)
+{
+    const double lvp = suiteAccuracy(PredictorKind::Lvp, 16, 0);
+    const double stride = suiteAccuracy(PredictorKind::Stride, 16, 0);
+    const double fcm = suiteAccuracy(PredictorKind::Fcm, 16, 18);
+    EXPECT_GT(stride, lvp);
+    EXPECT_GT(fcm, stride);
+}
+
+TEST(ReproRegression, Figure16DfcmMatchesPerfectHybridAtRealisticSizes)
+{
+    // Paper: DFCM outperforms the perfect STRIDE+FCM hybrid (by a
+    // small margin). Pin: at worst a statistical tie with the
+    // unimplementable oracle at the reduced test scale; at full
+    // scale bench_fig16_hybrid shows the strict win for l2 <= 2^14.
+    const double dfcm = suiteAccuracy(PredictorKind::Dfcm, 16, 12);
+    const double hybrid =
+            suiteAccuracy(PredictorKind::PerfectStrideFcm, 16, 12);
+    EXPECT_GT(dfcm, hybrid - 0.01);
+}
+
+TEST(ReproRegression, Figure16PerfectStrideDfcmGainIsSmall)
+{
+    // Paper: only .02-.04 over the plain DFCM. Pin: < .06.
+    const double dfcm = suiteAccuracy(PredictorKind::Dfcm, 16, 12);
+    const double hybrid =
+            suiteAccuracy(PredictorKind::PerfectStrideDfcm, 16, 12);
+    EXPECT_GE(hybrid, dfcm);
+    EXPECT_LT(hybrid - dfcm, 0.06);
+}
+
+TEST(ReproRegression, Figure17DelayHurtsBothSimilarly)
+{
+    PredictorConfig cfg;
+    cfg.l1_bits = 16;
+    cfg.l2_bits = 12;
+    cfg.update_delay = 64;
+    cfg.kind = PredictorKind::Fcm;
+    const double fcm_delayed =
+            harness::runBenchmarks(cache(), cfg).accuracy();
+    cfg.kind = PredictorKind::Dfcm;
+    const double dfcm_delayed =
+            harness::runBenchmarks(cache(), cfg).accuracy();
+
+    const double fcm0 = suiteAccuracy(PredictorKind::Fcm, 16, 12);
+    const double dfcm0 = suiteAccuracy(PredictorKind::Dfcm, 16, 12);
+    // Both suffer significantly...
+    EXPECT_LT(fcm_delayed, fcm0 - 0.1);
+    EXPECT_LT(dfcm_delayed, dfcm0 - 0.1);
+    // ...and end up close together (paper: same overall behaviour).
+    EXPECT_NEAR(fcm_delayed, dfcm_delayed, 0.05);
+}
+
+TEST(ReproRegression, Section44NarrowStrideBands)
+{
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Dfcm;
+    cfg.l1_bits = 16;
+    cfg.l2_bits = 12;
+    const double full = harness::runBenchmarks(cache(), cfg).accuracy();
+    cfg.stride_bits = 16;
+    const double w16 = harness::runBenchmarks(cache(), cfg).accuracy();
+    cfg.stride_bits = 8;
+    const double w8 = harness::runBenchmarks(cache(), cfg).accuracy();
+    // Paper bands (.01-.03 and .05-.08) with slack for scale.
+    EXPECT_GT(full - w16, 0.0);
+    EXPECT_LT(full - w16, 0.06);
+    EXPECT_GT(full - w8, 0.02);
+    EXPECT_LT(full - w8, 0.15);
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the saturating counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sat_counter.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(SatCounter, StartsAtInitialValue)
+{
+    EXPECT_EQ(SatCounter(3).value(), 0u);
+    EXPECT_EQ(SatCounter(3, 1, 2, 5).value(), 5u);
+    // Clamped to maximum.
+    EXPECT_EQ(SatCounter(3, 1, 2, 99).value(), 7u);
+}
+
+TEST(SatCounter, PaperPolicyIncrementsByOne)
+{
+    SatCounter c(3, 1, 2);
+    c.train(true);
+    c.train(true);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(SatCounter, PaperPolicyDecrementsByTwo)
+{
+    SatCounter c(3, 1, 2, 7);
+    c.train(false);
+    EXPECT_EQ(c.value(), 5u);
+    c.train(false);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(3, 1, 2, 7);
+    c.train(true);
+    EXPECT_EQ(c.value(), 7u);
+    EXPECT_TRUE(c.isMax());
+}
+
+TEST(SatCounter, SaturatesLowWithoutUnderflow)
+{
+    SatCounter c(3, 1, 2, 1);
+    c.train(false);  // 1 - 2 clamps to 0
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.isMin());
+    c.train(false);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, MaxDependsOnWidth)
+{
+    EXPECT_EQ(SatCounter(1).max(), 1u);
+    EXPECT_EQ(SatCounter(2).max(), 3u);
+    EXPECT_EQ(SatCounter(3).max(), 7u);
+    EXPECT_EQ(SatCounter(8).max(), 255u);
+}
+
+TEST(SatCounter, ResetClamps)
+{
+    SatCounter c(2);
+    c.reset(2);
+    EXPECT_EQ(c.value(), 2u);
+    c.reset(100);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, SevenCorrectRecoverAfterTwoMispredictions)
+{
+    // The paper's policy: climbing back to saturation after a stride
+    // break takes inc/dec-ratio many correct predictions.
+    SatCounter c(3, 1, 2, 7);
+    c.train(false);
+    c.train(false);
+    EXPECT_EQ(c.value(), 3u);
+    for (int i = 0; i < 4; ++i)
+        c.train(true);
+    EXPECT_TRUE(c.isMax());
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for accuracy accounting and runTrace().
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/last_value_predictor.hh"
+#include "core/stats.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(PredictorStats, RecordAndAccuracy)
+{
+    PredictorStats s;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.0);  // no division by zero
+    s.record(true);
+    s.record(false);
+    s.record(true);
+    s.record(true);
+    EXPECT_EQ(s.predictions, 4u);
+    EXPECT_EQ(s.correct, 3u);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.75);
+}
+
+TEST(PredictorStats, AdditionIsPredictionWeighted)
+{
+    PredictorStats a{.predictions = 100, .correct = 90};
+    PredictorStats b{.predictions = 900, .correct = 90};
+    PredictorStats sum = a;
+    sum += b;
+    EXPECT_EQ(sum.predictions, 1000u);
+    EXPECT_EQ(sum.correct, 180u);
+    // The paper's weighted mean, not the mean of means:
+    EXPECT_DOUBLE_EQ(sum.accuracy(), 0.18);
+    EXPECT_NE(sum.accuracy(), (a.accuracy() + b.accuracy()) / 2);
+}
+
+TEST(PredictorStats, Equality)
+{
+    PredictorStats a{.predictions = 5, .correct = 2};
+    PredictorStats b{.predictions = 5, .correct = 2};
+    EXPECT_EQ(a, b);
+    b.correct = 3;
+    EXPECT_NE(a, b);
+}
+
+TEST(RunTrace, CountsEveryRecordInOrder)
+{
+    // Constant per pc: only each pc's first occurrence misses.
+    ValueTrace trace;
+    for (int i = 0; i < 30; ++i)
+        trace.push_back({static_cast<Pc>(i % 3), 42});
+    LastValuePredictor p(4);
+    const PredictorStats s = runTrace(p, trace);
+    EXPECT_EQ(s.predictions, 30u);
+    EXPECT_EQ(s.correct, 27u);
+}
+
+TEST(RunTrace, EmptyTrace)
+{
+    LastValuePredictor p(4);
+    const PredictorStats s = runTrace(p, {});
+    EXPECT_EQ(s.predictions, 0u);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.0);
+}
+
+} // namespace
+} // namespace vpred

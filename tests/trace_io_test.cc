@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/trace_io.hh"
+#include "tracegen/mixer.hh"
+
+namespace vpred
+{
+namespace
+{
+
+ValueTrace
+sampleTrace()
+{
+    return tracegen::makeMixedTrace({.seed = 77}, 5000);
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceBinary(ss, trace);
+    EXPECT_EQ(readTraceBinary(ss), trace);
+}
+
+TEST(TraceIo, BinaryRoundTripEmpty)
+{
+    std::stringstream ss;
+    writeTraceBinary(ss, {});
+    EXPECT_TRUE(readTraceBinary(ss).empty());
+}
+
+TEST(TraceIo, BinaryPreservesFullWidthValues)
+{
+    const ValueTrace trace = {{0xFFFFFFFFFFFFFFFFull, 0},
+                              {1, 0xFFFFFFFFFFFFFFFFull},
+                              {0, 0x8000000000000000ull}};
+    std::stringstream ss;
+    writeTraceBinary(ss, trace);
+    EXPECT_EQ(readTraceBinary(ss), trace);
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic)
+{
+    std::stringstream ss("GARBAGE DATA");
+    EXPECT_THROW(readTraceBinary(ss), TraceIoError);
+}
+
+TEST(TraceIo, BinaryRejectsTruncation)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceBinary(ss, trace);
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(readTraceBinary(cut), TraceIoError);
+}
+
+TEST(TraceIo, CsvRoundTrip)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceCsv(ss, trace);
+    EXPECT_EQ(readTraceCsv(ss), trace);
+}
+
+TEST(TraceIo, CsvAcceptsHeaderlessInput)
+{
+    std::stringstream ss("1,100\n2,200\n");
+    const ValueTrace trace = readTraceCsv(ss);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0], (TraceRecord{1, 100}));
+}
+
+TEST(TraceIo, CsvRejectsMalformedLines)
+{
+    std::stringstream a("1 100\n");
+    EXPECT_THROW(readTraceCsv(a), TraceIoError);
+    std::stringstream b("pc,value\nx,7\n");
+    EXPECT_THROW(readTraceCsv(b), TraceIoError);
+}
+
+TEST(TraceIo, SaveLoadByExtension)
+{
+    namespace fs = std::filesystem;
+    const ValueTrace trace = sampleTrace();
+    const fs::path dir = fs::temp_directory_path();
+    const std::string bin = (dir / "vpred_test_trace.vpt").string();
+    const std::string csv = (dir / "vpred_test_trace.csv").string();
+
+    saveTrace(bin, trace);
+    saveTrace(csv, trace);
+    EXPECT_EQ(loadTrace(bin), trace);
+    EXPECT_EQ(loadTrace(csv), trace);
+
+    // CSV file really is text.
+    std::ifstream check(csv);
+    std::string header;
+    std::getline(check, header);
+    EXPECT_EQ(header, "pc,value");
+
+    std::remove(bin.c_str());
+    std::remove(csv.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/path/trace.vpt"),
+                 TraceIoError);
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the value tracer and the paper's eligibility filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assembler.hh"
+#include "sim/tracer.hh"
+
+namespace vpred::sim
+{
+namespace
+{
+
+TEST(Tracer, CollectsIntegerResultsIncludingLoads)
+{
+    const Program p = assemble(
+            "li  $t0, 5\n"          // pc 0: eligible
+            "la  $t1, d\n"          // pc 1: eligible
+            "lw  $t2, 0($t1)\n"     // pc 2: eligible (load)
+            "sw  $t2, 4($t1)\n"     // pc 3: store, no result
+            "li  $v0, 10\n"         // pc 4: eligible
+            "syscall\n"             // pc 5: control
+            ".data\nd: .word 77, 0\n");
+    const TraceResult r = traceProgram(p, 1000);
+    ASSERT_EQ(r.trace.size(), 4u);
+    EXPECT_EQ(r.trace[0], (TraceRecord{0, 5}));
+    EXPECT_EQ(r.trace[1], (TraceRecord{1, Program::kDataBase}));
+    EXPECT_EQ(r.trace[2], (TraceRecord{2, 77}));
+    EXPECT_EQ(r.trace[3], (TraceRecord{4, 10}));
+}
+
+TEST(Tracer, ExcludesBranchesJumpsAndLinkWrites)
+{
+    const Program p = assemble(
+            "main:   jal f\n"        // link write: excluded (control)
+            "        li  $v0, 10\n"
+            "        syscall\n"
+            "f:      jr  $ra\n");
+    const TraceResult r = traceProgram(p, 1000);
+    ASSERT_EQ(r.trace.size(), 1u);
+    EXPECT_EQ(r.trace[0].pc, 1u);  // only the li
+}
+
+TEST(Tracer, ExcludesWritesToRegisterZero)
+{
+    const Program p = assemble(
+            "add $zero, $t0, $t0\n"
+            "li  $v0, 10\n"
+            "syscall\n");
+    const TraceResult r = traceProgram(p, 1000);
+    ASSERT_EQ(r.trace.size(), 1u);
+}
+
+TEST(Tracer, PcIsTheInstructionIndex)
+{
+    const Program p = assemble(
+            "        li  $t0, 3\n"
+            "loop:   addi $t0, $t0, -1\n"
+            "        bnez $t0, loop\n"
+            "        li  $v0, 10\n"
+            "        syscall\n");
+    const TraceResult r = traceProgram(p, 1000);
+    // pc 1 appears three times (the loop body).
+    int count = 0;
+    for (const TraceRecord& rec : r.trace) {
+        if (rec.pc == 1)
+            ++count;
+    }
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(r.instructions, 1u + 3 * 2 + 2);
+}
+
+TEST(Tracer, PresetsInitialRegisters)
+{
+    const Program p = assemble(
+            "add $t0, $a0, $a1\n"
+            "li  $v0, 10\n"
+            "syscall\n");
+    const std::pair<unsigned, std::uint32_t> init[] = {
+        {reg::a0, 30}, {reg::a1, 12},
+    };
+    const TraceResult r = traceProgram(p, 1000, init);
+    EXPECT_EQ(r.trace[0].value, 42u);
+}
+
+TEST(Tracer, CapturesProgramOutput)
+{
+    const Program p = assemble(
+            "li $a0, 7\n"
+            "li $v0, 1\n"
+            "syscall\n"
+            "li $v0, 10\n"
+            "syscall\n");
+    EXPECT_EQ(traceProgram(p, 1000).output, "7");
+}
+
+TEST(Tracer, EnforcesStepBudget)
+{
+    const Program p = assemble("x: j x\n");
+    EXPECT_THROW(traceProgram(p, 100), VmError);
+}
+
+} // namespace
+} // namespace vpred::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the two-delta stride predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/two_delta_predictor.hh"
+#include "core/stats.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(TwoDeltaPredictor, PromotesStrideOnlyWhenSeenTwice)
+{
+    TwoDeltaPredictor p(8);
+    p.update(1, 10);   // stride 10 -> s2
+    EXPECT_EQ(p.predict(1), 10u);  // s1 still 0
+    p.update(1, 20);   // stride 10 == s2 -> promoted to s1
+    EXPECT_EQ(p.predict(1), 30u);
+}
+
+TEST(TwoDeltaPredictor, OneOffStrideDoesNotDisturbS1)
+{
+    TwoDeltaPredictor p(8);
+    for (int i = 0; i < 10; ++i)
+        p.update(1, 5 * i);
+    // One irregular jump: new stride != s2, s1 keeps the old stride.
+    p.update(1, 1000);
+    EXPECT_EQ(p.predict(1), 1005u);
+}
+
+TEST(TwoDeltaPredictor, LoopResetCostsOneMisprediction)
+{
+    TwoDeltaPredictor p(8);
+    for (int i = 0; i < 8; ++i)
+        p.predictAndUpdate(2, i);
+    int wrong = 0;
+    for (int lap = 0; lap < 4; ++lap) {
+        for (int i = 0; i < 8; ++i) {
+            if (!p.predictAndUpdate(2, i))
+                ++wrong;
+        }
+    }
+    EXPECT_EQ(wrong, 4);
+}
+
+TEST(TwoDeltaPredictor, PerfectOnStrideAfterWarmup)
+{
+    TwoDeltaPredictor p(8);
+    PredictorStats s;
+    for (int i = 0; i < 100; ++i)
+        s.record(p.predictAndUpdate(5, 7 * i));
+    EXPECT_GE(s.correct, 98u);
+}
+
+TEST(TwoDeltaPredictor, StorageModel)
+{
+    // last + s1 + s2, each value_bits wide.
+    EXPECT_EQ(TwoDeltaPredictor(10, 32).storageBits(), 1024u * 96);
+}
+
+} // namespace
+} // namespace vpred

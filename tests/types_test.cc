@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the fundamental helpers in core/types.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/types.hh"
+
+namespace vpred
+{
+namespace
+{
+
+TEST(MaskBits, Boundaries)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xFFu);
+    EXPECT_EQ(maskBits(32), 0xFFFFFFFFu);
+    EXPECT_EQ(maskBits(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t{0});
+}
+
+TEST(MaskBits, IsConstexpr)
+{
+    static_assert(maskBits(4) == 0xF);
+    static_assert(maskBits(64) == ~std::uint64_t{0});
+    SUCCEED();
+}
+
+TEST(IsPowerOfTwo, Classification)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(SignExtend, PositiveValuesUnchanged)
+{
+    EXPECT_EQ(signExtend(0x7F, 8), 0x7Fu);
+    EXPECT_EQ(signExtend(0, 8), 0u);
+    EXPECT_EQ(signExtend(0x3FFF, 16), 0x3FFFu);
+}
+
+TEST(SignExtend, NegativeValuesExtend)
+{
+    EXPECT_EQ(signExtend(0xFF, 8), ~std::uint64_t{0});          // -1
+    EXPECT_EQ(signExtend(0x80, 8), static_cast<std::uint64_t>(-128));
+    EXPECT_EQ(signExtend(0xFFFE, 16), static_cast<std::uint64_t>(-2));
+}
+
+TEST(SignExtend, IgnoresHighGarbage)
+{
+    // Bits above the field are masked before extension.
+    EXPECT_EQ(signExtend(0xABCD00FF, 8), ~std::uint64_t{0});
+    EXPECT_EQ(signExtend(0xABCD0001, 8), 1u);
+}
+
+TEST(SignExtend, FullWidthIsIdentity)
+{
+    EXPECT_EQ(signExtend(0xDEADBEEF, 64), 0xDEADBEEFull);
+    EXPECT_EQ(signExtend(42, 0), 42u);  // degenerate: no-op
+}
+
+TEST(TraceRecord, EqualityAndVectorUse)
+{
+    const TraceRecord a{1, 2};
+    EXPECT_EQ(a, (TraceRecord{1, 2}));
+    EXPECT_NE(a, (TraceRecord{1, 3}));
+    EXPECT_NE(a, (TraceRecord{2, 2}));
+
+    ValueTrace t = {{1, 10}, {2, 20}};
+    EXPECT_EQ(t, (ValueTrace{{1, 10}, {2, 20}}));
+}
+
+} // namespace
+} // namespace vpred

@@ -1,0 +1,599 @@
+/**
+ * @file
+ * Cross-validation of workload kernels against independent C++
+ * reimplementations: the MiniRISC kernel and the C++ model must
+ * produce the same checksum. This validates both the kernels and
+ * the VM's instruction semantics end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace vpred::workloads
+{
+namespace
+{
+
+std::uint32_t
+lcg(std::uint32_t& x)
+{
+    x = x * 1103515245u + 12345u;
+    return x;
+}
+
+TEST(WorkloadSemantics, NormMatchesCppModel)
+{
+    // Reimplementation of asm_norm.cc: init, `reps` normalization
+    // passes, checksum. reps = max(1, round(6 * scale)).
+    const int reps = 3;
+    const double scale = reps / 6.0;
+
+    std::vector<std::int32_t> m(200 * 100);
+    for (int i = 0; i < 200; ++i)
+        for (int j = 0; j < 100; ++j)
+            m[i * 100 + j] = (31 * i + 17 * j) % 1000 - 500;
+
+    for (int r = 0; r < reps; ++r) {
+        for (int i = 0; i < 200; ++i) {
+            std::int32_t max = std::abs(m[i * 100 + 99]);
+            for (int j = 0; j < 99; ++j)
+                max = std::max(max, std::abs(m[i * 100 + j]));
+            if (max == 0)
+                max = 1;
+            for (int j = 0; j < 100; ++j)
+                m[i * 100 + j] = (m[i * 100 + j] << 6) / max;
+        }
+    }
+    std::int64_t sum = 0;
+    for (std::int32_t v : m)
+        sum += v;
+    const auto expected = static_cast<std::int32_t>(sum);
+
+    const sim::TraceResult result = runWorkload("norm", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, CompressMatchesCppModel)
+{
+    // Reimplementation of asm_compress.cc: input synthesis + LZW
+    // with a 4096-entry open-addressed dictionary, 1 pass.
+    const int passes = 1;
+    const double scale = passes / 2.0;
+
+    constexpr int kInsize = 32768;
+    const char* motif = "abracadabrab";
+    std::vector<std::uint8_t> in(kInsize);
+    std::uint32_t x = 12345;
+    for (int i = 0; i < kInsize; ++i) {
+        lcg(x);
+        std::uint8_t b = 97 + ((x >> 16) & 7);
+        if ((i & 63) < 24)
+            b = static_cast<std::uint8_t>(motif[(i & 63) % 12]);
+        in[i] = b;
+    }
+
+    std::uint32_t checksum = 0, codes = 0;
+    for (int p = 0; p < passes; ++p) {
+        std::array<std::uint32_t, 4096> hkey{}, hval{};
+        std::uint32_t next_code = 256, entries = 0;
+        std::uint32_t w = in[0];
+        for (int i = 1; i < kInsize; ++i) {
+            const std::uint32_t c = in[i];
+            const std::uint32_t k = (w << 8) | c;
+            std::uint32_t h = (k * 0x9E3779B1u) >> 20 & 4095u;
+            while (hkey[h] != 0 && hkey[h] != k)
+                h = (h + 1) & 4095u;
+            if (hkey[h] == k) {
+                w = hval[h];
+            } else {
+                checksum += w;
+                ++codes;
+                if (entries < 3072) {
+                    hkey[h] = k;
+                    hval[h] = next_code++;
+                    ++entries;
+                }
+                w = c;
+            }
+        }
+        checksum += w;
+        ++codes;
+    }
+    const auto expected =
+            static_cast<std::int32_t>(checksum + codes);
+
+    const sim::TraceResult result = runWorkload("compress", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, M88ksimMatchesCppModel)
+{
+    // Reimplementation of the byte-coded guest program interpreted
+    // by asm_m88ksim.cc, 1 outer rep x 16 guest runs.
+    const int reps = 1;
+    const double scale = reps / 3.0;
+
+    auto guest_run = []() -> std::uint32_t {
+        std::array<std::uint32_t, 16> r{};
+        std::array<std::uint32_t, 1024> mem{};
+        std::uint32_t s_out = 0;
+        r[1] = 0;
+        r[2] = 200;
+        r[4] = 0;
+        do {
+            r[3] = r[2];
+            r[3] *= r[3];
+            r[1] += r[3];
+            r[4] += 1;
+            mem[r[4] & 1023] = r[1];
+            r[5] = mem[r[4] & 1023];
+            r[1] += r[5];
+            r[2] -= 1;
+        } while (r[2] != 0);
+        s_out += r[1];
+        return s_out;
+    };
+
+    std::uint32_t checksum = 0;
+    for (int rep = 0; rep < reps; ++rep)
+        for (int run = 0; run < 16; ++run)
+            checksum += guest_run();
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("m88ksim", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, VortexMatchesCppModel)
+{
+    // Reimplementation of asm_vortex.cc, 1 pass.
+    const int passes = 1;
+    const double scale = passes / 10.0;
+
+    struct Rec
+    {
+        std::uint32_t key = 0, val = 0;
+        int next = -1;
+    };
+
+    std::uint32_t checksum = 0;
+    for (int pass = 1; pass <= passes; ++pass) {
+        std::array<int, 512> buckets;
+        buckets.fill(-1);
+        std::vector<Rec> recs(4096);
+        std::uint32_t x = static_cast<std::uint32_t>(pass)
+                * 0x9E3779B1u;
+        for (int i = 0; i < 4096; ++i) {
+            lcg(x);
+            const std::uint32_t key = (x >> 8) & 8191u;
+            recs[i].key = key;
+            recs[i].val = key ^ static_cast<std::uint32_t>(i);
+            const std::uint32_t b = key & 511u;
+            recs[i].next = buckets[b];
+            buckets[b] = i;
+        }
+        std::uint32_t y = static_cast<std::uint32_t>(pass)
+                * 0x85EBCA6Bu;
+        for (int q = 0; q < 4096; ++q) {
+            lcg(y);
+            const std::uint32_t key = (y >> 8) & 8191u;
+            int r = buckets[key & 511u];
+            while (r >= 0 && recs[r].key != key)
+                r = recs[r].next;
+            if (r >= 0) {
+                checksum += recs[r].val;
+                ++recs[r].val;
+            } else {
+                checksum += 1;
+            }
+        }
+        for (int i = 0; i < 4096; ++i)
+            checksum += recs[i].val;
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("vortex", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, LiMatchesCppModel)
+{
+    // Model of asm_li.cc, 1 outer iteration (5 reps).
+    const int iters = 1;
+    const double scale = iters / 28.0;
+
+    std::uint32_t checksum = 0;
+    for (int it = 1; it <= iters; ++it) {
+        for (int rep = 0; rep < 5; ++rep) {
+            std::uint32_t sum1 = 0, sum2 = 0, count = 0;
+            for (int i = 0; i < 400; ++i) {
+                const std::uint32_t v = 7u * it + rep + 3u * i;
+                sum1 += v;
+                const std::uint32_t mapped = v + rep;
+                sum2 += mapped;
+                if (mapped % 5 == 0)
+                    ++count;
+            }
+            checksum += sum1 + sum2 + count;
+        }
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("li", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, IjpegMatchesCppModel)
+{
+    // Model of asm_ijpeg.cc, 1 pass over the 128x64 image.
+    const double scale = 1.0;
+
+    std::array<std::uint8_t, 128 * 64> image;
+    for (int y = 0; y < 64; ++y)
+        for (int x = 0; x < 128; ++x)
+            image[y * 128 + x] = static_cast<std::uint8_t>(
+                    (y ^ x) + 3 * x + 5 * y);
+
+    std::int32_t coef[8][8];
+    for (int k = 0; k < 8; ++k)
+        for (int n = 0; n < 8; ++n)
+            coef[k][n] = (7 * k * n + 3 * k + n) % 17 - 8;
+    std::int32_t quant[64];
+    for (int i = 0; i < 64; ++i)
+        quant[i] = 1 + i / 4;
+
+    std::uint32_t checksum = 0;
+    for (int by = 0; by < 8; ++by) {
+        for (int bx = 0; bx < 16; ++bx) {
+            std::int32_t blk[8][8], tmp[8][8];
+            for (int r = 0; r < 8; ++r)
+                for (int c = 0; c < 8; ++c)
+                    blk[r][c] = image[(8 * by + r) * 128 + 8 * bx + c];
+            for (int k = 0; k < 8; ++k) {
+                for (int c = 0; c < 8; ++c) {
+                    std::int32_t acc = 0;
+                    for (int r = 0; r < 8; ++r)
+                        acc += coef[k][r] * blk[r][c];
+                    tmp[k][c] = acc;
+                }
+            }
+            for (int k = 0; k < 8; ++k) {
+                for (int l = 0; l < 8; ++l) {
+                    std::int32_t acc = 0;
+                    for (int c = 0; c < 8; ++c)
+                        acc += tmp[k][c] * coef[l][c];
+                    acc >>= 4;
+                    checksum += static_cast<std::uint32_t>(
+                            acc / quant[8 * k + l]);
+                }
+            }
+        }
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("ijpeg", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, GzipMatchesCppModel)
+{
+    // Model of asm_gzip.cc, 1 pass.
+    const int passes = 1;
+    const double scale = passes / 7.0;
+
+    constexpr int kBufsz = 16384;
+    std::array<std::uint8_t, kBufsz> buf;
+    std::uint32_t x = 777777;
+    for (int i = 0; i < kBufsz; ++i) {
+        lcg(x);
+        std::uint8_t b = static_cast<std::uint8_t>(
+                97 + ((x >> 18) & 7u));
+        if ((i & 127) < 48)
+            b = static_cast<std::uint8_t>(103 + (i & 127) % 16);
+        buf[i] = b;
+    }
+
+    std::uint32_t checksum = 0;
+    for (int p = 0; p < passes; ++p) {
+        std::array<std::uint32_t, 4096> heads{};
+        std::uint32_t literals = 0, matches = 0;
+        int pos = 0;
+        while (pos < kBufsz - 4) {
+            const std::uint32_t h =
+                    (((static_cast<std::uint32_t>(buf[pos]) << 10)
+                      + (static_cast<std::uint32_t>(buf[pos + 1])
+                         << 5)
+                      + buf[pos + 2])
+                     * 0x9E3779B1u)
+                            >> 20
+                    & 4095u;
+            const std::uint32_t cand = heads[h];
+            heads[h] = static_cast<std::uint32_t>(pos) + 1;
+            bool emitted_match = false;
+            if (cand != 0) {
+                const int cpos = static_cast<int>(cand) - 1;
+                int len = 0;
+                while (pos + len < kBufsz && len < 64
+                       && buf[pos + len] == buf[cpos + len])
+                    ++len;
+                if (len >= 3) {
+                    checksum += static_cast<std::uint32_t>(pos - cpos);
+                    checksum += static_cast<std::uint32_t>(len);
+                    ++matches;
+                    pos += len;
+                    emitted_match = true;
+                }
+            }
+            if (!emitted_match) {
+                checksum += buf[pos];
+                ++literals;
+                ++pos;
+            }
+        }
+        checksum += literals + matches;
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("gzip", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, GoMatchesCppModel)
+{
+    // Model of asm_go.cc, 1 game.
+    const int games = 1;
+    const double scale = games / 15.0;
+
+    std::uint32_t checksum = 0;
+    for (int g = 1; g <= games; ++g) {
+        std::array<std::uint8_t, 441> board;
+        board.fill(3);
+        for (int y = 1; y < 20; ++y)
+            for (int xx = 1; xx < 20; ++xx)
+                board[y * 21 + xx] = 0;
+
+        std::uint32_t rng = static_cast<std::uint32_t>(g)
+                * 0x9E3779B1u;
+        int m = 0;
+        while (m < 120) {
+            lcg(rng);
+            const std::uint32_t pt = (rng >> 8) % 361;
+            const int idx = static_cast<int>(pt / 19 + 1) * 21
+                    + static_cast<int>(pt % 19 + 1);
+            if (board[idx] == 0)
+                board[idx] = static_cast<std::uint8_t>(1 + (m & 1));
+            ++m;
+            if (m % 10 != 0)
+                continue;
+            // Whole-board evaluation.
+            for (int y = 1; y < 20; ++y) {
+                for (int xx = 1; xx < 20; ++xx) {
+                    const int i = y * 21 + xx;
+                    const std::uint8_t c = board[i];
+                    const std::uint8_t nb[4] = {
+                        board[i - 21], board[i + 21], board[i - 1],
+                        board[i + 1]};
+                    if (c == 0) {
+                        int infl = 0;
+                        for (std::uint8_t n : nb) {
+                            if (n == 1)
+                                ++infl;
+                            if (n == 2)
+                                --infl;
+                        }
+                        checksum += static_cast<std::uint32_t>(infl);
+                    } else {
+                        int libs = 0;
+                        for (std::uint8_t n : nb)
+                            if (n == 0)
+                                ++libs;
+                        if (libs == 0)
+                            checksum -= 5;
+                        else
+                            checksum += static_cast<std::uint32_t>(
+                                    libs * c);
+                    }
+                }
+            }
+        }
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("go", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, McfMatchesCppModel)
+{
+    // Model of asm_mcf.cc, 1 round.
+    const int rounds = 1;
+    const double scale = rounds / 24.0;
+
+    constexpr int kArcs = 3000, kNodes = 256;
+    struct Arc
+    {
+        std::uint32_t from, to;
+        std::int32_t cost;
+    };
+    std::vector<Arc> arcs(kArcs);
+    std::uint32_t x = 424242;
+    for (int i = 0; i < kArcs; ++i) {
+        lcg(x);
+        arcs[i].from = (x >> 9) & 255u;
+        arcs[i].to = (x >> 17) & 255u;
+        arcs[i].cost = (i * 13) % 997 + 3;
+    }
+    std::array<std::int32_t, kNodes> pot;
+    for (int n = 0; n < kNodes; ++n)
+        pot[n] = 7 * n;
+
+    std::uint32_t checksum = 0;
+    for (int r = 0; r < rounds; ++r) {
+        std::array<std::int32_t, kNodes> best;
+        best.fill(0x7FFFFFFF);
+        for (const Arc& a : arcs) {
+            const std::int32_t rc = a.cost + pot[a.from] - pot[a.to];
+            if (rc < best[a.to])
+                best[a.to] = rc;
+        }
+        for (int n = 0; n < kNodes; ++n) {
+            if (best[n] == 0x7FFFFFFF)
+                continue;
+            pot[n] -= best[n] >> 3;
+            checksum += static_cast<std::uint32_t>(best[n]);
+        }
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("mcf", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, PerlMatchesCppModel)
+{
+    // Model of asm_perl.cc, 1 pass of 3 rounds.
+    const int passes = 1;
+    const double scale = passes / 10.0;
+
+    std::array<std::uint8_t, 26> lettval;
+    for (int c = 0; c < 26; ++c)
+        lettval[c] = static_cast<std::uint8_t>((7 * c) % 9 + 1);
+
+    struct Word
+    {
+        int len;
+        std::array<std::uint8_t, 16> chars;
+    };
+    std::vector<Word> words(256);
+    std::uint32_t x = 31415926;
+    for (int w = 0; w < 256; ++w) {
+        lcg(x);
+        words[w].len = 3 + static_cast<int>((x >> 7) & 7u);
+        for (int j = 0; j < words[w].len; ++j) {
+            lcg(x);
+            words[w].chars[j] =
+                    static_cast<std::uint8_t>(97 + (x >> 11) % 26);
+        }
+    }
+    auto hashOf = [](const Word& w) {
+        std::uint32_t h = 0;
+        for (int j = 0; j < w.len; ++j)
+            h = h * 31 + w.chars[j];
+        return h;
+    };
+
+    std::uint32_t checksum = 0;
+    for (int p = 0; p < passes; ++p) {
+        for (int round = 0; round < 3; ++round) {
+            std::array<std::uint32_t, 512> hkey{}, hval{};
+            for (const Word& w : words) {
+                const std::uint32_t h = hashOf(w);
+                std::uint32_t score = 0;
+                for (int j = 0; j < w.len; ++j)
+                    score += lettval[w.chars[j] - 97];
+                if (w.len > 6)
+                    score *= 2;
+                checksum += score;
+                std::uint32_t idx = h & 511u;
+                while (hkey[idx] != 0 && hkey[idx] != h)
+                    idx = (idx + 1) & 511u;
+                hkey[idx] = h;
+                hval[idx] = score;
+            }
+            std::uint32_t y = 271828182;
+            for (int q = 0; q < 512; ++q) {
+                lcg(y);
+                const std::uint32_t t = (y >> 10) % 320;
+                const std::uint32_t h =
+                        t >= 256 ? (y | 1u) : hashOf(words[t]);
+                std::uint32_t idx = h & 511u;
+                bool hit = false;
+                while (hkey[idx] != 0) {
+                    if (hkey[idx] == h) {
+                        checksum += hval[idx];
+                        hit = true;
+                        break;
+                    }
+                    idx = (idx + 1) & 511u;
+                }
+                if (!hit)
+                    checksum += 1;
+            }
+        }
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("perl", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+TEST(WorkloadSemantics, Cc1MatchesCppModel)
+{
+    // Model of asm_cc1.cc: replicate the generator's statement
+    // stream (including the byte-length accounting that decides how
+    // many statements fit) and evaluate each statement directly —
+    // the recursive-descent parser must compute the same values.
+    const int passes = 1;
+    const double scale = passes / 12.0;
+
+    struct Stmt
+    {
+        int lhs, shape;
+        std::uint32_t v2, v3, n1;
+    };
+    std::vector<Stmt> stmts;
+
+    auto digits = [](std::uint32_t n) {
+        return n >= 100 ? 3 : n >= 10 ? 2 : 1;
+    };
+
+    std::uint32_t x = 987654321;
+    std::uint32_t ptr = 0;
+    const std::uint32_t limit = 12224;
+    while (ptr < limit) {
+        lcg(x);
+        Stmt s;
+        s.lhs = static_cast<int>((x >> 4) % 26);
+        s.v2 = (x >> 9) % 26;
+        s.v3 = (x >> 14) % 26;
+        s.n1 = (x >> 16) % 999 + 1;
+        s.shape = static_cast<int>((x >> 22) & 3);
+        stmts.push_back(s);
+
+        const int d = digits(s.n1);
+        switch (s.shape) {
+          case 0: ptr += 4 + d + 3 + 2; break;
+          case 1: ptr += 4 + 3 + d + 3 + 2; break;
+          case 2: ptr += 4 + d + 4 + 2; break;
+          default: ptr += 4 + 3 + d + 3 + 2; break;
+        }
+    }
+
+    std::array<std::uint32_t, 26> vars{};
+    std::uint32_t checksum = 0;
+    for (int p = 0; p < passes; ++p) {
+        for (const Stmt& s : stmts) {
+            std::uint32_t value = 0;
+            switch (s.shape) {
+              case 0: value = s.n1 + vars[s.v2]; break;
+              case 1: value = vars[s.v2] * (s.n1 + vars[s.v3]); break;
+              case 2: value = s.n1 * 7 + vars[s.v2]; break;
+              default: value = (vars[s.v2] + s.n1) * 3; break;
+            }
+            vars[s.lhs] = value;
+            checksum += value;
+        }
+    }
+
+    const auto expected = static_cast<std::int32_t>(checksum);
+    const sim::TraceResult result = runWorkload("cc1", scale);
+    EXPECT_EQ(result.output, std::to_string(expected));
+}
+
+} // namespace
+} // namespace vpred::workloads

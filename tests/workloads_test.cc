@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the MiniRISC workload suite: every kernel assembles,
+ * runs to completion, produces a pinned checksum (regression guard)
+ * and a healthy eligible-prediction trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/assembler.hh"
+#include "workloads/workload.hh"
+
+namespace vpred::workloads
+{
+namespace
+{
+
+// Checksums printed by each kernel at scale 0.25, pinned as a
+// regression guard for both the kernels and the VM semantics.
+// (Regenerate with: examples/run_workload <name> 0.25)
+const std::map<std::string, std::string> kExpectedOutput = {
+    {"compress", "8746259"},
+    {"cc1", "-2113846129"},
+    {"go", "12877"},
+    {"ijpeg", "2962062"},
+    {"li", "17628800"},
+    {"m88ksim", "-96"},
+    {"perl", "371286"},
+    {"vortex", "69840933"},
+    {"norm", "-3816"},
+    {"gzip", "12784090"},
+    {"mcf", "-1045344"},
+};
+
+TEST(Workloads, RegistryIsComplete)
+{
+    EXPECT_EQ(allWorkloads().size(), 11u);
+    EXPECT_EQ(benchmarkNames().size(), 8u);
+    for (const std::string& name : benchmarkNames())
+        EXPECT_NO_THROW(findWorkload(name));
+    EXPECT_NO_THROW(findWorkload("norm"));
+    EXPECT_NO_THROW(findWorkload("gzip"));
+    EXPECT_NO_THROW(findWorkload("mcf"));
+    EXPECT_THROW(findWorkload("does-not-exist"), std::out_of_range);
+}
+
+TEST(Workloads, AllKernelsAssemble)
+{
+    for (const Workload& w : allWorkloads())
+        EXPECT_NO_THROW(sim::assemble(w.assembly)) << w.name;
+}
+
+class WorkloadRunTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadRunTest, RunsAndMatchesPinnedChecksum)
+{
+    const Workload& w = findWorkload(GetParam());
+    const sim::TraceResult r = runWorkload(w, 0.25);
+    EXPECT_EQ(r.output, kExpectedOutput.at(w.name)) << w.name;
+    EXPECT_GT(r.instructions, 100000u) << w.name;
+    EXPECT_GT(r.trace.size(), 50000u) << w.name;
+    // The eligibility filter keeps a sane fraction of instructions.
+    EXPECT_LT(r.trace.size(), r.instructions) << w.name;
+}
+
+TEST_P(WorkloadRunTest, DeterministicAcrossRuns)
+{
+    const Workload& w = findWorkload(GetParam());
+    const sim::TraceResult a = runWorkload(w, 0.25);
+    const sim::TraceResult b = runWorkload(w, 0.25);
+    EXPECT_EQ(a.trace, b.trace) << w.name;
+    EXPECT_EQ(a.output, b.output) << w.name;
+}
+
+TEST_P(WorkloadRunTest, TraceValuesAre32Bit)
+{
+    const sim::TraceResult r = runWorkload(GetParam(), 0.1);
+    for (const TraceRecord& rec : r.trace)
+        ASSERT_LE(rec.value, 0xFFFFFFFFull);
+}
+
+TEST_P(WorkloadRunTest, UsesManyStaticInstructions)
+{
+    // Real programs touch many PCs; a degenerate kernel would not.
+    const sim::TraceResult r = runWorkload(GetParam(), 0.1);
+    std::set<Pc> pcs;
+    for (const TraceRecord& rec : r.trace)
+        pcs.insert(rec.pc);
+    EXPECT_GT(pcs.size(), 25u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        AllWorkloads, WorkloadRunTest,
+        ::testing::Values("compress", "cc1", "go", "ijpeg", "li",
+                          "m88ksim", "perl", "vortex", "norm", "gzip",
+                          "mcf"),
+        [](const auto& info) { return info.param; });
+
+TEST(Workloads, ScaleChangesTraceLength)
+{
+    const sim::TraceResult small = runWorkload("go", 0.2);
+    const sim::TraceResult large = runWorkload("go", 0.6);
+    EXPECT_GT(large.trace.size(), small.trace.size() * 2);
+}
+
+} // namespace
+} // namespace vpred::workloads
