@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_workloads.dir/extra_workloads.cc.o"
+  "CMakeFiles/bench_extra_workloads.dir/extra_workloads.cc.o.d"
+  "bench_extra_workloads"
+  "bench_extra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

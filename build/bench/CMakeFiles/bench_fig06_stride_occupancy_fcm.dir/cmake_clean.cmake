@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_stride_occupancy_fcm.dir/fig06_stride_occupancy_fcm.cc.o"
+  "CMakeFiles/bench_fig06_stride_occupancy_fcm.dir/fig06_stride_occupancy_fcm.cc.o.d"
+  "bench_fig06_stride_occupancy_fcm"
+  "bench_fig06_stride_occupancy_fcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_stride_occupancy_fcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

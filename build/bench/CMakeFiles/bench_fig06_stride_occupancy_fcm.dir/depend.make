@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_stride_occupancy_fcm.
+# This may be replaced when dependencies are built.

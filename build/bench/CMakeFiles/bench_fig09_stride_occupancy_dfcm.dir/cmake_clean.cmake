@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_stride_occupancy_dfcm.dir/fig09_stride_occupancy_dfcm.cc.o"
+  "CMakeFiles/bench_fig09_stride_occupancy_dfcm.dir/fig09_stride_occupancy_dfcm.cc.o.d"
+  "bench_fig09_stride_occupancy_dfcm"
+  "bench_fig09_stride_occupancy_dfcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_stride_occupancy_dfcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

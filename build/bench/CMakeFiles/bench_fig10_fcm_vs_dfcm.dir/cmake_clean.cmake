@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fcm_vs_dfcm.dir/fig10_fcm_vs_dfcm.cc.o"
+  "CMakeFiles/bench_fig10_fcm_vs_dfcm.dir/fig10_fcm_vs_dfcm.cc.o.d"
+  "bench_fig10_fcm_vs_dfcm"
+  "bench_fig10_fcm_vs_dfcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fcm_vs_dfcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

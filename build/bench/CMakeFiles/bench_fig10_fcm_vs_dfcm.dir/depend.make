@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_fcm_vs_dfcm.
+# This may be replaced when dependencies are built.

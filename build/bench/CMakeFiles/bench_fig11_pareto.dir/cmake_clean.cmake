@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pareto.dir/fig11_pareto.cc.o"
+  "CMakeFiles/bench_fig11_pareto.dir/fig11_pareto.cc.o.d"
+  "bench_fig11_pareto"
+  "bench_fig11_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_alias_accuracy.cc" "bench/CMakeFiles/bench_fig12_alias_accuracy.dir/fig12_alias_accuracy.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_alias_accuracy.dir/fig12_alias_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/vpred_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vpred_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/vpred_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_alias_all.dir/fig13_alias_all.cc.o"
+  "CMakeFiles/bench_fig13_alias_all.dir/fig13_alias_all.cc.o.d"
+  "bench_fig13_alias_all"
+  "bench_fig13_alias_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_alias_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_alias_wrong.dir/fig14_alias_wrong.cc.o"
+  "CMakeFiles/bench_fig14_alias_wrong.dir/fig14_alias_wrong.cc.o.d"
+  "bench_fig14_alias_wrong"
+  "bench_fig14_alias_wrong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_alias_wrong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_limit.dir/ilp_limit.cc.o"
+  "CMakeFiles/bench_ilp_limit.dir/ilp_limit.cc.o.d"
+  "bench_ilp_limit"
+  "bench_ilp_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

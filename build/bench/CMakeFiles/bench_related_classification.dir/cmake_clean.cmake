@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_classification.dir/related_classification.cc.o"
+  "CMakeFiles/bench_related_classification.dir/related_classification.cc.o.d"
+  "bench_related_classification"
+  "bench_related_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

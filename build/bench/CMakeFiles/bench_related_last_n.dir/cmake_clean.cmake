@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_last_n.dir/related_last_n.cc.o"
+  "CMakeFiles/bench_related_last_n.dir/related_last_n.cc.o.d"
+  "bench_related_last_n"
+  "bench_related_last_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_last_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

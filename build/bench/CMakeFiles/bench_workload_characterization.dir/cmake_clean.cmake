@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_characterization.dir/workload_characterization.cc.o"
+  "CMakeFiles/bench_workload_characterization.dir/workload_characterization.cc.o.d"
+  "bench_workload_characterization"
+  "bench_workload_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictability_report.dir/predictability_report.cpp.o"
+  "CMakeFiles/predictability_report.dir/predictability_report.cpp.o.d"
+  "predictability_report"
+  "predictability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpsim.dir/vpsim.cpp.o"
+  "CMakeFiles/vpsim.dir/vpsim.cpp.o.d"
+  "vpsim"
+  "vpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alias_analysis.cc" "src/core/CMakeFiles/vpred_core.dir/alias_analysis.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/alias_analysis.cc.o.d"
+  "/root/repo/src/core/assoc_dfcm_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/assoc_dfcm_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/assoc_dfcm_predictor.cc.o.d"
+  "/root/repo/src/core/classifying_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/classifying_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/classifying_predictor.cc.o.d"
+  "/root/repo/src/core/confidence_dfcm.cc" "src/core/CMakeFiles/vpred_core.dir/confidence_dfcm.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/confidence_dfcm.cc.o.d"
+  "/root/repo/src/core/delayed_update.cc" "src/core/CMakeFiles/vpred_core.dir/delayed_update.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/delayed_update.cc.o.d"
+  "/root/repo/src/core/dfcm_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/dfcm_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/dfcm_predictor.cc.o.d"
+  "/root/repo/src/core/fcm_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/fcm_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/fcm_predictor.cc.o.d"
+  "/root/repo/src/core/hash_function.cc" "src/core/CMakeFiles/vpred_core.dir/hash_function.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/hash_function.cc.o.d"
+  "/root/repo/src/core/hybrid_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/hybrid_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/hybrid_predictor.cc.o.d"
+  "/root/repo/src/core/ideal_context_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/ideal_context_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/ideal_context_predictor.cc.o.d"
+  "/root/repo/src/core/last_n_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/last_n_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/last_n_predictor.cc.o.d"
+  "/root/repo/src/core/last_value_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/last_value_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/last_value_predictor.cc.o.d"
+  "/root/repo/src/core/predictor_factory.cc" "src/core/CMakeFiles/vpred_core.dir/predictor_factory.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/predictor_factory.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/vpred_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/stride_occupancy.cc" "src/core/CMakeFiles/vpred_core.dir/stride_occupancy.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/stride_occupancy.cc.o.d"
+  "/root/repo/src/core/stride_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/stride_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/stride_predictor.cc.o.d"
+  "/root/repo/src/core/trace_io.cc" "src/core/CMakeFiles/vpred_core.dir/trace_io.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/trace_io.cc.o.d"
+  "/root/repo/src/core/two_delta_predictor.cc" "src/core/CMakeFiles/vpred_core.dir/two_delta_predictor.cc.o" "gcc" "src/core/CMakeFiles/vpred_core.dir/two_delta_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpred_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/vpred_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/vpred_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/pareto.cc" "src/harness/CMakeFiles/vpred_harness.dir/pareto.cc.o" "gcc" "src/harness/CMakeFiles/vpred_harness.dir/pareto.cc.o.d"
+  "/root/repo/src/harness/sweep.cc" "src/harness/CMakeFiles/vpred_harness.dir/sweep.cc.o" "gcc" "src/harness/CMakeFiles/vpred_harness.dir/sweep.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/harness/CMakeFiles/vpred_harness.dir/table_printer.cc.o" "gcc" "src/harness/CMakeFiles/vpred_harness.dir/table_printer.cc.o.d"
+  "/root/repo/src/harness/trace_cache.cc" "src/harness/CMakeFiles/vpred_harness.dir/trace_cache.cc.o" "gcc" "src/harness/CMakeFiles/vpred_harness.dir/trace_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vpred_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpred_harness.dir/experiment.cc.o"
+  "CMakeFiles/vpred_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/vpred_harness.dir/pareto.cc.o"
+  "CMakeFiles/vpred_harness.dir/pareto.cc.o.d"
+  "CMakeFiles/vpred_harness.dir/sweep.cc.o"
+  "CMakeFiles/vpred_harness.dir/sweep.cc.o.d"
+  "CMakeFiles/vpred_harness.dir/table_printer.cc.o"
+  "CMakeFiles/vpred_harness.dir/table_printer.cc.o.d"
+  "CMakeFiles/vpred_harness.dir/trace_cache.cc.o"
+  "CMakeFiles/vpred_harness.dir/trace_cache.cc.o.d"
+  "libvpred_harness.a"
+  "libvpred_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpred_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

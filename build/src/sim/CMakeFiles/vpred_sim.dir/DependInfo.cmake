@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cc" "src/sim/CMakeFiles/vpred_sim.dir/assembler.cc.o" "gcc" "src/sim/CMakeFiles/vpred_sim.dir/assembler.cc.o.d"
+  "/root/repo/src/sim/dataflow.cc" "src/sim/CMakeFiles/vpred_sim.dir/dataflow.cc.o" "gcc" "src/sim/CMakeFiles/vpred_sim.dir/dataflow.cc.o.d"
+  "/root/repo/src/sim/isa.cc" "src/sim/CMakeFiles/vpred_sim.dir/isa.cc.o" "gcc" "src/sim/CMakeFiles/vpred_sim.dir/isa.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/vpred_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/vpred_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/tracer.cc" "src/sim/CMakeFiles/vpred_sim.dir/tracer.cc.o" "gcc" "src/sim/CMakeFiles/vpred_sim.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpred_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

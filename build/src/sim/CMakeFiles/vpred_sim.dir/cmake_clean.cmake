@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpred_sim.dir/assembler.cc.o"
+  "CMakeFiles/vpred_sim.dir/assembler.cc.o.d"
+  "CMakeFiles/vpred_sim.dir/dataflow.cc.o"
+  "CMakeFiles/vpred_sim.dir/dataflow.cc.o.d"
+  "CMakeFiles/vpred_sim.dir/isa.cc.o"
+  "CMakeFiles/vpred_sim.dir/isa.cc.o.d"
+  "CMakeFiles/vpred_sim.dir/machine.cc.o"
+  "CMakeFiles/vpred_sim.dir/machine.cc.o.d"
+  "CMakeFiles/vpred_sim.dir/tracer.cc.o"
+  "CMakeFiles/vpred_sim.dir/tracer.cc.o.d"
+  "libvpred_sim.a"
+  "libvpred_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpred_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

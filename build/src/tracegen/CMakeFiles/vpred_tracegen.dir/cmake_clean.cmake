@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpred_tracegen.dir/mixer.cc.o"
+  "CMakeFiles/vpred_tracegen.dir/mixer.cc.o.d"
+  "CMakeFiles/vpred_tracegen.dir/pattern.cc.o"
+  "CMakeFiles/vpred_tracegen.dir/pattern.cc.o.d"
+  "libvpred_tracegen.a"
+  "libvpred_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpred_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

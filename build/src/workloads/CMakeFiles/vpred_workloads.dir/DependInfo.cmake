@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/asm_cc1.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_cc1.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_cc1.cc.o.d"
+  "/root/repo/src/workloads/asm_compress.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_compress.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_compress.cc.o.d"
+  "/root/repo/src/workloads/asm_go.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_go.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_go.cc.o.d"
+  "/root/repo/src/workloads/asm_gzip.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_gzip.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_gzip.cc.o.d"
+  "/root/repo/src/workloads/asm_ijpeg.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_ijpeg.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/asm_li.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_li.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_li.cc.o.d"
+  "/root/repo/src/workloads/asm_m88ksim.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_m88ksim.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/asm_mcf.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_mcf.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_mcf.cc.o.d"
+  "/root/repo/src/workloads/asm_norm.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_norm.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_norm.cc.o.d"
+  "/root/repo/src/workloads/asm_perl.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_perl.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_perl.cc.o.d"
+  "/root/repo/src/workloads/asm_vortex.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/asm_vortex.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/vpred_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/vpred_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vpred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vpred_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

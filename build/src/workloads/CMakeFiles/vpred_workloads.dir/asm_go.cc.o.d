@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/vpred_workloads.dir/asm_go.cc.o: \
+ /root/repo/src/workloads/asm_go.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/asm_sources.hh

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/vpred_workloads.dir/asm_m88ksim.cc.o: \
+ /root/repo/src/workloads/asm_m88ksim.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/asm_sources.hh

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/vpred_workloads.dir/asm_mcf.cc.o: \
+ /root/repo/src/workloads/asm_mcf.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/asm_sources.hh

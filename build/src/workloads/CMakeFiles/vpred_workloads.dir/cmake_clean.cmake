@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpred_workloads.dir/asm_cc1.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_cc1.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_compress.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_compress.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_go.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_go.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_gzip.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_gzip.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_ijpeg.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_ijpeg.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_li.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_li.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_m88ksim.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_m88ksim.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_mcf.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_mcf.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_norm.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_norm.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_perl.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_perl.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/asm_vortex.cc.o"
+  "CMakeFiles/vpred_workloads.dir/asm_vortex.cc.o.d"
+  "CMakeFiles/vpred_workloads.dir/workload.cc.o"
+  "CMakeFiles/vpred_workloads.dir/workload.cc.o.d"
+  "libvpred_workloads.a"
+  "libvpred_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpred_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

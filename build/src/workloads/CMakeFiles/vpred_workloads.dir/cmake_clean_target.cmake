@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpred_workloads.a"
+)

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alias_analysis_test.cc" "tests/CMakeFiles/vpred_tests.dir/alias_analysis_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/alias_analysis_test.cc.o.d"
+  "/root/repo/tests/assembler_edge_test.cc" "tests/CMakeFiles/vpred_tests.dir/assembler_edge_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/assembler_edge_test.cc.o.d"
+  "/root/repo/tests/assembler_test.cc" "tests/CMakeFiles/vpred_tests.dir/assembler_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/assembler_test.cc.o.d"
+  "/root/repo/tests/assoc_dfcm_test.cc" "tests/CMakeFiles/vpred_tests.dir/assoc_dfcm_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/assoc_dfcm_test.cc.o.d"
+  "/root/repo/tests/classifying_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/classifying_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/classifying_predictor_test.cc.o.d"
+  "/root/repo/tests/confidence_dfcm_test.cc" "tests/CMakeFiles/vpred_tests.dir/confidence_dfcm_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/confidence_dfcm_test.cc.o.d"
+  "/root/repo/tests/dataflow_test.cc" "tests/CMakeFiles/vpred_tests.dir/dataflow_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/dataflow_test.cc.o.d"
+  "/root/repo/tests/delayed_update_test.cc" "tests/CMakeFiles/vpred_tests.dir/delayed_update_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/delayed_update_test.cc.o.d"
+  "/root/repo/tests/dfcm_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/dfcm_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/dfcm_predictor_test.cc.o.d"
+  "/root/repo/tests/fcm_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/fcm_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/fcm_predictor_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/vpred_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/hash_function_test.cc" "tests/CMakeFiles/vpred_tests.dir/hash_function_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/hash_function_test.cc.o.d"
+  "/root/repo/tests/hybrid_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/hybrid_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/hybrid_predictor_test.cc.o.d"
+  "/root/repo/tests/ideal_context_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/ideal_context_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/ideal_context_predictor_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/vpred_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/interference_test.cc" "tests/CMakeFiles/vpred_tests.dir/interference_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/interference_test.cc.o.d"
+  "/root/repo/tests/isa_test.cc" "tests/CMakeFiles/vpred_tests.dir/isa_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/isa_test.cc.o.d"
+  "/root/repo/tests/last_n_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/last_n_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/last_n_predictor_test.cc.o.d"
+  "/root/repo/tests/last_value_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/last_value_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/last_value_predictor_test.cc.o.d"
+  "/root/repo/tests/machine_ops_test.cc" "tests/CMakeFiles/vpred_tests.dir/machine_ops_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/machine_ops_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/vpred_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/mixer_test.cc" "tests/CMakeFiles/vpred_tests.dir/mixer_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/mixer_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/vpred_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/predictor_factory_test.cc" "tests/CMakeFiles/vpred_tests.dir/predictor_factory_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/predictor_factory_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/vpred_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/repro_regression_test.cc" "tests/CMakeFiles/vpred_tests.dir/repro_regression_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/repro_regression_test.cc.o.d"
+  "/root/repo/tests/sat_counter_test.cc" "tests/CMakeFiles/vpred_tests.dir/sat_counter_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/sat_counter_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/vpred_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/stride_occupancy_test.cc" "tests/CMakeFiles/vpred_tests.dir/stride_occupancy_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/stride_occupancy_test.cc.o.d"
+  "/root/repo/tests/stride_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/stride_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/stride_predictor_test.cc.o.d"
+  "/root/repo/tests/trace_io_test.cc" "tests/CMakeFiles/vpred_tests.dir/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/trace_io_test.cc.o.d"
+  "/root/repo/tests/tracer_test.cc" "tests/CMakeFiles/vpred_tests.dir/tracer_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/tracer_test.cc.o.d"
+  "/root/repo/tests/two_delta_predictor_test.cc" "tests/CMakeFiles/vpred_tests.dir/two_delta_predictor_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/two_delta_predictor_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/vpred_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/types_test.cc.o.d"
+  "/root/repo/tests/vm_fuzz_test.cc" "tests/CMakeFiles/vpred_tests.dir/vm_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/vm_fuzz_test.cc.o.d"
+  "/root/repo/tests/workload_semantics_test.cc" "tests/CMakeFiles/vpred_tests.dir/workload_semantics_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/workload_semantics_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/vpred_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/vpred_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vpred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/vpred_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vpred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vpred_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/vpred_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
