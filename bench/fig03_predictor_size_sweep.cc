@@ -8,11 +8,16 @@
  * level-2 sizes 2^8..2^20. Expected shape: FCM dominates both simple
  * predictors at all but the smallest sizes, while needing huge
  * level-2 tables to keep improving.
+ *
+ * All 68 configurations run through the parallel sweep executor and
+ * are mirrored into results/BENCH_fig03_predictor_size_sweep.json.
  */
 
 #include "bench_util.hh"
 
 #include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
+#include "harness/results_json.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 
@@ -25,32 +30,29 @@ main()
                          "LVP / stride / FCM accuracy vs. size");
 
     harness::TraceCache cache;
-    TablePrinter table({"series", "l1_bits", "l2_bits", "size_kbit",
-                        "accuracy"});
+    harness::ParallelSweep sweep(cache);
+    harness::ResultsJsonWriter json("fig03_predictor_size_sweep",
+                                    cache.scale(), sweep.jobs());
 
-    auto emit = [&](const std::string& series,
-                    const PredictorConfig& cfg) {
-        const harness::SuiteResult r = runBenchmarks(cache, cfg);
-        table.addRow({series, TablePrinter::fmt(std::uint64_t{cfg.l1_bits}),
-                      cfg.kind == PredictorKind::Fcm
-                              ? TablePrinter::fmt(
-                                        std::uint64_t{cfg.l2_bits})
-                              : "-",
-                      TablePrinter::fmt(r.storageKbit(), 1),
-                      TablePrinter::fmt(r.accuracy())});
+    // Assemble every series cell first, then fan the grid out.
+    std::vector<std::string> series;
+    std::vector<PredictorConfig> configs;
+    auto plan = [&](const std::string& label, const PredictorConfig& cfg) {
+        series.push_back(label);
+        configs.push_back(cfg);
     };
 
     for (unsigned bits : harness::paperSingleTableBits()) {
         PredictorConfig cfg;
         cfg.kind = PredictorKind::Lvp;
         cfg.l1_bits = bits;
-        emit("lvp", cfg);
+        plan("lvp", cfg);
     }
     for (unsigned bits : harness::paperSingleTableBits()) {
         PredictorConfig cfg;
         cfg.kind = PredictorKind::Stride;
         cfg.l1_bits = bits;
-        emit("stride", cfg);
+        plan("stride", cfg);
     }
     for (unsigned l1 : harness::paperFcmL1Bits()) {
         for (unsigned l2 : harness::paperL2Bits()) {
@@ -58,11 +60,31 @@ main()
             cfg.kind = PredictorKind::Fcm;
             cfg.l1_bits = l1;
             cfg.l2_bits = l2;
-            emit("fcm_L1=2^" + std::to_string(l1), cfg);
+            plan("fcm_L1=2^" + std::to_string(l1), cfg);
         }
+    }
+
+    const std::vector<harness::SuiteResult> results =
+            sweep.runGrid(configs);
+    json.addGrid(configs, results);
+
+    TablePrinter table({"series", "l1_bits", "l2_bits", "size_kbit",
+                        "accuracy"});
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const PredictorConfig& cfg = configs[i];
+        const harness::SuiteResult& r = results[i];
+        table.addRow({series[i],
+                      TablePrinter::fmt(std::uint64_t{cfg.l1_bits}),
+                      cfg.kind == PredictorKind::Fcm
+                              ? TablePrinter::fmt(
+                                        std::uint64_t{cfg.l2_bits})
+                              : "-",
+                      TablePrinter::fmt(r.storageKbit(), 1),
+                      TablePrinter::fmt(r.accuracy())});
     }
 
     table.print(std::cout);
     table.writeCsv("fig03_predictor_size_sweep");
+    json.write();
     return 0;
 }

@@ -7,11 +7,17 @@
  *     at small tables, +8% (.74 -> .79) at the largest.
  * (b) per-benchmark accuracy at level-2 = 2^12. Paper: average +19%
  *     (.62 -> .73), per-benchmark gains 8%..46%.
+ *
+ * The whole (config × workload) grid runs through the parallel sweep
+ * executor (REPRO_JOBS workers); part (b) reuses the l2 = 2^12 cells
+ * of the same grid, and all suites land in results/BENCH_*.json.
  */
 
 #include "bench_util.hh"
 
 #include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
+#include "harness/results_json.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 #include "workloads/workload.hh"
@@ -24,48 +30,61 @@ main()
     bench::Banner banner("fig10", "FCM vs DFCM accuracy");
 
     harness::TraceCache cache;
+    harness::ParallelSweep sweep(cache);
+    harness::ResultsJsonWriter json("fig10_fcm_vs_dfcm", cache.scale(),
+                                    sweep.jobs());
 
-    // --- (a): level-2 sweep at l1 = 2^16
-    TablePrinter ta({"l2_bits", "fcm", "dfcm", "dfcm/fcm"});
+    // One grid covers both parts: (fcm, dfcm) per level-2 size.
+    std::vector<PredictorConfig> configs;
     for (unsigned l2 : harness::paperL2Bits()) {
         PredictorConfig cfg;
         cfg.l1_bits = 16;
         cfg.l2_bits = l2;
         cfg.kind = PredictorKind::Fcm;
-        const double fcm = runBenchmarks(cache, cfg).accuracy();
+        configs.push_back(cfg);
         cfg.kind = PredictorKind::Dfcm;
-        const double dfcm = runBenchmarks(cache, cfg).accuracy();
-        ta.addRow({TablePrinter::fmt(std::uint64_t{l2}),
+        configs.push_back(cfg);
+    }
+    const std::vector<harness::SuiteResult> results =
+            sweep.runGrid(configs);
+    json.addGrid(configs, results);
+
+    // --- (a): level-2 sweep at l1 = 2^16
+    TablePrinter ta({"l2_bits", "fcm", "dfcm", "dfcm/fcm"});
+    const harness::SuiteResult* fcm12 = nullptr;
+    const harness::SuiteResult* dfcm12 = nullptr;
+    for (std::size_t i = 0; i < configs.size(); i += 2) {
+        const double fcm = results[i].accuracy();
+        const double dfcm = results[i + 1].accuracy();
+        ta.addRow({TablePrinter::fmt(std::uint64_t{configs[i].l2_bits}),
                    TablePrinter::fmt(fcm), TablePrinter::fmt(dfcm),
                    TablePrinter::fmt(dfcm / fcm, 3)});
+        if (configs[i].l2_bits == 12) {
+            fcm12 = &results[i];
+            dfcm12 = &results[i + 1];
+        }
     }
     std::cout << "(a) suite accuracy, l1 = 2^16\n";
     ta.print(std::cout);
     ta.writeCsv("fig10a_l2_sweep");
 
-    // --- (b): per benchmark at l2 = 2^12
+    // --- (b): per benchmark at l2 = 2^12 (cells shared with (a))
     TablePrinter tb({"benchmark", "fcm", "dfcm", "dfcm/fcm"});
-    PredictorStats fcm_total, dfcm_total;
-    for (const std::string& name : workloads::benchmarkNames()) {
-        PredictorConfig cfg;
-        cfg.l1_bits = 16;
-        cfg.l2_bits = 12;
-        cfg.kind = PredictorKind::Fcm;
-        const auto rf = runOn(cache, name, cfg);
-        cfg.kind = PredictorKind::Dfcm;
-        const auto rd = runOn(cache, name, cfg);
-        fcm_total += rf.stats;
-        dfcm_total += rd.stats;
-        tb.addRow({name, TablePrinter::fmt(rf.accuracy()),
+    for (std::size_t w = 0; w < workloads::benchmarkNames().size(); ++w) {
+        const harness::RunResult& rf = fcm12->per_workload[w];
+        const harness::RunResult& rd = dfcm12->per_workload[w];
+        tb.addRow({rf.workload, TablePrinter::fmt(rf.accuracy()),
                    TablePrinter::fmt(rd.accuracy()),
                    TablePrinter::fmt(rd.accuracy() / rf.accuracy(), 3)});
     }
-    tb.addRow({"average", TablePrinter::fmt(fcm_total.accuracy()),
-               TablePrinter::fmt(dfcm_total.accuracy()),
-               TablePrinter::fmt(
-                       dfcm_total.accuracy() / fcm_total.accuracy(), 3)});
+    tb.addRow({"average", TablePrinter::fmt(fcm12->accuracy()),
+               TablePrinter::fmt(dfcm12->accuracy()),
+               TablePrinter::fmt(dfcm12->accuracy() / fcm12->accuracy(),
+                                 3)});
     std::cout << "\n(b) per-benchmark accuracy, l1 = 2^16, l2 = 2^12\n";
     tb.print(std::cout);
     tb.writeCsv("fig10b_per_benchmark");
+
+    json.write();
     return 0;
 }

@@ -9,12 +9,18 @@
  * (b) Pareto frontiers of FCM vs DFCM over the full (l1, l2) grids.
  *     Paper: DFCM ahead by .06-.09 except at the smallest sizes,
  *     e.g. .66 vs .57 around 200 Kbit (+15%).
+ *
+ * All 105 (l1, l2) configurations of both predictors run as one grid
+ * through the parallel sweep executor and are mirrored into
+ * results/BENCH_fig11_pareto.json.
  */
 
 #include "bench_util.hh"
 
 #include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
 #include "harness/pareto.hh"
+#include "harness/results_json.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 
@@ -27,56 +33,48 @@ main()
                          "DFCM size curves and FCM/DFCM Pareto graphs");
 
     harness::TraceCache cache;
+    harness::ParallelSweep sweep(cache);
+    harness::ResultsJsonWriter json("fig11_pareto", cache.scale(),
+                                    sweep.jobs());
+
+    // One grid: the DFCM curve configs, the full FCM Pareto grid, and
+    // the small-l1 DFCM extension (the FCM grid includes the smaller
+    // level-1 sizes of Figure 3 so its frontier is not handicapped).
+    std::vector<PredictorConfig> configs = harness::twoLevelGrid(
+            PredictorKind::Dfcm, harness::paperDfcmL1Bits(),
+            harness::paperL2Bits());
+    const std::size_t n_dfcm_curves = configs.size();
+    for (const PredictorConfig& cfg : harness::twoLevelGrid(
+                 PredictorKind::Fcm, harness::paperFcmL1Bits(),
+                 harness::paperL2Bits()))
+        configs.push_back(cfg);
+    for (const PredictorConfig& cfg : harness::twoLevelGrid(
+                 PredictorKind::Dfcm, {4, 6, 8}, harness::paperL2Bits()))
+        configs.push_back(cfg);
+
+    const std::vector<harness::SuiteResult> results =
+            sweep.runGrid(configs);
+    json.addGrid(configs, results);
 
     // --- (a): DFCM curves
     TablePrinter ta({"l1_bits", "l2_bits", "size_kbit", "accuracy"});
-    std::vector<harness::ParetoPoint> dfcm_points;
-    for (unsigned l1 : harness::paperDfcmL1Bits()) {
-        for (unsigned l2 : harness::paperL2Bits()) {
-            PredictorConfig cfg;
-            cfg.kind = PredictorKind::Dfcm;
-            cfg.l1_bits = l1;
-            cfg.l2_bits = l2;
-            const harness::SuiteResult r = runBenchmarks(cache, cfg);
-            ta.addRow({TablePrinter::fmt(std::uint64_t{l1}),
-                       TablePrinter::fmt(std::uint64_t{l2}),
+    std::vector<harness::ParetoPoint> fcm_points, dfcm_points;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const harness::SuiteResult& r = results[i];
+        if (i < n_dfcm_curves) {
+            ta.addRow({TablePrinter::fmt(std::uint64_t{configs[i].l1_bits}),
+                       TablePrinter::fmt(std::uint64_t{configs[i].l2_bits}),
                        TablePrinter::fmt(r.storageKbit(), 1),
                        TablePrinter::fmt(r.accuracy())});
-            dfcm_points.push_back({r.storageKbit(), r.accuracy(),
-                                   r.predictor});
         }
+        (configs[i].kind == PredictorKind::Fcm ? fcm_points : dfcm_points)
+                .push_back({r.storageKbit(), r.accuracy(), r.predictor});
     }
     std::cout << "(a) DFCM accuracy vs size\n";
     ta.print(std::cout);
     ta.writeCsv("fig11a_dfcm_curves");
 
-    // --- (b): Pareto frontiers. The FCM grid includes the smaller
-    // level-1 sizes of Figure 3 so its frontier is not handicapped.
-    std::vector<harness::ParetoPoint> fcm_points;
-    for (unsigned l1 : harness::paperFcmL1Bits()) {
-        for (unsigned l2 : harness::paperL2Bits()) {
-            PredictorConfig cfg;
-            cfg.kind = PredictorKind::Fcm;
-            cfg.l1_bits = l1;
-            cfg.l2_bits = l2;
-            const harness::SuiteResult r = runBenchmarks(cache, cfg);
-            fcm_points.push_back({r.storageKbit(), r.accuracy(),
-                                  r.predictor});
-        }
-    }
-    // Extend the DFCM candidate set with the small level-1 sizes too.
-    for (unsigned l1 : {4u, 6u, 8u}) {
-        for (unsigned l2 : harness::paperL2Bits()) {
-            PredictorConfig cfg;
-            cfg.kind = PredictorKind::Dfcm;
-            cfg.l1_bits = l1;
-            cfg.l2_bits = l2;
-            const harness::SuiteResult r = runBenchmarks(cache, cfg);
-            dfcm_points.push_back({r.storageKbit(), r.accuracy(),
-                                   r.predictor});
-        }
-    }
-
+    // --- (b): Pareto frontiers
     TablePrinter tb({"series", "size_kbit", "accuracy", "config"});
     for (const auto& [label, points] :
          {std::pair<const char*, std::vector<harness::ParetoPoint>*>{
@@ -90,5 +88,6 @@ main()
     std::cout << "\n(b) Pareto frontiers\n";
     tb.print(std::cout);
     tb.writeCsv("fig11b_pareto");
+    json.write();
     return 0;
 }

@@ -6,11 +6,16 @@
  *
  * Paper shape: both predictors suffer significantly, the DFCM
  * slightly more, but the overall behavior is the same.
+ *
+ * The 14-cell (delay × predictor) grid runs through the parallel
+ * sweep executor and lands in results/BENCH_fig17_delayed_update.json.
  */
 
 #include "bench_util.hh"
 
 #include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
+#include "harness/results_json.hh"
 #include "harness/sweep.hh"
 #include "harness/table_printer.hh"
 
@@ -22,20 +27,32 @@ main()
     bench::Banner banner("fig17", "accuracy under delayed update");
 
     harness::TraceCache cache;
-    TablePrinter table({"delay", "fcm", "dfcm", "fcm_drop",
-                        "dfcm_drop"});
+    harness::ParallelSweep sweep(cache);
+    harness::ResultsJsonWriter json("fig17_delayed_update", cache.scale(),
+                                    sweep.jobs());
 
-    double fcm0 = 0, dfcm0 = 0;
+    std::vector<PredictorConfig> configs;
     for (unsigned delay : harness::paperUpdateDelays()) {
         PredictorConfig cfg;
         cfg.l1_bits = 16;
         cfg.l2_bits = 12;
         cfg.update_delay = delay;
-
         cfg.kind = PredictorKind::Fcm;
-        const double fcm = runBenchmarks(cache, cfg).accuracy();
+        configs.push_back(cfg);
         cfg.kind = PredictorKind::Dfcm;
-        const double dfcm = runBenchmarks(cache, cfg).accuracy();
+        configs.push_back(cfg);
+    }
+    const std::vector<harness::SuiteResult> results =
+            sweep.runGrid(configs);
+    json.addGrid(configs, results);
+
+    TablePrinter table({"delay", "fcm", "dfcm", "fcm_drop",
+                        "dfcm_drop"});
+    double fcm0 = 0, dfcm0 = 0;
+    for (std::size_t i = 0; i < configs.size(); i += 2) {
+        const unsigned delay = configs[i].update_delay;
+        const double fcm = results[i].accuracy();
+        const double dfcm = results[i + 1].accuracy();
         if (delay == 0) {
             fcm0 = fcm;
             dfcm0 = dfcm;
@@ -48,5 +65,6 @@ main()
 
     table.print(std::cout);
     table.writeCsv("fig17_delayed_update");
+    json.write();
     return 0;
 }

@@ -32,11 +32,15 @@ namespace vpred
  * @p bits -wide chunks together.
  *
  * @param value The value to fold.
- * @param bits Result width, 1..64.
+ * @param bits Result width, 0..64; a zero-width fold is empty and
+ *        yields 0 (without the guard the chunk loop below would shift
+ *        by 0 forever).
  */
 constexpr std::uint64_t
 foldXor(std::uint64_t value, unsigned bits)
 {
+    if (bits == 0)
+        return 0;
     if (bits >= 64)
         return value;
     std::uint64_t r = 0;

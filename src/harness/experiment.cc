@@ -19,18 +19,29 @@ runOn(TraceCache& cache, const std::string& workload,
 }
 
 SuiteResult
+aggregateSuite(const PredictorConfig& config, std::vector<RunResult> runs)
+{
+    SuiteResult suite;
+    // Derive the metadata from the config, not the runs, so an empty
+    // workload list still yields a labelled (zero-prediction) suite.
+    const auto probe = makePredictor(config);
+    suite.predictor = probe->name();
+    suite.storage_bits = probe->storageBits();
+    for (RunResult& r : runs)
+        suite.total += r.stats;
+    suite.per_workload = std::move(runs);
+    return suite;
+}
+
+SuiteResult
 runSuite(TraceCache& cache, const std::vector<std::string>& workload_names,
          const PredictorConfig& config)
 {
-    SuiteResult suite;
-    for (const std::string& name : workload_names) {
-        RunResult r = runOn(cache, name, config);
-        suite.predictor = r.predictor;
-        suite.storage_bits = r.storage_bits;
-        suite.total += r.stats;
-        suite.per_workload.push_back(std::move(r));
-    }
-    return suite;
+    std::vector<RunResult> runs;
+    runs.reserve(workload_names.size());
+    for (const std::string& name : workload_names)
+        runs.push_back(runOn(cache, name, config));
+    return aggregateSuite(config, std::move(runs));
 }
 
 SuiteResult

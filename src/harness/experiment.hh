@@ -46,6 +46,14 @@ RunResult runOn(TraceCache& cache, const std::string& workload,
                 const PredictorConfig& config);
 
 /**
+ * Aggregate per-workload results (already in workload order) into a
+ * SuiteResult. The predictor name and storage are derived from
+ * @p config, so they are filled in even for an empty run list.
+ */
+SuiteResult aggregateSuite(const PredictorConfig& config,
+                           std::vector<RunResult> runs);
+
+/**
  * Run one configuration over a set of workloads and aggregate.
  * Summing the per-workload counters reproduces the paper's
  * "arithmetic mean weighted by the number of predicted

@@ -1,0 +1,164 @@
+#include "harness/parallel_sweep.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "workloads/workload.hh"
+
+namespace vpred::harness
+{
+
+unsigned
+envJobs()
+{
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const char* env = std::getenv("REPRO_JOBS");
+    if (env == nullptr)
+        return hw;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::cerr << "warning: REPRO_JOBS='" << env
+                      << "' is not a number; using " << hw << "\n";
+        }
+        return hw;
+    }
+    if (v == 0)
+        return hw;
+    return static_cast<unsigned>(std::min(v, 512ul));
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs > 0 ? jobs : envJobs())
+{
+    if (jobs_ > 1) {
+        workers_.reserve(jobs_);
+        for (unsigned i = 0; i < jobs_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [&] {
+            return stop_ ||
+                   (task_ != nullptr && generation_ != seen_generation);
+        });
+        if (stop_)
+            return;
+        seen_generation = generation_;
+        // Claim cells under the lock: a cell is a whole trace run, so
+        // contention is negligible, and stale claims against a
+        // superseded batch become impossible.
+        while (task_ != nullptr && generation_ == seen_generation &&
+               next_ < task_size_) {
+            const std::size_t i = next_++;
+            const std::function<void(std::size_t)>* task = task_;
+            lock.unlock();
+            std::exception_ptr err;
+            try {
+                (*task)(i);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            lock.lock();
+            if (err && !error_)
+                error_ = err;
+            if (--pending_ == 0)
+                done_cv_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        // jobs == 1: deterministic inline execution, no threads.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    task_ = &fn;
+    task_size_ = n;
+    next_ = 0;
+    pending_ = n;
+    error_ = nullptr;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    task_size_ = 0;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+ParallelSweep::ParallelSweep(TraceCache& cache, unsigned jobs)
+    : cache_(cache), pool_(jobs)
+{
+}
+
+std::vector<SuiteResult>
+ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
+                       const std::vector<std::string>& workload_names)
+{
+    // Pre-warm the trace cache (in parallel — trace generation is the
+    // serial bottleneck otherwise) so sweep cells only ever *read* it.
+    const std::set<std::string> unique(workload_names.begin(),
+                                       workload_names.end());
+    const std::vector<std::string> warm(unique.begin(), unique.end());
+    pool_.parallelFor(warm.size(),
+                      [&](std::size_t i) { cache_.getResult(warm[i]); });
+
+    // One task per (config, workload) cell; results land at fixed
+    // indices so gathering preserves the serial grid order.
+    const std::size_t n_workloads = workload_names.size();
+    std::vector<RunResult> cells(configs.size() * n_workloads);
+    pool_.parallelFor(cells.size(), [&](std::size_t i) {
+        cells[i] = runOn(cache_, workload_names[i % n_workloads],
+                         configs[i / n_workloads]);
+    });
+
+    std::vector<SuiteResult> suites;
+    suites.reserve(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<RunResult> runs(
+                std::make_move_iterator(cells.begin() + c * n_workloads),
+                std::make_move_iterator(cells.begin() +
+                                        (c + 1) * n_workloads));
+        suites.push_back(aggregateSuite(configs[c], std::move(runs)));
+    }
+    return suites;
+}
+
+std::vector<SuiteResult>
+ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs)
+{
+    return runGrid(configs, workloads::benchmarkNames());
+}
+
+} // namespace vpred::harness

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Machine-readable results emission for the benchmark harness.
+ *
+ * The CSV mirrors in results/ are per-table; this writer captures a
+ * whole experiment — every (config, suite-result) pair plus the run
+ * metadata (trace scale, worker count, wall time) — as one JSON file
+ * named results/BENCH_<experiment>.json, so the accuracy/throughput
+ * trajectory can be tracked across commits by diffing or ingesting
+ * the files. Schema (schema_version 1):
+ *
+ *     {
+ *       "schema_version": 1,
+ *       "experiment": "fig10_fcm_vs_dfcm",
+ *       "trace_scale": 1.0,
+ *       "jobs": 8,
+ *       "wall_seconds": 2.417,
+ *       "results": [
+ *         { "predictor": "dfcm(l1=16,l2=12)", "kind": "dfcm",
+ *           "l1_bits": 16, "l2_bits": 12, "storage_kbit": 1568.0,
+ *           "accuracy": 0.7251, "predictions": 18349056,
+ *           "correct": 13304929,
+ *           "per_workload": [
+ *             { "workload": "go", "accuracy": 0.61,
+ *               "predictions": 2293632, "correct": 1399115 }, ... ] },
+ *         ...
+ *       ]
+ *     }
+ *
+ * Doubles are printed with enough digits to round-trip, so the files
+ * are byte-stable across runs of a deterministic experiment.
+ */
+
+#ifndef DFCM_HARNESS_RESULTS_JSON_HH
+#define DFCM_HARNESS_RESULTS_JSON_HH
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace vpred::harness
+{
+
+/** Accumulates sweep results and writes results/BENCH_<name>.json. */
+class ResultsJsonWriter
+{
+  public:
+    /**
+     * @param experiment File stem, e.g. "fig10_fcm_vs_dfcm".
+     * @param trace_scale The TraceCache scale the results were run at.
+     * @param jobs Worker threads used (1 = serial).
+     */
+    ResultsJsonWriter(std::string experiment, double trace_scale,
+                      unsigned jobs);
+
+    /** Append one configuration's suite result. */
+    void add(const PredictorConfig& config, const SuiteResult& suite);
+
+    /** Append every (config, suite) pair of a runGrid() call. */
+    void addGrid(const std::vector<PredictorConfig>& configs,
+                 const std::vector<SuiteResult>& suites);
+
+    /** Serialize to a JSON string ("wall_seconds" = time since
+     *  construction, or the setWallSeconds() override). */
+    std::string toJson() const;
+
+    /**
+     * Write results/BENCH_<experiment>.json (creating results/ if
+     * needed). Best effort like TablePrinter::writeCsv — failures
+     * warn on stderr and return false, never throw.
+     */
+    bool write() const;
+
+    /** Override the measured wall time (for reproducible tests). */
+    void setWallSeconds(double s) { wall_seconds_override_ = s; }
+
+    std::size_t resultCount() const { return entries_.size(); }
+
+    /** Minimal JSON string escaping (quotes, backslashes, control
+     *  characters). */
+    static std::string escape(const std::string& s);
+
+  private:
+    struct Entry
+    {
+        PredictorConfig config;
+        SuiteResult suite;
+    };
+
+    std::string experiment_;
+    double trace_scale_;
+    unsigned jobs_;
+    std::chrono::steady_clock::time_point start_;
+    double wall_seconds_override_ = -1.0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace vpred::harness
+
+#endif // DFCM_HARNESS_RESULTS_JSON_HH

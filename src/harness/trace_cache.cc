@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 
 #include "workloads/workload.hh"
 
@@ -14,7 +15,17 @@ envTraceScale()
     const char* env = std::getenv("REPRO_TRACE_SCALE");
     if (env == nullptr)
         return 1.0;
-    const double v = std::atof(env);
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0') {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::cerr << "warning: REPRO_TRACE_SCALE='" << env
+                      << "' is not a number; using 1.0\n";
+        }
+        return 1.0;
+    }
     if (v <= 0.0)
         return 1.0;
     return std::clamp(v, 0.01, 100.0);
@@ -28,19 +39,33 @@ TraceCache::TraceCache(double scale)
 const sim::TraceResult&
 TraceCache::getResult(const std::string& workload_name)
 {
-    auto it = cache_.find(workload_name);
-    if (it == cache_.end()) {
-        it = cache_.emplace(workload_name,
-                            workloads::runWorkload(workload_name, scale_))
-                .first;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(workload_name);
+        if (it != cache_.end())
+            return it->second;
     }
-    return it->second;
+    // Miss: run the VM without holding the lock so concurrent lookups
+    // of *other* workloads proceed. Racing misses on the same name
+    // compute the same (deterministic) result; try_emplace keeps the
+    // first and discards the rest.
+    sim::TraceResult result = workloads::runWorkload(workload_name, scale_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.try_emplace(workload_name, std::move(result))
+            .first->second;
 }
 
 const ValueTrace&
 TraceCache::get(const std::string& workload_name)
 {
     return getResult(workload_name).trace;
+}
+
+void
+TraceCache::prewarm(const std::vector<std::string>& workload_names)
+{
+    for (const std::string& name : workload_names)
+        getResult(name);
 }
 
 } // namespace vpred::harness

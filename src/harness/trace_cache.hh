@@ -14,7 +14,9 @@
 #define DFCM_HARNESS_TRACE_CACHE_HH
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/types.hh"
 #include "sim/tracer.hh"
@@ -23,10 +25,20 @@ namespace vpred::harness
 {
 
 /** Scale factor from REPRO_TRACE_SCALE (default 1.0, clamped to
- *  [0.01, 100]). */
+ *  [0.01, 100]). Unparsable values warn once on stderr and fall back
+ *  to 1.0. */
 double envTraceScale();
 
-/** Lazily-built, memoized workload traces. */
+/**
+ * Lazily-built, memoized workload traces.
+ *
+ * Safe for concurrent use: lookups and insertions are guarded by a
+ * mutex, and because std::map nodes are stable the returned
+ * references stay valid while other threads insert. The VM runs
+ * *outside* the lock, so racing first lookups of the same workload
+ * may duplicate (deterministic) work; parallel sweeps avoid this by
+ * calling prewarm() up front so the hot path is pure lookup.
+ */
 class TraceCache
 {
   public:
@@ -39,10 +51,14 @@ class TraceCache
     /** Full trace result (instruction counts, program output). */
     const sim::TraceResult& getResult(const std::string& workload_name);
 
+    /** Run every named workload that is not yet cached. */
+    void prewarm(const std::vector<std::string>& workload_names);
+
     double scale() const { return scale_; }
 
   private:
     double scale_;
+    mutable std::mutex mutex_;
     std::map<std::string, sim::TraceResult> cache_;
 };
 

@@ -78,6 +78,22 @@ TEST(Experiment, SuiteAggregationIsPredictionWeighted)
                      static_cast<double>(correct) / predictions);
 }
 
+TEST(Experiment, EmptySuiteStillCarriesPredictorMetadata)
+{
+    // Regression: an empty workload list used to leave the predictor
+    // name and storage blank, producing blank table/JSON rows.
+    TraceCache cache(0.05);
+    PredictorConfig cfg;
+    cfg.kind = PredictorKind::Dfcm;
+    cfg.l1_bits = 12;
+    cfg.l2_bits = 10;
+    const SuiteResult suite = runSuite(cache, {}, cfg);
+    EXPECT_FALSE(suite.predictor.empty());
+    EXPECT_GT(suite.storage_bits, 0u);
+    EXPECT_EQ(suite.total.predictions, 0u);
+    EXPECT_TRUE(suite.per_workload.empty());
+}
+
 TEST(Sweep, PaperGrids)
 {
     EXPECT_EQ(paperL2Bits().size(), 7u);

@@ -35,6 +35,14 @@ TEST(FoldXor, FullWidthIsIdentity)
     EXPECT_EQ(foldXor(0xDEADBEEFCAFEF00Dull, 64), 0xDEADBEEFCAFEF00Dull);
 }
 
+TEST(FoldXor, ZeroWidthIsEmptyFold)
+{
+    // Regression: bits == 0 used to spin forever (value >>= 0).
+    EXPECT_EQ(foldXor(0xDEADBEEFull, 0), 0u);
+    EXPECT_EQ(foldXor(0, 0), 0u);
+    EXPECT_EQ(foldXor(~std::uint64_t{0}, 0), 0u);
+}
+
 TEST(FoldXor, ResultAlwaysInRange)
 {
     for (unsigned bits = 1; bits <= 24; ++bits) {
