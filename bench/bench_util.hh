@@ -10,10 +10,25 @@
 #include <iostream>
 #include <string>
 
+#include "harness/parallel_sweep.hh"
 #include "harness/trace_cache.hh"
 
 namespace vpred::bench
 {
+
+/**
+ * One-line report of how a sweep executed (multi-geometry / fused /
+ * virtual, trace walks vs cells, workers, wall time). Printed by the
+ * figure drivers next to the tables so console output and the BENCH
+ * JSON metadata tell the same story.
+ */
+inline void
+reportExecution(const harness::SweepExecution& e)
+{
+    std::cout << "[sweep path: " << e.path() << "; " << e.trace_walks
+              << " trace walks for " << e.cells << " cells; jobs "
+              << e.jobs << "; " << e.wall_seconds << " s]\n";
+}
 
 /** Prints the experiment banner and wall-clock time on destruction. */
 class Banner

@@ -67,6 +67,8 @@ main()
     const std::vector<harness::SuiteResult> results =
             sweep.runGrid(configs);
     json.addGrid(configs, results);
+    json.setExecution(sweep.lastExecution());
+    bench::reportExecution(sweep.lastExecution());
 
     TablePrinter table({"series", "l1_bits", "l2_bits", "size_kbit",
                         "accuracy"});

@@ -48,6 +48,8 @@ main()
     const std::vector<harness::SuiteResult> results =
             sweep.runGrid(configs);
     json.addGrid(configs, results);
+    json.setExecution(sweep.lastExecution());
+    bench::reportExecution(sweep.lastExecution());
 
     // --- (a): level-2 sweep at l1 = 2^16
     TablePrinter ta({"l2_bits", "fcm", "dfcm", "dfcm/fcm"});

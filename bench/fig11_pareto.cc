@@ -55,6 +55,8 @@ main()
     const std::vector<harness::SuiteResult> results =
             sweep.runGrid(configs);
     json.addGrid(configs, results);
+    json.setExecution(sweep.lastExecution());
+    bench::reportExecution(sweep.lastExecution());
 
     // --- (a): DFCM curves
     TablePrinter ta({"l1_bits", "l2_bits", "size_kbit", "accuracy"});

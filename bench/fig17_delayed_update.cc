@@ -45,6 +45,8 @@ main()
     const std::vector<harness::SuiteResult> results =
             sweep.runGrid(configs);
     json.addGrid(configs, results);
+    json.setExecution(sweep.lastExecution());
+    bench::reportExecution(sweep.lastExecution());
 
     TablePrinter table({"delay", "fcm", "dfcm", "fcm_drop",
                         "dfcm_drop"});

@@ -200,6 +200,7 @@ main(int argc, char** argv)
                                 std::chrono::steady_clock::now() - start)
                                 .count();
     json.addGrid(configs, results);
+    json.setExecution(sweep.lastExecution());
 
     TablePrinter table({"predictor", "l1_bits", "l2_bits", "size_kbit",
                         "accuracy"});
@@ -211,8 +212,11 @@ main(int argc, char** argv)
                       TablePrinter::fmt(results[i].accuracy())});
     }
     table.print(std::cout);
+    const harness::SweepExecution& exec = sweep.lastExecution();
     std::cout << "\n[" << configs.size() * workload_names.size()
-              << " cells in " << TablePrinter::fmt(wall, 2) << " s]\n";
+              << " cells in " << TablePrinter::fmt(wall, 2) << " s; path "
+              << exec.path() << ", " << exec.trace_walks
+              << " trace walks (REPRO_BATCH_SWEEP=0 disables batching)]\n";
 
     if (json.write())
         std::cout << "wrote results/BENCH_" << out_name << ".json\n";

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "core/trace_kernel.hh"
+
 namespace vpred
 {
 
@@ -41,6 +43,32 @@ DfcmPredictor::update(Pc pc, Value actual)
     l2_[e.hist] = stride & stride_mask_;
     e.hist = hash_.insert(e.hist, stride);
     e.last = actual;
+}
+
+bool
+DfcmPredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    // Fused predict + update: one level-1 lookup and one level-2
+    // slot reference per record (prediction and update hit the same
+    // slot because the history advances only after the write).
+    L1Entry& e = l1_[l1Index(pc)];
+    Value& slot = l2_[e.hist];
+    const bool correct = ((e.last + widen(slot)) & value_mask_) == actual;
+
+    actual &= value_mask_;
+    const Value stride = (actual - e.last) & value_mask_;
+    slot = stride & stride_mask_;
+    e.hist = hash_.insert(e.hist, stride);
+    e.last = actual;
+    return correct;
+}
+
+PredictorStats
+DfcmPredictor::runTraceSpan(std::span<const TraceRecord> trace)
+{
+    PredictorStats stats;
+    runTraceKernel(*this, trace, stats);
+    return stats;
 }
 
 std::uint64_t

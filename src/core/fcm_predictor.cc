@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "core/trace_kernel.hh"
+
 namespace vpred
 {
 
@@ -33,6 +35,31 @@ FcmPredictor::update(Pc pc, Value actual)
     // from; then the history is advanced with the new value.
     l2_[hist] = actual;
     hist = hash_.insert(hist, actual);
+}
+
+bool
+FcmPredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    // Fused predict + update: the default composition computes the
+    // level-1 index and loads the hashed history twice per record;
+    // here both happen once, and the level-2 entry is touched through
+    // one reference (the update writes the same slot the prediction
+    // was read from, since the history advances only afterwards).
+    std::uint64_t& hist = l1_[l1Index(pc)];
+    Value& slot = l2_[hist];
+    const bool correct = slot == actual;
+    actual &= value_mask_;
+    slot = actual;
+    hist = hash_.insert(hist, actual);
+    return correct;
+}
+
+PredictorStats
+FcmPredictor::runTraceSpan(std::span<const TraceRecord> trace)
+{
+    PredictorStats stats;
+    runTraceKernel(*this, trace, stats);
+    return stats;
 }
 
 std::uint64_t

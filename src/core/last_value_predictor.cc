@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "core/trace_kernel.hh"
+
 namespace vpred
 {
 
@@ -26,6 +28,27 @@ void
 LastValuePredictor::update(Pc pc, Value actual)
 {
     table_[index(pc)] = actual & value_mask_;
+}
+
+bool
+LastValuePredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    // Fused predict + update: one table lookup instead of two. The
+    // correctness check compares the raw actual (as the default
+    // predict-then-update composition does); only the stored value is
+    // masked.
+    Value& slot = table_[index(pc)];
+    const bool correct = slot == actual;
+    slot = actual & value_mask_;
+    return correct;
+}
+
+PredictorStats
+LastValuePredictor::runTraceSpan(std::span<const TraceRecord> trace)
+{
+    PredictorStats stats;
+    runTraceKernel(*this, trace, stats);
+    return stats;
 }
 
 std::uint64_t

@@ -31,6 +31,8 @@ class LastValuePredictor : public ValuePredictor
 
     Value predict(Pc pc) const override;
     void update(Pc pc, Value actual) override;
+    bool predictAndUpdate(Pc pc, Value actual) override;
+    PredictorStats runTraceSpan(std::span<const TraceRecord>) override;
     std::uint64_t storageBits() const override;
     std::string name() const override;
 

@@ -1,0 +1,186 @@
+#include "core/multi_geom.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vpred
+{
+
+namespace
+{
+
+/**
+ * Per-column state flattened for the hot loop: the raw level-2 table
+ * pointer plus the hash parameters, with the fold chunk count
+ * precomputed so the fold runs a *fixed* number of iterations per
+ * column (the generic foldXor loops while bits remain, a
+ * data-dependent trip count the branch predictor keeps missing).
+ */
+struct HotColumn
+{
+    std::uint32_t* l2;
+    std::uint64_t index_mask;
+    std::uint64_t fold_mask;
+    unsigned shift;
+    unsigned fold_bits;
+    unsigned chunks;
+};
+
+/**
+ * ShiftFoldHash::insert with the fold unrolled to @c chunks fixed
+ * iterations. Identical result: XOR-ing the shifted copies first and
+ * masking once is foldXor's mask-each-chunk because AND distributes
+ * over XOR, and @c chunks covers every non-zero chunk of a value
+ * narrower than chunks * fold_bits.
+ */
+inline std::uint64_t
+hashInsert(const HotColumn& col, std::uint64_t h, std::uint64_t v)
+{
+    std::uint64_t f = 0;
+    for (unsigned i = 0; i < col.chunks; ++i) {
+        f ^= v;
+        v >>= col.fold_bits;
+    }
+    return ((h << col.shift) ^ (f & col.fold_mask)) & col.index_mask;
+}
+
+std::vector<HotColumn>
+hotColumns(std::vector<MultiGeomKernelBase::Column>& cols,
+           unsigned value_bits)
+{
+    std::vector<HotColumn> hot;
+    hot.reserve(cols.size());
+    for (auto& col : cols) {
+        const unsigned fold_bits = col.hash.foldBits();
+        hot.push_back(
+            {col.l2.data(), maskBits(col.hash.indexBits()),
+             maskBits(std::min(fold_bits, 64u)), col.hash.shift(),
+             fold_bits,
+             // Chunks needed to cover a value_bits-wide value.
+             (value_bits + fold_bits - 1) / fold_bits});
+    }
+    return hot;
+}
+
+} // namespace
+
+MultiGeomKernelBase::MultiGeomKernelBase(const MultiGeomConfig& config)
+    : cfg_(config), l1_mask_(maskBits(config.l1_bits)),
+      value_mask_(maskBits(config.value_bits)), max_order_(0)
+{
+    assert(!config.l2_bits.empty());
+    assert(config.l1_bits <= 28);
+    assert(config.value_bits >= 1 && config.value_bits <= 32);
+    cols_.reserve(config.l2_bits.size());
+    for (unsigned l2 : config.l2_bits) {
+        assert(l2 >= 1 && l2 <= 28);
+        Column col{ShiftFoldHash::fsRk(l2, config.hash_shift), {}};
+        col.l2.resize(std::size_t{1} << l2, 0);
+        max_order_ = std::max(max_order_, col.hash.order());
+        cols_.push_back(std::move(col));
+    }
+    hists_.resize(l1Entries() * cols_.size(), 0);
+}
+
+void
+MultiGeomKernelBase::resetState()
+{
+    std::fill(hists_.begin(), hists_.end(), 0);
+    for (Column& col : cols_)
+        std::fill(col.l2.begin(), col.l2.end(), 0);
+}
+
+MultiGeomFcmKernel::MultiGeomFcmKernel(const MultiGeomConfig& config)
+    : MultiGeomKernelBase(config)
+{
+}
+
+std::vector<PredictorStats>
+MultiGeomFcmKernel::runTrace(std::span<const TraceRecord> trace)
+{
+    resetState();
+    const std::size_t n = cols_.size();
+    const std::vector<HotColumn> hot = hotColumns(cols_, cfg_.value_bits);
+    std::vector<std::uint64_t> correct(n, 0);
+    for (const TraceRecord& rec : trace) {
+        std::uint32_t* hists = &hists_[(rec.pc & l1_mask_) * n];
+        const Value masked = rec.value & value_mask_;
+
+        // Per column: FcmPredictor::predictAndUpdate verbatim — check
+        // the level-2 slot against the raw actual, store the masked
+        // actual, advance this column's hashed history with it.
+        for (std::size_t c = 0; c < n; ++c) {
+            const HotColumn& col = hot[c];
+            const std::uint32_t h = hists[c];
+            std::uint32_t& slot = col.l2[h];
+            correct[c] += Value{slot} == rec.value;
+            slot = static_cast<std::uint32_t>(masked);
+            hists[c] =
+                static_cast<std::uint32_t>(hashInsert(col, h, masked));
+        }
+    }
+
+    std::vector<PredictorStats> stats(n);
+    for (std::size_t c = 0; c < n; ++c)
+        stats[c] = PredictorStats{trace.size(), correct[c]};
+    return stats;
+}
+
+MultiGeomDfcmKernel::MultiGeomDfcmKernel(const MultiGeomConfig& config)
+    : MultiGeomKernelBase(config),
+      stride_mask_(maskBits(config.stride_bits)),
+      last_(l1Entries(), 0)
+{
+    assert(config.stride_bits >= 1
+           && config.stride_bits <= config.value_bits);
+}
+
+std::vector<PredictorStats>
+MultiGeomDfcmKernel::runTrace(std::span<const TraceRecord> trace)
+{
+    resetState();
+    std::fill(last_.begin(), last_.end(), 0);
+    const std::size_t n = cols_.size();
+    const std::vector<HotColumn> hot = hotColumns(cols_, cfg_.value_bits);
+    std::vector<std::uint64_t> correct(n, 0);
+
+    const auto walk = [&](auto widen_fn) {
+        for (const TraceRecord& rec : trace) {
+            const std::size_t idx = rec.pc & l1_mask_;
+            std::uint32_t* hists = &hists_[idx * n];
+            const Value last = last_[idx];
+            const Value masked = rec.value & value_mask_;
+            // The new stride is geometry-independent: full-width
+            // arithmetic, shared by every column (each narrows on
+            // store).
+            const Value stride = (masked - last) & value_mask_;
+
+            // Per column: DfcmPredictor::predictAndUpdate verbatim.
+            for (std::size_t c = 0; c < n; ++c) {
+                const HotColumn& col = hot[c];
+                const std::uint32_t h = hists[c];
+                std::uint32_t& slot = col.l2[h];
+                correct[c] += ((last + widen_fn(slot)) & value_mask_)
+                    == rec.value;
+                slot = static_cast<std::uint32_t>(stride & stride_mask_);
+                hists[c] = static_cast<std::uint32_t>(
+                        hashInsert(col, h, stride));
+            }
+
+            last_[idx] = masked;
+        }
+    };
+    // Full-width strides (the common geometry) make widen() the
+    // identity: stored strides are already masked to value_bits.
+    if (cfg_.stride_bits == cfg_.value_bits)
+        walk([](std::uint32_t stored) { return Value{stored}; });
+    else
+        walk([this](std::uint32_t stored) { return widen(stored); });
+
+    std::vector<PredictorStats> stats(n);
+    for (std::size_t c = 0; c < n; ++c)
+        stats[c] = PredictorStats{trace.size(), correct[c]};
+    return stats;
+}
+
+} // namespace vpred

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Multi-geometry FCM/DFCM kernels: evaluate one level-1 geometry
+ * against an entire column of level-2 sizes in a single trace walk.
+ *
+ * Every paper sweep (Figures 3, 10, 11) varies l2_bits while holding
+ * the level-1 geometry fixed, yet the per-config path replays the
+ * full trace once per (l1, l2) cell. The key observation is that the
+ * level-1 *inputs* are independent of the level-2 geometry: which
+ * entry a PC maps to, the last value and the new stride (DFCM) are
+ * the same for every l2_bits — only the FS R-k hashed history (the
+ * level-2 index) depends on the index width.
+ *
+ * These kernels therefore walk the trace once, compute the shared
+ * per-record inputs once (level-1 index, masked value, stride), and
+ * keep a *bank* of incrementally-maintained hashed histories per
+ * level-1 entry — one per level-2 column — each advanced with its
+ * own column's ShiftFoldHash and used to probe/update that column's
+ * level-2 table. The whole l2_bits column is evaluated in one walk:
+ * O(|rows| * |trace|) trace traffic instead of O(|grid| * |trace|).
+ *
+ * Bit-identical equivalence to the per-config predictors holds by
+ * construction: for each column c the kernel applies *exactly* the
+ * per-config update rule — h_c' = insert_c(h_c, v) with the same
+ * initial state (0), the same inserted value (masked value for FCM,
+ * full-width stride for DFCM) and the same level-2 read/write
+ * ordering as the fused predictAndUpdate — so every column's state
+ * sequence is the per-config predictor's state sequence. Nothing is
+ * approximated and no warm-up special case exists. (An earlier
+ * design kept the *unfolded* order-k value ring and re-folded it
+ * per column per record; that is equivalent too — a value's
+ * contribution is fully shifted out after `order` insertions since
+ * shift * order >= index_bits — but costs O(order) hash insertions
+ * per column per record where the per-config path pays O(1), making
+ * it slower than the path it replaces. The incremental bank pays the
+ * same O(1) per column and only amortizes the shared work.)
+ * Asserted against runSuite over the full Figure 10 grid in
+ * tests/batch_kernel_test.cc.
+ */
+
+#ifndef DFCM_CORE_MULTI_GEOM_HH
+#define DFCM_CORE_MULTI_GEOM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hash_function.hh"
+#include "core/stats.hh"
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/**
+ * One level-1 row of a sweep grid: the shared geometry plus the
+ * level-2 size column to evaluate in a single pass.
+ */
+struct MultiGeomConfig
+{
+    unsigned l1_bits = 16;     //!< log2(#level-1 entries), shared
+    unsigned value_bits = 32;  //!< value width, shared (at most 32)
+    /** Stored-stride width (DFCM only, Section 4.4), shared. */
+    unsigned stride_bits = 32;
+    /** FS R-k hash shift (5 = the paper's FS R-5), shared. */
+    unsigned hash_shift = 5;
+    /** One level-2 column per entry: log2(#level-2 entries). */
+    std::vector<unsigned> l2_bits;
+};
+
+/**
+ * Common machinery of the two kernels: the per-column level-2 banks
+ * and the per-entry bank of hashed histories.
+ */
+class MultiGeomKernelBase
+{
+  public:
+    std::size_t columns() const { return cols_.size(); }
+    std::size_t l1Entries() const
+    {
+        return std::size_t{1} << cfg_.l1_bits;
+    }
+    const MultiGeomConfig& config() const { return cfg_; }
+
+    /** Deepest history order across the columns. */
+    unsigned maxOrder() const { return max_order_; }
+
+    /**
+     * One level-2 column: its FS R-k instance and its table. Slots
+     * are stored narrow (32 bits): stored values/strides are always
+     * masked to value_bits <= 32 (asserted in the constructor), and
+     * halving the table footprint is a large part of the kernel's
+     * cache-level win over the per-config path.
+     */
+    struct Column
+    {
+        ShiftFoldHash hash;
+        std::vector<std::uint32_t> l2;
+    };
+
+  protected:
+    explicit MultiGeomKernelBase(const MultiGeomConfig& config);
+
+    /** Reset all level-1 and level-2 state to power-on zeros. */
+    void resetState();
+
+    MultiGeomConfig cfg_;
+    std::uint64_t l1_mask_;
+    std::uint64_t value_mask_;
+    unsigned max_order_;
+    std::vector<Column> cols_;
+    /**
+     * Hashed histories, columns() per level-1 entry (entry-major, so
+     * one record's bank is contiguous). 32 bits suffice: level-2
+     * indices are at most 28 bits wide.
+     */
+    std::vector<std::uint32_t> hists_;
+};
+
+/**
+ * FCM over one level-1 geometry and many level-2 sizes at once.
+ * Each column's history is advanced with the shared masked value
+ * through its own FS R-k instance.
+ */
+class MultiGeomFcmKernel : public MultiGeomKernelBase
+{
+  public:
+    /** @param config stride_bits is ignored (FCM stores values). */
+    explicit MultiGeomFcmKernel(const MultiGeomConfig& config);
+
+    /**
+     * Evaluate the whole column over @p trace from power-on state,
+     * returning one PredictorStats per l2_bits entry (column order).
+     * State is reset on entry, so repeated calls are independent.
+     */
+    std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace);
+};
+
+/**
+ * DFCM over one level-1 geometry and many level-2 sizes at once.
+ * The last value and the new stride are geometry-independent and
+ * shared; each column's history is advanced with the full-width
+ * stride through its own FS R-k instance.
+ */
+class MultiGeomDfcmKernel : public MultiGeomKernelBase
+{
+  public:
+    explicit MultiGeomDfcmKernel(const MultiGeomConfig& config);
+
+    /** See MultiGeomFcmKernel::runTrace. */
+    std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace);
+
+  private:
+    /** Stored (possibly narrowed) stride -> full-width stride. */
+    Value
+    widen(Value stored) const
+    {
+        return signExtend(stored, cfg_.stride_bits) & value_mask_;
+    }
+
+    std::uint64_t stride_mask_;
+    std::vector<Value> last_;  //!< last value per level-1 entry
+};
+
+} // namespace vpred
+
+#endif // DFCM_CORE_MULTI_GEOM_HH

@@ -8,10 +8,10 @@ namespace vpred
 PredictorStats
 runTrace(ValuePredictor& predictor, const ValueTrace& trace)
 {
-    PredictorStats stats;
-    for (const TraceRecord& rec : trace)
-        stats.record(predictor.predictAndUpdate(rec.pc, rec.value));
-    return stats;
+    // One virtual call per *trace*: concrete predictors override
+    // runTraceSpan with the devirtualized kernel, wrappers fall back
+    // to the generic per-record virtual loop.
+    return predictor.runTraceSpan({trace.data(), trace.size()});
 }
 
 } // namespace vpred

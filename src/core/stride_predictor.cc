@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "core/trace_kernel.hh"
+
 namespace vpred
 {
 
@@ -52,6 +54,42 @@ StridePredictor::update(Pc pc, Value actual)
     }
 
     e.last = actual;
+}
+
+bool
+StridePredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    // Fused predict + update: one table lookup and one prediction
+    // computation per record. The reported outcome compares the raw
+    // actual (like the default composition); the confidence training
+    // step compares the masked actual (like update()). The two only
+    // differ for values wider than value_bits.
+    Entry& e = table_[index(pc)];
+    const Value predicted = (e.last + e.stride) & value_mask_;
+    const bool correct = predicted == actual;
+
+    actual &= value_mask_;
+    if (e.confidence < counter_max_)
+        e.stride = (actual - e.last) & value_mask_;
+
+    if (predicted == actual) {
+        e.confidence = std::min(e.confidence + cfg_.counter_inc,
+                                counter_max_);
+    } else {
+        e.confidence = e.confidence < cfg_.counter_dec
+            ? 0 : e.confidence - cfg_.counter_dec;
+    }
+
+    e.last = actual;
+    return correct;
+}
+
+PredictorStats
+StridePredictor::runTraceSpan(std::span<const TraceRecord> trace)
+{
+    PredictorStats stats;
+    runTraceKernel(*this, trace, stats);
+    return stats;
 }
 
 std::uint64_t

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Devirtualized hot loop for trace-driven predictor evaluation.
+ *
+ * runTrace() historically paid two virtual calls (predict + update)
+ * per trace record, and the default ValuePredictor::predictAndUpdate
+ * makes two-level predictors compute the level-1 index and load the
+ * level-1 entry twice. runTraceKernel closes both gaps: it is
+ * instantiated on the *concrete* predictor type, so the explicitly
+ * qualified predictAndUpdate call is resolved statically and inlines
+ * the predictor's fused implementation into the loop body.
+ *
+ * Predictor families opt in by overriding runTraceSpan() with a
+ * one-line dispatch into this kernel (see e.g. DfcmPredictor).
+ * Wrapper predictors (delayed update, hybrids, instrumentation) keep
+ * the generic virtual path, which remains behavior-identical.
+ */
+
+#ifndef DFCM_CORE_TRACE_KERNEL_HH
+#define DFCM_CORE_TRACE_KERNEL_HH
+
+#include <span>
+
+#include "core/stats.hh"
+#include "core/types.hh"
+
+namespace vpred
+{
+
+/**
+ * Run @p predictor over @p trace in the paper's predict-then-update
+ * discipline, accumulating into @p stats.
+ *
+ * @tparam P The concrete predictor type; the qualified call below
+ *         devirtualizes predictAndUpdate so the per-record work
+ *         inlines into this loop.
+ */
+template <class P>
+void
+runTraceKernel(P& predictor, std::span<const TraceRecord> trace,
+               PredictorStats& stats)
+{
+    for (const TraceRecord& rec : trace)
+        stats.record(predictor.P::predictAndUpdate(rec.pc, rec.value));
+}
+
+} // namespace vpred
+
+#endif // DFCM_CORE_TRACE_KERNEL_HH

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "core/trace_kernel.hh"
+
 namespace vpred
 {
 
@@ -34,6 +36,30 @@ TwoDeltaPredictor::update(Pc pc, Value actual)
         e.s1 = new_stride;
     e.s2 = new_stride;
     e.last = actual;
+}
+
+bool
+TwoDeltaPredictor::predictAndUpdate(Pc pc, Value actual)
+{
+    // Fused predict + update: one table lookup instead of two.
+    Entry& e = table_[index(pc)];
+    const bool correct = ((e.last + e.s1) & value_mask_) == actual;
+
+    actual &= value_mask_;
+    const Value new_stride = (actual - e.last) & value_mask_;
+    if (new_stride == e.s2)
+        e.s1 = new_stride;
+    e.s2 = new_stride;
+    e.last = actual;
+    return correct;
+}
+
+PredictorStats
+TwoDeltaPredictor::runTraceSpan(std::span<const TraceRecord> trace)
+{
+    PredictorStats stats;
+    runTraceKernel(*this, trace, stats);
+    return stats;
 }
 
 std::uint64_t

@@ -14,8 +14,10 @@
 #define DFCM_CORE_VALUE_PREDICTOR_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "core/stats.hh"
 #include "core/types.hh"
 
 namespace vpred
@@ -63,6 +65,27 @@ class ValuePredictor
         const bool correct = predict(pc) == actual;
         update(pc, actual);
         return correct;
+    }
+
+    /**
+     * Run this predictor over a whole trace span in the
+     * predict-then-update discipline.
+     *
+     * The default walks the trace through the virtual
+     * predictAndUpdate — correct for every predictor, including
+     * wrappers. The hot table-based families (LVP, stride,
+     * two-delta, FCM, DFCM) override this with a dispatch into the
+     * devirtualized runTraceKernel (core/trace_kernel.hh), which is
+     * behavior-identical but pays one statically-resolved call per
+     * record instead of two virtual ones.
+     */
+    virtual PredictorStats
+    runTraceSpan(std::span<const TraceRecord> trace)
+    {
+        PredictorStats stats;
+        for (const TraceRecord& rec : trace)
+            stats.record(predictAndUpdate(rec.pc, rec.value));
+        return stats;
     }
 
     /**

@@ -1,14 +1,30 @@
 #include "harness/parallel_sweep.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <set>
 
+#include "harness/batch_sweep.hh"
 #include "workloads/workload.hh"
 
 namespace vpred::harness
 {
+
+std::string
+SweepExecution::path() const
+{
+    if (cells == 0)
+        return "empty";
+    if (batched_cells == cells)
+        return "multi-geometry";
+    if (fused_cells == cells)
+        return "fused";
+    if (virtual_cells == cells)
+        return "virtual";
+    return "mixed";
+}
 
 unsigned
 envJobs()
@@ -122,10 +138,36 @@ ParallelSweep::ParallelSweep(TraceCache& cache, unsigned jobs)
 {
 }
 
+namespace
+{
+
+/** True iff the per-config path for @p c runs through a fused
+ *  runTraceSpan override rather than the generic virtual loop. */
+bool
+fusedConfig(const PredictorConfig& c)
+{
+    if (c.update_delay > 0)
+        return false;
+    switch (c.kind) {
+      case PredictorKind::Lvp:
+      case PredictorKind::Stride:
+      case PredictorKind::TwoDelta:
+      case PredictorKind::Fcm:
+      case PredictorKind::Dfcm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 std::vector<SuiteResult>
 ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
                        const std::vector<std::string>& workload_names)
 {
+    const auto start = std::chrono::steady_clock::now();
+
     // Pre-warm the trace cache (in parallel — trace generation is the
     // serial bottleneck otherwise) so sweep cells only ever *read* it.
     const std::set<std::string> unique(workload_names.begin(),
@@ -134,13 +176,54 @@ ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
     pool_.parallelFor(warm.size(),
                       [&](std::size_t i) { cache_.getResult(warm[i]); });
 
-    // One task per (config, workload) cell; results land at fixed
-    // indices so gathering preserves the serial grid order.
+    // Route l2_bits columns through the multi-geometry kernels and
+    // the rest through the per-config path. Results land at fixed
+    // indices, so gathering preserves the serial grid order and the
+    // output is bit-identical whichever way a cell executed.
+    const BatchPlan plan = planBatchSweep(configs);
     const std::size_t n_workloads = workload_names.size();
     std::vector<RunResult> cells(configs.size() * n_workloads);
-    pool_.parallelFor(cells.size(), [&](std::size_t i) {
-        cells[i] = runOn(cache_, workload_names[i % n_workloads],
-                         configs[i / n_workloads]);
+
+    // Probe name/storage for batched configs up front (runOn derives
+    // them from its live predictor; the kernel has no single one).
+    struct ColumnMeta
+    {
+        std::string name;
+        std::uint64_t storage_bits = 0;
+    };
+    std::vector<ColumnMeta> meta(configs.size());
+    for (const BatchGroup& g : plan.groups) {
+        for (std::size_t i : g.config_indices) {
+            const auto probe = makePredictor(configs[i]);
+            meta[i] = {probe->name(), probe->storageBits()};
+        }
+    }
+
+    // One task per (group × workload) walk plus one per leftover
+    // (config × workload) cell; dynamic claiming absorbs the uneven
+    // costs (a group walk covers a whole column of cells).
+    const std::size_t n_units = plan.groups.size() + plan.singles.size();
+    pool_.parallelFor(n_units * n_workloads, [&](std::size_t t) {
+        const std::size_t unit = t / n_workloads;
+        const std::size_t w = t % n_workloads;
+        if (unit < plan.groups.size()) {
+            const BatchGroup& g = plan.groups[unit];
+            const std::vector<PredictorStats> stats =
+                    runBatchGroup(g, cache_.get(workload_names[w]));
+            for (std::size_t j = 0; j < g.config_indices.size(); ++j) {
+                const std::size_t i = g.config_indices[j];
+                RunResult& r = cells[i * n_workloads + w];
+                r.workload = workload_names[w];
+                r.predictor = meta[i].name;
+                r.storage_bits = meta[i].storage_bits;
+                r.stats = stats[j];
+            }
+        } else {
+            const std::size_t i =
+                    plan.singles[unit - plan.groups.size()];
+            cells[i * n_workloads + w] =
+                    runOn(cache_, workload_names[w], configs[i]);
+        }
     });
 
     std::vector<SuiteResult> suites;
@@ -152,6 +235,21 @@ ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
                                         (c + 1) * n_workloads));
         suites.push_back(aggregateSuite(configs[c], std::move(runs)));
     }
+
+    execution_ = SweepExecution{};
+    execution_.cells = cells.size();
+    execution_.batched_cells = plan.batchedConfigs() * n_workloads;
+    for (std::size_t i : plan.singles) {
+        (fusedConfig(configs[i]) ? execution_.fused_cells
+                                 : execution_.virtual_cells) +=
+                n_workloads;
+    }
+    execution_.trace_walks = n_units * n_workloads;
+    execution_.jobs = pool_.jobs();
+    execution_.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                    .count();
     return suites;
 }
 

@@ -34,6 +34,27 @@ namespace vpred::harness
 {
 
 /**
+ * How a runGrid() call actually executed: which path evaluated each
+ * (config × workload) cell, how many trace walks that took, and how
+ * long it ran. Emitted into BENCH JSON files so perf numbers are
+ * comparable across commits.
+ */
+struct SweepExecution
+{
+    std::uint64_t cells = 0;          //!< (config × workload) cells
+    std::uint64_t batched_cells = 0;  //!< via multi-geometry kernel
+    std::uint64_t fused_cells = 0;    //!< per-config, devirtualized
+    std::uint64_t virtual_cells = 0;  //!< per-config, virtual loop
+    std::uint64_t trace_walks = 0;    //!< walks actually performed
+    unsigned jobs = 1;
+    double wall_seconds = 0.0;
+
+    /** Dominant path label: "multi-geometry", "fused", "virtual",
+     *  "mixed", or "empty" for a zero-cell grid. */
+    std::string path() const;
+};
+
+/**
  * Worker count from REPRO_JOBS (clamped to [1, 512]). Unset, zero or
  * unparsable values select hardware_concurrency (warning once on
  * stderr when unparsable).
@@ -92,10 +113,13 @@ class ThreadPool
  * Fan a (config × workload) grid out over a thread pool.
  *
  * All workloads are pre-warmed into the TraceCache first (also in
- * parallel), then every (config, workload) cell runs as one task.
- * Results come back as one SuiteResult per config, in config order,
- * with per_workload in workload order — exactly what a serial
- * runSuite() loop over the same grid produces.
+ * parallel). FCM/DFCM configs that differ only in l2_bits are routed
+ * as whole columns through the single-pass multi-geometry kernels
+ * (see harness/batch_sweep.hh; disable with REPRO_BATCH_SWEEP=0);
+ * every remaining (config, workload) cell runs as one per-config
+ * task. Results come back as one SuiteResult per config, in config
+ * order, with per_workload in workload order — bit-identical to a
+ * serial runSuite() loop over the same grid.
  */
 class ParallelSweep
 {
@@ -114,9 +138,13 @@ class ParallelSweep
     std::vector<SuiteResult> runGrid(
             const std::vector<PredictorConfig>& configs);
 
+    /** Execution report of the most recent runGrid() call. */
+    const SweepExecution& lastExecution() const { return execution_; }
+
   private:
     TraceCache& cache_;
     ThreadPool pool_;
+    SweepExecution execution_;
 };
 
 } // namespace vpred::harness

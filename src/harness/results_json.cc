@@ -90,12 +90,31 @@ ResultsJsonWriter::toJson() const
 
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema_version\": 1,\n"
+       << "  \"schema_version\": 2,\n"
        << "  \"experiment\": \"" << escape(experiment_) << "\",\n"
        << "  \"trace_scale\": " << jsonNumber(trace_scale_) << ",\n"
        << "  \"jobs\": " << jobs_ << ",\n"
-       << "  \"wall_seconds\": " << jsonNumber(wall) << ",\n"
-       << "  \"results\": [";
+       << "  \"wall_seconds\": " << jsonNumber(wall) << ",\n";
+    if (execution_) {
+        os << "  \"execution\": { \"path\": \""
+           << escape(execution_->path()) << "\", \"cells\": "
+           << execution_->cells << ", \"batched_cells\": "
+           << execution_->batched_cells << ", \"fused_cells\": "
+           << execution_->fused_cells << ", \"virtual_cells\": "
+           << execution_->virtual_cells << ", \"trace_walks\": "
+           << execution_->trace_walks << ", \"sweep_wall_seconds\": "
+           << jsonNumber(execution_->wall_seconds) << " },\n";
+    }
+    if (!metrics_.empty()) {
+        os << "  \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            os << (i == 0 ? "\n" : ",\n") << "    \""
+               << escape(metrics_[i].first)
+               << "\": " << jsonNumber(metrics_[i].second);
+        }
+        os << "\n  },\n";
+    }
+    os << "  \"results\": [";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         const Entry& e = entries_[i];
         os << (i == 0 ? "\n" : ",\n")

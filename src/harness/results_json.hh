@@ -7,14 +7,19 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 1):
+ * the files. Schema (schema_version 2; "execution" and "metrics"
+ * appear only when set):
  *
  *     {
- *       "schema_version": 1,
+ *       "schema_version": 2,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,
  *       "wall_seconds": 2.417,
+ *       "execution": { "path": "multi-geometry", "cells": 112,
+ *         "batched_cells": 112, "fused_cells": 0, "virtual_cells": 0,
+ *         "trace_walks": 16, "sweep_wall_seconds": 1.208 },
+ *       "metrics": { "dfcm_multigeom_records_per_sec": 1.2e8 },
  *       "results": [
  *         { "predictor": "dfcm(l1=16,l2=12)", "kind": "dfcm",
  *           "l1_bits": 16, "l2_bits": 12, "storage_kbit": 1568.0,
@@ -35,10 +40,13 @@
 #define DFCM_HARNESS_RESULTS_JSON_HH
 
 #include <chrono>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace vpred::harness
 {
@@ -61,6 +69,23 @@ class ResultsJsonWriter
     /** Append every (config, suite) pair of a runGrid() call. */
     void addGrid(const std::vector<PredictorConfig>& configs,
                  const std::vector<SuiteResult>& suites);
+
+    /**
+     * Record how the sweep executed (path, trace walks, wall time) —
+     * emitted as an "execution" object so BENCH files are comparable
+     * across PRs. Typically ParallelSweep::lastExecution().
+     */
+    void setExecution(const SweepExecution& e) { execution_ = e; }
+
+    /**
+     * Record a named scalar metric (e.g. a records/sec throughput);
+     * emitted under "metrics" in insertion order.
+     */
+    void
+    addMetric(const std::string& name, double value)
+    {
+        metrics_.emplace_back(name, value);
+    }
 
     /** Serialize to a JSON string ("wall_seconds" = time since
      *  construction, or the setWallSeconds() override). */
@@ -94,6 +119,8 @@ class ResultsJsonWriter
     unsigned jobs_;
     std::chrono::steady_clock::time_point start_;
     double wall_seconds_override_ = -1.0;
+    std::optional<SweepExecution> execution_;
+    std::vector<std::pair<std::string, double>> metrics_;
     std::vector<Entry> entries_;
 };
 

@@ -228,7 +228,7 @@ TEST(ResultsJson, SerializesSchemaFields)
     json.add(cfg, suite);
     json.setWallSeconds(1.5);
     const std::string s = json.toJson();
-    EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(s.find("\"experiment\": \"unit_test\""), std::string::npos);
     EXPECT_NE(s.find("\"trace_scale\": 0.03"), std::string::npos);
     EXPECT_NE(s.find("\"jobs\": 3"), std::string::npos);
