@@ -34,7 +34,7 @@ main()
             AliasBreakdown total;
             for (const std::string& name : workloads::benchmarkNames()) {
                 AliasAnalyzer analyzer(cfg, differential);
-                total += analyzer.run(cache.get(name));
+                total += analyzer.run(cache.getSpan(name));
             }
             table.addRow(
                     {differential ? "dfcm" : "fcm",

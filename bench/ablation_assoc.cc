@@ -41,7 +41,7 @@ main()
         double kbit = 0;
         for (const std::string& name : workloads::benchmarkNames()) {
             DfcmPredictor p(cfg);
-            total += runTrace(p, cache.get(name));
+            total += runTrace(p, cache.getSpan(name));
             kbit = p.storageKbit();
         }
         table.addRow({"direct 2^" + std::to_string(l2),
@@ -61,7 +61,7 @@ main()
         double kbit = 0, hit = 0;
         for (const std::string& name : workloads::benchmarkNames()) {
             AssocDfcmPredictor p(cfg);
-            total += runTrace(p, cache.get(name));
+            total += runTrace(p, cache.getSpan(name));
             kbit = p.storageKbit();
             hit += p.hitRate();
         }

@@ -42,7 +42,7 @@ main()
         std::uint64_t size_bits = 0;
         for (const std::string& name : workloads::benchmarkNames()) {
             ConfidenceDfcm p(cfg);
-            const GatedStats s = p.run(cache.get(name));
+            const GatedStats s = p.run(cache.getSpan(name));
             total.total += s.total;
             total.attempted += s.attempted;
             total.correct += s.correct;

@@ -41,7 +41,8 @@ main()
             order = fcm.order();
             IdealContextPredictor ifcm(16, order, false);
             IdealContextPredictor idfcm(16, order, true);
-            const ValueTrace& trace = cache.get(name);
+            const std::span<const TraceRecord> trace =
+                    cache.getSpan(name);
             fcm_s += runTrace(fcm, trace);
             ifcm_s += runTrace(ifcm, trace);
             dfcm_s += runTrace(dfcm, trace);

@@ -28,6 +28,11 @@ reportExecution(const harness::SweepExecution& e)
     std::cout << "[sweep path: " << e.path() << "; " << e.trace_walks
               << " trace walks for " << e.cells << " cells; jobs "
               << e.jobs << "; " << e.wall_seconds << " s]\n";
+    if (e.store_enabled) {
+        std::cout << "[trace store: " << e.store_hits << " hits, "
+                  << e.store_misses << " misses; acquisition "
+                  << e.acquisition_seconds * 1000.0 << " ms]\n";
+    }
 }
 
 /** Prints the experiment banner and wall-clock time on destruction. */

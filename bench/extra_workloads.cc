@@ -35,7 +35,7 @@ main()
             cfg.l1_bits = 16;
             cfg.l2_bits = 12;
             auto p = makePredictor(cfg);
-            return runTrace(*p, cache.get(name)).accuracy();
+            return runTrace(*p, cache.getSpan(name)).accuracy();
         };
         const double fcm = acc(PredictorKind::Fcm);
         const double dfcm = acc(PredictorKind::Dfcm);

@@ -36,7 +36,7 @@ main()
                                     std::string("li")}) {
         FcmPredictor fcm({.l1_bits = 16, .l2_bits = 12});
         const OccupancyResult r =
-                profileStrideOccupancy(fcm, cache.get(name), 16);
+                profileStrideOccupancy(fcm, cache.getSpan(name), 16);
 
         summary.addRow(
                 {name,

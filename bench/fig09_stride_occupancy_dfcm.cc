@@ -36,9 +36,9 @@ main()
         FcmPredictor fcm({.l1_bits = 16, .l2_bits = 12});
         DfcmPredictor dfcm({.l1_bits = 16, .l2_bits = 12});
         const OccupancyResult rf =
-                profileStrideOccupancy(fcm, cache.get(name), 16);
+                profileStrideOccupancy(fcm, cache.getSpan(name), 16);
         const OccupancyResult rd =
-                profileStrideOccupancy(dfcm, cache.get(name), 16);
+                profileStrideOccupancy(dfcm, cache.getSpan(name), 16);
 
         auto emit = [&](const char* predictor,
                         const OccupancyResult& r) {

@@ -29,7 +29,7 @@ main()
     AliasBreakdown total;
     for (const std::string& name : workloads::benchmarkNames()) {
         AliasAnalyzer analyzer(cfg, /*differential=*/false);
-        total += analyzer.run(cache.get(name));
+        total += analyzer.run(cache.getSpan(name));
     }
 
     TablePrinter table({"aliasing_type", "fraction", "accuracy",

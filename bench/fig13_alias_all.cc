@@ -38,7 +38,7 @@ main()
         AliasBreakdown avg;
         for (const std::string& name : workloads::benchmarkNames()) {
             AliasAnalyzer analyzer(cfg, differential);
-            const AliasBreakdown b = analyzer.run(cache.get(name));
+            const AliasBreakdown b = analyzer.run(cache.getSpan(name));
             avg += b;
             table.addRow(
                     {pname, name,

@@ -39,7 +39,7 @@ main()
         AliasBreakdown avg;
         for (const std::string& name : workloads::benchmarkNames()) {
             AliasAnalyzer analyzer(cfg, differential);
-            const AliasBreakdown b = analyzer.run(cache.get(name));
+            const AliasBreakdown b = analyzer.run(cache.getSpan(name));
             avg += b;
             double total_wrong = 0;
             for (unsigned t = 0; t < kAliasTypeCount; ++t)

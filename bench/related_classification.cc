@@ -40,11 +40,11 @@ main()
     for (const std::string& name : workloads::benchmarkNames()) {
         ClassifyingPredictor classifier(ccfg);
         const PredictorStats cs =
-                runTrace(classifier, cache.get(name));
+                runTrace(classifier, cache.getSpan(name));
         // Storage-matched DFCM (2^14 level-1 / 2^12 level-2 is
         // slightly *smaller* than the classifier's four tables).
         DfcmPredictor dfcm({.l1_bits = 14, .l2_bits = 12});
-        const PredictorStats ds = runTrace(dfcm, cache.get(name));
+        const PredictorStats ds = runTrace(dfcm, cache.getSpan(name));
         ctotal += cs;
         dtotal += ds;
 

@@ -34,7 +34,7 @@ main()
     auto runAll = [&](ValuePredictor& p) {
         PredictorStats total;
         for (const std::string& name : workloads::benchmarkNames())
-            total += runTrace(p, cache.get(name));
+            total += runTrace(p, cache.getSpan(name));
         return total;
         // (predictor state deliberately carries across benchmarks in
         //  series, like one long trace; tables are large enough that

@@ -27,16 +27,17 @@ main()
 
     std::uint64_t total_instr = 0, total_pred = 0;
     for (const std::string& name : workloads::benchmarkNames()) {
-        const auto& r = cache.getResult(name);
-        total_instr += r.instructions;
-        total_pred += r.trace.size();
+        // Span + instruction accessors instead of getResult(): no
+        // owned-trace copy when the entry is store-mapped.
+        const std::uint64_t instr = cache.instructions(name);
+        const std::uint64_t preds = cache.getSpan(name).size();
+        total_instr += instr;
+        total_pred += preds;
         table.addRow({name, workloads::findWorkload(name).description,
-                      harness::TablePrinter::fmt(r.instructions),
+                      harness::TablePrinter::fmt(instr),
+                      harness::TablePrinter::fmt(preds),
                       harness::TablePrinter::fmt(
-                              static_cast<std::uint64_t>(r.trace.size())),
-                      harness::TablePrinter::fmt(
-                              static_cast<double>(r.trace.size())
-                                      / r.instructions, 3)});
+                              static_cast<double>(preds) / instr, 3)});
     }
     table.addRow({"total", "-", harness::TablePrinter::fmt(total_instr),
                   harness::TablePrinter::fmt(total_pred),

@@ -33,7 +33,7 @@ main()
                         "context_only", "both", "hard", "static_pcs"});
 
     for (const workloads::Workload& w : workloads::allWorkloads()) {
-        const ValueTrace& trace = cache.get(w.name);
+        const std::span<const TraceRecord> trace = cache.getSpan(w.name);
 
         LastValuePredictor lvp(16);
         StridePredictor stride(16);

@@ -1,22 +1,31 @@
 /**
  * @file
  * Example: a small trace utility built on the public API — dump a
- * workload's value trace to a file (binary or CSV), reload it, and
- * evaluate predictors on the stored trace. This is the decoupled
- * workflow for importing traces from other simulators.
+ * workload's value trace to a file (binary or CSV), reload it,
+ * evaluate predictors on the stored trace, and manage the persistent
+ * memory-mapped trace store (REPRO_TRACE_DIR). This is the decoupled
+ * workflow for importing traces from other simulators and for
+ * prewarming CI containers.
  *
  * Usage:
  *   trace_tool dump <workload> <file> [scale]
  *   trace_tool eval <file>
  *   trace_tool info <file>
+ *   trace_tool populate [dir] [scale]
+ *   trace_tool inspect <file.vpt2>
+ *   trace_tool verify <file.vpt2>
  */
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <set>
 
 #include "core/predictor_factory.hh"
 #include "core/stats.hh"
 #include "core/trace_io.hh"
+#include "harness/trace_cache.hh"
+#include "harness/trace_store.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -25,12 +34,85 @@ namespace
 int
 usage()
 {
-    std::cerr << "usage:\n"
-              << "  trace_tool dump <workload> <file> [scale]\n"
-              << "  trace_tool eval <file>\n"
-              << "  trace_tool info <file>\n"
-              << "(.csv extension selects text format)\n";
+    std::cerr
+            << "usage:\n"
+            << "  trace_tool dump <workload> <file> [scale]\n"
+            << "  trace_tool eval <file>\n"
+            << "  trace_tool info <file>\n"
+            << "  trace_tool populate [dir] [scale]\n"
+            << "  trace_tool inspect <file.vpt2>\n"
+            << "  trace_tool verify <file.vpt2>\n"
+            << "(.csv extension selects text format; populate fills "
+               "the trace store\n for every workload — dir defaults "
+               "to REPRO_TRACE_DIR)\n";
     return 2;
+}
+
+/** Fill the store with every workload's trace; idempotent. */
+int
+populate(const std::string& dir, double scale)
+{
+    using namespace vpred;
+    if (dir.empty()) {
+        std::cerr << "error: no store directory (pass one or set "
+                     "REPRO_TRACE_DIR)\n";
+        return 2;
+    }
+    harness::TraceCache cache(scale, dir);
+    std::vector<std::string> names;
+    for (const workloads::Workload& w : workloads::allWorkloads())
+        names.push_back(w.name);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    cache.prewarm(names);
+    const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+    const auto acq = cache.acquisition();
+    std::cout << "store " << dir << " at scale " << cache.scale()
+              << ": " << acq.store_hits << " already present, "
+              << acq.generated << " generated ("
+              << acq.store_writes << " written) in " << wall
+              << " s\n";
+    return 0;
+}
+
+/** Print a VPT2 file's header without touching the records. */
+int
+inspect(const std::string& path)
+{
+    using namespace vpred;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "error: cannot open " << path << "\n";
+        return 1;
+    }
+    const Vpt2Layout layout = readVpt2Header(in);
+    std::cout << "workload:          " << layout.meta.workload << "\n"
+              << "trace scale:       " << layout.meta.scale << "\n"
+              << "generator version: " << layout.meta.generator_version
+              << "\n"
+              << "records:           " << layout.record_count << "\n"
+              << "instructions:      " << layout.meta.instructions
+              << "\n"
+              << "records offset:    " << layout.records_offset << "\n"
+              << "checksum:          " << std::hex << layout.checksum
+              << std::dec << "\n";
+    return 0;
+}
+
+/** Map a VPT2 file and verify its checksum over all records. */
+int
+verify(const std::string& path)
+{
+    using namespace vpred;
+    const harness::MappedTrace mapped =
+            harness::TraceStore::mapFile(path);
+    std::cout << "OK: " << mapped.records().size() << " records, "
+              << mapped.mappingSize() << " bytes mapped, checksum "
+              << "verified\n";
+    return 0;
 }
 
 } // namespace
@@ -39,11 +121,24 @@ int
 main(int argc, char** argv)
 {
     using namespace vpred;
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
 
     try {
+        if (cmd == "populate") {
+            const std::string dir = argc > 2
+                    ? argv[2] : harness::TraceStore::envDir();
+            const double scale = argc > 3 ? std::atof(argv[3]) : 0.0;
+            return populate(dir, scale);
+        }
+        if (argc < 3)
+            return usage();
+        if (cmd == "inspect")
+            return inspect(argv[2]);
+        if (cmd == "verify")
+            return verify(argv[2]);
+
         if (cmd == "dump") {
             if (argc < 4)
                 return usage();

@@ -171,7 +171,7 @@ AliasAnalyzer::step(Pc pc, Value actual)
 }
 
 AliasBreakdown
-AliasAnalyzer::run(const ValueTrace& trace)
+AliasAnalyzer::run(std::span<const TraceRecord> trace)
 {
     for (const TraceRecord& rec : trace)
         step(rec.pc, rec.value);

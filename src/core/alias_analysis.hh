@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -101,8 +102,8 @@ class AliasAnalyzer
     /** Classify-then-update one trace record. */
     void step(Pc pc, Value actual);
 
-    /** Run a whole trace. */
-    AliasBreakdown run(const ValueTrace& trace);
+    /** Run a whole trace view (ValueTrace converts implicitly). */
+    AliasBreakdown run(std::span<const TraceRecord> trace);
 
     /** Statistics accumulated so far. */
     const AliasBreakdown& breakdown() const { return breakdown_; }

@@ -118,7 +118,7 @@ ConfidenceDfcm::step(Pc pc, Value actual, GatedStats& stats)
 }
 
 GatedStats
-ConfidenceDfcm::run(const ValueTrace& trace)
+ConfidenceDfcm::run(std::span<const TraceRecord> trace)
 {
     GatedStats stats;
     for (const TraceRecord& rec : trace)

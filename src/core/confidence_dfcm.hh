@@ -28,6 +28,7 @@
 #define DFCM_CORE_CONFIDENCE_DFCM_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -123,8 +124,8 @@ class ConfidenceDfcm
     /** One gated trace step; updates @p stats. */
     void step(Pc pc, Value actual, GatedStats& stats);
 
-    /** Run a whole trace under the configured gate. */
-    GatedStats run(const ValueTrace& trace);
+    /** Run a whole trace view under the configured gate. */
+    GatedStats run(std::span<const TraceRecord> trace);
 
     std::uint64_t storageBits() const;
     std::string name() const;

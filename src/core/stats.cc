@@ -6,12 +6,12 @@ namespace vpred
 {
 
 PredictorStats
-runTrace(ValuePredictor& predictor, const ValueTrace& trace)
+runTrace(ValuePredictor& predictor, std::span<const TraceRecord> trace)
 {
     // One virtual call per *trace*: concrete predictors override
     // runTraceSpan with the devirtualized kernel, wrappers fall back
     // to the generic per-record virtual loop.
-    return predictor.runTraceSpan({trace.data(), trace.size()});
+    return predictor.runTraceSpan(trace);
 }
 
 } // namespace vpred

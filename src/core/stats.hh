@@ -7,6 +7,7 @@
 #define DFCM_CORE_STATS_HH
 
 #include <cstdint>
+#include <span>
 
 #include "core/types.hh"
 
@@ -58,9 +59,12 @@ struct PredictorStats
 
 /**
  * Run a predictor over a complete trace in the paper's
- * predict-then-update discipline.
+ * predict-then-update discipline. Accepts any contiguous record
+ * view — an owned ValueTrace converts implicitly, and memory-mapped
+ * store spans run with no copy.
  */
-PredictorStats runTrace(ValuePredictor& predictor, const ValueTrace& trace);
+PredictorStats runTrace(ValuePredictor& predictor,
+                        std::span<const TraceRecord> trace);
 
 } // namespace vpred
 

@@ -25,7 +25,7 @@ namespace
 
 template <typename PredictorT>
 OccupancyResult
-profileImpl(PredictorT& predictor, const ValueTrace& trace,
+profileImpl(PredictorT& predictor, std::span<const TraceRecord> trace,
             unsigned side_stride_bits)
 {
     StridePredictor detector(side_stride_bits,
@@ -52,14 +52,16 @@ profileImpl(PredictorT& predictor, const ValueTrace& trace,
 } // namespace
 
 OccupancyResult
-profileStrideOccupancy(FcmPredictor& predictor, const ValueTrace& trace,
+profileStrideOccupancy(FcmPredictor& predictor,
+                       std::span<const TraceRecord> trace,
                        unsigned side_stride_bits)
 {
     return profileImpl(predictor, trace, side_stride_bits);
 }
 
 OccupancyResult
-profileStrideOccupancy(DfcmPredictor& predictor, const ValueTrace& trace,
+profileStrideOccupancy(DfcmPredictor& predictor,
+                       std::span<const TraceRecord> trace,
                        unsigned side_stride_bits)
 {
     return profileImpl(predictor, trace, side_stride_bits);

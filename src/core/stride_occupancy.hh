@@ -15,6 +15,7 @@
 #define DFCM_CORE_STRIDE_OCCUPANCY_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/types.hh"
@@ -47,18 +48,19 @@ struct OccupancyResult
  *
  * @param predictor The predictor under observation; it is trained
  *        on the trace as a side effect.
- * @param trace The value trace.
+ * @param trace The value trace view (ValueTrace converts
+ *        implicitly).
  * @param side_stride_bits log2(#entries) of the side stride
  *        predictor used as the stride-pattern detector (the paper
  *        uses 64K entries).
  */
 OccupancyResult profileStrideOccupancy(FcmPredictor& predictor,
-                                       const ValueTrace& trace,
+                                       std::span<const TraceRecord> trace,
                                        unsigned side_stride_bits = 16);
 
 /** DFCM overload of profileStrideOccupancy(). */
 OccupancyResult profileStrideOccupancy(DfcmPredictor& predictor,
-                                       const ValueTrace& trace,
+                                       std::span<const TraceRecord> trace,
                                        unsigned side_stride_bits = 16);
 
 } // namespace vpred

@@ -1,8 +1,11 @@
 #include "core/trace_io.hh"
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
 
 namespace vpred
@@ -11,7 +14,20 @@ namespace vpred
 namespace
 {
 
-constexpr char kMagic[4] = {'V', 'P', 'T', '1'};
+constexpr char kMagicV1[4] = {'V', 'P', 'T', '1'};
+constexpr char kMagicV2[4] = {'V', 'P', 'T', '2'};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+putU32(std::ostream& os, std::uint32_t v)
+{
+    std::array<char, 4> buf;
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<char>(v >> (8 * i));
+    os.write(buf.data(), buf.size());
+}
 
 void
 putU64(std::ostream& os, std::uint64_t v)
@@ -20,6 +36,21 @@ putU64(std::ostream& os, std::uint64_t v)
     for (int i = 0; i < 8; ++i)
         buf[i] = static_cast<char>(v >> (8 * i));
     os.write(buf.data(), buf.size());
+}
+
+std::uint32_t
+getU32(std::istream& is)
+{
+    std::array<char, 4> buf;
+    is.read(buf.data(), buf.size());
+    if (!is)
+        throw TraceIoError("truncated trace file");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(buf[i]))
+                << (8 * i);
+    return v;
 }
 
 std::uint64_t
@@ -37,31 +68,48 @@ getU64(std::istream& is)
     return v;
 }
 
-} // namespace
-
-void
-writeTraceBinary(std::ostream& os, const ValueTrace& trace)
+/**
+ * Bytes left in @p is from the current position, or nullopt when the
+ * stream is not seekable. Used to reject corrupt record counts
+ * before any allocation is attempted.
+ */
+std::optional<std::uint64_t>
+remainingBytes(std::istream& is)
 {
-    os.write(kMagic, sizeof(kMagic));
-    putU64(os, trace.size());
-    for (const TraceRecord& rec : trace) {
-        putU64(os, rec.pc);
-        putU64(os, rec.value);
-    }
+    const std::istream::pos_type pos = is.tellg();
+    if (pos == std::istream::pos_type(-1))
+        return std::nullopt;
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(pos);
+    if (end == std::istream::pos_type(-1) || !is)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(end - pos);
 }
 
-ValueTrace
-readTraceBinary(std::istream& is)
+/** Validate @p count records of @p record_size bytes against the
+ *  remaining stream length (when knowable) and the absolute cap. */
+void
+checkRecordCount(std::istream& is, std::uint64_t count,
+                 std::uint64_t record_size)
 {
-    char magic[4];
-    is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        throw TraceIoError("not a VPT1 trace file");
-    const std::uint64_t count = getU64(is);
     // Defensive cap: a count beyond a few billion records is a
     // corrupt header, not a real trace.
     if (count > (1ull << 33))
         throw TraceIoError("implausible record count");
+    if (const auto remaining = remainingBytes(is)) {
+        if (count > *remaining / record_size)
+            throw TraceIoError(
+                    "record count exceeds file size: header claims "
+                    + std::to_string(count) + " records but only "
+                    + std::to_string(*remaining / record_size)
+                    + " fit in the remaining bytes");
+    }
+}
+
+ValueTrace
+readRecords(std::istream& is, std::uint64_t count)
+{
     ValueTrace trace;
     trace.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -70,6 +118,178 @@ readTraceBinary(std::istream& is)
         trace.push_back({pc, value});
     }
     return trace;
+}
+
+} // namespace
+
+std::uint64_t
+traceChecksum(std::span<const TraceRecord> records)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const TraceRecord& rec : records) {
+        h ^= rec.pc;
+        h *= kFnvPrime;
+        h ^= rec.value;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+void
+writeTraceBinary(std::ostream& os, const ValueTrace& trace)
+{
+    os.write(kMagicV1, sizeof(kMagicV1));
+    putU64(os, trace.size());
+    for (const TraceRecord& rec : trace) {
+        putU64(os, rec.pc);
+        putU64(os, rec.value);
+    }
+}
+
+void
+writeTraceVpt2(std::ostream& os, const ValueTrace& trace,
+               const Vpt2Meta& meta)
+{
+    if (meta.workload.size() > std::numeric_limits<std::uint32_t>::max()
+        || meta.output.size() > std::numeric_limits<std::uint32_t>::max())
+        throw TraceIoError("VPT2 metadata too large");
+
+    const std::uint64_t meta_end =
+            kVpt2HeaderSize + meta.workload.size() + meta.output.size();
+    const std::uint64_t records_offset =
+            (meta_end + kVpt2RecordAlignment - 1)
+            / kVpt2RecordAlignment * kVpt2RecordAlignment;
+
+    os.write(kMagicV2, sizeof(kMagicV2));
+    putU32(os, kVpt2FormatVersion);
+    putU32(os, meta.generator_version);
+    putU32(os, static_cast<std::uint32_t>(meta.workload.size()));
+    putU32(os, static_cast<std::uint32_t>(meta.output.size()));
+    putU32(os, 0);  // reserved
+    putU64(os, std::bit_cast<std::uint64_t>(meta.scale));
+    putU64(os, trace.size());
+    putU64(os, meta.instructions);
+    putU64(os, traceChecksum({trace.data(), trace.size()}));
+    putU64(os, records_offset);
+    os.write(meta.workload.data(),
+             static_cast<std::streamsize>(meta.workload.size()));
+    os.write(meta.output.data(),
+             static_cast<std::streamsize>(meta.output.size()));
+    for (std::uint64_t i = meta_end; i < records_offset; ++i)
+        os.put('\0');
+
+    if constexpr (std::endian::native == std::endian::little) {
+        // TraceRecord is two little-endian u64s in memory (layout
+        // pinned by the static_asserts in harness/trace_store.hh);
+        // one bulk write is the serialized payload.
+        os.write(reinterpret_cast<const char*>(trace.data()),
+                 static_cast<std::streamsize>(trace.size()
+                                              * sizeof(TraceRecord)));
+    } else {
+        for (const TraceRecord& rec : trace) {
+            putU64(os, rec.pc);
+            putU64(os, rec.value);
+        }
+    }
+}
+
+namespace
+{
+
+/** Parse a VPT2 header whose 4-byte magic has already been consumed. */
+Vpt2Layout
+readVpt2HeaderAfterMagic(std::istream& is)
+{
+    const std::uint32_t format_version = getU32(is);
+    if (format_version != kVpt2FormatVersion)
+        throw TraceIoError("unsupported VPT2 format version "
+                           + std::to_string(format_version));
+
+    Vpt2Layout layout;
+    layout.meta.generator_version = getU32(is);
+    const std::uint32_t name_len = getU32(is);
+    const std::uint32_t output_len = getU32(is);
+    getU32(is);  // reserved
+    layout.meta.scale = std::bit_cast<double>(getU64(is));
+    layout.record_count = getU64(is);
+    layout.meta.instructions = getU64(is);
+    layout.checksum = getU64(is);
+    layout.records_offset = getU64(is);
+
+    const std::uint64_t meta_end =
+            kVpt2HeaderSize + std::uint64_t{name_len} + output_len;
+    if (layout.records_offset < meta_end
+        || layout.records_offset % kVpt2RecordAlignment != 0
+        || layout.records_offset
+                   > meta_end + kVpt2RecordAlignment)
+        throw TraceIoError("corrupt VPT2 record-section offset");
+    if (name_len > (1u << 20) || output_len > (1u << 28))
+        throw TraceIoError("implausible VPT2 metadata length");
+
+    layout.meta.workload.resize(name_len);
+    is.read(layout.meta.workload.data(), name_len);
+    layout.meta.output.resize(output_len);
+    is.read(layout.meta.output.data(), output_len);
+    if (!is)
+        throw TraceIoError("truncated VPT2 metadata");
+    return layout;
+}
+
+/** Read the padding and record section following a parsed header. */
+ValueTrace
+readVpt2RecordsAfterHeader(std::istream& is, const Vpt2Layout& layout)
+{
+    // Skip padding up to the record section.
+    const std::uint64_t meta_end = kVpt2HeaderSize
+            + layout.meta.workload.size() + layout.meta.output.size();
+    for (std::uint64_t i = meta_end; i < layout.records_offset; ++i)
+        if (is.get() == std::istream::traits_type::eof())
+            throw TraceIoError("truncated VPT2 padding");
+    checkRecordCount(is, layout.record_count, sizeof(TraceRecord));
+    ValueTrace trace = readRecords(is, layout.record_count);
+    if (traceChecksum({trace.data(), trace.size()}) != layout.checksum)
+        throw TraceIoError("VPT2 checksum mismatch");
+    return trace;
+}
+
+} // namespace
+
+Vpt2Layout
+readVpt2Header(std::istream& is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0)
+        throw TraceIoError("not a VPT2 trace file");
+    return readVpt2HeaderAfterMagic(is);
+}
+
+ValueTrace
+readTraceVpt2(std::istream& is, Vpt2Layout* layout_out)
+{
+    const Vpt2Layout layout = readVpt2Header(is);
+    ValueTrace trace = readVpt2RecordsAfterHeader(is, layout);
+    if (layout_out != nullptr)
+        *layout_out = layout;
+    return trace;
+}
+
+ValueTrace
+readTraceBinary(std::istream& is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is)
+        throw TraceIoError("not a VPT1/VPT2 trace file");
+    if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+        const Vpt2Layout layout = readVpt2HeaderAfterMagic(is);
+        return readVpt2RecordsAfterHeader(is, layout);
+    }
+    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0)
+        throw TraceIoError("not a VPT1/VPT2 trace file");
+    const std::uint64_t count = getU64(is);
+    checkRecordCount(is, count, 16);
+    return readRecords(is, count);
 }
 
 void

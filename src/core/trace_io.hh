@@ -5,17 +5,47 @@
  * The paper generates traces on the fly; for a library, persistent
  * traces are useful to decouple (slow, one-off) workload execution
  * from (repeated) predictor sweeps, and to import traces from other
- * simulators. Two formats:
+ * simulators. Three formats:
  *
  *  - binary "VPT1": magic, record count, then (pc, value) pairs as
  *    little-endian u64 — compact and exact;
+ *  - binary "VPT2": a self-describing container for the persistent
+ *    trace store (harness/trace_store.hh) — a 64-byte header with
+ *    format/generator versions, the workload name, the trace scale,
+ *    the record count and an FNV-1a checksum; the record section is
+ *    64-byte-aligned so readers can mmap it and hand kernels a
+ *    zero-copy std::span<const TraceRecord>;
  *  - CSV with a "pc,value" header — for interop and eyeballing.
+ *
+ * readTraceBinary()/loadTrace() accept both binary formats, so VPT2
+ * store entries remain readable by every VPT1-era tool path.
+ *
+ * VPT2 on-disk layout (all integers little-endian):
+ *
+ *     offset  size  field
+ *          0     4  magic "VPT2"
+ *          4     4  u32 format version (kVpt2FormatVersion)
+ *          8     4  u32 generator version (workload-suite revision)
+ *         12     4  u32 workload-name length N
+ *         16     4  u32 program-output length M
+ *         20     4  u32 reserved (zero)
+ *         24     8  u64 trace scale (IEEE-754 double bit pattern)
+ *         32     8  u64 record count
+ *         40     8  u64 dynamic instruction count
+ *         48     8  u64 checksum (FNV-1a over pc,value words)
+ *         56     8  u64 record-section offset (64-byte aligned)
+ *         64     N  workload name (no terminator)
+ *       64+N     M  program output
+ *              pad  zero bytes up to the record-section offset
+ *     records_offset  16*count  TraceRecord payload (pc, value u64 LE)
  */
 
 #ifndef DFCM_CORE_TRACE_IO_HH
 #define DFCM_CORE_TRACE_IO_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -31,11 +61,68 @@ class TraceIoError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/** VPT2 container format revision. */
+inline constexpr std::uint32_t kVpt2FormatVersion = 1;
+
+/** Fixed VPT2 header size in bytes. */
+inline constexpr std::size_t kVpt2HeaderSize = 64;
+
+/** Alignment of the VPT2 record section (cache-line sized, a
+ *  multiple of sizeof(TraceRecord), so mmap'd spans are aligned). */
+inline constexpr std::size_t kVpt2RecordAlignment = 64;
+
+/** Provenance metadata carried by a VPT2 container. */
+struct Vpt2Meta
+{
+    std::string workload;                //!< source workload name
+    double scale = 1.0;                  //!< trace scale it ran at
+    std::uint32_t generator_version = 0; //!< workload-suite revision
+    std::uint64_t instructions = 0;      //!< dynamic instructions
+    std::string output;                  //!< program console output
+};
+
+/** Parsed VPT2 header: metadata plus the record-section geometry
+ *  needed to read (or mmap) the payload. */
+struct Vpt2Layout
+{
+    Vpt2Meta meta;
+    std::uint64_t record_count = 0;
+    std::uint64_t records_offset = 0;  //!< from the start of the file
+    std::uint64_t checksum = 0;        //!< expected payload checksum
+};
+
+/**
+ * Order-sensitive FNV-1a checksum over a record span, folding the
+ * pc and value words of each record. Endianness-independent, and
+ * equal to the checksum of the serialized little-endian payload.
+ */
+std::uint64_t traceChecksum(std::span<const TraceRecord> records);
+
 /** Write @p trace in the binary VPT1 format. */
 void writeTraceBinary(std::ostream& os, const ValueTrace& trace);
 
-/** Read a binary VPT1 trace. @throws TraceIoError */
+/**
+ * Read a binary trace, accepting both VPT1 and VPT2 containers
+ * (VPT2 metadata is validated — including the checksum — and then
+ * discarded). @throws TraceIoError
+ */
 ValueTrace readTraceBinary(std::istream& is);
+
+/** Write @p trace as a VPT2 container with @p meta. */
+void writeTraceVpt2(std::ostream& os, const ValueTrace& trace,
+                    const Vpt2Meta& meta);
+
+/**
+ * Parse and validate a VPT2 header (magic, format version, sane
+ * lengths), leaving @p is positioned just after the variable-length
+ * metadata. Does not touch the record section, so callers may mmap
+ * it instead of streaming. @throws TraceIoError
+ */
+Vpt2Layout readVpt2Header(std::istream& is);
+
+/** Read a whole VPT2 container, verifying the payload checksum.
+ *  @throws TraceIoError */
+ValueTrace readTraceVpt2(std::istream& is, Vpt2Layout* layout = nullptr);
 
 /** Write @p trace as "pc,value" CSV (decimal). */
 void writeTraceCsv(std::ostream& os, const ValueTrace& trace);
@@ -45,11 +132,11 @@ void writeTraceCsv(std::ostream& os, const ValueTrace& trace);
 ValueTrace readTraceCsv(std::istream& is);
 
 /** Convenience: write to a path, selecting the format from the
- *  extension (".csv" = CSV, anything else = binary). */
+ *  extension (".csv" = CSV, anything else = binary VPT1). */
 void saveTrace(const std::string& path, const ValueTrace& trace);
 
 /** Convenience: read from a path, selecting the format from the
- *  extension. @throws TraceIoError */
+ *  extension (binary paths accept VPT1 and VPT2). @throws TraceIoError */
 ValueTrace loadTrace(const std::string& path);
 
 } // namespace vpred

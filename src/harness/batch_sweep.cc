@@ -84,15 +84,14 @@ planBatchSweep(const std::vector<PredictorConfig>& configs, bool enabled)
 }
 
 std::vector<PredictorStats>
-runBatchGroup(const BatchGroup& group, const ValueTrace& trace)
+runBatchGroup(const BatchGroup& group, std::span<const TraceRecord> trace)
 {
-    const std::span<const TraceRecord> span{trace.data(), trace.size()};
     if (group.kind == PredictorKind::Fcm) {
         MultiGeomFcmKernel kernel(group.geom);
-        return kernel.runTrace(span);
+        return kernel.runTrace(trace);
     }
     MultiGeomDfcmKernel kernel(group.geom);
-    return kernel.runTrace(span);
+    return kernel.runTrace(trace);
 }
 
 } // namespace vpred::harness

@@ -20,6 +20,7 @@
 #define DFCM_HARNESS_BATCH_SWEEP_HH
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/multi_geom.hh"
@@ -73,10 +74,13 @@ struct BatchPlan
 BatchPlan planBatchSweep(const std::vector<PredictorConfig>& configs,
                          bool enabled = batchSweepEnabled());
 
-/** Evaluate one group over one trace: per-column stats, column
- *  order, bit-identical to running each config's predictor alone. */
-std::vector<PredictorStats> runBatchGroup(const BatchGroup& group,
-                                          const ValueTrace& trace);
+/** Evaluate one group over one trace view (an owned ValueTrace
+ *  converts implicitly; memory-mapped spans run with no copy):
+ *  per-column stats, column order, bit-identical to running each
+ *  config's predictor alone. */
+std::vector<PredictorStats>
+runBatchGroup(const BatchGroup& group,
+              std::span<const TraceRecord> trace);
 
 } // namespace vpred::harness
 

@@ -13,7 +13,7 @@ runOn(TraceCache& cache, const std::string& workload,
     RunResult result;
     result.workload = workload;
     result.predictor = predictor->name();
-    result.stats = runTrace(*predictor, cache.get(workload));
+    result.stats = runTrace(*predictor, cache.getSpan(workload));
     result.storage_bits = predictor->storageBits();
     return result;
 }

@@ -167,14 +167,17 @@ ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
                        const std::vector<std::string>& workload_names)
 {
     const auto start = std::chrono::steady_clock::now();
+    const TraceCache::AcquisitionStats acq_before = cache_.acquisition();
 
     // Pre-warm the trace cache (in parallel — trace generation is the
     // serial bottleneck otherwise) so sweep cells only ever *read* it.
+    // getSpan() keeps store-mapped traces zero-copy: the sweep runs
+    // straight over the mmap'd records.
     const std::set<std::string> unique(workload_names.begin(),
                                        workload_names.end());
     const std::vector<std::string> warm(unique.begin(), unique.end());
     pool_.parallelFor(warm.size(),
-                      [&](std::size_t i) { cache_.getResult(warm[i]); });
+                      [&](std::size_t i) { cache_.getSpan(warm[i]); });
 
     // Route l2_bits columns through the multi-geometry kernels and
     // the rest through the per-config path. Results land at fixed
@@ -209,7 +212,7 @@ ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
         if (unit < plan.groups.size()) {
             const BatchGroup& g = plan.groups[unit];
             const std::vector<PredictorStats> stats =
-                    runBatchGroup(g, cache_.get(workload_names[w]));
+                    runBatchGroup(g, cache_.getSpan(workload_names[w]));
             for (std::size_t j = 0; j < g.config_indices.size(); ++j) {
                 const std::size_t i = g.config_indices[j];
                 RunResult& r = cells[i * n_workloads + w];
@@ -250,6 +253,17 @@ ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                     .count();
+
+    // Trace-acquisition deltas over this call: how many traces came
+    // from the persistent store vs. the VM, and the wall time spent
+    // acquiring them (usually all inside the prewarm above).
+    const TraceCache::AcquisitionStats acq_after = cache_.acquisition();
+    execution_.store_enabled = acq_after.store_enabled;
+    execution_.store_hits = acq_after.store_hits - acq_before.store_hits;
+    execution_.store_misses =
+            acq_after.store_misses - acq_before.store_misses;
+    execution_.acquisition_seconds =
+            acq_after.seconds() - acq_before.seconds();
     return suites;
 }
 

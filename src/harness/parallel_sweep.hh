@@ -49,6 +49,14 @@ struct SweepExecution
     unsigned jobs = 1;
     double wall_seconds = 0.0;
 
+    // Trace acquisition during this runGrid() call (prewarm plus any
+    // stragglers): persistent-store traffic and wall time spent
+    // getting traces, as deltas of TraceCache::acquisition().
+    bool store_enabled = false;        //!< REPRO_TRACE_DIR configured
+    std::uint64_t store_hits = 0;      //!< traces mapped from disk
+    std::uint64_t store_misses = 0;    //!< lookups that fell to the VM
+    double acquisition_seconds = 0.0;  //!< wall time acquiring traces
+
     /** Dominant path label: "multi-geometry", "fused", "virtual",
      *  "mixed", or "empty" for a zero-cell grid. */
     std::string path() const;

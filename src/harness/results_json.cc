@@ -90,7 +90,7 @@ ResultsJsonWriter::toJson() const
 
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema_version\": 2,\n"
+       << "  \"schema_version\": 3,\n"
        << "  \"experiment\": \"" << escape(experiment_) << "\",\n"
        << "  \"trace_scale\": " << jsonNumber(trace_scale_) << ",\n"
        << "  \"jobs\": " << jobs_ << ",\n"
@@ -103,7 +103,14 @@ ResultsJsonWriter::toJson() const
            << execution_->fused_cells << ", \"virtual_cells\": "
            << execution_->virtual_cells << ", \"trace_walks\": "
            << execution_->trace_walks << ", \"sweep_wall_seconds\": "
-           << jsonNumber(execution_->wall_seconds) << " },\n";
+           << jsonNumber(execution_->wall_seconds)
+           << ", \"trace_store_enabled\": "
+           << (execution_->store_enabled ? "true" : "false")
+           << ", \"trace_store_hits\": " << execution_->store_hits
+           << ", \"trace_store_misses\": " << execution_->store_misses
+           << ", \"trace_acquisition_ms\": "
+           << jsonNumber(execution_->acquisition_seconds * 1000.0)
+           << " },\n";
     }
     if (!metrics_.empty()) {
         os << "  \"metrics\": {";

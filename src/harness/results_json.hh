@@ -7,18 +7,23 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 2; "execution" and "metrics"
- * appear only when set):
+ * the files. Schema (schema_version 3; "execution" and "metrics"
+ * appear only when set). Version 3 adds the trace-store fields to
+ * "execution": whether a persistent REPRO_TRACE_DIR store was
+ * configured, how many traces it served (hits) vs. regenerated
+ * (misses), and the wall time spent acquiring traces:
  *
  *     {
- *       "schema_version": 2,
+ *       "schema_version": 3,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,
  *       "wall_seconds": 2.417,
  *       "execution": { "path": "multi-geometry", "cells": 112,
  *         "batched_cells": 112, "fused_cells": 0, "virtual_cells": 0,
- *         "trace_walks": 16, "sweep_wall_seconds": 1.208 },
+ *         "trace_walks": 16, "sweep_wall_seconds": 1.208,
+ *         "trace_store_enabled": true, "trace_store_hits": 8,
+ *         "trace_store_misses": 0, "trace_acquisition_ms": 42.7 },
  *       "metrics": { "dfcm_multigeom_records_per_sec": 1.2e8 },
  *       "results": [
  *         { "predictor": "dfcm(l1=16,l2=12)", "kind": "dfcm",

@@ -1,9 +1,12 @@
 #include "harness/trace_cache.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <set>
 
+#include "harness/parallel_sweep.hh"
 #include "workloads/workload.hh"
 
 namespace vpred::harness
@@ -31,28 +34,101 @@ envTraceScale()
     return std::clamp(v, 0.01, 100.0);
 }
 
-TraceCache::TraceCache(double scale)
-    : scale_(scale > 0.0 ? scale : envTraceScale())
+TraceCache::TraceCache(double scale, std::string store_dir)
+    : scale_(scale > 0.0 ? scale : envTraceScale()),
+      store_(std::move(store_dir))
 {
+    stats_.store_enabled = store_.enabled();
+}
+
+TraceCache::Entry&
+TraceCache::acquire(const std::string& workload_name)
+{
+    Entry* entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry = &cache_[workload_name];
+    }
+    // Per-key once semantics: concurrent first lookups of the same
+    // workload block here while exactly one of them acquires the
+    // trace — the VM never runs twice for one key, and the slow work
+    // happens outside the cache-wide lock so other keys proceed.
+    std::call_once(entry->once, [&] { populate(*entry, workload_name); });
+    return *entry;
+}
+
+void
+TraceCache::populate(Entry& entry, const std::string& workload_name)
+{
+    using clock = std::chrono::steady_clock;
+
+    if (store_.enabled()) {
+        const auto t0 = clock::now();
+        if (auto mapped = store_.load(workload_name, scale_)) {
+            entry.mapped = std::move(mapped);
+            entry.span = entry.mapped->records();
+            const double dt =
+                    std::chrono::duration<double>(clock::now() - t0)
+                            .count();
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.store_hits;
+            stats_.load_seconds += dt;
+            return;
+        }
+    }
+
+    const auto t0 = clock::now();
+    sim::TraceResult result = workloads::runWorkload(workload_name, scale_);
+    const double dt =
+            std::chrono::duration<double>(clock::now() - t0).count();
+
+    bool wrote = false;
+    if (store_.enabled()) {
+        try {
+            store_.store(workload_name, scale_, result);
+            wrote = true;
+        } catch (const TraceIoError& e) {
+            std::cerr << "warning: cannot persist trace for '"
+                      << workload_name << "': " << e.what() << "\n";
+        }
+    }
+
+    entry.owned = std::move(result);
+    entry.span = {entry.owned->trace.data(), entry.owned->trace.size()};
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.generated;
+    stats_.generate_seconds += dt;
+    if (store_.enabled()) {
+        ++stats_.store_misses;
+        if (wrote)
+            ++stats_.store_writes;
+    }
+}
+
+const sim::TraceResult&
+TraceCache::materialized(Entry& entry)
+{
+    // Mapped entries carry no owned vector; build it at most once,
+    // on demand (consumers needing whole-TraceResult semantics are
+    // rare — sweeps go through getSpan). Generated entries already
+    // own their result and the lambda is a no-op.
+    std::call_once(entry.materialize_once, [&] {
+        if (entry.owned)
+            return;
+        sim::TraceResult result;
+        result.trace.assign(entry.span.begin(), entry.span.end());
+        result.instructions = entry.mapped->instructions();
+        result.output = entry.mapped->output();
+        entry.owned = std::move(result);
+    });
+    return *entry.owned;
 }
 
 const sim::TraceResult&
 TraceCache::getResult(const std::string& workload_name)
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(workload_name);
-        if (it != cache_.end())
-            return it->second;
-    }
-    // Miss: run the VM without holding the lock so concurrent lookups
-    // of *other* workloads proceed. Racing misses on the same name
-    // compute the same (deterministic) result; try_emplace keeps the
-    // first and discards the rest.
-    sim::TraceResult result = workloads::runWorkload(workload_name, scale_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.try_emplace(workload_name, std::move(result))
-            .first->second;
+    return materialized(acquire(workload_name));
 }
 
 const ValueTrace&
@@ -61,11 +137,69 @@ TraceCache::get(const std::string& workload_name)
     return getResult(workload_name).trace;
 }
 
+std::span<const TraceRecord>
+TraceCache::getSpan(const std::string& workload_name)
+{
+    return acquire(workload_name).span;
+}
+
+std::uint64_t
+TraceCache::instructions(const std::string& workload_name)
+{
+    Entry& entry = acquire(workload_name);
+    // `mapped` is immutable after populate(), so this read is safe
+    // even while another thread materializes an owned copy.
+    return entry.mapped ? entry.mapped->instructions()
+                        : entry.owned->instructions;
+}
+
+const std::string&
+TraceCache::programOutput(const std::string& workload_name)
+{
+    Entry& entry = acquire(workload_name);
+    return entry.mapped ? entry.mapped->output() : entry.owned->output;
+}
+
 void
 TraceCache::prewarm(const std::vector<std::string>& workload_names)
 {
-    for (const std::string& name : workload_names)
-        getResult(name);
+    const std::set<std::string> unique(workload_names.begin(),
+                                       workload_names.end());
+    std::vector<std::string> names(unique.begin(), unique.end());
+    if (names.empty())
+        return;
+    const unsigned jobs =
+            std::min<unsigned>(envJobs(),
+                               static_cast<unsigned>(names.size()));
+    if (jobs <= 1) {
+        for (const std::string& name : names)
+            acquire(name);
+        return;
+    }
+    // Cold acquisition goes wide: every missing workload VM run (or
+    // store mapping) is an independent task. Entries already cached
+    // return immediately, and per-key call_once keeps racing names
+    // deduplicated.
+    ThreadPool pool(jobs);
+    pool.parallelFor(names.size(),
+                     [&](std::size_t i) { acquire(names[i]); });
+}
+
+TraceCache::AcquisitionStats
+TraceCache::acquisition() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+TraceCache::MappingInfo
+TraceCache::mappingInfo(const std::string& workload_name)
+{
+    Entry& entry = acquire(workload_name);
+    if (!entry.mapped)
+        return {};
+    return {true, entry.mapped->mappingData(),
+            entry.mapped->mappingSize()};
 }
 
 } // namespace vpred::harness

@@ -5,9 +5,15 @@
  * The paper regenerates traces on the fly for every predictor
  * configuration; we run each MiniRISC workload once and keep the
  * trace in memory across the (many) predictor configurations of a
- * sweep. The trace scale can be adjusted globally through the
+ * sweep. When REPRO_TRACE_DIR is set, the cache is additionally
+ * backed by the persistent memory-mapped TraceStore, so each trace
+ * is generated once per *machine* and afterwards acquired by mmap —
+ * getSpan() then aliases the mapped file with no copy at all.
+ *
+ * The trace scale can be adjusted globally through the
  * REPRO_TRACE_SCALE environment variable (default 1.0) to trade
- * experiment fidelity for runtime.
+ * experiment fidelity for runtime; the store keys entries on the
+ * exact scale, so changing it never serves a stale trace.
  */
 
 #ifndef DFCM_HARNESS_TRACE_CACHE_HH
@@ -15,10 +21,13 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/types.hh"
+#include "harness/trace_store.hh"
 #include "sim/tracer.hh"
 
 namespace vpred::harness
@@ -30,36 +39,117 @@ namespace vpred::harness
 double envTraceScale();
 
 /**
- * Lazily-built, memoized workload traces.
+ * Lazily-built, memoized workload traces, optionally backed by the
+ * persistent TraceStore.
  *
- * Safe for concurrent use: lookups and insertions are guarded by a
- * mutex, and because std::map nodes are stable the returned
- * references stay valid while other threads insert. The VM runs
- * *outside* the lock, so racing first lookups of the same workload
- * may duplicate (deterministic) work; parallel sweeps avoid this by
- * calling prewarm() up front so the hot path is pure lookup.
+ * Safe for concurrent use: each workload entry is populated exactly
+ * once under per-key std::call_once semantics, so racing first
+ * lookups of the same workload block on one acquisition instead of
+ * running the VM twice, and the returned references/spans stay valid
+ * for the cache's lifetime (std::map nodes are stable). The VM runs
+ * outside the cache-wide lock, so misses on different workloads
+ * still proceed in parallel.
  */
 class TraceCache
 {
   public:
-    /** @param scale Trace scale; NaN or <= 0 selects envTraceScale(). */
-    explicit TraceCache(double scale = 0.0);
+    /** How trace acquisition went so far — store hit/miss counters
+     *  and wall time split by path, for BENCH JSON and tools. */
+    struct AcquisitionStats
+    {
+        std::uint64_t generated = 0;     //!< traces produced by the VM
+        std::uint64_t store_hits = 0;    //!< traces mapped from disk
+        std::uint64_t store_misses = 0;  //!< store lookups that missed
+        std::uint64_t store_writes = 0;  //!< entries written back
+        double generate_seconds = 0.0;   //!< wall time in the VM
+        double load_seconds = 0.0;       //!< wall time mapping/verifying
+        bool store_enabled = false;
 
-    /** Trace of @p workload_name, running the VM on first use. */
+        double
+        seconds() const
+        {
+            return generate_seconds + load_seconds;
+        }
+    };
+
+    /** Where an entry's records live (for tests and tools). */
+    struct MappingInfo
+    {
+        bool mapped = false;          //!< true: records alias the store
+        const void* data = nullptr;   //!< mapping base (mapped only)
+        std::size_t size = 0;         //!< mapping length in bytes
+    };
+
+    /**
+     * @param scale Trace scale; NaN or <= 0 selects envTraceScale().
+     * @param store_dir Trace-store directory; defaults to
+     *        REPRO_TRACE_DIR, empty disables the store.
+     */
+    explicit TraceCache(double scale = 0.0,
+                        std::string store_dir = TraceStore::envDir());
+
+    /** Trace of @p workload_name, acquiring it on first use. For
+     *  store-mapped entries this materializes an owned copy once;
+     *  sweep paths should prefer getSpan(). */
     const ValueTrace& get(const std::string& workload_name);
 
     /** Full trace result (instruction counts, program output). */
     const sim::TraceResult& getResult(const std::string& workload_name);
 
-    /** Run every named workload that is not yet cached. */
+    /**
+     * Zero-copy view of @p workload_name's records: directly into
+     * the store mapping when the entry was mmap'd, into the owned
+     * vector otherwise. Valid for the cache's lifetime.
+     */
+    std::span<const TraceRecord> getSpan(const std::string& workload_name);
+
+    /** Dynamic instruction count of the traced run (no copy). */
+    std::uint64_t instructions(const std::string& workload_name);
+
+    /** Program console output of the traced run (no copy). */
+    const std::string& programOutput(const std::string& workload_name);
+
+    /**
+     * Acquire every named workload that is not yet cached. Misses
+     * are dispatched in parallel onto a thread pool (REPRO_JOBS
+     * workers) — cold trace generation is the serial bottleneck of
+     * every driver otherwise. Duplicate names are acquired once.
+     */
     void prewarm(const std::vector<std::string>& workload_names);
 
     double scale() const { return scale_; }
 
+    /** True iff a persistent store directory is configured. */
+    bool storeEnabled() const { return store_.enabled(); }
+
+    const TraceStore& store() const { return store_; }
+
+    /** Snapshot of the acquisition counters (thread-safe). */
+    AcquisitionStats acquisition() const;
+
+    /** How @p workload_name's entry is backed; acquires on first
+     *  use like every other lookup. */
+    MappingInfo mappingInfo(const std::string& workload_name);
+
   private:
+    struct Entry
+    {
+        std::once_flag once;             //!< guards populate()
+        std::once_flag materialize_once; //!< guards owned-copy build
+        std::optional<MappedTrace> mapped;
+        std::optional<sim::TraceResult> owned;
+        std::span<const TraceRecord> span;
+    };
+
+    Entry& acquire(const std::string& workload_name);
+    void populate(Entry& entry, const std::string& workload_name);
+    const sim::TraceResult& materialized(Entry& entry);
+
     double scale_;
+    TraceStore store_;
     mutable std::mutex mutex_;
-    std::map<std::string, sim::TraceResult> cache_;
+    std::map<std::string, Entry> cache_;
+    AcquisitionStats stats_;
 };
 
 } // namespace vpred::harness

@@ -1,0 +1,232 @@
+#include "harness/trace_store.hh"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "workloads/workload.hh"
+
+namespace vpred::harness
+{
+
+// Mapped records are reinterpreted in place; the serialized payload
+// is little-endian, so the host must be too (the stream codec in
+// core/trace_io.cc stays portable either way).
+static_assert(std::endian::native == std::endian::little,
+              "the mmap'd trace store requires a little-endian host");
+
+namespace
+{
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+MappedTrace::~MappedTrace()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, map_size_);
+}
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept
+    : map_(other.map_),
+      map_size_(other.map_size_),
+      records_(other.records_),
+      count_(other.count_),
+      meta_(std::move(other.meta_))
+{
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+    other.records_ = nullptr;
+    other.count_ = 0;
+}
+
+MappedTrace&
+MappedTrace::operator=(MappedTrace&& other) noexcept
+{
+    if (this != &other) {
+        if (map_ != nullptr)
+            ::munmap(map_, map_size_);
+        map_ = other.map_;
+        map_size_ = other.map_size_;
+        records_ = other.records_;
+        count_ = other.count_;
+        meta_ = std::move(other.meta_);
+        other.map_ = nullptr;
+        other.map_size_ = 0;
+        other.records_ = nullptr;
+        other.count_ = 0;
+    }
+    return *this;
+}
+
+std::string
+TraceStore::envDir()
+{
+    const char* env = std::getenv("REPRO_TRACE_DIR");
+    return env == nullptr ? std::string() : std::string(env);
+}
+
+TraceStore::TraceStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+TraceStore::entryPath(const std::string& workload, double scale) const
+{
+    // The exact scale keys the entry via its bit pattern: any change
+    // to REPRO_TRACE_SCALE, however small, selects a different file.
+    char scale_hex[17];
+    std::snprintf(scale_hex, sizeof(scale_hex), "%016llx",
+                  static_cast<unsigned long long>(
+                          std::bit_cast<std::uint64_t>(scale)));
+    return dir_ + "/" + workload + ".s" + scale_hex + ".g"
+            + std::to_string(workloads::kTraceGeneratorVersion)
+            + ".vpt2";
+}
+
+MappedTrace
+TraceStore::mapFile(const std::string& path)
+{
+    Vpt2Layout layout;
+    {
+        std::ifstream in(path, std::ios::in | std::ios::binary);
+        if (!in)
+            throw TraceIoError("cannot open " + path);
+        layout = readVpt2Header(in);
+    }
+    if (layout.record_count > (1ull << 33))
+        throw TraceIoError("implausible record count in " + path);
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        throw TraceIoError("cannot open " + path + ": " + errnoString());
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        const std::string err = errnoString();
+        ::close(fd);
+        throw TraceIoError("cannot stat " + path + ": " + err);
+    }
+    const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+    const std::uint64_t need = layout.records_offset
+            + layout.record_count * sizeof(TraceRecord);
+    if (size < need) {
+        ::close(fd);
+        throw TraceIoError("truncated VPT2 file " + path + ": have "
+                           + std::to_string(size) + " bytes, header needs "
+                           + std::to_string(need));
+    }
+
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        throw TraceIoError("mmap failed for " + path + ": "
+                           + errnoString());
+
+    MappedTrace mt;
+    mt.map_ = map;
+    mt.map_size_ = size;
+    mt.records_ = reinterpret_cast<const TraceRecord*>(
+            static_cast<const char*>(map) + layout.records_offset);
+    mt.count_ = layout.record_count;
+    mt.meta_ = layout.meta;
+
+    // Sequential verification pass; also warms the page cache for
+    // the sweep that follows.
+    if (traceChecksum(mt.records()) != layout.checksum)
+        throw TraceIoError("VPT2 checksum mismatch in " + path);
+    return mt;
+}
+
+std::optional<MappedTrace>
+TraceStore::load(const std::string& workload, double scale) const
+{
+    if (!enabled())
+        return std::nullopt;
+    const std::string path = entryPath(workload, scale);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec)
+        return std::nullopt;
+    try {
+        MappedTrace mt = mapFile(path);
+        // The filename already encodes the key, but the header is
+        // authoritative: a renamed or hand-edited file must miss.
+        if (mt.meta().workload != workload
+            || std::bit_cast<std::uint64_t>(mt.meta().scale)
+                       != std::bit_cast<std::uint64_t>(scale)
+            || mt.meta().generator_version
+                       != workloads::kTraceGeneratorVersion) {
+            std::cerr << "warning: trace-store entry " << path
+                      << " has a stale key; regenerating\n";
+            return std::nullopt;
+        }
+        return mt;
+    } catch (const TraceIoError& e) {
+        std::cerr << "warning: ignoring corrupt trace-store entry "
+                  << path << ": " << e.what() << "\n";
+        return std::nullopt;
+    }
+}
+
+void
+TraceStore::store(const std::string& workload, double scale,
+                  const sim::TraceResult& result) const
+{
+    if (!enabled())
+        return;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        throw TraceIoError("cannot create trace-store directory " + dir_
+                           + ": " + ec.message());
+
+    const std::string path = entryPath(workload, scale);
+    // Unique temp name per process and thread, so racing writers
+    // never share a temp file; the rename below is atomic, so the
+    // entry is always either absent or complete.
+    const std::string tmp = path + ".tmp."
+            + std::to_string(static_cast<long long>(::getpid())) + "."
+            + std::to_string(std::hash<std::thread::id>{}(
+                      std::this_thread::get_id()));
+    {
+        std::ofstream out(tmp, std::ios::out | std::ios::binary
+                                       | std::ios::trunc);
+        if (!out)
+            throw TraceIoError("cannot open " + tmp + " for writing");
+        Vpt2Meta meta;
+        meta.workload = workload;
+        meta.scale = scale;
+        meta.generator_version = workloads::kTraceGeneratorVersion;
+        meta.instructions = result.instructions;
+        meta.output = result.output;
+        writeTraceVpt2(out, result.trace, meta);
+        out.flush();
+        if (!out) {
+            fs::remove(tmp, ec);
+            throw TraceIoError("short write to " + tmp);
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        throw TraceIoError("cannot install trace-store entry " + path
+                           + ": " + ec.message());
+    }
+}
+
+} // namespace vpred::harness

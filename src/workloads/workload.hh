@@ -22,6 +22,16 @@
 namespace vpred::workloads
 {
 
+/**
+ * Revision of the workload suite / tracing substrate. Persistent
+ * trace-store entries (harness/trace_store.hh) are keyed on this;
+ * bump it whenever a change to any workload kernel, the assembler,
+ * the VM semantics or the trace-eligibility filter can alter a
+ * generated trace, so stale store entries miss instead of serving
+ * outdated records.
+ */
+inline constexpr std::uint32_t kTraceGeneratorVersion = 1;
+
 /** A registered workload kernel. */
 struct Workload
 {

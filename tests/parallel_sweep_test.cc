@@ -227,8 +227,22 @@ TEST(ResultsJson, SerializesSchemaFields)
     ResultsJsonWriter json("unit_test", kTestScale, 3);
     json.add(cfg, suite);
     json.setWallSeconds(1.5);
+    SweepExecution exec;
+    exec.cells = 1;
+    exec.fused_cells = 1;
+    exec.trace_walks = 1;
+    exec.store_enabled = true;
+    exec.store_hits = 1;
+    exec.acquisition_seconds = 0.25;
+    json.setExecution(exec);
     const std::string s = json.toJson();
-    EXPECT_NE(s.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"trace_store_enabled\": true"),
+              std::string::npos);
+    EXPECT_NE(s.find("\"trace_store_hits\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"trace_store_misses\": 0"), std::string::npos);
+    EXPECT_NE(s.find("\"trace_acquisition_ms\": 250"),
+              std::string::npos);
     EXPECT_NE(s.find("\"experiment\": \"unit_test\""), std::string::npos);
     EXPECT_NE(s.find("\"trace_scale\": 0.03"), std::string::npos);
     EXPECT_NE(s.find("\"jobs\": 3"), std::string::npos);

@@ -118,5 +118,82 @@ TEST(TraceIo, LoadMissingFileThrows)
                  TraceIoError);
 }
 
+TEST(TraceIo, Vpt1RejectsOversizedRecordCount)
+{
+    // A VPT1 header claiming more records than the stream holds must
+    // fail fast instead of reserving gigabytes.
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceBinary(ss, trace);
+    std::string bytes = ss.str();
+    // Record count is the little-endian u64 after the 4-byte magic.
+    const std::uint64_t huge = 1ull << 40;
+    for (int i = 0; i < 8; ++i)
+        bytes[4 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+    std::stringstream corrupt(bytes);
+    EXPECT_THROW(readTraceBinary(corrupt), TraceIoError);
+}
+
+Vpt2Meta
+sampleMeta()
+{
+    Vpt2Meta meta;
+    meta.workload = "compress";
+    meta.scale = 0.25;
+    meta.generator_version = 7;
+    meta.instructions = 123456;
+    meta.output = "checksum=42\n";
+    return meta;
+}
+
+TEST(TraceIo, Vpt2RoundTripWithMetadata)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceVpt2(ss, trace, sampleMeta());
+
+    Vpt2Layout layout;
+    EXPECT_EQ(readTraceVpt2(ss, &layout), trace);
+    EXPECT_EQ(layout.meta.workload, "compress");
+    EXPECT_EQ(layout.meta.scale, 0.25);
+    EXPECT_EQ(layout.meta.generator_version, 7u);
+    EXPECT_EQ(layout.meta.instructions, 123456u);
+    EXPECT_EQ(layout.meta.output, "checksum=42\n");
+    EXPECT_EQ(layout.record_count, trace.size());
+    EXPECT_EQ(layout.records_offset % kVpt2RecordAlignment, 0u);
+    EXPECT_EQ(layout.checksum,
+              traceChecksum({trace.data(), trace.size()}));
+}
+
+TEST(TraceIo, Vpt2ReadableByGenericBinaryReader)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceVpt2(ss, trace, sampleMeta());
+    // readTraceBinary dispatches on the magic: VPT1 and VPT2 both load.
+    EXPECT_EQ(readTraceBinary(ss), trace);
+}
+
+TEST(TraceIo, Vpt2RejectsChecksumMismatch)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceVpt2(ss, trace, sampleMeta());
+    std::string bytes = ss.str();
+    bytes[bytes.size() - 1] ^= 0x01;  // flip one payload bit
+    std::stringstream corrupt(bytes);
+    EXPECT_THROW(readTraceVpt2(corrupt), TraceIoError);
+}
+
+TEST(TraceIo, Vpt2RejectsTruncation)
+{
+    const ValueTrace trace = sampleTrace();
+    std::stringstream ss;
+    writeTraceVpt2(ss, trace, sampleMeta());
+    const std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_THROW(readTraceVpt2(cut), TraceIoError);
+}
+
 } // namespace
 } // namespace vpred
