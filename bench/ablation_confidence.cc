@@ -53,7 +53,9 @@ main()
                       TablePrinter::fmt(total.coverage()),
                       TablePrinter::fmt(total.accuracy()),
                       TablePrinter::fmt(total.effectiveAccuracy()),
-                      TablePrinter::fmt(size_bits / 1024.0, 1)});
+                      TablePrinter::fmt(
+                              static_cast<double>(size_bits) / 1024.0,
+                              1)});
     };
 
     runGate(ConfidenceMode::None, 0);

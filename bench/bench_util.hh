@@ -52,7 +52,9 @@ class Banner
         const auto elapsed = std::chrono::duration_cast<
                 std::chrono::milliseconds>(
                 std::chrono::steady_clock::now() - start_);
-        std::cout << "\n[done in " << elapsed.count() / 1000.0 << " s]\n";
+        std::cout << "\n[done in "
+                  << static_cast<double>(elapsed.count()) / 1000.0
+                  << " s]\n";
     }
 
   private:

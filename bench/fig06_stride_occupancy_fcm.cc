@@ -40,8 +40,10 @@ main()
 
         summary.addRow(
                 {name,
-                 TablePrinter::fmt(static_cast<double>(r.stride_accesses)
-                                   / r.total_accesses, 3),
+                 TablePrinter::fmt(
+                         static_cast<double>(r.stride_accesses)
+                                 / static_cast<double>(r.total_accesses),
+                         3),
                  TablePrinter::fmt(r.entriesAccessedMoreThan(100)),
                  TablePrinter::fmt(r.entriesAccessedMoreThan(1000)),
                  TablePrinter::fmt(r.sorted_counts.front()),

@@ -51,7 +51,9 @@ main()
                                      ? 0.0
                                      : static_cast<double>(
                                                r.sorted_counts.front())
-                                             / r.stride_accesses, 3)});
+                                             / static_cast<double>(
+                                                     r.stride_accesses),
+                             3)});
             for (std::size_t rank = 0; rank < r.sorted_counts.size();
                  rank += 64) {
                 curve.addRow({name, predictor,
@@ -68,7 +70,9 @@ main()
             std::cout << name << ": FCM uses " << f1000
                       << " entries >1000 times, DFCM " << d1000 << " ("
                       << TablePrinter::fmt(
-                                 static_cast<double>(f1000) / d1000, 1)
+                                 static_cast<double>(f1000)
+                                         / static_cast<double>(d1000),
+                                 1)
                       << "x fewer; paper reports 7x on li)\n";
         }
     }

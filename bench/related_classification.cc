@@ -55,7 +55,8 @@ main()
         auto frac = [&](ValueClass cls) {
             return assigned == 0
                 ? 0.0
-                : census[static_cast<unsigned>(cls)] / assigned;
+                : static_cast<double>(census[static_cast<unsigned>(cls)])
+                        / assigned;
         };
         table.addRow({name, TablePrinter::fmt(cs.accuracy()),
                       TablePrinter::fmt(ds.accuracy()),

@@ -37,12 +37,15 @@ main()
                       harness::TablePrinter::fmt(instr),
                       harness::TablePrinter::fmt(preds),
                       harness::TablePrinter::fmt(
-                              static_cast<double>(preds) / instr, 3)});
+                              static_cast<double>(preds)
+                                      / static_cast<double>(instr),
+                              3)});
     }
     table.addRow({"total", "-", harness::TablePrinter::fmt(total_instr),
                   harness::TablePrinter::fmt(total_pred),
                   harness::TablePrinter::fmt(
-                          static_cast<double>(total_pred) / total_instr,
+                          static_cast<double>(total_pred)
+                                  / static_cast<double>(total_instr),
                           3)});
     table.print(std::cout);
     table.writeCsv("table1_benchmarks");

@@ -114,8 +114,8 @@ compareColumn(PredictorKind kind, std::span<const TraceRecord> trace,
               harness::TablePrinter& table)
 {
     const std::vector<unsigned>& l2s = harness::paperL2Bits();
-    const double cell_records =
-            static_cast<double>(trace.size()) * l2s.size();
+    const double cell_records = static_cast<double>(trace.size())
+        * static_cast<double>(l2s.size());
     const std::string fam = kindName(kind);
     constexpr int kRepeats = 3;
 

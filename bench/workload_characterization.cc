@@ -62,11 +62,15 @@ main()
             fcm.update(rec.pc, rec.value);
         }
         const double n = static_cast<double>(trace.size());
-        table.addRow({w.name, TablePrinter::fmt(constant / n, 3),
-                      TablePrinter::fmt(stride_only / n, 3),
-                      TablePrinter::fmt(context_only / n, 3),
-                      TablePrinter::fmt(both / n, 3),
-                      TablePrinter::fmt(hard / n, 3),
+        table.addRow({w.name,
+                      TablePrinter::fmt(static_cast<double>(constant) / n,
+                                        3),
+                      TablePrinter::fmt(
+                              static_cast<double>(stride_only) / n, 3),
+                      TablePrinter::fmt(
+                              static_cast<double>(context_only) / n, 3),
+                      TablePrinter::fmt(static_cast<double>(both) / n, 3),
+                      TablePrinter::fmt(static_cast<double>(hard) / n, 3),
                       TablePrinter::fmt(
                               static_cast<std::uint64_t>(pcs.size()))});
     }

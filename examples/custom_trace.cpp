@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/parse_util.hh"
 #include "core/predictor_factory.hh"
 #include "core/stats.hh"
 #include "harness/table_printer.hh"
@@ -23,10 +24,26 @@ main(int argc, char** argv)
     using namespace vpred;
     using harness::TablePrinter;
 
+    // Checked parsing: a typo'd argument is a loud usage error, not a
+    // silent zero-record run (the old atoi behavior).
+    auto arg = [&](int i, unsigned long long fallback,
+                   unsigned long long max) -> unsigned long long {
+        if (argc <= i)
+            return fallback;
+        const std::optional<unsigned long long> v =
+                parseUInt(argv[i], max);
+        if (!v) {
+            std::cerr << "custom_trace: bad argument '" << argv[i]
+                      << "'\nusage: custom_trace [records]"
+                         " [stride_instrs] [context_instrs]\n";
+            std::exit(2);
+        }
+        return *v;
+    };
     const std::size_t records =
-            argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400000;
-    const unsigned strides = argc > 2 ? std::atoi(argv[2]) : 32;
-    const unsigned contexts = argc > 3 ? std::atoi(argv[3]) : 8;
+            static_cast<std::size_t>(arg(1, 400000, 1ull << 32));
+    const unsigned strides = static_cast<unsigned>(arg(2, 32, 4096));
+    const unsigned contexts = static_cast<unsigned>(arg(3, 8, 4096));
 
     // Hand-mix a workload: many stride instructions (loop counters,
     // address arithmetic), a few context patterns (pointer chases),

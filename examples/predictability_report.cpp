@@ -14,6 +14,7 @@
 #include <map>
 
 #include "core/dfcm_predictor.hh"
+#include "core/parse_util.hh"
 #include "core/fcm_predictor.hh"
 #include "core/last_value_predictor.hh"
 #include "core/stride_predictor.hh"
@@ -28,7 +29,18 @@ main(int argc, char** argv)
     using harness::TablePrinter;
 
     const std::string name = argc > 1 ? argv[1] : "li";
-    const std::size_t top_n = argc > 2 ? std::atoi(argv[2]) : 20;
+    std::size_t top_n = 20;
+    if (argc > 2) {
+        const std::optional<unsigned long long> v =
+                parseUInt(argv[2], 1u << 20);
+        if (!v) {
+            std::cerr << "predictability_report: bad top_n '" << argv[2]
+                      << "'\nusage: predictability_report [workload]"
+                         " [top_n]\n";
+            return 2;
+        }
+        top_n = static_cast<std::size_t>(*v);
+    }
 
     const auto& workload = workloads::findWorkload(name);
     const sim::Program program = sim::assemble(workload.assembly);
@@ -77,10 +89,12 @@ main(int argc, char** argv)
         table.addRow({std::to_string(pc),
                       sim::disassemble(program.text[pc]),
                       TablePrinter::fmt(s.count),
-                      TablePrinter::fmt(s.lvp / n, 2),
-                      TablePrinter::fmt(s.stride / n, 2),
-                      TablePrinter::fmt(s.fcm / n, 2),
-                      TablePrinter::fmt(s.dfcm / n, 2)});
+                      TablePrinter::fmt(static_cast<double>(s.lvp) / n, 2),
+                      TablePrinter::fmt(
+                              static_cast<double>(s.stride) / n, 2),
+                      TablePrinter::fmt(static_cast<double>(s.fcm) / n, 2),
+                      TablePrinter::fmt(
+                              static_cast<double>(s.dfcm) / n, 2)});
     }
     table.print(std::cout);
 

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/parse_util.hh"
 #include "core/predictor_factory.hh"
 #include "core/stats.hh"
 #include "workloads/workload.hh"
@@ -26,7 +27,16 @@ main(int argc, char** argv)
             std::cout << w.name << "  -  " << w.description << "\n";
         return 0;
     }
-    const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+    double scale = 1.0;
+    if (argc > 2) {
+        const std::optional<double> v = parseDouble(argv[2]);
+        if (!v || v.value_or(0.0) <= 0.0) {
+            std::cerr << "run_workload: bad scale '" << argv[2]
+                      << "' (want a positive number)\n";
+            return 2;
+        }
+        scale = *v;
+    }
 
     if (std::none_of(workloads::allWorkloads().begin(),
                      workloads::allWorkloads().end(),

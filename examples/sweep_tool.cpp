@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parse_util.hh"
 #include "harness/experiment.hh"
 #include "harness/parallel_sweep.hh"
 #include "harness/results_json.hh"
@@ -73,11 +74,10 @@ parseUnsignedList(const std::string& s, std::vector<unsigned>& out)
 {
     out.clear();
     for (const std::string& item : splitList(s)) {
-        char* end = nullptr;
-        const unsigned long v = std::strtoul(item.c_str(), &end, 10);
-        if (end == item.c_str() || *end != '\0' || v > 64)
+        const std::optional<unsigned long long> v = parseUInt(item, 64);
+        if (!v)
             return false;
-        out.push_back(static_cast<unsigned>(v));
+        out.push_back(static_cast<unsigned>(*v));
     }
     return !out.empty();
 }
@@ -145,18 +145,15 @@ main(int argc, char** argv)
             need(value != nullptr);
             workload_names = splitList(value);
         } else if (arg == "--jobs") {
-            char* end = nullptr;
-            const unsigned long v =
-                    value ? std::strtoul(value, &end, 10) : 0;
-            need(value != nullptr && end != value && *end == '\0' &&
-                 v >= 1 && v <= 512);
-            jobs = static_cast<unsigned>(v);
+            const std::optional<unsigned long long> v =
+                    value ? parseUInt(value, 512) : std::nullopt;
+            need(v.has_value() && v.value_or(0) >= 1);
+            jobs = static_cast<unsigned>(v.value_or(0));
         } else if (arg == "--scale") {
-            char* end = nullptr;
-            const double v = value ? std::strtod(value, &end) : 0.0;
-            need(value != nullptr && end != value && *end == '\0' &&
-                 v > 0.0);
-            scale = v;
+            const std::optional<double> v =
+                    value ? parseDouble(value) : std::nullopt;
+            need(v.has_value() && v.value_or(0.0) > 0.0);
+            scale = v.value_or(0.0);
         } else if (arg == "--out") {
             need(value != nullptr && *value != '\0');
             out_name = value;

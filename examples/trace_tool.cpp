@@ -20,7 +20,9 @@
 #include <fstream>
 #include <iostream>
 #include <set>
+#include <stdexcept>
 
+#include "core/parse_util.hh"
 #include "core/predictor_factory.hh"
 #include "core/stats.hh"
 #include "core/trace_io.hh"
@@ -46,6 +48,19 @@ usage()
                "the trace store\n for every workload — dir defaults "
                "to REPRO_TRACE_DIR)\n";
     return 2;
+}
+
+/** Checked [scale] argument; the main() catch turns the throw into
+ *  an error message and nonzero exit. */
+double
+parseScaleArg(const char* text)
+{
+    const std::optional<double> v = vpred::parseDouble(text);
+    if (!v || v.value_or(0.0) < 0.0)
+        throw std::invalid_argument(
+                std::string("bad scale '") + text
+                + "' (want a non-negative number)");
+    return *v;
 }
 
 /** Fill the store with every workload's trace; idempotent. */
@@ -129,7 +144,8 @@ main(int argc, char** argv)
         if (cmd == "populate") {
             const std::string dir = argc > 2
                     ? argv[2] : harness::TraceStore::envDir();
-            const double scale = argc > 3 ? std::atof(argv[3]) : 0.0;
+            const double scale =
+                    argc > 3 ? parseScaleArg(argv[3]) : 0.0;
             return populate(dir, scale);
         }
         if (argc < 3)
@@ -142,7 +158,8 @@ main(int argc, char** argv)
         if (cmd == "dump") {
             if (argc < 4)
                 return usage();
-            const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+            const double scale =
+                    argc > 4 ? parseScaleArg(argv[4]) : 1.0;
             const auto result = workloads::runWorkload(argv[2], scale);
             saveTrace(argv[3], result.trace);
             std::cout << "wrote " << result.trace.size()

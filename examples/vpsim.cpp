@@ -25,6 +25,7 @@
 #include <iostream>
 #include <map>
 
+#include "core/parse_util.hh"
 #include "core/vpred.hh"
 #include "harness/table_printer.hh"
 #include "workloads/workload.hh"
@@ -52,6 +53,25 @@ parseKind(const std::string& s)
     if (it == kinds.end())
         throw std::invalid_argument("unknown predictor '" + s + "'");
     return it->second;
+}
+
+unsigned
+parseUnsignedArg(const std::string& opt, const std::string& text,
+                 unsigned long long max)
+{
+    const auto v = parseUInt(text, max);
+    if (!v)
+        throw std::invalid_argument(opt + ": bad value '" + text + "'");
+    return static_cast<unsigned>(*v);
+}
+
+double
+parseScaleArg(const std::string& opt, const std::string& text)
+{
+    const auto v = parseDouble(text);
+    if (!v || *v <= 0.0)
+        throw std::invalid_argument(opt + ": bad value '" + text + "'");
+    return *v;
 }
 
 int
@@ -96,17 +116,17 @@ main(int argc, char** argv)
             } else if (arg == "--predictor") {
                 cfg.kind = parseKind(next());
             } else if (arg == "--l1") {
-                cfg.l1_bits = std::stoul(next());
+                cfg.l1_bits = parseUnsignedArg(arg, next(), 64);
             } else if (arg == "--l2") {
-                cfg.l2_bits = std::stoul(next());
+                cfg.l2_bits = parseUnsignedArg(arg, next(), 64);
             } else if (arg == "--stride-bits") {
-                cfg.stride_bits = std::stoul(next());
+                cfg.stride_bits = parseUnsignedArg(arg, next(), 64);
             } else if (arg == "--delay") {
-                cfg.update_delay = std::stoul(next());
+                cfg.update_delay = parseUnsignedArg(arg, next(), 1u << 20);
             } else if (arg == "--scale") {
-                scale = std::stod(next());
+                scale = parseScaleArg(arg, next());
             } else if (arg == "--per-pc") {
-                per_pc = std::stoul(next());
+                per_pc = parseUnsignedArg(arg, next(), 1u << 20);
             } else {
                 return usage(argv[0]);
             }

@@ -33,7 +33,8 @@ AliasBreakdown::fractionOfPredictions(AliasType t) const
     const PredictorStats all = total();
     if (all.predictions == 0)
         return 0.0;
-    return static_cast<double>((*this)[t].predictions) / all.predictions;
+    return static_cast<double>((*this)[t].predictions)
+        / static_cast<double>(all.predictions);
 }
 
 double
@@ -44,7 +45,7 @@ AliasBreakdown::fractionWrong(AliasType t) const
         return 0.0;
     const PredictorStats& s = (*this)[t];
     return static_cast<double>(s.predictions - s.correct)
-        / all.predictions;
+        / static_cast<double>(all.predictions);
 }
 
 AliasBreakdown&

@@ -131,7 +131,7 @@ double
 AssocDfcmPredictor::hitRate() const
 {
     return lookups_ == 0
-        ? 0.0 : static_cast<double>(hits_) / lookups_;
+        ? 0.0 : static_cast<double>(hits_) / static_cast<double>(lookups_);
 }
 
 } // namespace vpred

@@ -61,7 +61,9 @@ struct GatedStats
     double
     coverage() const
     {
-        return total == 0 ? 0.0 : static_cast<double>(attempted) / total;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(attempted) / static_cast<double>(total);
     }
 
     /** Accuracy among attempted predictions. */
@@ -69,7 +71,8 @@ struct GatedStats
     accuracy() const
     {
         return attempted == 0
-            ? 0.0 : static_cast<double>(correct) / attempted;
+            ? 0.0
+            : static_cast<double>(correct) / static_cast<double>(attempted);
     }
 
     /** Accuracy counting skipped predictions as wrong (comparable to
@@ -77,7 +80,9 @@ struct GatedStats
     double
     effectiveAccuracy() const
     {
-        return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(correct) / static_cast<double>(total);
     }
 };
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Checked string-to-number parsing shared by every CLI, environment
+ * variable, and text-format reader in the tree.
+ *
+ * The C library parsers (atoi, strtol, strtoul, strtod) fail in ways
+ * that have already bitten this repo twice: they silently accept
+ * trailing garbage ("1.5x" parses as 1.5), atoi has no error channel
+ * at all, and the unsigned variants wrap negative input around to
+ * huge values (REPRO_JOBS=-3 used to ask for 2^64-3 workers). Every
+ * call site outside this header goes through parseInt / parseUInt /
+ * parseDouble instead; repro-lint rule parse/raw-call enforces that.
+ *
+ * All three reject empty input, leading whitespace, and trailing
+ * garbage, and return std::nullopt instead of a half-parsed value.
+ * The raw C parsers below are the one sanctioned use in the tree.
+ */
+
+#ifndef DFCM_CORE_PARSE_UTIL_HH
+#define DFCM_CORE_PARSE_UTIL_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vpred
+{
+
+/**
+ * Parse a signed integer in [@p min_value, @p max_value].
+ *
+ * @p base follows strtoll: 10 for decimal, 0 auto-detects 0x/0
+ * prefixes (the assembler's operand syntax). Returns std::nullopt on
+ * empty input, leading whitespace, trailing garbage, or a value
+ * outside the requested range.
+ */
+inline std::optional<long long>
+parseInt(std::string_view text,
+         long long min_value = std::numeric_limits<long long>::min(),
+         long long max_value = std::numeric_limits<long long>::max(),
+         int base = 10)
+{
+    if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    const std::string buf(text);  // strtoll needs NUL termination
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(buf.c_str(), &end, base);
+    if (end == buf.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    if (v < min_value || v > max_value)
+        return std::nullopt;
+    return v;
+}
+
+/**
+ * Parse an unsigned integer in [0, @p max_value].
+ *
+ * Unlike strtoul, a leading '-' is rejected instead of wrapping
+ * modulo 2^64.
+ */
+inline std::optional<unsigned long long>
+parseUInt(std::string_view text,
+          unsigned long long max_value =
+                  std::numeric_limits<unsigned long long>::max(),
+          int base = 10)
+{
+    if (text.empty() || std::isspace(static_cast<unsigned char>(text[0]))
+        || text[0] == '-')
+        return std::nullopt;
+    const std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(buf.c_str(), &end, base);
+    if (end == buf.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    if (v > max_value)
+        return std::nullopt;
+    return v;
+}
+
+/**
+ * Parse a finite double. Rejects empty input, leading whitespace,
+ * trailing garbage ("1.5x"), and out-of-range magnitudes.
+ */
+inline std::optional<double>
+parseDouble(std::string_view text)
+{
+    if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])))
+        return std::nullopt;
+    const std::string buf(text);
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str() || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return v;
+}
+
+} // namespace vpred
+
+#endif // DFCM_CORE_PARSE_UTIL_HH

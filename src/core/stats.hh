@@ -43,7 +43,9 @@ struct PredictorStats
     accuracy() const
     {
         return predictions == 0
-            ? 0.0 : static_cast<double>(correct) / predictions;
+            ? 0.0
+            : static_cast<double>(correct)
+                    / static_cast<double>(predictions);
     }
 
     PredictorStats&

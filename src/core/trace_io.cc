@@ -7,6 +7,9 @@
 #include <limits>
 #include <optional>
 #include <sstream>
+#include <string_view>
+
+#include "core/parse_util.hh"
 
 namespace vpred
 {
@@ -317,15 +320,16 @@ readTraceCsv(std::istream& is)
             throw TraceIoError("line " + std::to_string(line_no)
                                + ": expected pc,value");
         }
-        try {
-            const std::uint64_t pc = std::stoull(line.substr(0, comma));
-            const std::uint64_t value =
-                    std::stoull(line.substr(comma + 1));
-            trace.push_back({pc, value});
-        } catch (const std::exception&) {
+        const std::string_view sv(line);
+        const std::optional<unsigned long long> pc =
+                parseUInt(sv.substr(0, comma));
+        const std::optional<unsigned long long> value =
+                parseUInt(sv.substr(comma + 1));
+        if (!pc || !value) {
             throw TraceIoError("line " + std::to_string(line_no)
                                + ": bad number");
         }
+        trace.push_back({*pc, *value});
     }
     return trace;
 }

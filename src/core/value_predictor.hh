@@ -99,7 +99,11 @@ class ValuePredictor
     virtual std::string name() const = 0;
 
     /** Storage in Kbit as plotted in the paper. */
-    double storageKbit() const { return storageBits() / 1024.0; }
+    double
+    storageKbit() const
+    {
+        return static_cast<double>(storageBits()) / 1024.0;
+    }
 };
 
 } // namespace vpred

@@ -26,7 +26,11 @@ struct RunResult
     std::uint64_t storage_bits = 0;
 
     double accuracy() const { return stats.accuracy(); }
-    double storageKbit() const { return storage_bits / 1024.0; }
+    double
+    storageKbit() const
+    {
+        return static_cast<double>(storage_bits) / 1024.0;
+    }
 };
 
 /** Aggregate of one predictor configuration over a benchmark suite. */
@@ -38,7 +42,11 @@ struct SuiteResult
     std::vector<RunResult> per_workload;
 
     double accuracy() const { return total.accuracy(); }
-    double storageKbit() const { return storage_bits / 1024.0; }
+    double
+    storageKbit() const
+    {
+        return static_cast<double>(storage_bits) / 1024.0;
+    }
 };
 
 /** Run one configuration over one cached workload trace. */

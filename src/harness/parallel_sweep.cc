@@ -6,6 +6,7 @@
 #include <iostream>
 #include <set>
 
+#include "core/parse_util.hh"
 #include "harness/batch_sweep.hh"
 #include "workloads/workload.hh"
 
@@ -33,9 +34,8 @@ envJobs()
     const char* env = std::getenv("REPRO_JOBS");
     if (env == nullptr)
         return hw;
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0') {
+    const std::optional<unsigned long long> v = parseUInt(env);
+    if (!v) {
         static bool warned = false;
         if (!warned) {
             warned = true;
@@ -44,9 +44,9 @@ envJobs()
         }
         return hw;
     }
-    if (v == 0)
+    if (*v == 0)
         return hw;
-    return static_cast<unsigned>(std::min(v, 512ul));
+    return static_cast<unsigned>(std::min(*v, 512ull));
 }
 
 ThreadPool::ThreadPool(unsigned jobs)

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <set>
 
+#include "core/parse_util.hh"
 #include "harness/parallel_sweep.hh"
 #include "workloads/workload.hh"
 
@@ -18,9 +19,8 @@ envTraceScale()
     const char* env = std::getenv("REPRO_TRACE_SCALE");
     if (env == nullptr)
         return 1.0;
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end == env || *end != '\0') {
+    const std::optional<double> v = parseDouble(env);
+    if (!v) {
         static bool warned = false;
         if (!warned) {
             warned = true;
@@ -29,9 +29,9 @@ envTraceScale()
         }
         return 1.0;
     }
-    if (v <= 0.0)
+    if (*v <= 0.0)
         return 1.0;
-    return std::clamp(v, 0.01, 100.0);
+    return std::clamp(*v, 0.01, 100.0);
 }
 
 TraceCache::TraceCache(double scale, std::string store_dir)

@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/parse_util.hh"
+
 namespace vpred::sim
 {
 
@@ -414,12 +416,14 @@ class Assembler
                 throw AsmError(line, "bad character literal " + t);
             return decodeEscape(t.substr(1, t.size() - 2), line);
         }
-        errno = 0;
-        char* end = nullptr;
-        const long long v = std::strtoll(t.c_str(), &end, 0);
-        if (end == t.c_str() || *end != '\0' || errno == ERANGE)
+        // Base 0: the operand syntax accepts decimal, 0x hex, and
+        // 0-prefixed octal, exactly as strtoll auto-detects them.
+        const std::optional<long long> v =
+                parseInt(t, std::numeric_limits<long long>::min(),
+                         std::numeric_limits<long long>::max(), 0);
+        if (!v)
             throw AsmError(line, "bad number '" + t + "'");
-        return v;
+        return *v;
     }
 
     std::int64_t
@@ -477,10 +481,10 @@ class Assembler
         }
         if (prefixed && !t.empty()
             && std::isdigit(static_cast<unsigned char>(t[0]))) {
-            char* end = nullptr;
-            const unsigned long n = std::strtoul(t.c_str(), &end, 10);
-            if (*end == '\0' && n < kNumRegs)
-                return static_cast<unsigned>(n);
+            const std::optional<unsigned long long> n =
+                    parseUInt(t, kNumRegs - 1);
+            if (n)
+                return static_cast<unsigned>(*n);
         }
         throw AsmError(line, "bad register '" + tok + "'");
     }

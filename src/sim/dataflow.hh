@@ -56,7 +56,9 @@ struct IlpResult
     ilp() const
     {
         return critical_path == 0
-            ? 0.0 : static_cast<double>(instructions) / critical_path;
+            ? 0.0
+            : static_cast<double>(instructions)
+                    / static_cast<double>(critical_path);
     }
 
     /** Accuracy of the supplied predictor on this run. */
@@ -64,7 +66,8 @@ struct IlpResult
     accuracy() const
     {
         return predicted == 0
-            ? 0.0 : static_cast<double>(correct) / predicted;
+            ? 0.0
+            : static_cast<double>(correct) / static_cast<double>(predicted);
     }
 };
 

@@ -153,7 +153,11 @@ disassemble(const Instr& in)
     std::ostringstream os;
     os << opName(in.op);
     auto r = [](unsigned n) {
-        return "r" + std::to_string(n);
+        // Built via append rather than "r" + temporary to sidestep
+        // GCC 12's -Wrestrict false positive (PR 105651).
+        std::string name("r");
+        name += std::to_string(n);
+        return name;
     };
     switch (in.op) {
       case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:

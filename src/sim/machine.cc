@@ -14,8 +14,11 @@ Machine::Machine(const Program& program, const Config& config)
 {
     if (Program::kDataBase + prog_.data.size() > mem_.size())
         throw VmError("data segment does not fit in memory");
-    std::memcpy(mem_.data() + Program::kDataBase, prog_.data.data(),
-                prog_.data.size());
+    // Guard the empty segment: vector::data() may be null then, and
+    // memcpy's pointer arguments are declared nonnull even for n==0.
+    if (!prog_.data.empty())
+        std::memcpy(mem_.data() + Program::kDataBase, prog_.data.data(),
+                    prog_.data.size());
     // Stack grows down from the top of memory; leave a red zone.
     regs_[reg::sp] = static_cast<std::uint32_t>(mem_.size() - 16);
     regs_[reg::gp] = Program::kDataBase;

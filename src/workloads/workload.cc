@@ -73,7 +73,8 @@ runWorkload(const Workload& workload, double scale)
         {sim::reg::a0, reps},
     };
     const auto budget = static_cast<std::uint64_t>(
-            workload.max_steps * std::max(1.0, scale));
+            static_cast<double>(workload.max_steps)
+            * std::max(1.0, scale));
     return sim::traceProgram(program, budget, init);
 }
 

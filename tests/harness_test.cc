@@ -75,7 +75,8 @@ TEST(Experiment, SuiteAggregationIsPredictionWeighted)
     EXPECT_EQ(suite.total.correct, correct);
     // Weighted mean == total-counter ratio by construction.
     EXPECT_DOUBLE_EQ(suite.accuracy(),
-                     static_cast<double>(correct) / predictions);
+                     static_cast<double>(correct)
+                             / static_cast<double>(predictions));
 }
 
 TEST(Experiment, EmptySuiteStillCarriesPredictorMetadata)

@@ -55,7 +55,8 @@ TEST(Integration, NormKernelShowsThePaperStoryEndToEnd)
     const OccupancyResult of = profileStrideOccupancy(fcm, r.trace);
     const OccupancyResult od = profileStrideOccupancy(dfcm, r.trace);
 
-    EXPECT_GT(static_cast<double>(of.stride_accesses) / of.total_accesses,
+    EXPECT_GT(static_cast<double>(of.stride_accesses)
+                      / static_cast<double>(of.total_accesses),
               0.8);
     EXPECT_GT(of.entriesAccessedMoreThan(100), 100u);   // paper: >100
     // The DFCM concentrates stride traffic several-fold (paper: 12

@@ -1,0 +1,18 @@
+// Fixture: entropy calls and unordered iteration in a figure driver.
+// A rand() or time() mention in a comment must NOT be flagged.
+#include <cstdlib>
+#include <unordered_map>
+
+int
+main()
+{
+    int x = rand();
+    long t = time(nullptr);
+    std::random_device rd;
+    std::unordered_map<int, int> counts;
+    counts[x] = static_cast<int>(t) + static_cast<int>(rd());
+    int sum = 0;
+    for (const auto& kv : counts)
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: raw parsing in a driver; the second call is suppressed.
+#include <cstdlib>
+
+int
+main(int argc, char** argv)
+{
+    const int a = std::atoi(argv[1]);
+    const int b = std::atoi(argv[2]);  // repro-lint: allow(parse)
+    return (argc > 2) ? a + b : 0;
+}

@@ -1,0 +1,19 @@
+// Fixture: fused fast path without the reference predict/update path.
+#ifndef BAD_FUSED_HH
+#define BAD_FUSED_HH
+
+class BadFused
+{
+  public:
+    bool predictAndUpdate(int pc, int value) override;
+};
+
+class GoodFused
+{
+  public:
+    int predict(int pc) override;
+    void update(int pc, int value) override;
+    bool predictAndUpdate(int pc, int value) override;
+};
+
+#endif

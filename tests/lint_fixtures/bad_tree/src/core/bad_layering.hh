@@ -1,0 +1,8 @@
+// Fixture: core including upward (harness) and a .cc translation unit.
+#ifndef BAD_LAYERING_HH
+#define BAD_LAYERING_HH
+
+#include "harness/parallel_sweep.hh"
+#include "core/helper.cc"
+
+#endif

@@ -1,0 +1,10 @@
+// Fixture: factory registering one covered and one uncovered class.
+#include <memory>
+
+void*
+makePredictor(int kind)
+{
+    if (kind == 0)
+        return std::make_unique<CoveredPredictor>().release();
+    return std::make_unique<UncoveredPredictor>().release();
+}

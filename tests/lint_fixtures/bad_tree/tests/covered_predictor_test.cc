@@ -1,0 +1,6 @@
+// Fixture: covers CoveredPredictor so only UncoveredPredictor flags.
+int
+coveredPredictorTest()
+{
+    return 0;
+}

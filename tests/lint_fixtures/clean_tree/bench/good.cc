@@ -1,0 +1,13 @@
+// Fixture: deterministic driver — ordered container, no entropy.
+#include <map>
+
+int
+main()
+{
+    std::map<int, int> counts;
+    counts[1] = 2;
+    int sum = 0;
+    for (const auto& kv : counts)
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,15 @@
+// Fixture: a well-behaved core header.
+#ifndef GOOD_HH
+#define GOOD_HH
+
+#include "core/types.hh"
+
+class CoveredPredictor
+{
+  public:
+    int predict(int pc);
+    void update(int pc, int value);
+    bool predictAndUpdate(int pc, int value) override;
+};
+
+#endif

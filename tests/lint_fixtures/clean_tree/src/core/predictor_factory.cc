@@ -1,0 +1,8 @@
+// Fixture: factory whose only class is covered by a test.
+#include <memory>
+
+void*
+makePredictor()
+{
+    return std::make_unique<CoveredPredictor>().release();
+}

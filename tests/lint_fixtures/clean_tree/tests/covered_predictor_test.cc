@@ -1,0 +1,6 @@
+// Fixture: covers CoveredPredictor.
+int
+coveredPredictorTest()
+{
+    return 0;
+}

@@ -96,9 +96,10 @@ INSTANTIATE_TEST_SUITE_P(
         Geometries, GeometrySweep,
         ::testing::Combine(::testing::Values(6u, 8u, 10u, 12u),
                            ::testing::Values(8u, 10u, 12u, 14u)),
-        [](const auto& info) {
-            return "l1_" + std::to_string(std::get<0>(info.param))
-                    + "_l2_" + std::to_string(std::get<1>(info.param));
+        [](const auto& param_info) {
+            return "l1_" + std::to_string(std::get<0>(param_info.param))
+                    + "_l2_"
+                    + std::to_string(std::get<1>(param_info.param));
         });
 
 class StrideWidthSweep : public ::testing::TestWithParam<unsigned>
@@ -127,8 +128,9 @@ TEST_P(StrideWidthSweep, NarrowStridesNeverBeatFullWidth)
 
 INSTANTIATE_TEST_SUITE_P(Widths, StrideWidthSweep,
                          ::testing::Values(4u, 8u, 12u, 16u, 24u, 32u),
-                         [](const auto& info) {
-                             return "sb" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                             return "sb"
+                                     + std::to_string(param_info.param);
                          });
 
 class DelaySweep : public ::testing::TestWithParam<unsigned>
@@ -158,8 +160,10 @@ TEST_P(DelaySweep, DelayNeverHelpsOnTightLoops)
 
 INSTANTIATE_TEST_SUITE_P(Delays, DelaySweep,
                          ::testing::Values(0u, 4u, 16u, 64u, 256u),
-                         [](const auto& info) {
-                             return "d" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                             std::string name("d");
+                             name += std::to_string(param_info.param);
+                             return name;
                          });
 
 TEST(Property, LargerL2NeverHurtsMuchOnAverage)

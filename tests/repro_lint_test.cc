@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Self-tests for tools/repro-lint, driven by the deliberately broken
+ * fixture trees under tests/lint_fixtures/. Each rule class is
+ * demonstrated firing on bad_tree, the suppression comment is shown
+ * silencing a finding, clean_tree exits with zero findings — and the
+ * real repository tree is linted from ctest so a layering or
+ * determinism regression fails the suite, not just tools/check.sh.
+ *
+ * REPRO_LINT_FIXTURE_DIR and REPRO_LINT_REPO_ROOT are injected by
+ * tests/CMakeLists.txt as absolute paths.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using repro_lint::Finding;
+using repro_lint::Tree;
+
+std::filesystem::path
+fixtureDir()
+{
+    return std::filesystem::path(REPRO_LINT_FIXTURE_DIR);
+}
+
+const std::vector<Finding>&
+badTreeFindings()
+{
+    static const std::vector<Finding> findings = [] {
+        const Tree tree = repro_lint::loadTree(fixtureDir() / "bad_tree");
+        return repro_lint::runAllRules(tree);
+    }();
+    return findings;
+}
+
+std::vector<Finding>
+findingsAt(const std::string& file, const std::string& rule)
+{
+    std::vector<Finding> out;
+    for (const Finding& f : badTreeFindings())
+        if (f.file == file && f.rule == rule)
+            out.push_back(f);
+    return out;
+}
+
+bool
+anyFindingOnLine(const std::string& file, int line)
+{
+    return std::any_of(badTreeFindings().begin(), badTreeFindings().end(),
+                       [&](const Finding& f) {
+                           return f.file == file && f.line == line;
+                       });
+}
+
+TEST(ReproLintLayering, CoreIncludingHarnessViolatesDag)
+{
+    const auto hits =
+            findingsAt("src/core/bad_layering.hh", "layering/include-dag");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 5);
+    EXPECT_NE(hits[0].message.find("harness/parallel_sweep.hh"),
+              std::string::npos);
+}
+
+TEST(ReproLintLayering, IncludingCcFileIsBanned)
+{
+    const auto hits =
+            findingsAt("src/core/bad_layering.hh", "layering/cc-include");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 6);
+}
+
+TEST(ReproLintDeterminism, EntropyCallsAreFlagged)
+{
+    const auto hits = findingsAt("bench/bad_determinism.cc",
+                                 "determinism/banned-call");
+    ASSERT_EQ(hits.size(), 3u);  // rand, time, random_device
+    EXPECT_EQ(hits[0].line, 9);
+    EXPECT_EQ(hits[1].line, 10);
+    EXPECT_EQ(hits[2].line, 11);
+}
+
+TEST(ReproLintDeterminism, UnorderedIterationIsFlagged)
+{
+    const auto hits = findingsAt("bench/bad_determinism.cc",
+                                 "determinism/unordered-iteration");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 15);
+    EXPECT_NE(hits[0].message.find("counts"), std::string::npos);
+}
+
+TEST(ReproLintDeterminism, CommentMentionsAreNotFlagged)
+{
+    // Line 2 of the fixture names rand() and time() inside a comment.
+    EXPECT_FALSE(anyFindingOnLine("bench/bad_determinism.cc", 2));
+}
+
+TEST(ReproLintPredictor, FactoryClassWithoutTestIsFlagged)
+{
+    const auto hits = findingsAt("src/core/predictor_factory.cc",
+                                 "predictor/missing-test");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 9);
+    EXPECT_NE(hits[0].message.find("UncoveredPredictor"),
+              std::string::npos);
+    // CoveredPredictor on line 8 is matched by its fixture test.
+    EXPECT_FALSE(
+            anyFindingOnLine("src/core/predictor_factory.cc", 8));
+}
+
+TEST(ReproLintPredictor, FusedOverrideWithoutReferencePathIsFlagged)
+{
+    const auto hits = findingsAt("src/core/bad_fused.hh",
+                                 "predictor/fused-without-reference");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 5);
+    EXPECT_NE(hits[0].message.find("BadFused"), std::string::npos);
+    // GoodFused keeps predict()/update() and stays clean.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_fused.hh", 11));
+}
+
+TEST(ReproLintParse, RawAtoiIsFlagged)
+{
+    const auto hits = findingsAt("bench/bad_parse.cc", "parse/raw-call");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 7);
+}
+
+TEST(ReproLintParse, AllowCommentSuppressesByPrefix)
+{
+    // Line 8 carries "// repro-lint: allow(parse)".
+    EXPECT_FALSE(anyFindingOnLine("bench/bad_parse.cc", 8));
+}
+
+TEST(ReproLintFormat, FindingFormatsAsFileLineRuleMessage)
+{
+    const Finding f{"src/core/x.hh", 12, "layering/cc-include", "boom"};
+    EXPECT_EQ(repro_lint::formatFinding(f),
+              "src/core/x.hh:12: [layering/cc-include] boom");
+}
+
+TEST(ReproLintSuppression, PrefixMatchesOnlyAtRuleBoundary)
+{
+    const Tree tree = repro_lint::loadTree(fixtureDir() / "bad_tree");
+    const repro_lint::SourceFile* f = tree.find("bench/bad_parse.cc");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->allowed(8, "parse/raw-call"));
+    EXPECT_FALSE(f->allowed(8, "parser/raw-call"));
+    EXPECT_FALSE(f->allowed(7, "parse/raw-call"));
+}
+
+TEST(ReproLintLayerOf, MapsKnownPrefixes)
+{
+    EXPECT_EQ(repro_lint::layerOf("src/core/dfcm_predictor.hh"), "core");
+    EXPECT_EQ(repro_lint::layerOf("src/harness/sweep.hh"), "harness");
+    EXPECT_EQ(repro_lint::layerOf("bench/throughput.cc"), "bench");
+    EXPECT_EQ(repro_lint::layerOf("examples/vpsim.cpp"), "examples");
+    EXPECT_EQ(repro_lint::layerOf("tests/stats_test.cc"), "tests");
+    EXPECT_EQ(repro_lint::layerOf("docs/analysis.md"), "");
+}
+
+TEST(ReproLintCleanTree, HasNoFindings)
+{
+    const Tree tree =
+            repro_lint::loadTree(fixtureDir() / "clean_tree");
+    EXPECT_GE(tree.files.size(), 4u);
+    const std::vector<Finding> findings = repro_lint::runAllRules(tree);
+    for (const Finding& f : findings)
+        ADD_FAILURE() << repro_lint::formatFinding(f);
+}
+
+TEST(ReproLintRealTree, RepositoryIsClean)
+{
+    const Tree tree = repro_lint::loadTree(
+            std::filesystem::path(REPRO_LINT_REPO_ROOT));
+    // Sanity: the walk found the real sources, not an empty dir.
+    ASSERT_GT(tree.files.size(), 100u);
+    const std::vector<Finding> findings = repro_lint::runAllRules(tree);
+    for (const Finding& f : findings)
+        ADD_FAILURE() << repro_lint::formatFinding(f);
+}
+
+} // namespace

@@ -39,7 +39,8 @@ TEST(StrideOccupancy, CountsOnlyStridePredictableAccesses)
     FcmPredictor fcm({.l1_bits = 10, .l2_bits = 12});
     const OccupancyResult r = profileStrideOccupancy(fcm, noise);
     EXPECT_EQ(r.total_accesses, noise.size());
-    EXPECT_LT(static_cast<double>(r.stride_accesses) / r.total_accesses,
+    EXPECT_LT(static_cast<double>(r.stride_accesses)
+                      / static_cast<double>(r.total_accesses),
               0.01);
 }
 
@@ -49,7 +50,8 @@ TEST(StrideOccupancy, FcmScattersStridesOverManyEntries)
     const OccupancyResult r = profileStrideOccupancy(fcm,
                                                      strideTrace(60000));
     // Most accesses are stride-predictable...
-    EXPECT_GT(static_cast<double>(r.stride_accesses) / r.total_accesses,
+    EXPECT_GT(static_cast<double>(r.stride_accesses)
+                      / static_cast<double>(r.total_accesses),
               0.8);
     // ...and they land on *many* level-2 entries (the inefficiency).
     EXPECT_GT(r.entriesAccessedMoreThan(10), 300u);

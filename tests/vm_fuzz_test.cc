@@ -35,10 +35,10 @@ randomProgram(std::uint64_t seed, int length)
     const char* ops[] = {"add", "sub", "mul", "and", "or", "xor",
                          "nor", "slt", "sltu"};
     for (int i = 0; i < length; ++i) {
-        const unsigned kind = rng.nextBelow(12);
-        const unsigned rd = rng.nextBelow(8);
-        const unsigned rs = rng.nextBelow(8);
-        const unsigned rt = rng.nextBelow(8);
+        const auto kind = static_cast<unsigned>(rng.nextBelow(12));
+        const auto rd = static_cast<unsigned>(rng.nextBelow(8));
+        const auto rs = static_cast<unsigned>(rng.nextBelow(8));
+        const auto rt = static_cast<unsigned>(rng.nextBelow(8));
         if (kind < 9) {
             os << ops[kind] << " $t" << rd << ", $t" << rs << ", $t"
                << rt << "\n";
@@ -97,9 +97,9 @@ TEST_P(VmFuzz, RegisterZeroStaysZero)
 INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzz,
                          ::testing::Values(1u, 7u, 42u, 1234u, 99999u,
                                            0xDEADBEEFu),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                              return "seed"
-                                     + std::to_string(info.index);
+                                     + std::to_string(param_info.index);
                          });
 
 } // namespace

@@ -99,7 +99,7 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values("compress", "cc1", "go", "ijpeg", "li",
                           "m88ksim", "perl", "vortex", "norm", "gzip",
                           "mcf"),
-        [](const auto& info) { return info.param; });
+        [](const auto& param_info) { return param_info.param; });
 
 TEST(Workloads, ScaleChangesTraceLength)
 {

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# tools/check.sh — the repository's full correctness gate.
+#
+# Runs, in order:
+#   release  Release build with REPRO_WERROR=ON (warning-clean is
+#            enforced, not aspirational) + the full ctest suite
+#   lint     tools/repro-lint over src/ bench/ examples/ tests/
+#   asan     AddressSanitizer + UndefinedBehaviorSanitizer build,
+#            full ctest suite
+#   tsan     ThreadSanitizer build, ctest -L "concurrency|perf"
+#   figures  regenerate every figure CSV in a scratch directory and
+#            byte-diff it against the committed results/ copies
+#
+# Usage:
+#   tools/check.sh              # everything
+#   tools/check.sh lint figures # just the named stages
+#
+# Sanitizer and release configurations use separate build trees
+# (build-check-*) so they never poison an incremental dev build/.
+# Set REPRO_TRACE_DIR to a writable directory to let all stages share
+# one persistent trace store (EXPERIMENTS.md, "Persistent trace
+# store"); figure output is byte-identical either way.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc)"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(release lint asan tsan figures)
+
+note() { printf '\n==> %s\n' "$*"; }
+
+want() {
+    local s
+    for s in "${STAGES[@]}"; do [ "$s" = "$1" ] && return 0; done
+    return 1
+}
+
+configure_and_test() {  # <build-dir> <ctest-args...> -- <cmake-args...>
+    local dir="$1"; shift
+    local ctest_args=()
+    while [ "$1" != "--" ]; do ctest_args+=("$1"); shift; done
+    shift
+    cmake -B "$ROOT/$dir" -S "$ROOT" "$@" >/dev/null
+    cmake --build "$ROOT/$dir" -j "$JOBS"
+    ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS" \
+          "${ctest_args[@]}"
+}
+
+if want release; then
+    note "release: warning-clean build (REPRO_WERROR=ON) + full ctest"
+    configure_and_test build-check-release -- \
+        -DCMAKE_BUILD_TYPE=Release -DREPRO_WERROR=ON
+fi
+
+if want lint; then
+    note "lint: repro-lint over the tree"
+    if [ ! -x "$ROOT/build-check-release/tools/repro-lint" ]; then
+        cmake -B "$ROOT/build-check-release" -S "$ROOT" \
+              -DCMAKE_BUILD_TYPE=Release >/dev/null
+        cmake --build "$ROOT/build-check-release" -j "$JOBS" \
+              --target repro-lint
+    fi
+    "$ROOT/build-check-release/tools/repro-lint" --root "$ROOT"
+fi
+
+if want asan; then
+    note "asan: ASan+UBSan build + full ctest"
+    configure_and_test build-check-asan -- \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREPRO_ASAN=ON -DREPRO_UBSAN=ON
+fi
+
+if want tsan; then
+    note "tsan: TSan build + ctest -L 'concurrency|perf'"
+    configure_and_test build-check-tsan -L "concurrency|perf" -- \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREPRO_TSAN=ON
+fi
+
+if want figures; then
+    note "figures: regenerate CSVs in a scratch cwd, diff vs results/"
+    [ -d "$ROOT/build-check-release/bench" ] || {
+        echo "figures stage needs the release stage first" >&2; exit 1; }
+    SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/vpred-figures.XXXXXX")"
+    trap 'rm -rf "$SCRATCH"' EXIT
+    (
+        cd "$SCRATCH"
+        for b in "$ROOT"/build-check-release/bench/bench_*; do
+            echo "  running $(basename "$b")"
+            "$b" > /dev/null
+        done
+    )
+    fail=0
+    for csv in "$SCRATCH"/results/*.csv; do
+        rel="results/$(basename "$csv")"
+        if ! cmp -s "$csv" "$ROOT/$rel"; then
+            echo "FIGURE DRIFT: $rel differs from the committed copy" >&2
+            diff -u "$ROOT/$rel" "$csv" | head -20 >&2 || true
+            fail=1
+        fi
+    done
+    [ "$fail" -eq 0 ] && echo "all regenerated figure CSVs are" \
+                              "byte-identical to results/"
+    [ "$fail" -eq 0 ]
+fi
+
+note "check.sh: all requested stages passed (${STAGES[*]})"

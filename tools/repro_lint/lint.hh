@@ -1,0 +1,128 @@
+/**
+ * @file
+ * repro-lint — the repo-specific static-analysis pass behind
+ * tools/check.sh.
+ *
+ * The reproduction's scientific contract is bit-identical figure
+ * regeneration across every execution path (serial, fused,
+ * multi-geometry, mmap'd). That contract rests on invariants no
+ * compiler flag checks: the layering DAG between src/ libraries,
+ * determinism of everything that feeds a figure CSV, the
+ * fused/reference parity the batch-kernel tests diff against, and
+ * checked parsing of every number that enters the system. This tool
+ * enforces them with a self-contained C++20 text pass — target
+ * machines have g++ but no libclang, so the scanner works on
+ * comment- and string-scrubbed source text rather than an AST.
+ *
+ * Rule catalog (see docs/analysis.md for rationale and examples):
+ *   layering/include-dag          — src/ layer includes must follow
+ *                                   core <- tracegen/sim <- workloads
+ *                                   <- harness
+ *   layering/cc-include           — nothing may include a .cc file
+ *   determinism/banned-call       — rand()/time()/random_device etc.
+ *                                   in figure/CSV-emitting drivers
+ *   determinism/unordered-iteration — iterating an unordered
+ *                                   container in a driver
+ *   predictor/missing-test        — factory-registered predictor
+ *                                   without a tests/<name>_test.cc
+ *   predictor/fused-without-reference — predictAndUpdate/runTraceSpan
+ *                                   override without the virtual
+ *                                   predict()/update() reference path
+ *   parse/raw-call                — bare atoi/strtol/stoul/... outside
+ *                                   src/core/parse_util.hh
+ *
+ * Suppression: append "// repro-lint: allow(<rule>)" to the flagged
+ * line; <rule> is a full rule id or a prefix ("parse" allows every
+ * parse rule under that prefix).
+ */
+
+#ifndef DFCM_TOOLS_REPRO_LINT_LINT_HH
+#define DFCM_TOOLS_REPRO_LINT_LINT_HH
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro_lint
+{
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file;     //!< path relative to the lint root
+    int line = 0;         //!< 1-based line number
+    std::string rule;     //!< rule id, e.g. "layering/include-dag"
+    std::string message;  //!< human-readable explanation
+
+    bool operator==(const Finding&) const = default;
+};
+
+/** A source file prepared for rule matching. */
+struct SourceFile
+{
+    std::string rel;    //!< root-relative path, '/' separators
+    std::string layer;  //!< "core", "sim", ... "bench", "examples",
+                        //!< "tests"; empty when outside the known tree
+
+    std::vector<std::string> raw_lines;   //!< verbatim source
+    /** Comments blanked, string/char literal contents kept — the view
+     *  the include scanner reads. */
+    std::vector<std::string> nocomment_lines;
+    /** Comments AND string/char literal contents blanked — the view
+     *  every identifier-level rule reads, so banned tokens inside
+     *  documentation or diagnostics never trip a rule. */
+    std::vector<std::string> code_lines;
+    /** Per line (1-based index into allows-1): the rule ids named by a
+     *  "repro-lint: allow(...)" comment on that line. */
+    std::vector<std::vector<std::string>> allows;
+
+    /** True when @p rule is suppressed on @p line (exact id match or
+     *  prefix at a '/' boundary). */
+    bool allowed(int line, std::string_view rule) const;
+};
+
+/** The set of files a lint run analyses. */
+struct Tree
+{
+    std::filesystem::path root;
+    std::vector<SourceFile> files;  //!< sorted by rel path
+
+    const SourceFile* find(std::string_view rel) const;
+};
+
+/** Layer name for a root-relative path; empty if not a linted layer. */
+std::string layerOf(std::string_view rel);
+
+/** Scrub and index one file. Exposed for the fixture tests. */
+SourceFile loadSourceFile(const std::filesystem::path& abs,
+                          std::string rel);
+
+/**
+ * Walk src/, bench/, examples/, and tests/ under @p root, loading
+ * every .cc/.hh/.cpp/.h/.hpp file. Paths containing a
+ * "lint_fixtures" component are skipped — those are the linter's own
+ * deliberately-broken test inputs.
+ */
+Tree loadTree(const std::filesystem::path& root);
+
+/** Record a finding unless an allow() comment suppresses it. */
+void emitFinding(const SourceFile& f, int line, std::string rule,
+                 std::string message, std::vector<Finding>& out);
+
+void checkLayering(const Tree& tree, std::vector<Finding>& out);
+void checkDeterminism(const Tree& tree, std::vector<Finding>& out);
+void checkPredictorContract(const Tree& tree, std::vector<Finding>& out);
+void checkRawParse(const Tree& tree, std::vector<Finding>& out);
+
+/** All rules, findings sorted by (file, line, rule), suppressions
+ *  already applied. */
+std::vector<Finding> runAllRules(const Tree& tree);
+
+/** "file:line: [rule] message" — the one output format, also what the
+ *  fixture tests assert against. */
+std::string formatFinding(const Finding& f);
+
+} // namespace repro_lint
+
+#endif // DFCM_TOOLS_REPRO_LINT_LINT_HH

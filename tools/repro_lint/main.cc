@@ -1,0 +1,86 @@
+/**
+ * @file
+ * repro-lint CLI. Usage:
+ *
+ *     repro-lint [--root DIR] [--list-rules]
+ *
+ * Walks src/, bench/, examples/, and tests/ under DIR (default: the
+ * current directory), runs every rule, and prints findings as
+ * "file:line: [rule] message". Exit code 0 when the tree is clean,
+ * 1 when there are findings, 2 on usage errors.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "repro_lint/lint.hh"
+
+namespace
+{
+
+constexpr const char* kRules[] = {
+    "layering/include-dag",
+    "layering/cc-include",
+    "determinism/banned-call",
+    "determinism/unordered-iteration",
+    "predictor/missing-test",
+    "predictor/fused-without-reference",
+    "parse/raw-call",
+};
+
+int
+usage()
+{
+    std::cerr << "usage: repro-lint [--root DIR] [--list-rules]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::filesystem::path root = ".";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const char* rule : kRules)
+                std::cout << rule << "\n";
+            return 0;
+        } else if (std::strcmp(argv[i], "--help") == 0
+                   || std::strcmp(argv[i], "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "repro-lint: unknown option '" << argv[i]
+                      << "'\n";
+            return usage();
+        }
+    }
+
+    if (!std::filesystem::is_directory(root)) {
+        std::cerr << "repro-lint: '" << root.string()
+                  << "' is not a directory\n";
+        return 2;
+    }
+
+    const repro_lint::Tree tree = repro_lint::loadTree(root);
+    if (tree.files.empty()) {
+        std::cerr << "repro-lint: no source files under '"
+                  << root.string()
+                  << "' (expected src/, bench/, examples/, tests/)\n";
+        return 2;
+    }
+
+    const std::vector<repro_lint::Finding> findings =
+            repro_lint::runAllRules(tree);
+    for (const repro_lint::Finding& f : findings)
+        std::cout << repro_lint::formatFinding(f) << "\n";
+    std::cerr << "repro-lint: " << tree.files.size() << " files, "
+              << findings.size() << " finding(s)\n";
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * determinism rules: the figure/CSV-emitting drivers (bench/ and
+ * examples/) must be bit-reproducible run-to-run. Two failure modes
+ * have to be kept out statically:
+ *
+ *  - wall-clock or OS entropy feeding the computation
+ *    (rand, srand, random_device, time, clock, gettimeofday, getpid);
+ *    the sanctioned source of randomness is the seeded
+ *    tracegen::Xorshift;
+ *  - iterating a std::unordered_{map,set} — the visit order is
+ *    implementation- and size-dependent, so any row or aggregate
+ *    computed from such a loop can differ between hosts even with
+ *    identical inputs.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** True when @p token occurs at @p pos as a standalone identifier
+ *  (not a member access, not part of a longer name). */
+bool
+tokenBoundary(const std::string& line, std::size_t pos,
+              const std::string& token)
+{
+    if (pos > 0) {
+        const char prev = line[pos - 1];
+        if (identChar(prev) || prev == '.')
+            return false;
+        // reject foo->time(...) as a member call too
+        if (prev == '>' && pos > 1 && line[pos - 2] == '-')
+            return false;
+    }
+    const std::size_t end = pos + token.size();
+    return end >= line.size() || !identChar(line[end]);
+}
+
+/** Find standalone occurrences of @p token in @p line. */
+std::vector<std::size_t>
+tokenHits(const std::string& line, const std::string& token)
+{
+    std::vector<std::size_t> hits;
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        if (tokenBoundary(line, pos, token))
+            hits.push_back(pos);
+        pos += 1;
+    }
+    return hits;
+}
+
+/** Names the banned entropy/wall-clock calls. The entry is matched as
+ *  an identifier followed by '(' unless callless is set. */
+struct BannedCall
+{
+    const char* name;
+    bool callless;  //!< match without a following '(' (types)
+};
+
+constexpr BannedCall kBanned[] = {
+    {"rand", false},         {"srand", false},
+    {"rand_r", false},       {"drand48", false},
+    {"random", false},       {"random_device", true},
+    {"time", false},         {"clock", false},
+    {"gettimeofday", false}, {"localtime", false},
+    {"gmtime", false},       {"getpid", false},
+};
+
+/** Collect names of variables declared as unordered containers. */
+std::vector<std::string>
+unorderedNames(const SourceFile& f)
+{
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+        const std::string& line = f.code_lines[i];
+        for (const char* kind : {"unordered_map", "unordered_set",
+                                 "unordered_multimap",
+                                 "unordered_multiset"}) {
+            for (std::size_t pos : tokenHits(line, kind)) {
+                // Skip the template argument list (may span lines).
+                std::size_t li = i;
+                std::size_t ci = pos + std::string(kind).size();
+                int depth = 0;
+                bool seen = false;
+                while (li < f.code_lines.size()) {
+                    const std::string& l = f.code_lines[li];
+                    for (; ci < l.size(); ++ci) {
+                        if (l[ci] == '<') {
+                            ++depth;
+                            seen = true;
+                        } else if (l[ci] == '>') {
+                            --depth;
+                        }
+                        if (seen && depth == 0)
+                            break;
+                    }
+                    if (seen && ci < l.size())
+                        break;
+                    ++li;
+                    ci = 0;
+                }
+                if (li >= f.code_lines.size())
+                    continue;
+                // Read the declared identifier after the '>'.
+                const std::string& l = f.code_lines[li];
+                std::size_t p = ci + 1;
+                while (p < l.size()
+                       && std::isspace(static_cast<unsigned char>(l[p])))
+                    ++p;
+                if (p < l.size() && l[p] == '&')
+                    ++p;  // references to unordered containers count
+                while (p < l.size()
+                       && std::isspace(static_cast<unsigned char>(l[p])))
+                    ++p;
+                std::string name;
+                while (p < l.size() && identChar(l[p]))
+                    name += l[p++];
+                if (!name.empty())
+                    names.push_back(name);
+            }
+        }
+    }
+    return names;
+}
+
+} // namespace
+
+void
+checkDeterminism(const Tree& tree, std::vector<Finding>& out)
+{
+    for (const SourceFile& f : tree.files) {
+        if (f.layer != "bench" && f.layer != "examples")
+            continue;
+
+        for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+            const std::string& line = f.code_lines[i];
+            for (const BannedCall& b : kBanned) {
+                for (std::size_t pos : tokenHits(line, b.name)) {
+                    if (!b.callless) {
+                        std::size_t p = pos + std::string(b.name).size();
+                        while (p < line.size()
+                               && std::isspace(static_cast<unsigned char>(
+                                       line[p])))
+                            ++p;
+                        if (p >= line.size() || line[p] != '(')
+                            continue;
+                    }
+                    emitFinding(
+                            f, static_cast<int>(i) + 1,
+                            "determinism/banned-call",
+                            std::string(b.name)
+                                    + " is non-deterministic; figure"
+                                      " drivers must use the seeded"
+                                      " tracegen::Xorshift",
+                            out);
+                }
+            }
+        }
+
+        const std::vector<std::string> names = unorderedNames(f);
+        for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+            const std::string& line = f.code_lines[i];
+            if (line.find("for") == std::string::npos)
+                continue;
+            for (const std::string& name : names) {
+                bool hit = false;
+                // range-for: "for (... : name)"
+                for (std::size_t pos : tokenHits(line, name)) {
+                    std::size_t p = pos;
+                    while (p > 0
+                           && std::isspace(static_cast<unsigned char>(
+                                   line[p - 1])))
+                        --p;
+                    if (p > 0 && line[p - 1] == ':'
+                        && (p < 2 || line[p - 2] != ':'))
+                        hit = true;
+                }
+                // iterator-for: "for (... = name.begin()"
+                if (!hit
+                    && !tokenHits(line, name + ".begin").empty()
+                    && line.find("for") != std::string::npos)
+                    hit = true;
+                if (hit) {
+                    emitFinding(
+                            f, static_cast<int>(i) + 1,
+                            "determinism/unordered-iteration",
+                            "iteration order of unordered container '"
+                                    + name
+                                    + "' is host-dependent; use an"
+                                      " ordered container or sort"
+                                      " before emitting figure rows",
+                            out);
+                }
+            }
+        }
+    }
+}
+
+} // namespace repro_lint

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * layering rules: the include DAG between src/ libraries, and the
+ * ban on including .cc translation units anywhere.
+ *
+ * The DAG mirrors src/CMakeLists.txt link order:
+ *
+ *     core <- tracegen            (synthetic trace generators)
+ *     core <- sim                 (MiniRISC assembler/VM/tracer)
+ *     core, sim, tracegen <- workloads
+ *     everything <- harness
+ *     any layer <- bench / examples / tests (drivers)
+ *
+ * core staying leaf-free is what lets the predictor kernels be reused
+ * by every execution path without dragging the harness (threads,
+ * filesystem, mmap) into the hot loop — and what keeps the fused and
+ * reference paths diffable in isolation.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+/** First path segment of a quoted include, e.g. "harness" for
+ *  "harness/parallel_sweep.hh"; empty for same-directory includes. */
+std::string
+includeTopDir(const std::string& path)
+{
+    const std::size_t slash = path.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+/** Quoted include target on this line, or empty. */
+std::string
+quotedInclude(const std::string& line)
+{
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#')
+        return {};
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0)
+        return {};
+    const std::size_t open = line.find('"', i + 7);
+    if (open == std::string::npos)
+        return {};
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos)
+        return {};
+    return line.substr(open + 1, close - open - 1);
+}
+
+const std::map<std::string, std::set<std::string>>&
+allowedIncludes()
+{
+    static const std::map<std::string, std::set<std::string>> kDag = {
+        {"core", {"core"}},
+        {"tracegen", {"tracegen", "core"}},
+        {"sim", {"sim", "core"}},
+        {"workloads", {"workloads", "core", "sim", "tracegen"}},
+        {"harness", {"harness", "core", "sim", "tracegen", "workloads"}},
+    };
+    return kDag;
+}
+
+} // namespace
+
+void
+checkLayering(const Tree& tree, std::vector<Finding>& out)
+{
+    const std::set<std::string> layers = {"core", "tracegen", "sim",
+                                          "workloads", "harness"};
+    for (const SourceFile& f : tree.files) {
+        if (f.layer.empty())
+            continue;
+        const auto dag = allowedIncludes().find(f.layer);
+        for (std::size_t i = 0; i < f.nocomment_lines.size(); ++i) {
+            const std::string inc = quotedInclude(f.nocomment_lines[i]);
+            if (inc.empty())
+                continue;
+            const int line = static_cast<int>(i) + 1;
+
+            if (inc.size() > 3
+                && inc.compare(inc.size() - 3, 3, ".cc") == 0) {
+                emitFinding(f, line, "layering/cc-include",
+                            "#include \"" + inc
+                                    + "\": including a .cc translation"
+                                      " unit bypasses the library"
+                                      " layering (link against the"
+                                      " target instead)",
+                            out);
+            }
+
+            if (dag == allowedIncludes().end())
+                continue;  // drivers may include any layer header
+            const std::string top = includeTopDir(inc);
+            if (top.empty() || layers.count(top) == 0)
+                continue;  // same-dir or external include
+            if (dag->second.count(top) == 0) {
+                emitFinding(f, line, "layering/include-dag",
+                            "src/" + f.layer + " may not include \""
+                                    + inc + "\" (allowed layers:"
+                                    + [&] {
+                                          std::string s;
+                                          for (const auto& a :
+                                               dag->second)
+                                              s += " " + a;
+                                          return s;
+                                      }() + ")",
+                            out);
+            }
+        }
+    }
+}
+
+} // namespace repro_lint

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * parse/raw-call: bare C/C++ number parsing is banned outside
+ * src/core/parse_util.hh.
+ *
+ * This is the rule with a scar behind it: PR 1's envTraceScale bug
+ * (strtod accepting "1.5x" and the thread-pool size wrapping on
+ * negative REPRO_JOBS) came from exactly these functions' failure
+ * modes — no error channel (atoi), silently-ignored trailing garbage
+ * (strto*, sto*), and modulo-2^64 wrapping of negative input
+ * (strtoul). parse_util.hh wraps them once, with range checks and
+ * trailing-garbage rejection; everything else calls parseInt /
+ * parseUInt / parseDouble.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <cctype>
+#include <string>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+constexpr const char* kBannedParsers[] = {
+    "atoi",    "atol",    "atoll",   "atof",    "sscanf",
+    "strtol",  "strtoul", "strtoll", "strtoull",
+    "strtod",  "strtof",  "strtold",
+    "stoi",    "stol",    "stoll",   "stoul",   "stoull",
+    "stof",    "stod",    "stold",
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+void
+checkRawParse(const Tree& tree, std::vector<Finding>& out)
+{
+    for (const SourceFile& f : tree.files) {
+        if (f.rel == "src/core/parse_util.hh")
+            continue;  // the sanctioned home of the raw parsers
+        for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+            const std::string& line = f.code_lines[i];
+            for (const char* fn : kBannedParsers) {
+                const std::string call = std::string(fn) + "(";
+                std::size_t pos = 0;
+                while ((pos = line.find(call, pos))
+                       != std::string::npos) {
+                    const bool boundary = pos == 0
+                            || (!identChar(line[pos - 1])
+                                && line[pos - 1] != '.');
+                    if (boundary) {
+                        emitFinding(
+                                f, static_cast<int>(i) + 1,
+                                "parse/raw-call",
+                                std::string(fn)
+                                        + " accepts trailing garbage /"
+                                          " wraps out-of-range input;"
+                                          " use core/parse_util.hh"
+                                          " (parseInt / parseUInt /"
+                                          " parseDouble)",
+                                out);
+                    }
+                    pos += call.size();
+                }
+            }
+        }
+    }
+}
+
+} // namespace repro_lint

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * predictor rules: the contract between the predictor factory, the
+ * test suite, and the fused fast paths.
+ *
+ * predictor/missing-test — every class the factory can instantiate
+ * (any make_unique<X> in src/core/predictor_factory.cc) must be
+ * covered by a tests/<name>_test.cc whose stem matches the class name, so
+ * a new predictor cannot ship without reference-semantics tests.
+ *
+ * predictor/fused-without-reference — PR 2's fused predictAndUpdate /
+ * runTraceSpan overrides are only trustworthy because the batch-kernel
+ * tests diff them against the virtual predict()/update() reference
+ * path. A class that overrides a fast path but drops the reference
+ * overrides would silently become unverifiable, so the pass requires
+ * predict( and update( declarations in the same class body.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** CamelCase -> snake_case ("DfcmPredictor" -> "dfcm_predictor"). */
+std::string
+camelToSnake(const std::string& name)
+{
+    std::string out;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        if (std::isupper(static_cast<unsigned char>(c))) {
+            if (i > 0
+                && !std::isupper(static_cast<unsigned char>(name[i - 1])))
+                out += '_';
+            out += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** True when the test-file stem covers the class snake name: equal,
+ *  or a sub-phrase aligned on '_' boundaries ("hybrid_predictor"
+ *  covers "counter_hybrid_predictor"; "fcm_predictor" does NOT cover
+ *  "dfcm_predictor"). */
+bool
+stemCovers(const std::string& stem, const std::string& snake)
+{
+    std::size_t pos = 0;
+    while ((pos = snake.find(stem, pos)) != std::string::npos) {
+        const bool start_ok = pos == 0 || snake[pos - 1] == '_';
+        const std::size_t end = pos + stem.size();
+        const bool end_ok = end == snake.size() || snake[end] == '_';
+        if (start_ok && end_ok)
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+/** Class names instantiated via make_unique<...> in the factory,
+ *  mapped to the first line each appears on. */
+std::map<std::string, int>
+factoryClasses(const SourceFile& factory)
+{
+    std::map<std::string, int> classes;
+    static const std::string kTag = "make_unique<";
+    for (std::size_t i = 0; i < factory.code_lines.size(); ++i) {
+        const std::string& line = factory.code_lines[i];
+        std::size_t pos = 0;
+        while ((pos = line.find(kTag, pos)) != std::string::npos) {
+            std::size_t p = pos + kTag.size();
+            std::string name;
+            while (p < line.size() && identChar(line[p]))
+                name += line[p++];
+            if (!name.empty())
+                classes.emplace(name, static_cast<int>(i) + 1);
+            pos = p;
+        }
+    }
+    return classes;
+}
+
+struct ClassBlock
+{
+    std::string name;
+    int line = 0;          //!< 1-based line of the class keyword
+    std::string body;      //!< text between the braces, '\n' kept
+    int body_line = 0;     //!< 1-based line where the body opens
+};
+
+/** Extract top-level class/struct bodies from the scrubbed text. */
+std::vector<ClassBlock>
+classBlocks(const SourceFile& f)
+{
+    std::string text;
+    for (const std::string& l : f.code_lines) {
+        text += l;
+        text += '\n';
+    }
+    std::vector<ClassBlock> blocks;
+    for (const std::string keyword : {"class", "struct"}) {
+        std::size_t pos = 0;
+        while ((pos = text.find(keyword, pos)) != std::string::npos) {
+            const std::size_t after = pos + keyword.size();
+            const bool boundary =
+                    (pos == 0 || !identChar(text[pos - 1]))
+                    && after < text.size() && !identChar(text[after]);
+            if (!boundary) {
+                pos = after;
+                continue;
+            }
+            std::size_t p = after;
+            while (p < text.size()
+                   && std::isspace(static_cast<unsigned char>(text[p])))
+                ++p;
+            std::string name;
+            while (p < text.size() && identChar(text[p]))
+                name += text[p++];
+            // Find the introducing '{' before any ';' (skip forward
+            // declarations and `class X;`).
+            std::size_t brace = std::string::npos;
+            for (std::size_t q = p; q < text.size(); ++q) {
+                if (text[q] == ';')
+                    break;
+                if (text[q] == '{') {
+                    brace = q;
+                    break;
+                }
+            }
+            if (name.empty() || brace == std::string::npos) {
+                pos = after;
+                continue;
+            }
+            int depth = 0;
+            std::size_t end = brace;
+            for (; end < text.size(); ++end) {
+                if (text[end] == '{')
+                    ++depth;
+                else if (text[end] == '}' && --depth == 0)
+                    break;
+            }
+            ClassBlock b;
+            b.name = name;
+            b.line = static_cast<int>(
+                             std::count(text.begin(),
+                                        text.begin()
+                                                + static_cast<std::ptrdiff_t>(
+                                                        pos),
+                                        '\n'))
+                   + 1;
+            b.body_line = static_cast<int>(
+                                  std::count(text.begin(),
+                                             text.begin()
+                                                     + static_cast<
+                                                             std::ptrdiff_t>(
+                                                             brace),
+                                             '\n'))
+                        + 1;
+            b.body = text.substr(brace + 1, end - brace - 1);
+            blocks.push_back(std::move(b));
+            pos = end == std::string::npos ? text.size() : end;
+        }
+    }
+    return blocks;
+}
+
+/** True when the body declares token immediately followed by '('. */
+bool
+declares(const std::string& body, const std::string& token)
+{
+    std::size_t pos = 0;
+    const std::string call = token + "(";
+    while ((pos = body.find(call, pos)) != std::string::npos) {
+        if (pos == 0 || !identChar(body[pos - 1]))
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+/** True when the body overrides @p fn (declaration mentioning both
+ *  the function name and 'override' within the next two lines). */
+bool
+overrides(const std::string& body, const std::string& fn)
+{
+    std::size_t pos = 0;
+    while ((pos = body.find(fn + "(", pos)) != std::string::npos) {
+        if (pos > 0 && identChar(body[pos - 1])) {
+            ++pos;
+            continue;
+        }
+        // Look for 'override' before the end of the declaration.
+        const std::size_t stop = body.find_first_of(";{", pos);
+        const std::string decl = body.substr(
+                pos, stop == std::string::npos ? std::string::npos
+                                               : stop - pos);
+        if (decl.find("override") != std::string::npos)
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+checkPredictorContract(const Tree& tree, std::vector<Finding>& out)
+{
+    // --- predictor/missing-test ---
+    const SourceFile* factory = tree.find("src/core/predictor_factory.cc");
+    if (factory != nullptr) {
+        const std::map<std::string, int> classes =
+                factoryClasses(*factory);
+        std::set<std::string> stems;
+        for (const SourceFile& f : tree.files) {
+            if (f.layer != "tests")
+                continue;
+            const std::size_t slash = f.rel.rfind('/');
+            std::string base = f.rel.substr(slash + 1);
+            static const std::string kSuffix = "_test.cc";
+            if (base.size() > kSuffix.size()
+                && base.compare(base.size() - kSuffix.size(),
+                                kSuffix.size(), kSuffix)
+                        == 0)
+                stems.insert(
+                        base.substr(0, base.size() - kSuffix.size()));
+        }
+        for (const auto& [cls, line] : classes) {
+            const std::string snake = camelToSnake(cls);
+            bool covered = false;
+            for (const std::string& stem : stems)
+                if (stemCovers(stem, snake))
+                    covered = true;
+            if (!covered) {
+                emitFinding(*factory, line, "predictor/missing-test",
+                            "factory-registered predictor " + cls
+                                    + " has no tests/" + snake
+                                    + "_test.cc (or matching stem)",
+                            out);
+            }
+        }
+    }
+
+    // --- predictor/fused-without-reference ---
+    for (const SourceFile& f : tree.files) {
+        if (f.layer != "core")
+            continue;
+        for (const ClassBlock& b : classBlocks(f)) {
+            const bool fused = overrides(b.body, "predictAndUpdate")
+                    || overrides(b.body, "runTraceSpan");
+            if (!fused)
+                continue;
+            if (!declares(b.body, "predict")
+                || !declares(b.body, "update")) {
+                emitFinding(
+                        f, b.line, "predictor/fused-without-reference",
+                        "class " + b.name
+                                + " overrides a fused fast path"
+                                  " (predictAndUpdate/runTraceSpan) but"
+                                  " drops the virtual"
+                                  " predict()/update() reference path"
+                                  " the batch-kernel tests diff"
+                                  " against",
+                        out);
+            }
+        }
+    }
+}
+
+} // namespace repro_lint

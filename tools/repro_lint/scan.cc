@@ -1,0 +1,313 @@
+/**
+ * @file
+ * File loading for repro-lint: directory walk, comment/string
+ * scrubbing, and suppression-comment parsing.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+bool
+lintableExtension(const std::filesystem::path& p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h"
+        || ext == ".hpp";
+}
+
+bool
+hasFixtureComponent(const std::filesystem::path& p)
+{
+    for (const auto& part : p)
+        if (part == "lint_fixtures")
+            return true;
+    return false;
+}
+
+/**
+ * Produce the two scrubbed views of @p raw in one pass: comments
+ * blanked (nocomment) and comments plus string/char literal contents
+ * blanked (code). Newlines are preserved so line numbers survive.
+ * Handles //, block comments, escapes, and basic R"( )" raw strings.
+ */
+void
+scrub(const std::string& raw, std::string& nocomment, std::string& code)
+{
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+
+    nocomment.assign(raw.size(), ' ');
+    code.assign(raw.size(), ' ');
+    State state = State::Code;
+    std::string raw_delim;  // delimiter of the active raw string
+
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const char c = raw[i];
+        const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+        if (c == '\n') {
+            nocomment[i] = '\n';
+            code[i] = '\n';
+            if (state == State::LineComment)
+                state = State::Code;
+            continue;
+        }
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == 'R' && next == '"'
+                       && (i == 0
+                           || (!std::isalnum(static_cast<unsigned char>(
+                                       raw[i - 1]))
+                               && raw[i - 1] != '_'))) {
+                // R"delim( ... )delim"
+                std::size_t p = i + 2;
+                while (p < raw.size() && raw[p] != '(')
+                    ++p;
+                raw_delim = raw.substr(i + 2, p - (i + 2));
+                nocomment[i] = c;
+                code[i] = c;
+                state = State::RawString;
+                // keep the opening R"delim( visible in nocomment
+                for (std::size_t k = i + 1; k <= p && k < raw.size();
+                     ++k)
+                    nocomment[k] = raw[k];
+                i = p;
+            } else if (c == '"') {
+                nocomment[i] = c;
+                code[i] = c;
+                state = State::String;
+            } else if (c == '\'') {
+                nocomment[i] = c;
+                code[i] = c;
+                state = State::Char;
+            } else {
+                nocomment[i] = c;
+                code[i] = c;
+            }
+            break;
+          case State::LineComment:
+          case State::BlockComment:
+            if (state == State::BlockComment && c == '*' && next == '/') {
+                ++i;
+                state = State::Code;
+            }
+            break;
+          case State::String:
+          case State::Char: {
+            const char quote = state == State::String ? '"' : '\'';
+            nocomment[i] = c;
+            if (c == '\\') {
+                if (next != '\0')
+                    nocomment[i + 1] = next;
+                ++i;
+            } else if (c == quote) {
+                code[i] = c;
+                state = State::Code;
+            }
+            break;
+          }
+          case State::RawString: {
+            const std::string close = ")" + raw_delim + "\"";
+            if (raw.compare(i, close.size(), close) == 0) {
+                for (std::size_t k = 0;
+                     k < close.size() && i + k < raw.size(); ++k)
+                    nocomment[i + k] = raw[i + k];
+                code[i + close.size() - 1] = '"';
+                i += close.size() - 1;
+                state = State::Code;
+            } else {
+                nocomment[i] = c;
+            }
+            break;
+          }
+        }
+    }
+}
+
+std::vector<std::string>
+splitLines(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream is(text);
+    while (std::getline(is, line))
+        lines.push_back(line);
+    if (lines.empty())
+        lines.emplace_back();
+    return lines;
+}
+
+/** Parse "repro-lint: allow(a, b/c)" out of one raw source line. */
+std::vector<std::string>
+parseAllows(const std::string& raw_line)
+{
+    static const std::string kMarker = "repro-lint: allow(";
+    std::vector<std::string> rules;
+    const std::size_t at = raw_line.find(kMarker);
+    if (at == std::string::npos)
+        return rules;
+    const std::size_t open = at + kMarker.size();
+    const std::size_t close = raw_line.find(')', open);
+    if (close == std::string::npos)
+        return rules;
+    std::string item;
+    std::istringstream is(raw_line.substr(open, close - open));
+    while (std::getline(is, item, ',')) {
+        const std::size_t b = item.find_first_not_of(" \t");
+        const std::size_t e = item.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            rules.push_back(item.substr(b, e - b + 1));
+    }
+    return rules;
+}
+
+} // namespace
+
+bool
+SourceFile::allowed(int line, std::string_view rule) const
+{
+    if (line < 1 || static_cast<std::size_t>(line) > allows.size())
+        return false;
+    for (const std::string& a : allows[static_cast<std::size_t>(line) - 1]) {
+        if (rule == a)
+            return true;
+        if (rule.size() > a.size() && rule.substr(0, a.size()) == a
+            && rule[a.size()] == '/')
+            return true;
+    }
+    return false;
+}
+
+const SourceFile*
+Tree::find(std::string_view rel) const
+{
+    for (const SourceFile& f : files)
+        if (f.rel == rel)
+            return &f;
+    return nullptr;
+}
+
+std::string
+layerOf(std::string_view rel)
+{
+    static const std::pair<std::string_view, std::string_view> kPrefixes[] = {
+        {"src/core/", "core"},         {"src/tracegen/", "tracegen"},
+        {"src/sim/", "sim"},           {"src/workloads/", "workloads"},
+        {"src/harness/", "harness"},   {"bench/", "bench"},
+        {"examples/", "examples"},     {"tests/", "tests"},
+    };
+    for (const auto& [prefix, layer] : kPrefixes)
+        if (rel.substr(0, prefix.size()) == prefix)
+            return std::string(layer);
+    return {};
+}
+
+SourceFile
+loadSourceFile(const std::filesystem::path& abs, std::string rel)
+{
+    std::ifstream in(abs, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string raw = buf.str();
+
+    std::string nocomment, code;
+    scrub(raw, nocomment, code);
+
+    SourceFile f;
+    std::replace(rel.begin(), rel.end(), '\\', '/');
+    f.rel = std::move(rel);
+    f.layer = layerOf(f.rel);
+    f.raw_lines = splitLines(raw);
+    f.nocomment_lines = splitLines(nocomment);
+    f.code_lines = splitLines(code);
+    f.allows.reserve(f.raw_lines.size());
+    for (const std::string& line : f.raw_lines)
+        f.allows.push_back(parseAllows(line));
+    return f;
+}
+
+Tree
+loadTree(const std::filesystem::path& root)
+{
+    Tree tree;
+    tree.root = root;
+    for (const char* top : {"src", "bench", "examples", "tests"}) {
+        const std::filesystem::path dir = root / top;
+        if (!std::filesystem::is_directory(dir))
+            continue;
+        for (auto it = std::filesystem::recursive_directory_iterator(dir);
+             it != std::filesystem::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file()
+                || !lintableExtension(it->path()))
+                continue;
+            const std::filesystem::path relp =
+                    std::filesystem::relative(it->path(), root);
+            if (hasFixtureComponent(relp))
+                continue;
+            tree.files.push_back(
+                    loadSourceFile(it->path(), relp.generic_string()));
+        }
+    }
+    std::sort(tree.files.begin(), tree.files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                  return a.rel < b.rel;
+              });
+    return tree;
+}
+
+void
+emitFinding(const SourceFile& f, int line, std::string rule,
+            std::string message, std::vector<Finding>& out)
+{
+    if (f.allowed(line, rule))
+        return;
+    out.push_back({f.rel, line, std::move(rule), std::move(message)});
+}
+
+std::vector<Finding>
+runAllRules(const Tree& tree)
+{
+    std::vector<Finding> out;
+    checkLayering(tree, out);
+    checkDeterminism(tree, out);
+    checkPredictorContract(tree, out);
+    checkRawParse(tree, out);
+    std::sort(out.begin(), out.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule, a.message)
+                      < std::tie(b.file, b.line, b.rule, b.message);
+              });
+    return out;
+}
+
+std::string
+formatFinding(const Finding& f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] "
+        + f.message;
+}
+
+} // namespace repro_lint
