@@ -28,7 +28,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <tuple>
+#include <utility>
 
+#include "core/cpu_features.hh"
 #include "core/dfcm_predictor.hh"
 #include "core/fcm_predictor.hh"
 #include "core/multi_geom.hh"
@@ -104,14 +107,19 @@ bestSeconds(int repeats, std::uint64_t& checksum, F&& f)
 }
 
 /**
- * Compare the three paths on one predictor family's fig-10 l2_bits
- * column over a real workload trace, record metrics, and abort
- * loudly if the paths disagree.
+ * Compare the execution paths on one predictor family's fig-10
+ * l2_bits column over a real workload trace, record metrics, tally
+ * the work into @p exec, and abort loudly if any path disagrees.
+ * The multi-geometry kernel is timed twice in the same process —
+ * pinned to the scalar reference path and through the runtime SIMD
+ * dispatch — so the SIMD speedup is measured head-to-head rather
+ * than inferred across runs.
  */
 void
 compareColumn(PredictorKind kind, std::span<const TraceRecord> trace,
               harness::ResultsJsonWriter& json,
-              harness::TablePrinter& table)
+              harness::TablePrinter& table,
+              harness::SweepExecution& exec)
 {
     const std::vector<unsigned>& l2s = harness::paperL2Bits();
     const double cell_records = static_cast<double>(trace.size())
@@ -130,6 +138,9 @@ compareColumn(PredictorKind kind, std::span<const TraceRecord> trace,
         }
         return virt_stats.back().correct;
     });
+    exec.cells += l2s.size();
+    exec.virtual_cells += l2s.size();
+    exec.trace_walks += l2s.size() * kRepeats;
 
     const double fused_s = bestSeconds(kRepeats, sink, [&] {
         fused_stats.clear();
@@ -139,25 +150,44 @@ compareColumn(PredictorKind kind, std::span<const TraceRecord> trace,
         }
         return fused_stats.back().correct;
     });
+    exec.cells += l2s.size();
+    exec.fused_cells += l2s.size();
+    exec.trace_walks += l2s.size() * kRepeats;
 
     MultiGeomConfig geom;
     geom.l1_bits = 16;
     geom.l2_bits = l2s;
-    std::vector<PredictorStats> multi_stats;
-    const double multi_s = bestSeconds(kRepeats, sink, [&] {
-        if (kind == PredictorKind::Fcm) {
-            MultiGeomFcmKernel kernel(geom);
-            multi_stats = kernel.runTrace({trace.data(), trace.size()});
-        } else {
-            MultiGeomDfcmKernel kernel(geom);
-            multi_stats = kernel.runTrace({trace.data(), trace.size()});
-        }
-        return multi_stats.back().correct;
-    });
+    const std::span<const TraceRecord> span{trace.data(), trace.size()};
+    std::vector<PredictorStats> scalar_stats, multi_stats;
+    const auto runBoth = [&](auto& kernel) {
+        const double scalar = bestSeconds(kRepeats, sink, [&] {
+            scalar_stats = kernel.runTrace(span, SimdBackend::Scalar);
+            return scalar_stats.back().correct;
+        });
+        const double simd = bestSeconds(kRepeats, sink, [&] {
+            multi_stats = kernel.runTrace(span);
+            return multi_stats.back().correct;
+        });
+        return std::pair{scalar, simd};
+    };
+    double scalar_s = 0.0, multi_s = 0.0;
+    if (kind == PredictorKind::Fcm) {
+        MultiGeomFcmKernel kernel(geom);
+        std::tie(scalar_s, multi_s) = runBoth(kernel);
+    } else {
+        MultiGeomDfcmKernel kernel(geom);
+        std::tie(scalar_s, multi_s) = runBoth(kernel);
+    }
+    // One multi-geometry walk evaluates the whole column; the two
+    // variants each re-evaluate every cell of it.
+    exec.cells += 2 * l2s.size();
+    exec.batched_cells += 2 * l2s.size();
+    exec.trace_walks += 2 * kRepeats;
     benchmark::DoNotOptimize(sink);
 
     for (std::size_t c = 0; c < l2s.size(); ++c) {
         if (virt_stats[c] != fused_stats[c] ||
+            virt_stats[c] != scalar_stats[c] ||
             virt_stats[c] != multi_stats[c]) {
             std::cerr << "FATAL: " << fam << " l2=" << l2s[c]
                       << ": execution paths disagree\n";
@@ -167,27 +197,33 @@ compareColumn(PredictorKind kind, std::span<const TraceRecord> trace,
 
     const double virt_rps = cell_records / virt_s;
     const double fused_rps = cell_records / fused_s;
+    const double scalar_rps = cell_records / scalar_s;
     const double multi_rps = cell_records / multi_s;
     json.addMetric(fam + "_l2column_virtual_records_per_sec", virt_rps);
     json.addMetric(fam + "_l2column_fused_records_per_sec", fused_rps);
+    json.addMetric(fam + "_l2column_multigeom_scalar_records_per_sec",
+                   scalar_rps);
     json.addMetric(fam + "_l2column_multigeom_records_per_sec",
                    multi_rps);
     json.addMetric(fam + "_multigeom_speedup_vs_virtual",
                    virt_s / multi_s);
     json.addMetric(fam + "_multigeom_speedup_vs_fused", fused_s / multi_s);
+    json.addMetric(fam + "_simd_speedup_vs_scalar", scalar_s / multi_s);
 
     using harness::TablePrinter;
     table.addRow({fam, TablePrinter::fmt(virt_rps / 1e6, 1),
                   TablePrinter::fmt(fused_rps / 1e6, 1),
+                  TablePrinter::fmt(scalar_rps / 1e6, 1),
                   TablePrinter::fmt(multi_rps / 1e6, 1),
-                  TablePrinter::fmt(virt_s / multi_s, 2),
-                  TablePrinter::fmt(fused_s / multi_s, 2)});
+                  TablePrinter::fmt(scalar_s / multi_s, 2),
+                  TablePrinter::fmt(virt_s / multi_s, 2)});
 }
 
 /** Single-config kernel-vs-virtual ratio for one family. */
 void
 compareFamily(PredictorKind kind, std::span<const TraceRecord> trace,
-              harness::ResultsJsonWriter& json)
+              harness::ResultsJsonWriter& json,
+              harness::SweepExecution& exec)
 {
     const PredictorConfig cfg = columnConfig(kind, 12);
     const std::string fam = kindName(kind);
@@ -204,6 +240,10 @@ compareFamily(PredictorKind kind, std::span<const TraceRecord> trace,
         fused = runTrace(*p, trace);
         return fused.correct;
     });
+    exec.cells += 2;
+    exec.virtual_cells += 1;
+    exec.fused_cells += 1;
+    exec.trace_walks += 6;
     benchmark::DoNotOptimize(sink);
     if (virt != fused) {
         std::cerr << "FATAL: " << fam
@@ -329,11 +369,14 @@ main(int argc, char** argv)
                                  : "cold-generate+persist";
     const std::span<const TraceRecord> trace = cache.getSpan(workload);
 
+    const SimdBackend backend = activeSimdBackend();
     std::cout << "=== throughput: execution-path comparison ===\n"
               << "trace: " << workload << ", " << trace.size()
               << " records, fig-10 l2 column = "
               << harness::paperL2Bits().size()
-              << " geometries, single-threaded\n"
+              << " geometries, single-threaded, simd dispatch = "
+              << simdBackendName(backend) << " ("
+              << simdVectorBits(backend) << "-bit)\n"
               << "trace acquisition (" << acq_path << "): "
               << acq_wall * 1000.0 << " ms for the full suite ("
               << acq.store_hits << " store hits, " << acq.generated
@@ -341,14 +384,16 @@ main(int argc, char** argv)
 
     harness::ResultsJsonWriter json("throughput", cache.scale(),
                                     /*jobs=*/1);
-    harness::SweepExecution acq_exec;
-    acq_exec.jobs = harness::envJobs();
-    acq_exec.wall_seconds = acq_wall;
-    acq_exec.store_enabled = acq.store_enabled;
-    acq_exec.store_hits = acq.store_hits;
-    acq_exec.store_misses = acq.store_misses;
-    acq_exec.acquisition_seconds = acq.seconds();
-    json.setExecution(acq_exec);
+    // The comparison functions tally cells and trace walks into this
+    // as they run; the acquisition and SIMD fields are filled here.
+    harness::SweepExecution exec;
+    exec.jobs = 1;
+    exec.store_enabled = acq.store_enabled;
+    exec.store_hits = acq.store_hits;
+    exec.store_misses = acq.store_misses;
+    exec.acquisition_seconds = acq.seconds();
+    exec.simd_backend = simdBackendName(backend);
+    exec.vector_width = simdVectorBits(backend);
     json.addMetric("trace_records",
                    static_cast<double>(trace.size()));
     json.addMetric("trace_acquisition_wall_ms", acq_wall * 1000.0);
@@ -359,10 +404,12 @@ main(int argc, char** argv)
     json.addMetric("trace_generated_count",
                    static_cast<double>(acq.generated));
 
+    const auto bench_start = std::chrono::steady_clock::now();
     TablePrinter table({"family", "virtual_Mrps", "fused_Mrps",
-                        "multigeom_Mrps", "multi/virt", "multi/fused"});
-    compareColumn(PredictorKind::Fcm, trace, json, table);
-    compareColumn(PredictorKind::Dfcm, trace, json, table);
+                        "mg_scalar_Mrps", "mg_simd_Mrps",
+                        "simd/scalar", "simd/virt"});
+    compareColumn(PredictorKind::Fcm, trace, json, table, exec);
+    compareColumn(PredictorKind::Dfcm, trace, json, table, exec);
     table.print(std::cout);
     std::cout << "(Mrps = million cell-records per second over the "
                  "whole l2 column; all paths verified bit-identical)\n";
@@ -371,8 +418,13 @@ main(int argc, char** argv)
          {PredictorKind::Lvp, PredictorKind::Stride,
           PredictorKind::TwoDelta, PredictorKind::Fcm,
           PredictorKind::Dfcm})
-        compareFamily(kind, trace, json);
+        compareFamily(kind, trace, json, exec);
 
+    exec.wall_seconds =
+            std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - bench_start)
+                    .count();
+    json.setExecution(exec);
     if (json.write())
         std::cout << "\nwrote results/BENCH_throughput.json\n";
 

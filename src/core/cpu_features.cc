@@ -1,0 +1,149 @@
+#include "core/cpu_features.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace vpred
+{
+
+namespace
+{
+
+/**
+ * Whether the running CPU can execute AVX2. Only meaningful when the
+ * AVX2 translation unit was compiled in (REPRO_SIMD_HAS_AVX2); the
+ * compiler builtin performs the CPUID probe once per process.
+ */
+bool
+cpuHasAvx2()
+{
+#if defined(REPRO_SIMD_HAS_AVX2) && (defined(__x86_64__) || defined(__i386__))
+    static const bool has = __builtin_cpu_supports("avx2") > 0;
+    return has;
+#else
+    return false;
+#endif
+}
+
+std::vector<SimdBackend>
+probeBackends()
+{
+    std::vector<SimdBackend> backends = {SimdBackend::Scalar};
+#if defined(REPRO_SIMD_HAS_SSE2)
+    // SSE2 is architecturally guaranteed on x86-64; no probe needed.
+    backends.push_back(SimdBackend::Sse2);
+#endif
+#if defined(REPRO_SIMD_HAS_NEON)
+    // Advanced SIMD is architecturally guaranteed on AArch64.
+    backends.push_back(SimdBackend::Neon);
+#endif
+    if (cpuHasAvx2())
+        backends.push_back(SimdBackend::Avx2);
+    return backends;
+}
+
+/** One-time stderr warning keyed on the offending REPRO_SIMD value. */
+void
+warnOnce(const std::string& message)
+{
+    static std::once_flag flag;
+    std::call_once(flag, [&] {
+        std::cerr << "warning: " << message << "\n";
+    });
+}
+
+std::string
+toLower(const char* s)
+{
+    std::string out;
+    for (; *s != '\0'; ++s)
+        out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(*s)));
+    return out;
+}
+
+} // namespace
+
+const char*
+simdBackendName(SimdBackend backend)
+{
+    switch (backend) {
+      case SimdBackend::Scalar: return "scalar";
+      case SimdBackend::Sse2: return "sse2";
+      case SimdBackend::Avx2: return "avx2";
+      case SimdBackend::Neon: return "neon";
+    }
+    return "unknown";
+}
+
+unsigned
+simdVectorBits(SimdBackend backend)
+{
+    switch (backend) {
+      case SimdBackend::Scalar: return 64;
+      case SimdBackend::Sse2: return 128;
+      case SimdBackend::Avx2: return 256;
+      case SimdBackend::Neon: return 128;
+    }
+    return 0;
+}
+
+const std::vector<SimdBackend>&
+availableSimdBackends()
+{
+    static const std::vector<SimdBackend> backends = probeBackends();
+    return backends;
+}
+
+bool
+simdBackendAvailable(SimdBackend backend)
+{
+    for (SimdBackend b : availableSimdBackends())
+        if (b == backend)
+            return true;
+    return false;
+}
+
+SimdBackend
+bestSimdBackend()
+{
+    return availableSimdBackends().back();
+}
+
+SimdBackend
+activeSimdBackend()
+{
+    const char* env = std::getenv("REPRO_SIMD");
+    if (env == nullptr || *env == '\0')
+        return bestSimdBackend();
+    const std::string v = toLower(env);
+    if (v == "1" || v == "on" || v == "best" || v == "true")
+        return bestSimdBackend();
+    if (v == "0" || v == "off" || v == "false" || v == "scalar")
+        return SimdBackend::Scalar;
+
+    SimdBackend requested = SimdBackend::Scalar;
+    if (v == "sse2") {
+        requested = SimdBackend::Sse2;
+    } else if (v == "avx2") {
+        requested = SimdBackend::Avx2;
+    } else if (v == "neon") {
+        requested = SimdBackend::Neon;
+    } else {
+        warnOnce("REPRO_SIMD='" + std::string(env)
+                 + "' is not a backend name"
+                   " (scalar/sse2/avx2/neon/0/1); using the best"
+                   " available backend");
+        return bestSimdBackend();
+    }
+    if (simdBackendAvailable(requested))
+        return requested;
+    warnOnce("REPRO_SIMD=" + v
+             + " is not compiled in or not supported by this CPU;"
+               " falling back to the scalar kernels");
+    return SimdBackend::Scalar;
+}
+
+} // namespace vpred

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/multi_geom_simd.hh"
+#include "core/simd.hh"
+
 namespace vpred
 {
 
@@ -10,11 +13,12 @@ namespace
 {
 
 /**
- * Per-column state flattened for the hot loop: the raw level-2 table
- * pointer plus the hash parameters, with the fold chunk count
- * precomputed so the fold runs a *fixed* number of iterations per
- * column (the generic foldXor loops while bits remain, a
- * data-dependent trip count the branch predictor keeps missing).
+ * Per-column state flattened for the scalar hot loop: the raw
+ * level-2 table pointer plus the hash parameters, with the fold
+ * chunk count precomputed so the fold runs a *fixed* number of
+ * iterations per column (the generic foldXor loops while bits
+ * remain, a data-dependent trip count the branch predictor keeps
+ * missing).
  */
 struct HotColumn
 {
@@ -62,6 +66,45 @@ hotColumns(std::vector<MultiGeomKernelBase::Column>& cols,
     return hot;
 }
 
+/** The vector entry point for @p backend, or nullptr for the scalar
+ *  reference path (also the fallback for backends this binary does
+ *  not carry or this CPU cannot run). */
+using MgKernelFn = void (*)(const detail::MgSimdView&,
+                            std::span<const TraceRecord>);
+
+MgKernelFn
+backendKernel(SimdBackend backend)
+{
+    if (!simdBackendAvailable(backend))
+        return nullptr;
+    switch (backend) {
+#if defined(REPRO_SIMD_HAS_SSE2)
+      case SimdBackend::Sse2:
+        return &detail::runMgColumnsSse2;
+#endif
+#if defined(REPRO_SIMD_HAS_AVX2)
+      case SimdBackend::Avx2:
+        return &detail::runMgColumnsAvx2;
+#endif
+#if defined(REPRO_SIMD_HAS_NEON)
+      case SimdBackend::Neon:
+        return &detail::runMgColumnsNeon;
+#endif
+      default:
+        return nullptr;
+    }
+}
+
+std::vector<PredictorStats>
+gatherStats(std::span<const TraceRecord> trace,
+            const std::vector<std::uint64_t>& correct)
+{
+    std::vector<PredictorStats> stats(correct.size());
+    for (std::size_t c = 0; c < correct.size(); ++c)
+        stats[c] = PredictorStats{trace.size(), correct[c]};
+    return stats;
+}
+
 } // namespace
 
 MultiGeomKernelBase::MultiGeomKernelBase(const MultiGeomConfig& config)
@@ -79,7 +122,45 @@ MultiGeomKernelBase::MultiGeomKernelBase(const MultiGeomConfig& config)
         max_order_ = std::max(max_order_, col.hash.order());
         cols_.push_back(std::move(col));
     }
-    hists_.resize(l1Entries() * cols_.size(), 0);
+
+    // One layout for every execution path: the history bank is
+    // padded to whole vectors, the FS R-k parameters are laid out as
+    // one u32 per lane, and the padding lanes get inert values
+    // (shift 0, fold_bits 1, masks 0) so they compute bounded
+    // garbage that nothing ever probes.
+    const std::size_t n = cols_.size();
+    padded_n_ = (n + simd::kMaxSimdLanes - 1) / simd::kMaxSimdLanes
+            * simd::kMaxSimdLanes;
+    hists_.resize(l1Entries() * padded_n_, 0);
+    col_shifts_.assign(padded_n_, 0);
+    col_fold_bits_.assign(padded_n_, 1);
+    col_fold_masks_.assign(padded_n_, 0);
+    col_index_masks_.assign(padded_n_, 0);
+    l2_ptrs_.resize(n);
+    max_chunks_ = 1;
+    // Software prefetch is only issued for columns whose level-2
+    // table cannot stay cache-resident: small tables are all hits
+    // after warm-up and prefetching them just burns issue slots.
+    // 256 KiB (64 K u32 slots, l2_bits >= 16) is comfortably past
+    // typical per-core L2 capacity once the history bank and the
+    // other columns claim their share.
+    constexpr std::size_t kPrefetchMinL2Bytes = std::size_t{256} * 1024;
+    for (std::size_t c = 0; c < n; ++c) {
+        const ShiftFoldHash& hash = cols_[c].hash;
+        col_shifts_[c] = hash.shift();
+        col_fold_bits_[c] = hash.foldBits();
+        col_fold_masks_[c] = static_cast<std::uint32_t>(
+                maskBits(std::min(hash.foldBits(), 32u)));
+        col_index_masks_[c] = static_cast<std::uint32_t>(
+                maskBits(hash.indexBits()));
+        l2_ptrs_[c] = cols_[c].l2.data();
+        if (cols_[c].l2.size() * sizeof(std::uint32_t)
+            >= kPrefetchMinL2Bytes)
+            prefetch_cols_.push_back(static_cast<std::uint32_t>(c));
+        const unsigned chunks =
+                (cfg_.value_bits + hash.foldBits() - 1) / hash.foldBits();
+        max_chunks_ = std::max(max_chunks_, chunks);
+    }
 }
 
 void
@@ -90,6 +171,32 @@ MultiGeomKernelBase::resetState()
         std::fill(col.l2.begin(), col.l2.end(), 0);
 }
 
+detail::MgSimdView
+MultiGeomKernelBase::makeView(std::uint64_t* correct)
+{
+    detail::MgSimdView view;
+    view.hists = hists_.data();
+    view.n = cols_.size();
+    view.padded_n = padded_n_;
+    view.l1_mask = l1_mask_;
+    view.value_mask = value_mask_;
+    view.stride_mask = value_mask_;
+    view.stride_bits = cfg_.value_bits;
+    view.chunks = max_chunks_;
+    view.l2 = l2_ptrs_.data();
+    view.shifts = col_shifts_.data();
+    view.fold_bits = col_fold_bits_.data();
+    view.fold_masks = col_fold_masks_.data();
+    view.index_masks = col_index_masks_.data();
+    view.correct = correct;
+    view.last = nullptr;
+    view.dfcm = false;
+    view.widen = false;
+    view.prefetch_cols = prefetch_cols_.data();
+    view.n_prefetch = prefetch_cols_.size();
+    return view;
+}
+
 MultiGeomFcmKernel::MultiGeomFcmKernel(const MultiGeomConfig& config)
     : MultiGeomKernelBase(config)
 {
@@ -98,12 +205,28 @@ MultiGeomFcmKernel::MultiGeomFcmKernel(const MultiGeomConfig& config)
 std::vector<PredictorStats>
 MultiGeomFcmKernel::runTrace(std::span<const TraceRecord> trace)
 {
+    return runTrace(trace, activeSimdBackend());
+}
+
+std::vector<PredictorStats>
+MultiGeomFcmKernel::runTrace(std::span<const TraceRecord> trace,
+                             SimdBackend backend)
+{
     resetState();
     const std::size_t n = cols_.size();
-    const std::vector<HotColumn> hot = hotColumns(cols_, cfg_.value_bits);
     std::vector<std::uint64_t> correct(n, 0);
+
+    if (const MgKernelFn kernel = backendKernel(backend)) {
+        const detail::MgSimdView view = makeView(correct.data());
+        kernel(view, trace);
+        return gatherStats(trace, correct);
+    }
+
+    // Scalar reference path.
+    const std::size_t pn = padded_n_;
+    const std::vector<HotColumn> hot = hotColumns(cols_, cfg_.value_bits);
     for (const TraceRecord& rec : trace) {
-        std::uint32_t* hists = &hists_[(rec.pc & l1_mask_) * n];
+        std::uint32_t* hists = &hists_[(rec.pc & l1_mask_) * pn];
         const Value masked = rec.value & value_mask_;
 
         // Per column: FcmPredictor::predictAndUpdate verbatim — check
@@ -119,11 +242,7 @@ MultiGeomFcmKernel::runTrace(std::span<const TraceRecord> trace)
                 static_cast<std::uint32_t>(hashInsert(col, h, masked));
         }
     }
-
-    std::vector<PredictorStats> stats(n);
-    for (std::size_t c = 0; c < n; ++c)
-        stats[c] = PredictorStats{trace.size(), correct[c]};
-    return stats;
+    return gatherStats(trace, correct);
 }
 
 MultiGeomDfcmKernel::MultiGeomDfcmKernel(const MultiGeomConfig& config)
@@ -138,16 +257,37 @@ MultiGeomDfcmKernel::MultiGeomDfcmKernel(const MultiGeomConfig& config)
 std::vector<PredictorStats>
 MultiGeomDfcmKernel::runTrace(std::span<const TraceRecord> trace)
 {
+    return runTrace(trace, activeSimdBackend());
+}
+
+std::vector<PredictorStats>
+MultiGeomDfcmKernel::runTrace(std::span<const TraceRecord> trace,
+                              SimdBackend backend)
+{
     resetState();
     std::fill(last_.begin(), last_.end(), 0);
     const std::size_t n = cols_.size();
-    const std::vector<HotColumn> hot = hotColumns(cols_, cfg_.value_bits);
     std::vector<std::uint64_t> correct(n, 0);
+
+    if (const MgKernelFn kernel = backendKernel(backend)) {
+        detail::MgSimdView view = makeView(correct.data());
+        view.stride_mask = stride_mask_;
+        view.stride_bits = cfg_.stride_bits;
+        view.last = last_.data();
+        view.dfcm = true;
+        view.widen = cfg_.stride_bits != cfg_.value_bits;
+        kernel(view, trace);
+        return gatherStats(trace, correct);
+    }
+
+    // Scalar reference path.
+    const std::size_t pn = padded_n_;
+    const std::vector<HotColumn> hot = hotColumns(cols_, cfg_.value_bits);
 
     const auto walk = [&](auto widen_fn) {
         for (const TraceRecord& rec : trace) {
             const std::size_t idx = rec.pc & l1_mask_;
-            std::uint32_t* hists = &hists_[idx * n];
+            std::uint32_t* hists = &hists_[idx * pn];
             const Value last = last_[idx];
             const Value masked = rec.value & value_mask_;
             // The new stride is geometry-independent: full-width
@@ -177,10 +317,7 @@ MultiGeomDfcmKernel::runTrace(std::span<const TraceRecord> trace)
     else
         walk([this](std::uint32_t stored) { return widen(stored); });
 
-    std::vector<PredictorStats> stats(n);
-    for (std::size_t c = 0; c < n; ++c)
-        stats[c] = PredictorStats{trace.size(), correct[c]};
-    return stats;
+    return gatherStats(trace, correct);
 }
 
 } // namespace vpred

@@ -36,6 +36,18 @@
  * same O(1) per column and only amortizes the shared work.)
  * Asserted against runSuite over the full Figure 10 grid in
  * tests/batch_kernel_test.cc.
+ *
+ * The per-record column loop exists in two shapes: the scalar
+ * reference implementation in multi_geom.cc, and column-parallel
+ * vector kernels (one translation unit per instruction set, see
+ * core/simd.hh and multi_geom_simd.hh) that advance all history
+ * lanes of a record in one vector op and software-prefetch the next
+ * record's level-1 bank and level-2 slots. runTrace() dispatches to
+ * the widest backend the build and the running CPU support
+ * (core/cpu_features.hh; override with REPRO_SIMD); every backend is
+ * bit-identical to the scalar path, so dispatch never changes
+ * results — tests/simd_kernel_test.cc asserts this per backend over
+ * the full Figure 10 grid.
  */
 
 #ifndef DFCM_CORE_MULTI_GEOM_HH
@@ -45,12 +57,18 @@
 #include <span>
 #include <vector>
 
+#include "core/cpu_features.hh"
 #include "core/hash_function.hh"
 #include "core/stats.hh"
 #include "core/types.hh"
 
 namespace vpred
 {
+
+namespace detail
+{
+struct MgSimdView;
+}
 
 /**
  * One level-1 row of a sweep grid: the shared geometry plus the
@@ -98,11 +116,22 @@ class MultiGeomKernelBase
         std::vector<std::uint32_t> l2;
     };
 
+    /** Bank stride: columns() rounded up to a whole vector, so every
+     *  backend processes a record's bank as full vectors. */
+    std::size_t paddedColumns() const { return padded_n_; }
+
   protected:
     explicit MultiGeomKernelBase(const MultiGeomConfig& config);
 
     /** Reset all level-1 and level-2 state to power-on zeros. */
     void resetState();
+
+    /**
+     * Flatten this kernel's state for a vector backend. @p correct
+     * must point at columns() zeroed counters and outlive the view.
+     * The DFCM kernel fills in last/dfcm/widen after the fact.
+     */
+    detail::MgSimdView makeView(std::uint64_t* correct);
 
     MultiGeomConfig cfg_;
     std::uint64_t l1_mask_;
@@ -110,11 +139,26 @@ class MultiGeomKernelBase
     unsigned max_order_;
     std::vector<Column> cols_;
     /**
-     * Hashed histories, columns() per level-1 entry (entry-major, so
-     * one record's bank is contiguous). 32 bits suffice: level-2
-     * indices are at most 28 bits wide.
+     * Hashed histories, paddedColumns() per level-1 entry
+     * (entry-major, so one record's bank is contiguous; the padding
+     * lanes are dead state only the vector path writes). 32 bits
+     * suffice: level-2 indices are at most 28 bits wide.
      */
     std::vector<std::uint32_t> hists_;
+    std::size_t padded_n_;
+    /** Shared worst-case fold chunk count across the columns. */
+    unsigned max_chunks_;
+    // Per-lane FS R-k parameters as structure-of-arrays (padded_n_
+    // entries, padding lanes inert) plus the level-2 base pointers —
+    // the vector kernels' constant inputs.
+    std::vector<std::uint32_t> col_shifts_;
+    std::vector<std::uint32_t> col_fold_bits_;
+    std::vector<std::uint32_t> col_fold_masks_;
+    std::vector<std::uint32_t> col_index_masks_;
+    std::vector<std::uint32_t*> l2_ptrs_;
+    /** Columns whose level-2 table is big enough that software
+     *  prefetch pays for itself (see kPrefetchMinL2Bytes). */
+    std::vector<std::uint32_t> prefetch_cols_;
 };
 
 /**
@@ -132,8 +176,16 @@ class MultiGeomFcmKernel : public MultiGeomKernelBase
      * Evaluate the whole column over @p trace from power-on state,
      * returning one PredictorStats per l2_bits entry (column order).
      * State is reset on entry, so repeated calls are independent.
+     * Dispatches to activeSimdBackend(); results are bit-identical
+     * regardless of the backend chosen.
      */
     std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace);
+
+    /** As above, but on a specific backend (for tests and the
+     *  throughput bench). Backends that are not available fall back
+     *  to the scalar reference path. */
+    std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace,
+                                         SimdBackend backend);
 };
 
 /**
@@ -149,6 +201,10 @@ class MultiGeomDfcmKernel : public MultiGeomKernelBase
 
     /** See MultiGeomFcmKernel::runTrace. */
     std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace);
+
+    /** See MultiGeomFcmKernel::runTrace(trace, backend). */
+    std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace,
+                                         SimdBackend backend);
 
   private:
     /** Stored (possibly narrowed) stride -> full-width stride. */

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * NEON (Advanced SIMD) instantiation of the column-parallel
+ * multi-geometry kernel. Advanced SIMD is architecturally guaranteed
+ * on AArch64, so this translation unit needs no extra flags and no
+ * runtime probe; vshlq_u32's signed per-lane counts provide both
+ * variable shift directions.
+ */
+
+#define REPRO_SIMD_TU_NEON 1
+
+#include "core/multi_geom_simd_impl.hh"
+
+namespace vpred::detail
+{
+
+static_assert(simd::Native::kBackend == SimdBackend::Neon,
+              "simd.hh resolved the wrong backend for this TU");
+
+void
+runMgColumnsNeon(const MgSimdView& view,
+                 std::span<const TraceRecord> trace)
+{
+    runMgColumnsAll<simd::Native>(view, trace);
+}
+
+} // namespace vpred::detail

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SSE2 instantiation of the column-parallel multi-geometry kernel.
+ * SSE2 is the x86-64 architectural baseline, so this translation
+ * unit needs no extra -m flags; the REPRO_SIMD_TU_SSE2 define pins
+ * core/simd.hh to the 128-bit backend even when the whole build is
+ * tuned wider (REPRO_NATIVE).
+ */
+
+#define REPRO_SIMD_TU_SSE2 1
+
+#include "core/multi_geom_simd_impl.hh"
+
+namespace vpred::detail
+{
+
+static_assert(simd::Native::kBackend == SimdBackend::Sse2,
+              "simd.hh resolved the wrong backend for this TU");
+
+void
+runMgColumnsSse2(const MgSimdView& view,
+                 std::span<const TraceRecord> trace)
+{
+    runMgColumnsAll<simd::Native>(view, trace);
+}
+
+} // namespace vpred::detail

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <set>
 
+#include "core/cpu_features.hh"
 #include "core/parse_util.hh"
 #include "harness/batch_sweep.hh"
 #include "workloads/workload.hh"
@@ -264,6 +265,15 @@ ParallelSweep::runGrid(const std::vector<PredictorConfig>& configs,
             acq_after.store_misses - acq_before.store_misses;
     execution_.acquisition_seconds =
             acq_after.seconds() - acq_before.seconds();
+
+    // Record the SIMD backend the multi-geometry kernels dispatched
+    // to (scalar when no rows batched — the per-config paths never
+    // vectorize).
+    const SimdBackend backend = execution_.batched_cells > 0
+            ? activeSimdBackend()
+            : SimdBackend::Scalar;
+    execution_.simd_backend = simdBackendName(backend);
+    execution_.vector_width = simdVectorBits(backend);
     return suites;
 }
 

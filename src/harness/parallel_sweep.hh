@@ -57,6 +57,13 @@ struct SweepExecution
     std::uint64_t store_misses = 0;    //!< lookups that fell to the VM
     double acquisition_seconds = 0.0;  //!< wall time acquiring traces
 
+    // SIMD dispatch in effect for the multi-geometry kernels during
+    // this run (schema_version 4): the backend label from
+    // simdBackendName() and its vector width in bits. "scalar"/64
+    // when no vector backend ran (or none was built in).
+    std::string simd_backend = "scalar";  //!< active kernel backend
+    unsigned vector_width = 64;           //!< backend vector bits
+
     /** Dominant path label: "multi-geometry", "fused", "virtual",
      *  "mixed", or "empty" for a zero-cell grid. */
     std::string path() const;

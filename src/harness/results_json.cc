@@ -90,7 +90,7 @@ ResultsJsonWriter::toJson() const
 
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema_version\": 3,\n"
+       << "  \"schema_version\": 4,\n"
        << "  \"experiment\": \"" << escape(experiment_) << "\",\n"
        << "  \"trace_scale\": " << jsonNumber(trace_scale_) << ",\n"
        << "  \"jobs\": " << jobs_ << ",\n"
@@ -110,6 +110,9 @@ ResultsJsonWriter::toJson() const
            << ", \"trace_store_misses\": " << execution_->store_misses
            << ", \"trace_acquisition_ms\": "
            << jsonNumber(execution_->acquisition_seconds * 1000.0)
+           << ", \"simd_backend\": \""
+           << escape(execution_->simd_backend)
+           << "\", \"vector_width\": " << execution_->vector_width
            << " },\n";
     }
     if (!metrics_.empty()) {

@@ -7,14 +7,16 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 3; "execution" and "metrics"
- * appear only when set). Version 3 adds the trace-store fields to
+ * the files. Schema (schema_version 4; "execution" and "metrics"
+ * appear only when set). Version 3 added the trace-store fields to
  * "execution": whether a persistent REPRO_TRACE_DIR store was
  * configured, how many traces it served (hits) vs. regenerated
- * (misses), and the wall time spent acquiring traces:
+ * (misses), and the wall time spent acquiring traces. Version 4 adds
+ * the SIMD dispatch fields: which multi-geometry kernel backend ran
+ * ("scalar", "sse2", "avx2", "neon") and its vector width in bits:
  *
  *     {
- *       "schema_version": 3,
+ *       "schema_version": 4,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,
@@ -23,7 +25,8 @@
  *         "batched_cells": 112, "fused_cells": 0, "virtual_cells": 0,
  *         "trace_walks": 16, "sweep_wall_seconds": 1.208,
  *         "trace_store_enabled": true, "trace_store_hits": 8,
- *         "trace_store_misses": 0, "trace_acquisition_ms": 42.7 },
+ *         "trace_store_misses": 0, "trace_acquisition_ms": 42.7,
+ *         "simd_backend": "avx2", "vector_width": 256 },
  *       "metrics": { "dfcm_multigeom_records_per_sec": 1.2e8 },
  *       "results": [
  *         { "predictor": "dfcm(l1=16,l2=12)", "kind": "dfcm",

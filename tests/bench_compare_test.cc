@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the bench-compare throughput-regression gate: the metric
+ * parser against documents shaped exactly like ResultsJsonWriter's
+ * output (including one produced by the real emitter), the
+ * regression rule at the 10% threshold, and the acceptance cases the
+ * gate exists for — fail on a synthetic 10%+ regression, pass on an
+ * identical baseline.
+ */
+
+#include "bench_compare/compare.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/results_json.hh"
+
+namespace
+{
+
+using bench_compare::Comparison;
+using bench_compare::MetricDelta;
+
+/** A minimal BENCH document with the given metrics object body. */
+std::string
+doc(const std::string& metrics_body)
+{
+    return "{\n  \"schema_version\": 4,\n  \"experiment\": \"t\",\n"
+           "  \"metrics\": {\n"
+            + metrics_body + "\n  },\n  \"results\": []\n}\n";
+}
+
+const MetricDelta*
+find(const Comparison& cmp, const std::string& name)
+{
+    for (const MetricDelta& d : cmp.deltas)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+TEST(BenchCompareParse, ReadsEmitterShapedMetrics)
+{
+    std::vector<std::string> errors;
+    const auto m = bench_compare::parseMetrics(
+            doc("    \"a_records_per_sec\": 1.5e8,\n"
+                "    \"b_speedup\": 2.25"),
+            "baseline", errors);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(errors.empty());
+    ASSERT_EQ(m->size(), 2u);
+    EXPECT_EQ((*m)[0].first, "a_records_per_sec");
+    EXPECT_DOUBLE_EQ((*m)[0].second, 1.5e8);
+    EXPECT_EQ((*m)[1].first, "b_speedup");
+    EXPECT_DOUBLE_EQ((*m)[1].second, 2.25);
+}
+
+TEST(BenchCompareParse, RoundTripsTheRealEmitter)
+{
+    vpred::harness::ResultsJsonWriter json("unit", 1.0, 1);
+    json.addMetric("dfcm_l2column_multigeom_records_per_sec", 4.15e8);
+    json.addMetric("dfcm_simd_speedup_vs_scalar", 1.36);
+    std::vector<std::string> errors;
+    const auto m = bench_compare::parseMetrics(json.toJson(), "fresh",
+                                               errors);
+    ASSERT_TRUE(m.has_value()) << (errors.empty() ? "" : errors[0]);
+    ASSERT_EQ(m->size(), 2u);
+    EXPECT_DOUBLE_EQ((*m)[0].second, 4.15e8);
+    EXPECT_DOUBLE_EQ((*m)[1].second, 1.36);
+}
+
+TEST(BenchCompareParse, MissingMetricsObjectIsAnError)
+{
+    std::vector<std::string> errors;
+    const auto m = bench_compare::parseMetrics(
+            "{ \"schema_version\": 4, \"results\": [] }", "baseline",
+            errors);
+    EXPECT_FALSE(m.has_value());
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("baseline"), std::string::npos);
+}
+
+TEST(BenchCompareParse, NonNumericValueIsAnError)
+{
+    std::vector<std::string> errors;
+    const auto m = bench_compare::parseMetrics(
+            doc("    \"a_records_per_sec\": fast"), "fresh", errors);
+    EXPECT_FALSE(m.has_value());
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("a_records_per_sec"), std::string::npos);
+}
+
+TEST(BenchCompareGate, IdenticalRunsPass)
+{
+    const std::string d = doc("    \"x_records_per_sec\": 3.0e8");
+    const Comparison cmp = bench_compare::compare(d, d, 0.10);
+    EXPECT_TRUE(cmp.errors.empty());
+    EXPECT_FALSE(cmp.anyRegression());
+}
+
+TEST(BenchCompareGate, TenPercentPlusDropFails)
+{
+    // 3.0e8 -> 2.6e8 is a 13.3% drop: past the 10% threshold.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 3.0e8"),
+            doc("    \"x_records_per_sec\": 2.6e8"), 0.10);
+    EXPECT_TRUE(cmp.errors.empty());
+    EXPECT_TRUE(cmp.anyRegression());
+    const MetricDelta* d = find(cmp, "x_records_per_sec");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->regressed);
+    ASSERT_TRUE(d->ratio.has_value());
+    EXPECT_NEAR(*d->ratio, 2.6 / 3.0, 1e-12);
+}
+
+TEST(BenchCompareGate, DropWithinThresholdPasses)
+{
+    // A 5% dip is measurement noise, not a regression.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 3.0e8"),
+            doc("    \"x_records_per_sec\": 2.85e8"), 0.10);
+    EXPECT_FALSE(cmp.anyRegression());
+}
+
+TEST(BenchCompareGate, NonThroughputMetricsNeverFail)
+{
+    // Speedups and counters are informational: a halved speedup is
+    // reported but does not trip the gate.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_simd_speedup_vs_scalar\": 1.4"),
+            doc("    \"x_simd_speedup_vs_scalar\": 0.7"), 0.10);
+    EXPECT_FALSE(cmp.anyRegression());
+}
+
+TEST(BenchCompareGate, NewAndGoneMetricsAreReportedNotFailed)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"old_records_per_sec\": 1.0e8"),
+            doc("    \"new_records_per_sec\": 2.0e8"), 0.10);
+    EXPECT_FALSE(cmp.anyRegression());
+    const MetricDelta* gone = find(cmp, "old_records_per_sec");
+    ASSERT_NE(gone, nullptr);
+    EXPECT_FALSE(gone->fresh.has_value());
+    const MetricDelta* fresh = find(cmp, "new_records_per_sec");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_FALSE(fresh->baseline.has_value());
+}
+
+TEST(BenchCompareGate, ImprovementPasses)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 3.0e8"),
+            doc("    \"x_records_per_sec\": 4.0e8"), 0.10);
+    EXPECT_FALSE(cmp.anyRegression());
+}
+
+TEST(BenchCompareReport, MarksRegressionsAndVerdict)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 3.0e8"),
+            doc("    \"x_records_per_sec\": 2.0e8"), 0.10);
+    std::ostringstream os;
+    bench_compare::printReport(os, cmp, 0.10);
+    EXPECT_NE(os.str().find("REGRESSED x_records_per_sec"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("FAIL: 1"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,12 @@
+// Fixture: raw SIMD intrinsics outside src/core/simd.hh.
+#ifndef FIXTURE_BAD_INTRINSICS_HH
+#define FIXTURE_BAD_INTRINSICS_HH
+#include <immintrin.h>
+#include <arm_neon.h>
+inline void badVectorCode(unsigned* p)
+{
+    _mm256_storeu_si256(nullptr, _mm256_setzero_si256());
+    vld1q_u32(p);
+    _mm_pause();  // repro-lint: allow(portability)
+}
+#endif

@@ -1,0 +1,10 @@
+// Fixture: src/core/simd.hh is the sanctioned home of raw
+// intrinsics, so this file must produce no portability findings.
+#ifndef FIXTURE_SIMD_HH
+#define FIXTURE_SIMD_HH
+#include <emmintrin.h>
+inline void fixtureStore(void* p)
+{
+    _mm_storeu_si128(static_cast<__m128i*>(p), _mm_setzero_si128());
+}
+#endif

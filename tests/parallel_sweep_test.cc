@@ -234,9 +234,13 @@ TEST(ResultsJson, SerializesSchemaFields)
     exec.store_enabled = true;
     exec.store_hits = 1;
     exec.acquisition_seconds = 0.25;
+    exec.simd_backend = "avx2";
+    exec.vector_width = 256;
     json.setExecution(exec);
     const std::string s = json.toJson();
-    EXPECT_NE(s.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(s.find("\"simd_backend\": \"avx2\""), std::string::npos);
+    EXPECT_NE(s.find("\"vector_width\": 256"), std::string::npos);
     EXPECT_NE(s.find("\"trace_store_enabled\": true"),
               std::string::npos);
     EXPECT_NE(s.find("\"trace_store_hits\": 1"), std::string::npos);

@@ -141,6 +141,38 @@ TEST(ReproLintParse, AllowCommentSuppressesByPrefix)
     EXPECT_FALSE(anyFindingOnLine("bench/bad_parse.cc", 8));
 }
 
+TEST(ReproLintPortability, IntrinsicHeadersAndCallsAreFlagged)
+{
+    const auto hits = findingsAt("src/core/bad_intrinsics.hh",
+                                 "portability/raw-intrinsic");
+    ASSERT_EQ(hits.size(), 4u);
+    EXPECT_EQ(hits[0].line, 4);  // #include <immintrin.h>
+    EXPECT_NE(hits[0].message.find("immintrin.h"), std::string::npos);
+    EXPECT_EQ(hits[1].line, 5);  // #include <arm_neon.h>
+    EXPECT_EQ(hits[2].line, 8);  // _mm256_storeu_si256
+    EXPECT_EQ(hits[3].line, 9);  // vld1q_u32
+    EXPECT_NE(hits[2].message.find("src/core/simd.hh"),
+              std::string::npos);
+}
+
+TEST(ReproLintPortability, AllowCommentSuppressesByPrefix)
+{
+    // Line 10 carries "// repro-lint: allow(portability)".
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_intrinsics.hh", 10));
+}
+
+TEST(ReproLintPortability, SimdHeaderHomeIsExempt)
+{
+    // clean_tree carries a src/core/simd.hh full of intrinsics; the
+    // CleanTree test below proves it produces no findings. Also check
+    // the exemption directly at the rule level.
+    const Tree tree = repro_lint::loadTree(fixtureDir() / "clean_tree");
+    ASSERT_NE(tree.find("src/core/simd.hh"), nullptr);
+    std::vector<Finding> out;
+    repro_lint::checkPortability(tree, out);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(ReproLintFormat, FindingFormatsAsFileLineRuleMessage)
 {
     const Finding f{"src/core/x.hh", 12, "layering/cc-include", "boom"};

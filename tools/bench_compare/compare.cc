@@ -1,0 +1,175 @@
+#include "bench_compare/compare.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+#include "core/parse_util.hh"
+
+namespace bench_compare
+{
+
+namespace
+{
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string& s)
+{
+    const std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+isThroughput(const std::string& name)
+{
+    constexpr std::string_view kSuffix = "_records_per_sec";
+    return name.size() >= kSuffix.size()
+            && name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                            kSuffix)
+            == 0;
+}
+
+} // namespace
+
+bool
+Comparison::anyRegression() const
+{
+    return std::any_of(deltas.begin(), deltas.end(),
+                       [](const MetricDelta& d) { return d.regressed; });
+}
+
+std::optional<std::vector<std::pair<std::string, double>>>
+parseMetrics(const std::string& json, const std::string& label,
+             std::vector<std::string>& errors)
+{
+    const std::size_t key = json.find("\"metrics\"");
+    if (key == std::string::npos) {
+        errors.push_back(label + ": no \"metrics\" object");
+        return std::nullopt;
+    }
+    const std::size_t open = json.find('{', key);
+    const std::size_t close =
+            open == std::string::npos ? open : json.find('}', open);
+    if (close == std::string::npos) {
+        errors.push_back(label + ": unterminated \"metrics\" object");
+        return std::nullopt;
+    }
+
+    std::vector<std::pair<std::string, double>> out;
+    std::size_t pos = open + 1;
+    while (pos < close) {
+        const std::size_t q1 = json.find('"', pos);
+        if (q1 == std::string::npos || q1 >= close)
+            break;  // no more pairs
+        const std::size_t q2 = json.find('"', q1 + 1);
+        const std::size_t colon =
+                q2 == std::string::npos ? q2 : json.find(':', q2);
+        if (colon == std::string::npos || colon >= close) {
+            errors.push_back(label + ": malformed metric pair");
+            return std::nullopt;
+        }
+        std::size_t vend = json.find(',', colon);
+        if (vend == std::string::npos || vend > close)
+            vend = close;
+        const std::string name = json.substr(q1 + 1, q2 - q1 - 1);
+        const std::string text =
+                trim(json.substr(colon + 1, vend - colon - 1));
+        const std::optional<double> v = vpred::parseDouble(text);
+        if (!v) {
+            errors.push_back(label + ": metric \"" + name
+                             + "\" has non-numeric value '" + text + "'");
+            return std::nullopt;
+        }
+        out.emplace_back(name, *v);
+        pos = vend + 1;
+    }
+    return out;
+}
+
+Comparison
+compare(const std::string& baseline_json, const std::string& fresh_json,
+        double threshold)
+{
+    Comparison cmp;
+    const auto base =
+            parseMetrics(baseline_json, "baseline", cmp.errors);
+    const auto fresh = parseMetrics(fresh_json, "fresh", cmp.errors);
+    if (!base || !fresh)
+        return cmp;
+
+    std::map<std::string, double> fresh_by_name(fresh->begin(),
+                                                fresh->end());
+    for (const auto& [name, bval] : *base) {
+        MetricDelta d;
+        d.name = name;
+        d.baseline = bval;
+        const auto it = fresh_by_name.find(name);
+        if (it != fresh_by_name.end()) {
+            d.fresh = it->second;
+            if (bval > 0.0)
+                d.ratio = it->second / bval;
+            d.regressed = isThroughput(name) && d.ratio
+                    && *d.ratio < 1.0 - threshold;
+            fresh_by_name.erase(it);
+        }
+        cmp.deltas.push_back(std::move(d));
+    }
+    // Metrics only the fresh run has (new in this build): reported,
+    // never a regression.
+    for (const auto& [name, fval] : *fresh) {
+        if (fresh_by_name.count(name) == 0)
+            continue;
+        MetricDelta d;
+        d.name = name;
+        d.fresh = fval;
+        cmp.deltas.push_back(std::move(d));
+    }
+    return cmp;
+}
+
+void
+printReport(std::ostream& os, const Comparison& cmp, double threshold)
+{
+    for (const std::string& e : cmp.errors)
+        os << "error: " << e << "\n";
+    if (!cmp.errors.empty())
+        return;
+
+    const auto old_flags = os.flags();
+    const auto old_prec = os.precision();
+    os << std::fixed;
+    for (const MetricDelta& d : cmp.deltas) {
+        os << (d.regressed ? "REGRESSED " : "          ") << d.name
+           << ": ";
+        if (d.baseline)
+            os << std::setprecision(3) << *d.baseline;
+        else
+            os << "(new)";
+        os << " -> ";
+        if (d.fresh)
+            os << std::setprecision(3) << *d.fresh;
+        else
+            os << "(gone)";
+        if (d.ratio)
+            os << "  (x" << std::setprecision(3) << *d.ratio << ")";
+        os << "\n";
+    }
+    const std::size_t regressions = static_cast<std::size_t>(
+            std::count_if(cmp.deltas.begin(), cmp.deltas.end(),
+                          [](const MetricDelta& d) {
+                              return d.regressed;
+                          }));
+    os << (regressions == 0 ? "OK" : "FAIL") << ": " << regressions
+       << " throughput metric(s) more than "
+       << std::setprecision(0) << threshold * 100.0
+       << "% below baseline\n";
+    os.flags(old_flags);
+    os.precision(old_prec);
+}
+
+} // namespace bench_compare

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * bench-compare — the throughput-regression gate behind tools/check.sh.
+ *
+ * Compares the "metrics" object of two BENCH JSON files (the format
+ * ResultsJsonWriter emits, see src/harness/results_json.hh): a
+ * committed baseline (results/BENCH_throughput.json at HEAD) and a
+ * freshly measured run. Every metric whose name ends in
+ * "_records_per_sec" is a throughput; a fresh value more than
+ * `threshold` (default 10%) below the baseline is a regression and
+ * fails the gate. Non-throughput metrics and metrics present on only
+ * one side are reported but never fail.
+ *
+ * The parser handles exactly the emitter's output — a flat
+ * `"metrics": { "name": number, ... }` object with one pair per line
+ * — not general JSON. That keeps the tool dependency-free and is
+ * safe because both inputs come from the same emitter; anything
+ * unrecognized is a parse error, not a silent skip.
+ */
+
+#ifndef DFCM_TOOLS_BENCH_COMPARE_COMPARE_HH
+#define DFCM_TOOLS_BENCH_COMPARE_COMPARE_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bench_compare
+{
+
+/** One metric present in at least one of the two files. */
+struct MetricDelta
+{
+    std::string name;
+    std::optional<double> baseline;  //!< absent: new metric
+    std::optional<double> fresh;     //!< absent: metric disappeared
+    /** fresh / baseline when both sides are present and positive. */
+    std::optional<double> ratio;
+    /** True when this is a "_records_per_sec" throughput metric whose
+     *  fresh value fell more than the threshold below the baseline. */
+    bool regressed = false;
+};
+
+/** Comparison of two metric sets at one threshold. */
+struct Comparison
+{
+    std::vector<MetricDelta> deltas;  //!< baseline order, new ones last
+    std::vector<std::string> errors;  //!< parse problems; fatal
+
+    bool anyRegression() const;
+};
+
+/**
+ * Extract the "metrics" object of one BENCH JSON document as
+ * (name, value) pairs in file order. Returns std::nullopt and
+ * appends to @p errors when the document has no metrics object or a
+ * pair does not parse.
+ */
+std::optional<std::vector<std::pair<std::string, double>>>
+parseMetrics(const std::string& json, const std::string& label,
+             std::vector<std::string>& errors);
+
+/**
+ * Compare two BENCH JSON documents. @p threshold is the allowed
+ * fractional drop for throughput metrics (0.10 = 10%).
+ */
+Comparison compare(const std::string& baseline_json,
+                   const std::string& fresh_json, double threshold);
+
+/** Human-readable report: one line per metric plus a verdict line. */
+void printReport(std::ostream& os, const Comparison& cmp,
+                 double threshold);
+
+} // namespace bench_compare
+
+#endif // DFCM_TOOLS_BENCH_COMPARE_COMPARE_HH

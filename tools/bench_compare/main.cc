@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CLI for the throughput-regression gate:
+ *
+ *     bench-compare <baseline.json> <fresh.json>
+ *                   [--threshold <frac>] [--warn-only]
+ *
+ * Exit status: 0 when no "_records_per_sec" metric fell more than
+ * the threshold (default 0.10) below the baseline, 1 on regression
+ * or parse error, 2 on usage error. --warn-only prints the same
+ * report but always exits 0 on a clean parse — CI uses it on noisy
+ * shared runners where a wall-clock dip is not worth a red build,
+ * while tools/check.sh runs the hard-failing default locally.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_compare/compare.hh"
+#include "core/parse_util.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: bench-compare <baseline.json> <fresh.json>"
+                 " [--threshold <frac>] [--warn-only]\n";
+    return 2;
+}
+
+std::optional<std::string>
+readFile(const char* path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* paths[2] = {nullptr, nullptr};
+    int n_paths = 0;
+    double threshold = 0.10;
+    bool warn_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--warn-only") == 0) {
+            warn_only = true;
+        } else if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            const std::optional<double> t =
+                    vpred::parseDouble(argv[++i]);
+            if (!t || *t < 0.0 || *t >= 1.0) {
+                std::cerr << "bench-compare: bad threshold '" << argv[i]
+                          << "' (want a fraction in [0, 1))\n";
+                return 2;
+            }
+            threshold = *t;
+        } else if (n_paths < 2) {
+            paths[n_paths++] = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (n_paths != 2)
+        return usage();
+
+    const std::optional<std::string> base = readFile(paths[0]);
+    if (!base) {
+        std::cerr << "bench-compare: cannot read baseline " << paths[0]
+                  << "\n";
+        return 1;
+    }
+    const std::optional<std::string> fresh = readFile(paths[1]);
+    if (!fresh) {
+        std::cerr << "bench-compare: cannot read fresh run " << paths[1]
+                  << "\n";
+        return 1;
+    }
+
+    const bench_compare::Comparison cmp =
+            bench_compare::compare(*base, *fresh, threshold);
+    bench_compare::printReport(std::cout, cmp, threshold);
+    if (!cmp.errors.empty())
+        return 1;
+    if (cmp.anyRegression())
+        return warn_only ? 0 : 1;
+    return 0;
+}

@@ -8,6 +8,14 @@
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer build,
 #            full ctest suite
 #   tsan     ThreadSanitizer build, ctest -L "concurrency|perf"
+#   perf     reduced-scale bench_throughput run in a scratch cwd,
+#            then bench-compare against the committed
+#            results/BENCH_throughput.json (>10% records/s drop
+#            fails; REPRO_PERF_WARN_ONLY=1 reports without failing,
+#            which is what CI uses on noisy shared runners — the
+#            bench's own bit-identity cross-check still hard-fails).
+#            REPRO_PERF_SCALE overrides the 0.25 trace scale; see
+#            EXPERIMENTS.md for the baseline-refresh workflow.
 #   figures  regenerate every figure CSV in a scratch directory and
 #            byte-diff it against the committed results/ copies
 #
@@ -26,7 +34,10 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc)"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(release lint asan tsan figures)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(release lint asan tsan perf figures)
+
+CLEANUP=()
+trap '[ ${#CLEANUP[@]} -gt 0 ] && rm -rf "${CLEANUP[@]}" || true' EXIT
 
 note() { printf '\n==> %s\n' "$*"; }
 
@@ -76,12 +87,34 @@ if want tsan; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREPRO_TSAN=ON
 fi
 
+if want perf; then
+    note "perf: reduced-scale throughput run + bench-compare vs baseline"
+    [ -x "$ROOT/build-check-release/bench/bench_throughput" ] &&
+        [ -x "$ROOT/build-check-release/tools/bench-compare" ] || {
+        echo "perf stage needs the release stage first" >&2; exit 1; }
+    PERF_DIR="$(mktemp -d "${TMPDIR:-/tmp}/vpred-perf.XXXXXX")"
+    CLEANUP+=("$PERF_DIR")
+    # The scratch cwd keeps the fresh BENCH JSON away from the
+    # committed baseline; bench_throughput itself exits non-zero if
+    # any execution path loses bit-identity, which stays a hard
+    # failure even under REPRO_PERF_WARN_ONLY.
+    (
+        cd "$PERF_DIR"
+        REPRO_TRACE_SCALE="${REPRO_PERF_SCALE:-0.25}" \
+            "$ROOT/build-check-release/bench/bench_throughput"
+    )
+    "$ROOT/build-check-release/tools/bench-compare" \
+        "$ROOT/results/BENCH_throughput.json" \
+        "$PERF_DIR/results/BENCH_throughput.json" \
+        ${REPRO_PERF_WARN_ONLY:+--warn-only}
+fi
+
 if want figures; then
     note "figures: regenerate CSVs in a scratch cwd, diff vs results/"
     [ -d "$ROOT/build-check-release/bench" ] || {
         echo "figures stage needs the release stage first" >&2; exit 1; }
     SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/vpred-figures.XXXXXX")"
-    trap 'rm -rf "$SCRATCH"' EXIT
+    CLEANUP+=("$SCRATCH")
     (
         cd "$SCRATCH"
         for b in "$ROOT"/build-check-release/bench/bench_*; do

@@ -30,6 +30,9 @@
  *                                   predict()/update() reference path
  *   parse/raw-call                — bare atoi/strtol/stoul/... outside
  *                                   src/core/parse_util.hh
+ *   portability/raw-intrinsic     — SIMD intrinsics (_mm*, vld1*, ...)
+ *                                   or their vendor headers outside
+ *                                   src/core/simd.hh
  *
  * Suppression: append "// repro-lint: allow(<rule>)" to the flagged
  * line; <rule> is a full rule id or a prefix ("parse" allows every
@@ -114,6 +117,7 @@ void checkLayering(const Tree& tree, std::vector<Finding>& out);
 void checkDeterminism(const Tree& tree, std::vector<Finding>& out);
 void checkPredictorContract(const Tree& tree, std::vector<Finding>& out);
 void checkRawParse(const Tree& tree, std::vector<Finding>& out);
+void checkPortability(const Tree& tree, std::vector<Finding>& out);
 
 /** All rules, findings sorted by (file, line, rule), suppressions
  *  already applied. */

@@ -27,6 +27,7 @@ constexpr const char* kRules[] = {
     "predictor/missing-test",
     "predictor/fused-without-reference",
     "parse/raw-call",
+    "portability/raw-intrinsic",
 };
 
 int

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * portability/raw-intrinsic: raw SIMD intrinsics and their headers
+ * are banned everywhere except src/core/simd.hh.
+ *
+ * The vector kernels are compiled one translation unit per
+ * instruction set, each with its own -m flags (src/core/CMakeLists).
+ * That scheme is safe only while intrinsics stay behind the
+ * simd::Native wrappers: an _mm256_* call leaking into a TU compiled
+ * without -mavx2 is a build break on one machine and an illegal
+ * instruction on another, and a second home for intrinsics silently
+ * forks the one place the per-backend semantics (shift masking,
+ * lane-width truncation) are reasoned about. simd.hh is the single
+ * sanctioned wrapper layer; everything else uses its Vec operations.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <cctype>
+#include <string>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+/** The one file allowed to touch intrinsics directly. */
+constexpr const char* kSimdHome = "src/core/simd.hh";
+
+/** Vendor intrinsic headers: x86 (SSE/AVX families and the
+ *  catch-alls) and Arm NEON. */
+constexpr const char* kIntrinsicHeaders[] = {
+    "immintrin.h", "emmintrin.h",  "xmmintrin.h", "pmmintrin.h",
+    "tmmintrin.h", "smmintrin.h",  "nmmintrin.h", "ammintrin.h",
+    "wmmintrin.h", "x86intrin.h",  "x86gprintrin.h",
+    "arm_neon.h",  "arm_sve.h",
+};
+
+/** Identifier prefixes that only intrinsics use: the _mm/_mm256/
+ *  _mm512 x86 families and the NEON load/store/lane-op spellings the
+ *  kernels would plausibly reach for. */
+constexpr const char* kIntrinsicPrefixes[] = {
+    "_mm",  "vld1", "vst1", "vdupq_", "veorq_", "vandq_", "vorrq_",
+    "vshlq_", "vshrq_", "vaddq_", "vsubq_", "vreinterpretq_",
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+void
+checkPortability(const Tree& tree, std::vector<Finding>& out)
+{
+    for (const SourceFile& f : tree.files) {
+        if (f.rel == kSimdHome)
+            continue;  // the sanctioned home of raw intrinsics
+
+        for (std::size_t i = 0; i < f.nocomment_lines.size(); ++i) {
+            const std::string& line = f.nocomment_lines[i];
+            if (line.find("#include") == std::string::npos)
+                continue;
+            for (const char* hdr : kIntrinsicHeaders) {
+                if (line.find(hdr) != std::string::npos) {
+                    emitFinding(f, static_cast<int>(i) + 1,
+                                "portability/raw-intrinsic",
+                                std::string("intrinsic header <") + hdr
+                                        + "> may only be included by "
+                                        + kSimdHome
+                                        + "; use the simd::Native"
+                                          " wrappers",
+                                out);
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+            const std::string& line = f.code_lines[i];
+            for (const char* prefix : kIntrinsicPrefixes) {
+                std::size_t pos = 0;
+                while ((pos = line.find(prefix, pos))
+                       != std::string::npos) {
+                    // An intrinsic use starts at an identifier
+                    // boundary and continues as an identifier (so
+                    // e.g. "vld1q_u32(" matches but a bare word ending
+                    // in the prefix does not produce a false start).
+                    const bool boundary =
+                            pos == 0 || !identChar(line[pos - 1]);
+                    const std::size_t end = pos + std::string(prefix).size();
+                    const bool continues =
+                            end < line.size() && identChar(line[end]);
+                    if (boundary
+                        && (continues || prefix[0] == '_')) {
+                        emitFinding(
+                                f, static_cast<int>(i) + 1,
+                                "portability/raw-intrinsic",
+                                std::string("raw intrinsic '") + prefix
+                                        + "...' outside " + kSimdHome
+                                        + "; per-ISA code belongs"
+                                          " behind simd::Native",
+                                out);
+                        break;  // one finding per line per prefix
+                    }
+                    pos = end;
+                }
+            }
+        }
+    }
+}
+
+} // namespace repro_lint

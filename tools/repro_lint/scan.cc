@@ -295,6 +295,7 @@ runAllRules(const Tree& tree)
     checkDeterminism(tree, out);
     checkPredictorContract(tree, out);
     checkRawParse(tree, out);
+    checkPortability(tree, out);
     std::sort(out.begin(), out.end(),
               [](const Finding& a, const Finding& b) {
                   return std::tie(a.file, a.line, a.rule, a.message)
