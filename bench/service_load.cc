@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Load generator for the always-on sharded prediction service.
+ *
+ * Drives REPRO_SERVICE_STREAMS concurrent value streams (default one
+ * million; REPRO_SERVICE_SMOKE=1 selects a ~10k-stream smoke run for
+ * CI) through a PredictionService for REPRO_SERVICE_ROUNDS rounds.
+ * Multiple producer threads enqueue into the shards' MPSC queues
+ * while the main thread pumps; producers are flow-controlled against
+ * the drain counter so queue memory stays bounded no matter how far
+ * the kernels fall behind. Every stream follows a per-stream stride
+ * sequence derived from its id, so the DFCM kernels converge to a
+ * high hit rate once warm — and the stream population is far larger
+ * than the resident capacity, so eviction, spill and restore run
+ * continuously at full load.
+ *
+ * Emits results/BENCH_service.json (schema_version 5): sustained
+ * ingest records/sec as a gated "_records_per_sec" metric, p50/p99
+ * ingest-to-predict latency, the col-0 hit rate, peak RSS, and a
+ * "service" section with the shard/eviction counters.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/env_util.hh"
+#include "harness/results_json.hh"
+#include "service/prediction_service.hh"
+
+namespace
+{
+
+using vpred::Value;
+using vpred::service::PredictionService;
+using vpred::service::ServiceConfig;
+using vpred::service::mixStreamId;
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count());
+}
+
+/** Resident-set size in MiB from /proc/self/status (0 if absent). */
+double
+rssMib()
+{
+    std::ifstream in("/proc/self/status");
+    std::string key;
+    while (in >> key) {
+        if (key == "VmRSS:") {
+            double kb = 0.0;
+            in >> kb;
+            return kb / 1024.0;
+        }
+        in.ignore(256, '\n');
+    }
+    return 0.0;
+}
+
+/** Round r of stream s: a per-stream base plus a per-stream stride —
+ *  deterministic, predictable-once-warm, different per stream. */
+Value
+streamValue(std::uint64_t stream, std::uint64_t round)
+{
+    const std::uint64_t base = mixStreamId(stream);
+    const std::uint64_t stride = (mixStreamId(stream ^ 0xabcdef) & 0xff) + 1;
+    return (base + round * stride) & 0xffffffffull;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool smoke = vpred::envFlagOr("REPRO_SERVICE_SMOKE", false);
+    const std::uint64_t n_streams = vpred::envUIntOr(
+            "REPRO_SERVICE_STREAMS", smoke ? 10'000 : 1'000'000, 1,
+            100'000'000);
+    const std::uint64_t rounds =
+            vpred::envUIntOr("REPRO_SERVICE_ROUNDS", 4, 1, 10'000);
+
+    ServiceConfig cfg = ServiceConfig::fromEnv();
+    cfg.l1_bits = smoke ? 10 : 14;
+    PredictionService service(cfg);
+
+    const unsigned n_producers =
+            std::min(4u, std::max(1u, service.shards()));
+    // Flow-control window: how far producers may run ahead of the
+    // pump, in records. Bounds queue memory at ~window * 24 bytes.
+    const std::uint64_t window = std::uint64_t{65536} * n_producers;
+
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> drained{0};
+
+    std::cout << "service_load: " << n_streams << " streams x "
+              << rounds << " rounds over " << service.shards()
+              << " shards (resident "
+              << (std::uint64_t{1} << cfg.l1_bits) << "/shard)\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < n_producers; ++p) {
+        producers.emplace_back([&, p] {
+            const std::uint64_t lo = n_streams * p / n_producers;
+            const std::uint64_t hi = n_streams * (p + 1) / n_producers;
+            for (std::uint64_t r = 0; r < rounds; ++r) {
+                for (std::uint64_t s = lo; s < hi; ++s) {
+                    while (enqueued.load(std::memory_order_relaxed)
+                                   - drained.load(
+                                           std::memory_order_relaxed)
+                           > window)
+                        std::this_thread::yield();
+                    service.ingest(s, streamValue(s, r), nowNs());
+                    enqueued.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+
+    const std::uint64_t total = n_streams * rounds;
+    double peak_rss = 0.0;
+    std::uint64_t pumps = 0;
+    while (drained.load(std::memory_order_relaxed) < total) {
+        const std::size_t got = service.pump(nowNs());
+        drained.fetch_add(got, std::memory_order_relaxed);
+        ++pumps;
+        if ((pumps & 0x3f) == 0)
+            peak_rss = std::max(peak_rss, rssMib());
+        if (got == 0)
+            std::this_thread::yield();
+    }
+    for (std::thread& t : producers)
+        t.join();
+    const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    peak_rss = std::max(peak_rss, rssMib());
+
+    const auto stats = service.stats();
+    const auto latency = service.latency();
+    const double rate = static_cast<double>(total) / wall;
+    const double hit_rate = stats.predictions == 0
+            ? 0.0
+            : static_cast<double>(stats.correct_col0)
+                    / static_cast<double>(stats.predictions);
+    const auto p50 = latency.quantileNs(0.50);
+    const auto p99 = latency.quantileNs(0.99);
+
+    std::cout << "  ingested " << stats.ingested << " records in "
+              << wall << " s  (" << rate / 1e6 << " M records/s)\n"
+              << "  hit rate (col 0): " << hit_rate << "\n"
+              << "  latency p50 " << static_cast<double>(p50) / 1e3
+              << " us, p99 " << static_cast<double>(p99) / 1e3
+              << " us\n"
+              << "  resident " << stats.resident_streams << ", spilled "
+              << stats.spilled_streams << ", evictions "
+              << stats.evictions << ", restores " << stats.restores
+              << "\n  peak RSS " << peak_rss << " MiB\n";
+
+    vpred::harness::ResultsJsonWriter json("service", 1.0,
+                                           service.shards());
+    json.setWallSeconds(wall);
+    json.addMetric("service_ingest_records_per_sec", rate);
+    json.addMetric("service_p50_ingest_to_predict_ns",
+                   static_cast<double>(p50));
+    json.addMetric("service_p99_ingest_to_predict_ns",
+                   static_cast<double>(p99));
+    json.addMetric("service_hit_rate_col0", hit_rate);
+    json.addMetric("service_peak_rss_mib", peak_rss);
+    json.addSection(
+            "service",
+            {{"shards", static_cast<double>(service.shards())},
+             {"streams", static_cast<double>(n_streams)},
+             {"rounds", static_cast<double>(rounds)},
+             {"records", static_cast<double>(total)},
+             {"resident_streams",
+              static_cast<double>(stats.resident_streams)},
+             {"spilled_streams",
+              static_cast<double>(stats.spilled_streams)},
+             {"evictions", static_cast<double>(stats.evictions)},
+             {"restores", static_cast<double>(stats.restores)},
+             {"pump_calls", static_cast<double>(pumps)}});
+    if (!json.write())
+        return 1;
+    return 0;
+}

@@ -5,6 +5,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "core/env_util.hh"
+
 namespace vpred
 {
 
@@ -115,10 +117,10 @@ bestSimdBackend()
 SimdBackend
 activeSimdBackend()
 {
-    const char* env = std::getenv("REPRO_SIMD");
-    if (env == nullptr || *env == '\0')
+    const std::optional<std::string> env = envRaw("REPRO_SIMD");
+    if (!env)
         return bestSimdBackend();
-    const std::string v = toLower(env);
+    const std::string v = toLower(env->c_str());
     if (v == "1" || v == "on" || v == "best" || v == "true")
         return bestSimdBackend();
     if (v == "0" || v == "off" || v == "false" || v == "scalar")
@@ -132,12 +134,15 @@ activeSimdBackend()
     } else if (v == "neon") {
         requested = SimdBackend::Neon;
     } else {
-        warnOnce("REPRO_SIMD='" + std::string(env)
-                 + "' is not a backend name"
-                   " (scalar/sse2/avx2/neon/0/1); using the best"
-                   " available backend");
-        return bestSimdBackend();
+        // A name that is not a backend at all is a misconfiguration,
+        // not a preference — it used to silently select "best", so a
+        // typo like REPRO_SIMD=sse3 measured the wrong kernel.
+        envUsageError("REPRO_SIMD", *env,
+                      "one of scalar/sse2/avx2/neon/best/0/1/on/off");
     }
+    // A real backend name that this build or CPU cannot run is an
+    // environmental condition, not a typo: warn and degrade to the
+    // scalar reference kernels, which are always available.
     if (simdBackendAvailable(requested))
         return requested;
     warnOnce("REPRO_SIMD=" + v

@@ -171,6 +171,24 @@ MultiGeomKernelBase::resetState()
         std::fill(col.l2.begin(), col.l2.end(), 0);
 }
 
+void
+MultiGeomKernelBase::setEntryHists(std::size_t entry,
+                                   std::span<const std::uint32_t> hists)
+{
+    assert(hists.size() == padded_n_);
+    std::copy(hists.begin(), hists.end(),
+              hists_.begin()
+                      + static_cast<std::ptrdiff_t>(entry * padded_n_));
+}
+
+void
+MultiGeomKernelBase::clearEntryHists(std::size_t entry)
+{
+    const auto base = hists_.begin()
+            + static_cast<std::ptrdiff_t>(entry * padded_n_);
+    std::fill(base, base + static_cast<std::ptrdiff_t>(padded_n_), 0);
+}
+
 detail::MgSimdView
 MultiGeomKernelBase::makeView(std::uint64_t* correct)
 {
@@ -212,7 +230,20 @@ std::vector<PredictorStats>
 MultiGeomFcmKernel::runTrace(std::span<const TraceRecord> trace,
                              SimdBackend backend)
 {
-    resetState();
+    reset();
+    return feedTrace(trace, backend);
+}
+
+std::vector<PredictorStats>
+MultiGeomFcmKernel::feedTrace(std::span<const TraceRecord> trace)
+{
+    return feedTrace(trace, activeSimdBackend());
+}
+
+std::vector<PredictorStats>
+MultiGeomFcmKernel::feedTrace(std::span<const TraceRecord> trace,
+                              SimdBackend backend)
+{
     const std::size_t n = cols_.size();
     std::vector<std::uint64_t> correct(n, 0);
 
@@ -264,8 +295,34 @@ std::vector<PredictorStats>
 MultiGeomDfcmKernel::runTrace(std::span<const TraceRecord> trace,
                               SimdBackend backend)
 {
+    reset();
+    return feedTrace(trace, backend);
+}
+
+void
+MultiGeomDfcmKernel::reset()
+{
     resetState();
     std::fill(last_.begin(), last_.end(), 0);
+}
+
+void
+MultiGeomDfcmKernel::clearEntry(std::size_t entry)
+{
+    clearEntryHists(entry);
+    last_[entry] = 0;
+}
+
+std::vector<PredictorStats>
+MultiGeomDfcmKernel::feedTrace(std::span<const TraceRecord> trace)
+{
+    return feedTrace(trace, activeSimdBackend());
+}
+
+std::vector<PredictorStats>
+MultiGeomDfcmKernel::feedTrace(std::span<const TraceRecord> trace,
+                               SimdBackend backend)
+{
     const std::size_t n = cols_.size();
     std::vector<std::uint64_t> correct(n, 0);
 

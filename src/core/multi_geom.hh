@@ -120,7 +120,29 @@ class MultiGeomKernelBase
      *  backend processes a record's bank as full vectors. */
     std::size_t paddedColumns() const { return padded_n_; }
 
+    /**
+     * Zero-copy view of one level-1 entry's hashed-history bank:
+     * paddedColumns() lanes (padding lanes carry dead state and are
+     * exported/imported verbatim). The span is the kernel's
+     * relocatable per-entry level-1 state — the prediction service
+     * snapshots it on eviction and reinstalls it on restore; the
+     * shared level-2 tables are deliberately *not* part of it.
+     */
+    std::span<const std::uint32_t>
+    entryHists(std::size_t entry) const
+    {
+        return {&hists_[entry * padded_n_], padded_n_};
+    }
+
+    /** Install a bank previously obtained from entryHists(). @p hists
+     *  must hold exactly paddedColumns() lanes. */
+    void setEntryHists(std::size_t entry,
+                       std::span<const std::uint32_t> hists);
+
   protected:
+    /** Zero one entry's history bank (power-on state). */
+    void clearEntryHists(std::size_t entry);
+
     explicit MultiGeomKernelBase(const MultiGeomConfig& config);
 
     /** Reset all level-1 and level-2 state to power-on zeros. */
@@ -186,6 +208,27 @@ class MultiGeomFcmKernel : public MultiGeomKernelBase
      *  to the scalar reference path. */
     std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace,
                                          SimdBackend backend);
+
+    /**
+     * Advance the kernel over @p trace *without* resetting state:
+     * the incremental entry point for long-lived use (the prediction
+     * service feeds batches as they arrive). Returned stats cover
+     * only the fed span. runTrace(t) == reset() + feedTrace(t), and
+     * feeding a trace in any chunking yields the same final state
+     * and the same summed stats as one call.
+     */
+    std::vector<PredictorStats>
+    feedTrace(std::span<const TraceRecord> trace);
+
+    /** As above on a specific backend. */
+    std::vector<PredictorStats>
+    feedTrace(std::span<const TraceRecord> trace, SimdBackend backend);
+
+    /** Reset all state to power-on zeros. */
+    void reset() { resetState(); }
+
+    /** Return one entry to power-on state (service eviction). */
+    void clearEntry(std::size_t entry) { clearEntryHists(entry); }
 };
 
 /**
@@ -205,6 +248,26 @@ class MultiGeomDfcmKernel : public MultiGeomKernelBase
     /** See MultiGeomFcmKernel::runTrace(trace, backend). */
     std::vector<PredictorStats> runTrace(std::span<const TraceRecord> trace,
                                          SimdBackend backend);
+
+    /** See MultiGeomFcmKernel::feedTrace — incremental, no reset. */
+    std::vector<PredictorStats>
+    feedTrace(std::span<const TraceRecord> trace);
+
+    /** As above on a specific backend. */
+    std::vector<PredictorStats>
+    feedTrace(std::span<const TraceRecord> trace, SimdBackend backend);
+
+    /** Reset all state (histories, level-2 tables, last values). */
+    void reset();
+
+    /** Return one entry to power-on state (service eviction): zero
+     *  its history bank and its last value. */
+    void clearEntry(std::size_t entry);
+
+    /** One entry's last value — with entryHists() this is the whole
+     *  relocatable per-entry level-1 state of a DFCM. */
+    Value lastValue(std::size_t entry) const { return last_[entry]; }
+    void setLastValue(std::size_t entry, Value v) { last_[entry] = v; }
 
   private:
     /** Stored (possibly narrowed) stride -> full-width stride. */

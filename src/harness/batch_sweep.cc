@@ -1,9 +1,9 @@
 #include "harness/batch_sweep.hh"
 
-#include <cstdlib>
-#include <cstring>
 #include <map>
 #include <tuple>
+
+#include "core/env_util.hh"
 
 namespace vpred::harness
 {
@@ -11,11 +11,10 @@ namespace vpred::harness
 bool
 batchSweepEnabled()
 {
-    const char* env = std::getenv("REPRO_BATCH_SWEEP");
-    if (env == nullptr)
-        return true;
-    return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
-           std::strcmp(env, "false") != 0;
+    // Anything but a recognized boolean is fatal: REPRO_BATCH_SWEEP
+    // used to treat every unrecognized string ("fales", "OFF ") as
+    // "on", silently running the path the user tried to disable.
+    return envFlagOr("REPRO_BATCH_SWEEP", true);
 }
 
 bool

@@ -30,7 +30,8 @@ namespace vpred::harness
 {
 
 /** Multi-geometry batching toggle from REPRO_BATCH_SWEEP
- *  (default on; "0", "off" or "false" disables). */
+ *  (default on; 0/off/false/no disables, 1/on/true/yes enables;
+ *  anything else is fatal — see core/env_util.hh). */
 bool batchSweepEnabled();
 
 /** True iff @p config can be evaluated by a multi-geometry kernel

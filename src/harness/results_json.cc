@@ -90,7 +90,7 @@ ResultsJsonWriter::toJson() const
 
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema_version\": 4,\n"
+       << "  \"schema_version\": 5,\n"
        << "  \"experiment\": \"" << escape(experiment_) << "\",\n"
        << "  \"trace_scale\": " << jsonNumber(trace_scale_) << ",\n"
        << "  \"jobs\": " << jobs_ << ",\n"
@@ -114,6 +114,15 @@ ResultsJsonWriter::toJson() const
            << escape(execution_->simd_backend)
            << "\", \"vector_width\": " << execution_->vector_width
            << " },\n";
+    }
+    for (const auto& [name, kvs] : sections_) {
+        os << "  \"" << escape(name) << "\": {";
+        for (std::size_t i = 0; i < kvs.size(); ++i) {
+            os << (i == 0 ? "\n" : ",\n") << "    \""
+               << escape(kvs[i].first)
+               << "\": " << jsonNumber(kvs[i].second);
+        }
+        os << "\n  },\n";
     }
     if (!metrics_.empty()) {
         os << "  \"metrics\": {";

@@ -7,16 +7,19 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 4; "execution" and "metrics"
- * appear only when set). Version 3 added the trace-store fields to
- * "execution": whether a persistent REPRO_TRACE_DIR store was
- * configured, how many traces it served (hits) vs. regenerated
- * (misses), and the wall time spent acquiring traces. Version 4 adds
- * the SIMD dispatch fields: which multi-geometry kernel backend ran
- * ("scalar", "sse2", "avx2", "neon") and its vector width in bits:
+ * the files. Schema (schema_version 5; "execution", "metrics" and
+ * addSection() objects appear only when set). Version 3 added the
+ * trace-store fields to "execution": whether a persistent
+ * REPRO_TRACE_DIR store was configured, how many traces it served
+ * (hits) vs. regenerated (misses), and the wall time spent acquiring
+ * traces. Version 4 added the SIMD dispatch fields: which
+ * multi-geometry kernel backend ran ("scalar", "sse2", "avx2",
+ * "neon") and its vector width in bits. Version 5 adds named
+ * top-level sections of numeric pairs via addSection() — e.g. the
+ * prediction service's "service" object in BENCH_service.json:
  *
  *     {
- *       "schema_version": 4,
+ *       "schema_version": 5,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,
@@ -95,6 +98,20 @@ class ResultsJsonWriter
         metrics_.emplace_back(name, value);
     }
 
+    /**
+     * Record a named top-level object of numeric key/value pairs
+     * (schema_version 5) — e.g. the prediction service's "service"
+     * section. Sections are emitted before "metrics" in insertion
+     * order; values follow the same round-trippable number format.
+     * The name must not collide with a fixed schema key.
+     */
+    void
+    addSection(const std::string& name,
+               std::vector<std::pair<std::string, double>> kvs)
+    {
+        sections_.emplace_back(name, std::move(kvs));
+    }
+
     /** Serialize to a JSON string ("wall_seconds" = time since
      *  construction, or the setWallSeconds() override). */
     std::string toJson() const;
@@ -129,6 +146,9 @@ class ResultsJsonWriter
     double wall_seconds_override_ = -1.0;
     std::optional<SweepExecution> execution_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<
+            std::string, std::vector<std::pair<std::string, double>>>>
+            sections_;
     std::vector<Entry> entries_;
 };
 

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <iostream>
 #include <set>
 
-#include "core/parse_util.hh"
+#include "core/env_util.hh"
 #include "harness/parallel_sweep.hh"
 #include "workloads/workload.hh"
 
@@ -16,22 +15,10 @@ namespace vpred::harness
 double
 envTraceScale()
 {
-    const char* env = std::getenv("REPRO_TRACE_SCALE");
-    if (env == nullptr)
-        return 1.0;
-    const std::optional<double> v = parseDouble(env);
-    if (!v) {
-        static bool warned = false;
-        if (!warned) {
-            warned = true;
-            std::cerr << "warning: REPRO_TRACE_SCALE='" << env
-                      << "' is not a number; using 1.0\n";
-        }
-        return 1.0;
-    }
-    if (*v <= 0.0)
-        return 1.0;
-    return std::clamp(*v, 0.01, 100.0);
+    // Malformed or out-of-range values are fatal (exit 2): a scale
+    // that silently fell back to 1.0 used to produce full-size runs
+    // the user believed were scaled down.
+    return envDoubleOr("REPRO_TRACE_SCALE", 1.0, 0.01, 100.0);
 }
 
 TraceCache::TraceCache(double scale, std::string store_dir)

@@ -33,9 +33,9 @@
 namespace vpred::harness
 {
 
-/** Scale factor from REPRO_TRACE_SCALE (default 1.0, clamped to
- *  [0.01, 100]). Unparsable values warn once on stderr and fall back
- *  to 1.0. */
+/** Scale factor from REPRO_TRACE_SCALE (default 1.0, accepted range
+ *  [0.01, 100]). Malformed or out-of-range values are fatal: one
+ *  line on stderr, exit status 2 (core/env_util.hh). */
 double envTraceScale();
 
 /**

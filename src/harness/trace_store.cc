@@ -3,18 +3,19 @@
 #include <bit>
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <thread>
+#include <utility>
 
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "core/env_util.hh"
 #include "workloads/workload.hh"
 
 namespace vpred::harness
@@ -35,51 +36,77 @@ errnoString()
     return std::strerror(errno);
 }
 
+/**
+ * Owns a file descriptor for the duration of a scope, so every
+ * throwing path out of mapFile() structurally closes it — an fd leak
+ * cannot be reintroduced by adding a new early return.
+ */
+class ScopedFd
+{
+  public:
+    explicit ScopedFd(int fd) noexcept : fd_(fd) {}
+    ~ScopedFd()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+    ScopedFd(const ScopedFd&) = delete;
+    ScopedFd& operator=(const ScopedFd&) = delete;
+
+    int get() const noexcept { return fd_; }
+
+  private:
+    int fd_;
+};
+
 } // namespace
+
+void
+MappedTrace::unmap() noexcept
+{
+    // exchange() nulls the pointer before the munmap call, so even a
+    // re-entrant or repeated unmap (destructor after move-assign,
+    // self-move-assign) can never pass the same region twice.
+    void* map = std::exchange(map_, nullptr);
+    const std::size_t size = std::exchange(map_size_, 0);
+    records_ = nullptr;
+    count_ = 0;
+    if (map != nullptr)
+        ::munmap(map, size);
+}
 
 MappedTrace::~MappedTrace()
 {
-    if (map_ != nullptr)
-        ::munmap(map_, map_size_);
+    unmap();
 }
 
 MappedTrace::MappedTrace(MappedTrace&& other) noexcept
-    : map_(other.map_),
-      map_size_(other.map_size_),
-      records_(other.records_),
-      count_(other.count_),
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      records_(std::exchange(other.records_, nullptr)),
+      count_(std::exchange(other.count_, 0)),
       meta_(std::move(other.meta_))
 {
-    other.map_ = nullptr;
-    other.map_size_ = 0;
-    other.records_ = nullptr;
-    other.count_ = 0;
 }
 
 MappedTrace&
 MappedTrace::operator=(MappedTrace&& other) noexcept
 {
-    if (this != &other) {
-        if (map_ != nullptr)
-            ::munmap(map_, map_size_);
-        map_ = other.map_;
-        map_size_ = other.map_size_;
-        records_ = other.records_;
-        count_ = other.count_;
-        meta_ = std::move(other.meta_);
-        other.map_ = nullptr;
-        other.map_size_ = 0;
-        other.records_ = nullptr;
-        other.count_ = 0;
-    }
+    if (this == &other)
+        return *this;  // self-move keeps the mapping intact
+    unmap();
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    records_ = std::exchange(other.records_, nullptr);
+    count_ = std::exchange(other.count_, 0);
+    meta_ = std::move(other.meta_);
     return *this;
 }
 
 std::string
 TraceStore::envDir()
 {
-    const char* env = std::getenv("REPRO_TRACE_DIR");
-    return env == nullptr ? std::string() : std::string(env);
+    return envRaw("REPRO_TRACE_DIR").value_or(std::string());
 }
 
 TraceStore::TraceStore(std::string dir) : dir_(std::move(dir)) {}
@@ -111,27 +138,22 @@ TraceStore::mapFile(const std::string& path)
     if (layout.record_count > (1ull << 33))
         throw TraceIoError("implausible record count in " + path);
 
-    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0)
+    const ScopedFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.get() < 0)
         throw TraceIoError("cannot open " + path + ": " + errnoString());
     struct stat st;
-    if (::fstat(fd, &st) != 0) {
-        const std::string err = errnoString();
-        ::close(fd);
-        throw TraceIoError("cannot stat " + path + ": " + err);
-    }
+    if (::fstat(fd.get(), &st) != 0)
+        throw TraceIoError("cannot stat " + path + ": " + errnoString());
     const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
     const std::uint64_t need = layout.records_offset
             + layout.record_count * sizeof(TraceRecord);
-    if (size < need) {
-        ::close(fd);
+    if (size < need)
         throw TraceIoError("truncated VPT2 file " + path + ": have "
                            + std::to_string(size) + " bytes, header needs "
                            + std::to_string(need));
-    }
 
-    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    ::close(fd);
+    void* map =
+            ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.get(), 0);
     if (map == MAP_FAILED)
         throw TraceIoError("mmap failed for " + path + ": "
                            + errnoString());

@@ -90,6 +90,9 @@ class MappedTrace
   private:
     friend class TraceStore;
 
+    /** Release the mapping (idempotent; nulls state before munmap). */
+    void unmap() noexcept;
+
     void* map_ = nullptr;
     std::size_t map_size_ = 0;
     const TraceRecord* records_ = nullptr;

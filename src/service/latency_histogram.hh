@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the prediction service.
+ *
+ * Ingest-to-predict latencies span nanoseconds (drained on the next
+ * pump) to milliseconds (deep queues), so buckets are powers of two
+ * of nanoseconds: bucket i counts samples in [2^i, 2^(i+1)) ns.
+ * Recording is O(1) with no allocation; quantiles interpolate within
+ * the containing bucket, which is accurate to a factor of two — the
+ * right fidelity for a p50/p99 gate, at a cost that can sit on the
+ * service's hot path.
+ */
+
+#ifndef DFCM_SERVICE_LATENCY_HISTOGRAM_HH
+#define DFCM_SERVICE_LATENCY_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace vpred::service
+{
+
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void
+    record(std::uint64_t ns)
+    {
+        ++buckets_[ns == 0 ? 0 : std::bit_width(ns) - 1];
+        ++count_;
+    }
+
+    void
+    merge(const LatencyHistogram& other)
+    {
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * The @p q quantile (0 < q <= 1) in nanoseconds, linearly
+     * interpolated inside the containing bucket; 0 when empty.
+     */
+    std::uint64_t
+    quantileNs(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        const double target = q * static_cast<double>(count_);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            const double n = static_cast<double>(buckets_[i]);
+            if (seen + n >= target && n > 0.0) {
+                const std::uint64_t lo = i == 0 ? 0 : (1ull << i);
+                const std::uint64_t width = i == 0 ? 2 : (1ull << i);
+                const double frac = (target - seen) / n;
+                return lo
+                        + static_cast<std::uint64_t>(
+                                frac * static_cast<double>(width));
+            }
+            seen += n;
+        }
+        return 1ull << (kBuckets - 1);
+    }
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+};
+
+} // namespace vpred::service
+
+#endif // DFCM_SERVICE_LATENCY_HISTOGRAM_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The always-on sharded prediction service.
+ *
+ * Owns one Shard per configured core, routes every (stream, value)
+ * update to its owning shard by a mixed hash of the stream id, and
+ * pumps all shard queues in parallel on the harness ThreadPool. The
+ * service is long-lived: state accumulates across pump() calls
+ * (shards feed the fused multi-geometry kernels incrementally and
+ * spill/restore cold streams), so millions of concurrent streams
+ * are served from bounded resident table space.
+ *
+ * Snapshots serialize every known stream's relocatable level-1
+ * state into a VPT2 container (the PR-3 trace store format): one
+ * fixed-size block of TraceRecords per stream, written atomically
+ * via TraceStore's temp-file/rename discipline and restored through
+ * the zero-copy mmap path.
+ *
+ * Threading: ingest() may be called from any number of producer
+ * threads. pump() runs drains in parallel (one task per shard — a
+ * shard is never drained by two threads at once) and must not run
+ * concurrently with itself, snapshots or state queries.
+ */
+
+#ifndef DFCM_SERVICE_PREDICTION_SERVICE_HH
+#define DFCM_SERVICE_PREDICTION_SERVICE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_sweep.hh"
+#include "service/shard.hh"
+
+namespace vpred::service
+{
+
+/** Aggregate of all shard stats, plus the merged latency view. */
+struct ServiceStats
+{
+    std::uint64_t ingested = 0;
+    std::uint64_t predictions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t resident_streams = 0;
+    std::uint64_t spilled_streams = 0;
+    /** Correct predictions for the kernels' first level-2 column. */
+    std::uint64_t correct_col0 = 0;
+};
+
+class PredictionService
+{
+  public:
+    explicit PredictionService(const ServiceConfig& cfg);
+    ~PredictionService();
+
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Owning shard of @p stream (stable for the service's life). */
+    unsigned
+    shardOf(std::uint64_t stream) const
+    {
+        return static_cast<unsigned>(mixStreamId(stream)
+                                     % shards_.size());
+    }
+
+    /** Thread-safe producer entry point. */
+    void
+    ingest(std::uint64_t stream, Value value, std::uint64_t tick_ns)
+    {
+        shards_[shardOf(stream)]->enqueue(stream, value, tick_ns);
+    }
+
+    /**
+     * Drain every shard queue once, in parallel on the pool.
+     * @p now_ns stamps the latency histogram. Returns total records
+     * fed to the kernels by this call.
+     */
+    std::size_t pump(std::uint64_t now_ns);
+
+    ServiceStats stats() const;
+    /** Merged ingest-to-predict latency across shards. */
+    LatencyHistogram latency() const;
+
+    /** Per-stream level-1 state, wherever it lives. Quiescent only. */
+    std::optional<StreamState> streamState(std::uint64_t stream) const;
+
+    /**
+     * Serialize every known stream's state to @p path as a VPT2
+     * container (atomic temp-file/rename write). Quiescent only.
+     */
+    void snapshotTo(const std::string& path) const;
+
+    /**
+     * Reinstall stream state from a snapshotTo() file. Geometry must
+     * match this service's kernels; streams land in their owning
+     * shard's spill area and resume on their next update.
+     * @throws TraceIoError on a corrupt or mismatched snapshot.
+     */
+    void restoreFrom(const std::string& path);
+
+  private:
+    ServiceConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    harness::ThreadPool pool_;
+};
+
+} // namespace vpred::service
+
+#endif // DFCM_SERVICE_PREDICTION_SERVICE_HH

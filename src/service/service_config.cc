@@ -1,0 +1,20 @@
+#include "service/service_config.hh"
+
+#include "core/env_util.hh"
+
+namespace vpred::service
+{
+
+ServiceConfig
+ServiceConfig::fromEnv()
+{
+    ServiceConfig cfg;
+    cfg.shards = static_cast<unsigned>(
+            envUIntOr("REPRO_SERVICE_SHARDS", cfg.shards, 0, 256));
+    cfg.batch_records = envUIntOr("REPRO_SERVICE_BATCH",
+                                  cfg.batch_records, 1,
+                                  std::size_t{1} << 20);
+    return cfg;
+}
+
+} // namespace vpred::service

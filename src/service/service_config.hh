@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configuration for the always-on prediction service.
+ *
+ * All knobs come from REPRO_SERVICE_* environment variables, parsed
+ * through core/env_util.hh from day one: unset or empty selects the
+ * default, a malformed or out-of-range value is a loud exit(2) —
+ * never a silent fallback.
+ */
+
+#ifndef DFCM_SERVICE_SERVICE_CONFIG_HH
+#define DFCM_SERVICE_SERVICE_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vpred::service
+{
+
+/**
+ * Geometry and sizing of one PredictionService instance.
+ *
+ * The kernel geometry (l1_bits per shard, the l2_bits column,
+ * value/stride widths, FS R-k shift) is program-chosen, not an env
+ * knob: it is the experiment under test. The deployment knobs —
+ * shard count, ingest batch threshold — are environment-driven.
+ */
+struct ServiceConfig
+{
+    /** Shards (state-owning cores). 0 = one per hardware thread. */
+    unsigned shards = 0;
+    /** log2(resident streams per shard): each shard's kernel owns
+     *  2^l1_bits level-1 entries; colder streams are spilled. */
+    unsigned l1_bits = 14;
+    /** Level-2 sizes evaluated per stream (one kernel column each). */
+    std::vector<unsigned> l2_bits = {12};
+    unsigned value_bits = 32;
+    unsigned stride_bits = 32;
+    unsigned hash_shift = 5;
+    /** Queue depth at which a shard prefers to be drained; pump()
+     *  always drains everything, this only sizes reservations. */
+    std::size_t batch_records = 1024;
+
+    /**
+     * Defaults overridden by the environment:
+     *   REPRO_SERVICE_SHARDS  shard count, 0 = hardware threads
+     *                         (0..256; malformed values are fatal)
+     *   REPRO_SERVICE_BATCH   batch threshold (1..2^20)
+     * Resolution of shards=0 happens in PredictionService, so a
+     * config round-trips unchanged.
+     */
+    static ServiceConfig fromEnv();
+};
+
+} // namespace vpred::service
+
+#endif // DFCM_SERVICE_SERVICE_CONFIG_HH

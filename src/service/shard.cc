@@ -1,0 +1,253 @@
+#include "service/shard.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vpred::service
+{
+
+namespace
+{
+
+MultiGeomConfig
+kernelConfig(const ServiceConfig& cfg)
+{
+    MultiGeomConfig kc;
+    kc.l1_bits = cfg.l1_bits;
+    kc.value_bits = cfg.value_bits;
+    kc.stride_bits = cfg.stride_bits;
+    kc.hash_shift = cfg.hash_shift;
+    kc.l2_bits = cfg.l2_bits;
+    return kc;
+}
+
+} // namespace
+
+Shard::Shard(const ServiceConfig& cfg)
+    : kernel_(kernelConfig(cfg)), capacity_(kernel_.l1Entries()),
+      map_(capacity_), slot_stream_(capacity_, 0),
+      slot_epoch_(capacity_, 0), spill_index_(16)
+{
+    stats_.correct.assign(kernel_.columns(), 0);
+    batch_.reserve(cfg.batch_records);
+    queue_.reserve(cfg.batch_records);
+    pending_.reserve(cfg.batch_records);
+}
+
+void
+Shard::enqueue(std::uint64_t stream, Value value, std::uint64_t tick_ns)
+{
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back({stream, value, tick_ns});
+}
+
+std::size_t
+Shard::drain(std::uint64_t now_ns)
+{
+    {
+        const std::lock_guard<std::mutex> lock(queue_mutex_);
+        pending_.swap(queue_);
+    }
+    if (pending_.empty())
+        return 0;
+    stats_.max_queue = std::max(stats_.max_queue,
+                                std::uint64_t{pending_.size()});
+
+    batch_.clear();
+    for (const Update& u : pending_) {
+        const std::uint32_t slot = admit(u.stream);
+        slot_epoch_[slot] = epoch_;
+        batch_.push_back({Pc{slot}, u.value});
+        latency_.record(now_ns > u.tick_ns ? now_ns - u.tick_ns : 0);
+    }
+    const std::size_t drained = pending_.size();
+    stats_.ingested += drained;
+    flushBatch();
+    pending_.clear();
+    ++epoch_;
+    return drained;
+}
+
+std::uint32_t
+Shard::admit(std::uint64_t stream)
+{
+    if (const auto slot = map_.find(stream))
+        return *slot;
+
+    std::uint32_t slot;
+    if (next_unused_ < capacity_) {
+        slot = static_cast<std::uint32_t>(next_unused_++);
+    } else {
+        // Eviction exports kernel state, so every record already
+        // staged for the victim's slot must reach the kernel first.
+        flushBatch();
+        slot = evictOne();
+    }
+    map_.insert(stream, slot);
+    slot_stream_[slot] = stream;
+
+    if (const auto spill = spill_index_.find(stream)) {
+        // A returning cold stream: reinstall its spilled level-1
+        // state bit-identically.
+        const std::size_t pn = kernel_.paddedColumns();
+        const std::uint32_t* bank = &spill_hists_[*spill * pn];
+        kernel_.setEntryHists(slot, {bank, pn});
+        kernel_.setLastValue(slot, spill_last_[*spill]);
+        ++stats_.restores;
+    } else {
+        kernel_.clearEntry(slot);
+    }
+    return slot;
+}
+
+void
+Shard::flushBatch()
+{
+    if (batch_.empty())
+        return;
+    const std::vector<PredictorStats> s = kernel_.feedTrace(batch_);
+    for (std::size_t c = 0; c < s.size(); ++c)
+        stats_.correct[c] += s[c].correct;
+    stats_.predictions += batch_.size();
+    batch_.clear();
+}
+
+std::uint32_t
+Shard::evictOne()
+{
+    // Clock scan: among a fixed window from the hand, evict the slot
+    // least recently touched. Slots touched this epoch are the
+    // streams of the batch being drained; with a full shard they can
+    // all be current, in which case the hand's slot goes (it has no
+    // staged records — the batch was flushed before eviction).
+    constexpr std::size_t kWindow = 16;
+    std::size_t victim = hand_;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < std::min(kWindow, capacity_); ++i) {
+        const std::size_t s = (hand_ + i) & (capacity_ - 1);
+        if (slot_epoch_[s] < best) {
+            best = slot_epoch_[s];
+            victim = s;
+        }
+    }
+    hand_ = (victim + 1) & (capacity_ - 1);
+
+    const std::uint64_t stream = slot_stream_[victim];
+    spillTo(spillSlotFor(stream), static_cast<std::uint32_t>(victim));
+
+    map_.erase(stream);
+    kernel_.clearEntry(victim);
+    ++stats_.evictions;
+    return static_cast<std::uint32_t>(victim);
+}
+
+std::uint32_t
+Shard::spillSlotFor(std::uint64_t stream)
+{
+    if (const auto existing = spill_index_.find(stream))
+        return *existing;
+    const auto spill_slot =
+            static_cast<std::uint32_t>(spill_last_.size());
+    spill_hists_.resize(spill_hists_.size() + kernel_.paddedColumns());
+    spill_last_.push_back(0);
+    spill_streams_.push_back(stream);
+    spill_index_.insert(stream, spill_slot);
+    return spill_slot;
+}
+
+void
+Shard::spillTo(std::uint32_t spill_slot, std::uint32_t kernel_slot)
+{
+    const std::size_t pn = kernel_.paddedColumns();
+    const std::span<const std::uint32_t> bank =
+            kernel_.entryHists(kernel_slot);
+    std::copy(bank.begin(), bank.end(),
+              spill_hists_.begin()
+                      + static_cast<std::ptrdiff_t>(spill_slot * pn));
+    spill_last_[spill_slot] = kernel_.lastValue(kernel_slot);
+}
+
+std::size_t
+Shard::spilledStreams() const
+{
+    // Streams with a spill slot but no kernel slot — a resident
+    // stream's spill copy is stale by definition.
+    std::size_t n = 0;
+    for (const std::uint64_t stream : spill_streams_)
+        if (!map_.find(stream).has_value())
+            ++n;
+    return n;
+}
+
+std::optional<StreamState>
+Shard::streamState(std::uint64_t stream) const
+{
+    StreamState st;
+    const std::size_t pn = kernel_.paddedColumns();
+    if (const auto slot = map_.find(stream)) {
+        const std::span<const std::uint32_t> bank =
+                kernel_.entryHists(*slot);
+        st.hists.assign(bank.begin(), bank.end());
+        st.last = kernel_.lastValue(*slot);
+        return st;
+    }
+    if (const auto spill = spill_index_.find(stream)) {
+        const std::uint32_t* bank = &spill_hists_[*spill * pn];
+        st.hists.assign(bank, bank + pn);
+        st.last = spill_last_[*spill];
+        return st;
+    }
+    return std::nullopt;
+}
+
+void
+Shard::appendSnapshot(ValueTrace& out) const
+{
+    const std::size_t pn = kernel_.paddedColumns();
+    const auto append = [&](std::uint64_t stream,
+                            std::span<const std::uint32_t> bank,
+                            Value last) {
+        out.push_back({stream, last});
+        for (std::size_t c = 0; c < pn; ++c)
+            out.push_back({stream, Value{bank[c]}});
+    };
+    for (std::size_t slot = 0; slot < next_unused_; ++slot) {
+        const std::uint64_t stream = slot_stream_[slot];
+        const auto mapped = map_.find(stream);
+        if (!mapped || *mapped != slot)
+            continue;  // slot's stream was evicted and slot reused
+        append(stream, kernel_.entryHists(slot),
+               kernel_.lastValue(slot));
+    }
+    // Spilled streams that are not resident (a resident stream's
+    // spill copy is stale; its live block was appended above).
+    for (std::uint32_t spill = 0;
+         spill < static_cast<std::uint32_t>(spill_last_.size());
+         ++spill) {
+        const std::uint64_t stream = spill_streams_[spill];
+        if (map_.find(stream).has_value())
+            continue;
+        const std::uint32_t* bank = &spill_hists_[spill * pn];
+        append(stream, {bank, pn}, spill_last_[spill]);
+    }
+}
+
+void
+Shard::installStream(std::uint64_t stream, const StreamState& state)
+{
+    const std::size_t pn = kernel_.paddedColumns();
+    assert(state.hists.size() == pn);
+    const std::uint32_t spill_slot = spillSlotFor(stream);
+    std::copy(state.hists.begin(), state.hists.end(),
+              spill_hists_.begin()
+                      + static_cast<std::ptrdiff_t>(spill_slot * pn));
+    spill_last_[spill_slot] = state.last;
+    // If the stream is resident, the kernel copy is authoritative —
+    // overwrite it too so install wins unambiguously.
+    if (const auto slot = map_.find(stream)) {
+        kernel_.setEntryHists(*slot, state.hists);
+        kernel_.setLastValue(*slot, state.last);
+    }
+}
+
+} // namespace vpred::service

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * One shard of the always-on prediction service.
+ *
+ * A shard exclusively owns the predictor state for its slice of the
+ * stream-id space: a MultiGeomDfcmKernel whose 2^l1_bits level-1
+ * entries hold the *resident* (hot) streams, a SlotMap assigning
+ * dense kernel slots to stream ids, and a spill area holding the
+ * relocatable level-1 state (hashed-history bank + last value) of
+ * every stream that has been evicted to make room. Producers on any
+ * thread enqueue() (pc, value) updates into the shard's MPSC queue;
+ * the shard's pump thread drain()s the queue, admits streams
+ * (restoring spilled state bit-identically when a cold stream
+ * returns), and feeds the whole batch through the fused
+ * multi-geometry kernel in one incremental feedTrace() call.
+ *
+ * Concurrency contract: enqueue() is thread-safe against everything;
+ * drain(), snapshots and state queries must be externally serialized
+ * (PredictionService runs one drain per shard at a time and
+ * snapshots only a quiescent service).
+ *
+ * Determinism contract: a stream's exported level-1 state depends
+ * only on that stream's own value sequence — never on which shard it
+ * lives in, which slot it occupies, or which other streams share the
+ * kernel — so it is invariant across shard counts and eviction
+ * schedules. (Shared level-2 tables are deliberately outside the
+ * contract: level-2 hit rates legitimately vary with co-residency,
+ * exactly like aliasing in the paper's shared tables.)
+ */
+
+#ifndef DFCM_SERVICE_SHARD_HH
+#define DFCM_SERVICE_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/multi_geom.hh"
+#include "core/types.hh"
+#include "service/latency_histogram.hh"
+#include "service/service_config.hh"
+#include "service/slot_map.hh"
+
+namespace vpred::service
+{
+
+/** One ingested update, stamped by the producer for the
+ *  ingest-to-predict latency histogram. */
+struct Update
+{
+    std::uint64_t stream;
+    Value value;
+    std::uint64_t tick_ns;
+};
+
+/** The relocatable per-stream level-1 state: one hashed-history lane
+ *  per kernel column (padded bank, exported verbatim) plus the DFCM
+ *  last value. This is exactly what eviction spills and restore
+ *  reinstalls. */
+struct StreamState
+{
+    std::vector<std::uint32_t> hists;
+    Value last = 0;
+
+    bool operator==(const StreamState&) const = default;
+};
+
+struct ShardStats
+{
+    std::uint64_t ingested = 0;     //!< updates drained from the queue
+    std::uint64_t predictions = 0;  //!< records fed to the kernel
+    std::uint64_t evictions = 0;
+    std::uint64_t restores = 0;     //!< spilled streams re-admitted
+    std::uint64_t max_queue = 0;    //!< deepest queue seen at drain
+    /** Correct predictions per kernel column. */
+    std::vector<std::uint64_t> correct;
+};
+
+class Shard
+{
+  public:
+    explicit Shard(const ServiceConfig& cfg);
+
+    /** Thread-safe producer entry point. */
+    void enqueue(std::uint64_t stream, Value value,
+                 std::uint64_t tick_ns);
+
+    /**
+     * Drain everything enqueued so far through the kernel; pump
+     * thread only. @p now_ns is the drain timestamp used for the
+     * latency histogram (enqueue-to-drain). Returns records fed.
+     */
+    std::size_t drain(std::uint64_t now_ns);
+
+    /** Streams currently resident in the kernel. */
+    std::size_t residentStreams() const { return map_.size(); }
+    /** Streams whose state lives in the spill area only. */
+    std::size_t spilledStreams() const;
+
+    const ShardStats& stats() const { return stats_; }
+    const LatencyHistogram& latency() const { return latency_; }
+
+    /**
+     * The level-1 state of @p stream, resident or spilled; nullopt
+     * for a stream this shard has never seen. Quiescent only.
+     */
+    std::optional<StreamState> streamState(std::uint64_t stream) const;
+
+    /**
+     * Append one fixed-size block per known stream to @p out for a
+     * VPT2 snapshot: {pc=stream, value=last} followed by one
+     * {pc=stream, value=hist lane} record per padded kernel column.
+     * Quiescent only; resident streams first, then spilled ones.
+     */
+    void appendSnapshot(ValueTrace& out) const;
+
+    /** Snapshot block length in records: 1 + paddedColumns(). */
+    std::size_t blockRecords() const
+    {
+        return 1 + kernel_.paddedColumns();
+    }
+
+    /**
+     * Install @p state for @p stream (the restore path). The stream
+     * lands in the spill area and is admitted on its next update, so
+     * restore never disturbs resident streams. Quiescent only.
+     */
+    void installStream(std::uint64_t stream, const StreamState& state);
+
+  private:
+    std::uint32_t admit(std::uint64_t stream);
+    void flushBatch();
+    std::uint32_t evictOne();
+    std::uint32_t spillSlotFor(std::uint64_t stream);
+    void spillTo(std::uint32_t spill_slot, std::uint32_t kernel_slot);
+
+    MultiGeomDfcmKernel kernel_;
+    std::size_t capacity_;
+
+    // Resident-stream bookkeeping, indexed by kernel slot.
+    SlotMap map_;
+    std::vector<std::uint64_t> slot_stream_;
+    std::vector<std::uint64_t> slot_epoch_;
+    std::size_t next_unused_ = 0;  //!< slots never yet allocated
+    std::size_t hand_ = 0;         //!< eviction clock hand
+    std::uint64_t epoch_ = 0;      //!< advances once per drain
+
+    // Spill area: flat banks indexed by spill slot; a stream keeps
+    // its spill slot for life, so repeated evictions overwrite in
+    // place and memory stays proportional to distinct streams seen.
+    SlotMap spill_index_;
+    std::vector<std::uint32_t> spill_hists_;
+    std::vector<Value> spill_last_;
+    std::vector<std::uint64_t> spill_streams_;  //!< spill slot -> id
+
+    // MPSC ingest queue: producers append under the mutex, drain()
+    // swaps the vector out and processes without the lock.
+    std::mutex queue_mutex_;
+    std::vector<Update> queue_;
+    std::vector<Update> pending_;  //!< drain-side swap target
+    ValueTrace batch_;             //!< records staged for feedTrace
+
+    ShardStats stats_;
+    LatencyHistogram latency_;
+};
+
+} // namespace vpred::service
+
+#endif // DFCM_SERVICE_SHARD_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Open-addressing map from 64-bit stream ids to dense kernel slots.
+ *
+ * A shard's kernel owns 2^l1_bits level-1 entries; resident streams
+ * are assigned dense entry indices so the kernel's bank stays fully
+ * utilized regardless of how sparse the stream-id space is. The map
+ * is the shard's hot lookup (one probe sequence per ingested
+ * record), so it is a flat power-of-two table with linear probing
+ * and backward-shift deletion — no tombstones accumulate across the
+ * millions of evict/insert cycles of a long-running service, and
+ * iteration order never matters (lookups only).
+ */
+
+#ifndef DFCM_SERVICE_SLOT_MAP_HH
+#define DFCM_SERVICE_SLOT_MAP_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vpred::service
+{
+
+/** SplitMix64 finalizer: stream ids are often small sequential
+ *  integers, so the raw id is a terrible probe start. */
+inline std::uint64_t
+mixStreamId(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+class SlotMap
+{
+  public:
+    /**
+     * @param max_entries Upper bound on simultaneously-present keys
+     * (the shard's 2^l1_bits residency). The table is sized to stay
+     * at most half full, so probe chains stay short.
+     */
+    explicit SlotMap(std::size_t max_entries)
+    {
+        std::size_t buckets = 16;
+        while (buckets < max_entries * 2)
+            buckets *= 2;
+        mask_ = buckets - 1;
+        keys_.assign(buckets, 0);
+        slots_.assign(buckets, 0);
+        used_.assign(buckets, 0);
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Slot for @p stream, or nullopt when not resident. */
+    std::optional<std::uint32_t>
+    find(std::uint64_t stream) const
+    {
+        for (std::size_t b = mixStreamId(stream) & mask_; used_[b];
+             b = (b + 1) & mask_) {
+            if (keys_[b] == stream)
+                return slots_[b];
+        }
+        return std::nullopt;
+    }
+
+    /** Insert @p stream -> @p slot. The key must not be present
+     *  (asserted in debug builds). Grows to stay at most half full,
+     *  so the map also serves the unbounded spill index. */
+    void
+    insert(std::uint64_t stream, std::uint32_t slot)
+    {
+        if ((size_ + 1) * 2 > mask_ + 1)
+            grow();
+        std::size_t b = mixStreamId(stream) & mask_;
+        while (used_[b]) {
+            assert(keys_[b] != stream);
+            b = (b + 1) & mask_;
+        }
+        keys_[b] = stream;
+        slots_[b] = slot;
+        used_[b] = 1;
+        ++size_;
+    }
+
+    /** Remove @p stream (must be present). Backward-shift deletion
+     *  keeps every remaining key reachable without tombstones. */
+    void
+    erase(std::uint64_t stream)
+    {
+        std::size_t b = mixStreamId(stream) & mask_;
+        while (!used_[b] || keys_[b] != stream)
+            b = (b + 1) & mask_;
+
+        std::size_t hole = b;
+        for (std::size_t next = (hole + 1) & mask_; used_[next];
+             next = (next + 1) & mask_) {
+            // A key may fill the hole only if its home bucket is not
+            // inside (hole, next] — the classic cyclic-range test.
+            const std::size_t home = mixStreamId(keys_[next]) & mask_;
+            const bool movable = ((next - home) & mask_)
+                    >= ((next - hole) & mask_);
+            if (movable) {
+                keys_[hole] = keys_[next];
+                slots_[hole] = slots_[next];
+                hole = next;
+            }
+        }
+        used_[hole] = 0;
+        --size_;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t buckets = (mask_ + 1) * 2;
+        std::vector<std::uint64_t> keys(buckets, 0);
+        std::vector<std::uint32_t> slots(buckets, 0);
+        std::vector<std::uint8_t> used(buckets, 0);
+        const std::size_t mask = buckets - 1;
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            if (!used_[i])
+                continue;
+            std::size_t b = mixStreamId(keys_[i]) & mask;
+            while (used[b])
+                b = (b + 1) & mask;
+            keys[b] = keys_[i];
+            slots[b] = slots_[i];
+            used[b] = 1;
+        }
+        keys_ = std::move(keys);
+        slots_ = std::move(slots);
+        used_ = std::move(used);
+        mask_ = mask;
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace vpred::service
+
+#endif // DFCM_SERVICE_SLOT_MAP_HH

@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <span>
 #include <vector>
 
 #include "core/multi_geom.hh"
@@ -205,6 +207,106 @@ fig10Grid()
         configs.push_back(cfg);
     }
     return configs;
+}
+
+TEST(MultiGeomKernel, ChunkedFeedMatchesSingleRun)
+{
+    // The service feeds batches incrementally; any chunking must end
+    // in the same state and the same summed stats as one runTrace.
+    const ValueTrace trace = adversarialTrace();
+    const MultiGeomConfig cfg{.l1_bits = 6,
+                              .value_bits = 32,
+                              .stride_bits = 32,
+                              .hash_shift = 5,
+                              .l2_bits = {4, 8, 12}};
+
+    MultiGeomDfcmKernel whole(cfg);
+    const std::vector<PredictorStats> ref = whole.runTrace(trace);
+
+    MultiGeomDfcmKernel chunked(cfg);
+    chunked.reset();
+    std::vector<std::uint64_t> correct(cfg.l2_bits.size(), 0);
+    // Deliberately ragged chunk sizes, including empty ones.
+    const std::size_t sizes[] = {1, 0, 7, 1024, 3, 4096, 1u << 30};
+    std::span<const TraceRecord> rest(trace);
+    for (const std::size_t want : sizes) {
+        const std::size_t n = std::min(want, rest.size());
+        const auto stats = chunked.feedTrace(rest.subspan(0, n));
+        for (std::size_t c = 0; c < stats.size(); ++c)
+            correct[c] += stats[c].correct;
+        rest = rest.subspan(n);
+    }
+    ASSERT_TRUE(rest.empty());
+
+    for (std::size_t c = 0; c < ref.size(); ++c)
+        EXPECT_EQ(correct[c], ref[c].correct) << "column " << c;
+    for (std::size_t e = 0; e < whole.l1Entries(); ++e) {
+        ASSERT_TRUE(std::ranges::equal(whole.entryHists(e),
+                                       chunked.entryHists(e)))
+                << "entry " << e;
+        ASSERT_EQ(whole.lastValue(e), chunked.lastValue(e))
+                << "entry " << e;
+    }
+}
+
+TEST(MultiGeomKernel, EntryStateExportClearRestoreRoundTrips)
+{
+    // Eviction support: an entry's level-1 state (history bank +
+    // last value) must survive export -> clearEntry -> reinstall
+    // bit-identically, and clearing must actually zero it.
+    const ValueTrace trace = adversarialTrace();
+    const MultiGeomConfig cfg{.l1_bits = 5,
+                              .value_bits = 32,
+                              .stride_bits = 32,
+                              .hash_shift = 5,
+                              .l2_bits = {6, 10}};
+    MultiGeomDfcmKernel kernel(cfg);
+    kernel.runTrace(trace);
+
+    for (std::size_t e = 0; e < kernel.l1Entries(); ++e) {
+        const std::vector<std::uint32_t> hists(
+                kernel.entryHists(e).begin(), kernel.entryHists(e).end());
+        const Value last = kernel.lastValue(e);
+
+        kernel.clearEntry(e);
+        EXPECT_TRUE(std::ranges::all_of(
+                kernel.entryHists(e),
+                [](std::uint32_t h) { return h == 0; }));
+        EXPECT_EQ(kernel.lastValue(e), 0u);
+
+        kernel.setEntryHists(e, hists);
+        kernel.setLastValue(e, last);
+        EXPECT_TRUE(std::ranges::equal(kernel.entryHists(e), hists));
+        EXPECT_EQ(kernel.lastValue(e), last);
+    }
+}
+
+TEST(MultiGeomKernel, FcmChunkedFeedMatchesSingleRun)
+{
+    const ValueTrace trace = adversarialTrace();
+    const MultiGeomConfig cfg{.l1_bits = 6,
+                              .value_bits = 32,
+                              .stride_bits = 32,
+                              .hash_shift = 5,
+                              .l2_bits = {4, 10}};
+    MultiGeomFcmKernel whole(cfg);
+    const std::vector<PredictorStats> ref = whole.runTrace(trace);
+
+    MultiGeomFcmKernel chunked(cfg);
+    chunked.reset();
+    std::vector<std::uint64_t> correct(cfg.l2_bits.size(), 0);
+    const std::size_t half = trace.size() / 2;
+    const std::span<const TraceRecord> span(trace);
+    for (const auto part : {span.subspan(0, half), span.subspan(half)})
+        for (std::size_t c = 0; const PredictorStats& s :
+                                chunked.feedTrace(part))
+            correct[c++] += s.correct;
+
+    for (std::size_t c = 0; c < ref.size(); ++c)
+        EXPECT_EQ(correct[c], ref[c].correct) << "column " << c;
+    for (std::size_t e = 0; e < whole.l1Entries(); ++e)
+        ASSERT_TRUE(std::ranges::equal(whole.entryHists(e),
+                                       chunked.entryHists(e)));
 }
 
 TEST(BatchPlan, GroupsFig10GridIntoTwoColumns)

@@ -157,6 +157,86 @@ TEST(BenchCompareGate, ImprovementPasses)
     EXPECT_FALSE(cmp.anyRegression());
 }
 
+TEST(BenchCompareGate, ZeroBaselineThroughputIsIncomparableAndFails)
+{
+    // A baseline whose records/sec is 0.0 (a bench that never ran,
+    // or a truncated file) used to be skipped silently, so ANY fresh
+    // run passed against it. It must fail the gate.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 0.0"),
+            doc("    \"x_records_per_sec\": 2.6e8"), 0.10);
+    EXPECT_TRUE(cmp.errors.empty());
+    EXPECT_FALSE(cmp.anyRegression());
+    EXPECT_TRUE(cmp.anyIncomparable());
+    EXPECT_TRUE(cmp.anyFailure());
+    const MetricDelta* d = find(cmp, "x_records_per_sec");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->incomparable);
+    EXPECT_FALSE(d->ratio.has_value());
+}
+
+TEST(BenchCompareGate, NanBaselineThroughputIsIncomparableAndFails)
+{
+    // strtod parses the literal "nan" — a malformed baseline reaches
+    // compare() as a NaN value, not a parse error.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": nan"),
+            doc("    \"x_records_per_sec\": 2.6e8"), 0.10);
+    EXPECT_TRUE(cmp.errors.empty());
+    EXPECT_TRUE(cmp.anyIncomparable());
+    EXPECT_TRUE(cmp.anyFailure());
+}
+
+TEST(BenchCompareGate, ZeroFreshThroughputIsIncomparableAndFails)
+{
+    // Symmetric rule: a fresh run reporting 0 records/sec is a
+    // broken measurement, not an infinite regression.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 3.0e8"),
+            doc("    \"x_records_per_sec\": 0.0"), 0.10);
+    EXPECT_TRUE(cmp.anyIncomparable());
+    EXPECT_TRUE(cmp.anyFailure());
+}
+
+TEST(BenchCompareGate, CorruptBaselineWithNoFreshCounterpartStillFails)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 0.0"),
+            doc("    \"y_records_per_sec\": 1.0e8"), 0.10);
+    EXPECT_TRUE(cmp.anyIncomparable());
+}
+
+TEST(BenchCompareGate, NonThroughputZeroOrNanNeverFails)
+{
+    // Informational metrics keep their report-only contract even
+    // when degenerate.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_speedup\": 0.0,\n    \"y_count\": nan"),
+            doc("    \"x_speedup\": 1.0,\n    \"y_count\": 3.0"), 0.10);
+    EXPECT_FALSE(cmp.anyIncomparable());
+    EXPECT_FALSE(cmp.anyFailure());
+}
+
+TEST(BenchCompareGate, CleanComparisonHasNoFailure)
+{
+    const std::string d = doc("    \"x_records_per_sec\": 3.0e8");
+    const Comparison cmp = bench_compare::compare(d, d, 0.10);
+    EXPECT_FALSE(cmp.anyFailure());
+}
+
+TEST(BenchCompareReport, MarksIncomparableAndFailsVerdict)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 0.0"),
+            doc("    \"x_records_per_sec\": 2.6e8"), 0.10);
+    std::ostringstream os;
+    bench_compare::printReport(os, cmp, 0.10);
+    EXPECT_NE(os.str().find("INCOMPARABLE x_records_per_sec"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+    EXPECT_NE(os.str().find("incomparable"), std::string::npos);
+}
+
 TEST(BenchCompareReport, MarksRegressionsAndVerdict)
 {
     const Comparison cmp = bench_compare::compare(

@@ -34,12 +34,28 @@ TEST(TraceCache, ScaleFromEnvironment)
 {
     ::setenv("REPRO_TRACE_SCALE", "0.5", 1);
     EXPECT_DOUBLE_EQ(envTraceScale(), 0.5);
-    ::setenv("REPRO_TRACE_SCALE", "nonsense", 1);
-    EXPECT_DOUBLE_EQ(envTraceScale(), 1.0);
-    ::setenv("REPRO_TRACE_SCALE", "1e9", 1);
-    EXPECT_DOUBLE_EQ(envTraceScale(), 100.0);  // clamped
     ::unsetenv("REPRO_TRACE_SCALE");
     EXPECT_DOUBLE_EQ(envTraceScale(), 1.0);
+}
+
+// Malformed or out-of-range REPRO_TRACE_SCALE values used to warn
+// (or silently clamp) and run anyway at a scale the user did not
+// ask for; since the checked-env migration they are fatal.
+TEST(TraceCacheDeathTest, MalformedScaleIsFatal)
+{
+    ::setenv("REPRO_TRACE_SCALE", "nonsense", 1);
+    EXPECT_EXIT(envTraceScale(), ::testing::ExitedWithCode(2),
+                "REPRO_TRACE_SCALE");
+    ::setenv("REPRO_TRACE_SCALE", "0.5x", 1);  // trailing garbage
+    EXPECT_EXIT(envTraceScale(), ::testing::ExitedWithCode(2),
+                "REPRO_TRACE_SCALE");
+    ::setenv("REPRO_TRACE_SCALE", "1e9", 1);  // out of range
+    EXPECT_EXIT(envTraceScale(), ::testing::ExitedWithCode(2),
+                "REPRO_TRACE_SCALE");
+    ::setenv("REPRO_TRACE_SCALE", "-1", 1);
+    EXPECT_EXIT(envTraceScale(), ::testing::ExitedWithCode(2),
+                "REPRO_TRACE_SCALE");
+    ::unsetenv("REPRO_TRACE_SCALE");
 }
 
 TEST(Experiment, RunOnProducesConsistentStats)

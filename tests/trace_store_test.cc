@@ -14,9 +14,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <thread>
+#include <utility>
 
 #include "core/trace_io.hh"
 #include "harness/trace_cache.hh"
@@ -178,6 +180,118 @@ TEST(TraceStore, RejectsTruncatedFile)
     fs::resize_file(path, fs::file_size(path) - 17);
     EXPECT_THROW(TraceStore::mapFile(path), TraceIoError);
     EXPECT_FALSE(store.load("norm", kScale).has_value());
+}
+
+/** Open file descriptors of this process, via /proc/self/fd. */
+std::size_t
+openFdCount()
+{
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& e :
+         fs::directory_iterator("/proc/self/fd"))
+        ++n;
+    return n;
+}
+
+TEST(MappedTrace, SelfMoveAssignKeepsMappingIntact)
+{
+    TempDir tmp;
+    const TraceStore store(tmp.str());
+    const sim::TraceResult result =
+            workloads::runWorkload("norm", kScale);
+    store.store("norm", kScale, result);
+
+    MappedTrace mt = TraceStore::mapFile(store.entryPath("norm", kScale));
+    ASSERT_TRUE(mt.valid());
+
+    // Route the self-move through a reference so the compiler cannot
+    // warn it away; the mapping must survive and stay readable (a
+    // double-munmap here would poison the pages).
+    MappedTrace& alias = mt;
+    mt = std::move(alias);
+    ASSERT_TRUE(mt.valid());
+    EXPECT_TRUE(sameRecords(mt.records(), result.trace));
+}
+
+TEST(MappedTrace, MoveAssignOverLiveMappingUnmapsOnce)
+{
+    TempDir tmp;
+    const TraceStore store(tmp.str());
+    const sim::TraceResult norm =
+            workloads::runWorkload("norm", kScale);
+    store.store("norm", kScale, norm);
+
+    MappedTrace a = TraceStore::mapFile(store.entryPath("norm", kScale));
+    MappedTrace b = TraceStore::mapFile(store.entryPath("norm", kScale));
+    const void* b_map = b.mappingData();
+
+    // a's old mapping is released exactly once; a now owns b's.
+    a = std::move(b);
+    EXPECT_FALSE(b.valid());       // NOLINT: moved-from probe
+    EXPECT_EQ(b.mappingSize(), 0u);
+    ASSERT_TRUE(a.valid());
+    EXPECT_EQ(a.mappingData(), b_map);
+    EXPECT_TRUE(sameRecords(a.records(), norm.trace));
+
+    // The moved-from object is reusable: destroying it (end of
+    // scope) must not touch the mapping a now owns, and it can be
+    // re-assigned a fresh mapping first.
+    b = TraceStore::mapFile(store.entryPath("norm", kScale));
+    EXPECT_TRUE(b.valid());
+    EXPECT_TRUE(sameRecords(b.records(), norm.trace));
+}
+
+TEST(MappedTrace, MoveChainThenDestructorsDoNotDoubleUnmap)
+{
+    TempDir tmp;
+    const TraceStore store(tmp.str());
+    const sim::TraceResult result =
+            workloads::runWorkload("norm", kScale);
+    store.store("norm", kScale, result);
+
+    MappedTrace outer;
+    {
+        MappedTrace inner =
+                TraceStore::mapFile(store.entryPath("norm", kScale));
+        MappedTrace mid = std::move(inner);
+        outer = std::move(mid);
+        // inner and mid both destruct here while outer holds the
+        // mapping; under ASan a double munmap or stale access fails.
+    }
+    ASSERT_TRUE(outer.valid());
+    EXPECT_TRUE(sameRecords(outer.records(), result.trace));
+}
+
+TEST(MappedTrace, FailedMapLeaksNoFileDescriptor)
+{
+    TempDir tmp;
+    const TraceStore store(tmp.str());
+    store.store("norm", kScale, workloads::runWorkload("norm", kScale));
+    const std::string path = store.entryPath("norm", kScale);
+    fs::resize_file(path, fs::file_size(path) - 17);
+
+    const std::size_t before = openFdCount();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_THROW(TraceStore::mapFile(path), TraceIoError);
+    EXPECT_EQ(openFdCount(), before);
+}
+
+TEST(MappedTrace, SuccessfulMapLeaksNoFileDescriptor)
+{
+    TempDir tmp;
+    const TraceStore store(tmp.str());
+    store.store("norm", kScale, workloads::runWorkload("norm", kScale));
+    const std::string path = store.entryPath("norm", kScale);
+
+    const std::size_t before = openFdCount();
+    {
+        const MappedTrace mt = TraceStore::mapFile(path);
+        ASSERT_TRUE(mt.valid());
+        // mmap keeps the pages alive without the fd; it must already
+        // be closed while the mapping is still in use.
+        EXPECT_EQ(openFdCount(), before);
+    }
+    EXPECT_EQ(openFdCount(), before);
 }
 
 TEST(TraceCacheStore, ColdThenWarmServesIdenticalTrace)

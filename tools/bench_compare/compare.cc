@@ -1,6 +1,7 @@
 #include "bench_compare/compare.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <map>
 #include <ostream>
@@ -41,6 +42,21 @@ Comparison::anyRegression() const
 {
     return std::any_of(deltas.begin(), deltas.end(),
                        [](const MetricDelta& d) { return d.regressed; });
+}
+
+bool
+Comparison::anyIncomparable() const
+{
+    return std::any_of(deltas.begin(), deltas.end(),
+                       [](const MetricDelta& d) {
+                           return d.incomparable;
+                       });
+}
+
+bool
+Comparison::anyFailure() const
+{
+    return !errors.empty() || anyRegression() || anyIncomparable();
 }
 
 std::optional<std::vector<std::pair<std::string, double>>>
@@ -104,6 +120,14 @@ compare(const std::string& baseline_json, const std::string& fresh_json,
 
     std::map<std::string, double> fresh_by_name(fresh->begin(),
                                                 fresh->end());
+    // A throughput side is usable iff it is a finite, strictly
+    // positive rate: zero means the bench never ran, and a NaN is a
+    // malformed document that parsed as the literal "nan". Either
+    // used to be skipped silently, turning a corrupted baseline into
+    // a vacuous pass.
+    const auto usableRate = [](double v) {
+        return std::isfinite(v) && v > 0.0;
+    };
     for (const auto& [name, bval] : *base) {
         MetricDelta d;
         d.name = name;
@@ -111,11 +135,19 @@ compare(const std::string& baseline_json, const std::string& fresh_json,
         const auto it = fresh_by_name.find(name);
         if (it != fresh_by_name.end()) {
             d.fresh = it->second;
-            if (bval > 0.0)
+            if (isThroughput(name)
+                && (!usableRate(bval) || !usableRate(it->second))) {
+                d.incomparable = true;
+            } else if (usableRate(bval)) {
                 d.ratio = it->second / bval;
+            }
             d.regressed = isThroughput(name) && d.ratio
                     && *d.ratio < 1.0 - threshold;
             fresh_by_name.erase(it);
+        } else if (isThroughput(name) && !usableRate(bval)) {
+            // A corrupt baseline with no fresh counterpart is still a
+            // corrupt baseline; refuse to bless it.
+            d.incomparable = true;
         }
         cmp.deltas.push_back(std::move(d));
     }
@@ -144,8 +176,10 @@ printReport(std::ostream& os, const Comparison& cmp, double threshold)
     const auto old_prec = os.precision();
     os << std::fixed;
     for (const MetricDelta& d : cmp.deltas) {
-        os << (d.regressed ? "REGRESSED " : "          ") << d.name
-           << ": ";
+        os << (d.regressed      ? "REGRESSED "
+               : d.incomparable ? "INCOMPARABLE "
+                                : "          ")
+           << d.name << ": ";
         if (d.baseline)
             os << std::setprecision(3) << *d.baseline;
         else
@@ -164,10 +198,20 @@ printReport(std::ostream& os, const Comparison& cmp, double threshold)
                           [](const MetricDelta& d) {
                               return d.regressed;
                           }));
-    os << (regressions == 0 ? "OK" : "FAIL") << ": " << regressions
-       << " throughput metric(s) more than "
+    const std::size_t incomparable = static_cast<std::size_t>(
+            std::count_if(cmp.deltas.begin(), cmp.deltas.end(),
+                          [](const MetricDelta& d) {
+                              return d.incomparable;
+                          }));
+    os << (regressions + incomparable == 0 ? "OK" : "FAIL") << ": "
+       << regressions << " throughput metric(s) more than "
        << std::setprecision(0) << threshold * 100.0
-       << "% below baseline\n";
+       << "% below baseline";
+    if (incomparable != 0)
+        os << ", " << incomparable
+           << " incomparable (zero/NaN throughput — corrupt baseline"
+              " or fresh run?)";
+    os << "\n";
     os.flags(old_flags);
     os.precision(old_prec);
 }

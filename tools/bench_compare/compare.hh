@@ -8,8 +8,11 @@
  * freshly measured run. Every metric whose name ends in
  * "_records_per_sec" is a throughput; a fresh value more than
  * `threshold` (default 10%) below the baseline is a regression and
- * fails the gate. Non-throughput metrics and metrics present on only
- * one side are reported but never fail.
+ * fails the gate. A throughput metric with a zero, negative or NaN
+ * value on either side is *incomparable* and also fails the gate —
+ * a corrupted baseline must never make the gate vacuously pass.
+ * Non-throughput metrics and metrics present on only one side are
+ * reported but never fail.
  *
  * The parser handles exactly the emitter's output — a flat
  * `"metrics": { "name": number, ... }` object with one pair per line
@@ -40,6 +43,15 @@ struct MetricDelta
     /** True when this is a "_records_per_sec" throughput metric whose
      *  fresh value fell more than the threshold below the baseline. */
     bool regressed = false;
+    /**
+     * True when this is a throughput metric that *cannot* be
+     * compared: a baseline or fresh value that is zero, negative or
+     * non-finite (a NaN survives JSON parsing as the literal "nan").
+     * Such a metric used to be silently skipped, so a corrupted
+     * baseline made the gate vacuously pass; now it fails the gate
+     * like a regression does.
+     */
+    bool incomparable = false;
 };
 
 /** Comparison of two metric sets at one threshold. */
@@ -49,6 +61,11 @@ struct Comparison
     std::vector<std::string> errors;  //!< parse problems; fatal
 
     bool anyRegression() const;
+    /** Any throughput metric with a zero/negative/NaN side. */
+    bool anyIncomparable() const;
+    /** What the gate acts on: parse errors, regressions, or
+     *  incomparable throughput metrics. */
+    bool anyFailure() const;
 };
 
 /**

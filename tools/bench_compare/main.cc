@@ -6,11 +6,14 @@
  *                   [--threshold <frac>] [--warn-only]
  *
  * Exit status: 0 when no "_records_per_sec" metric fell more than
- * the threshold (default 0.10) below the baseline, 1 on regression
- * or parse error, 2 on usage error. --warn-only prints the same
- * report but always exits 0 on a clean parse — CI uses it on noisy
- * shared runners where a wall-clock dip is not worth a red build,
- * while tools/check.sh runs the hard-failing default locally.
+ * the threshold (default 0.10) below the baseline and every
+ * throughput metric was comparable, 1 on regression, incomparable
+ * throughput (zero/negative/NaN on either side — a corrupt baseline
+ * must not vacuously pass the gate) or parse error, 2 on usage
+ * error. --warn-only prints the same report but always exits 0 on a
+ * clean parse — CI uses it on noisy shared runners where a
+ * wall-clock dip is not worth a red build, while tools/check.sh runs
+ * the hard-failing default locally.
  */
 
 #include <cstring>
@@ -96,7 +99,7 @@ main(int argc, char** argv)
     bench_compare::printReport(std::cout, cmp, threshold);
     if (!cmp.errors.empty())
         return 1;
-    if (cmp.anyRegression())
+    if (cmp.anyFailure())
         return warn_only ? 0 : 1;
     return 0;
 }

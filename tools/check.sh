@@ -8,6 +8,11 @@
 #   asan     AddressSanitizer + UndefinedBehaviorSanitizer build,
 #            full ctest suite
 #   tsan     ThreadSanitizer build, ctest -L "concurrency|perf"
+#   service  reduced-scale prediction-service smoke run
+#            (REPRO_SERVICE_SMOKE=1: ~10k streams through
+#            bench_service_load in a scratch cwd) — exercises the
+#            sharded ingest/evict/spill path end to end and checks
+#            that BENCH_service.json is emitted
 #   perf     reduced-scale bench_throughput run in a scratch cwd,
 #            then bench-compare against the committed
 #            results/BENCH_throughput.json (>10% records/s drop
@@ -34,10 +39,13 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc)"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(release lint asan tsan perf figures)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(release lint asan tsan service perf figures)
 
+# Scratch dirs registered here are removed on any exit, including a
+# failed stage under `set -e` and SIGINT/SIGTERM. The guarded
+# expansion keeps `set -u` happy on an empty array under bash < 4.4.
 CLEANUP=()
-trap '[ ${#CLEANUP[@]} -gt 0 ] && rm -rf "${CLEANUP[@]}" || true' EXIT
+trap 'rm -rf ${CLEANUP[@]+"${CLEANUP[@]}"}' EXIT INT TERM
 
 note() { printf '\n==> %s\n' "$*"; }
 
@@ -87,6 +95,21 @@ if want tsan; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREPRO_TSAN=ON
 fi
 
+if want service; then
+    note "service: reduced-scale sharded-service smoke (REPRO_SERVICE_SMOKE=1)"
+    [ -x "$ROOT/build-check-release/bench/bench_service_load" ] || {
+        echo "service stage needs the release stage first" >&2; exit 1; }
+    SERVICE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/vpred-service.XXXXXX")"
+    CLEANUP+=("$SERVICE_DIR")
+    (
+        cd "$SERVICE_DIR"
+        REPRO_SERVICE_SMOKE=1 \
+            "$ROOT/build-check-release/bench/bench_service_load"
+    )
+    [ -s "$SERVICE_DIR/results/BENCH_service.json" ] || {
+        echo "service smoke did not emit BENCH_service.json" >&2; exit 1; }
+fi
+
 if want perf; then
     note "perf: reduced-scale throughput run + bench-compare vs baseline"
     [ -x "$ROOT/build-check-release/bench/bench_throughput" ] &&
@@ -118,6 +141,9 @@ if want figures; then
     (
         cd "$SCRATCH"
         for b in "$ROOT"/build-check-release/bench/bench_*; do
+            # The load generator runs at full scale (1M streams) and
+            # emits no CSV — it has its own `service` smoke stage.
+            [ "$(basename "$b")" = bench_service_load ] && continue
             echo "  running $(basename "$b")"
             "$b" > /dev/null
         done

@@ -67,6 +67,8 @@ allowedIncludes()
         {"sim", {"sim", "core"}},
         {"workloads", {"workloads", "core", "sim", "tracegen"}},
         {"harness", {"harness", "core", "sim", "tracegen", "workloads"}},
+        {"service",
+         {"service", "harness", "core", "sim", "tracegen", "workloads"}},
     };
     return kDag;
 }
@@ -76,8 +78,8 @@ allowedIncludes()
 void
 checkLayering(const Tree& tree, std::vector<Finding>& out)
 {
-    const std::set<std::string> layers = {"core", "tracegen", "sim",
-                                          "workloads", "harness"};
+    const std::set<std::string> layers = {
+            "core", "tracegen", "sim", "workloads", "harness", "service"};
     for (const SourceFile& f : tree.files) {
         if (f.layer.empty())
             continue;

@@ -216,8 +216,9 @@ layerOf(std::string_view rel)
     static const std::pair<std::string_view, std::string_view> kPrefixes[] = {
         {"src/core/", "core"},         {"src/tracegen/", "tracegen"},
         {"src/sim/", "sim"},           {"src/workloads/", "workloads"},
-        {"src/harness/", "harness"},   {"bench/", "bench"},
-        {"examples/", "examples"},     {"tests/", "tests"},
+        {"src/harness/", "harness"},   {"src/service/", "service"},
+        {"bench/", "bench"},           {"examples/", "examples"},
+        {"tests/", "tests"},
     };
     for (const auto& [prefix, layer] : kPrefixes)
         if (rel.substr(0, prefix.size()) == prefix)
