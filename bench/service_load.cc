@@ -14,10 +14,14 @@
  * than the resident capacity, so eviction, spill and restore run
  * continuously at full load.
  *
- * Emits results/BENCH_service.json (schema_version 5): sustained
+ * Emits results/BENCH_service.json (schema_version 6): sustained
  * ingest records/sec as a gated "_records_per_sec" metric, p50/p99
- * ingest-to-predict latency, the col-0 hit rate, peak RSS, and a
- * "service" section with the shard/eviction counters.
+ * ingest-to-predict latency, the col-0 hit rate, peak RSS, a
+ * "service" section with the shard/eviction counters, a "packing"
+ * section observing the stream-packed kernel feeds (segment flushes,
+ * 16-lane steps, mean lane occupancy, gather- vs scalar-path record
+ * counts), and a "drain_batches" section with the per-drain
+ * batch-size distribution.
  */
 
 #include <atomic>
@@ -29,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cpu_features.hh"
 #include "core/env_util.hh"
 #include "harness/results_json.hh"
 #include "service/prediction_service.hh"
@@ -148,7 +153,13 @@ main()
 
     const auto stats = service.stats();
     const auto latency = service.latency();
+    const auto drain_batches = service.drainBatchRecords();
     const double rate = static_cast<double>(total) / wall;
+    const double lane_occupancy = stats.packed_steps == 0
+            ? 0.0
+            : static_cast<double>(stats.gather_records
+                                  + stats.scalar_records)
+                    / static_cast<double>(stats.packed_steps * 16);
     const double hit_rate = stats.predictions == 0
             ? 0.0
             : static_cast<double>(stats.correct_col0)
@@ -165,11 +176,22 @@ main()
               << "  resident " << stats.resident_streams << ", spilled "
               << stats.spilled_streams << ", evictions "
               << stats.evictions << ", restores " << stats.restores
-              << "\n  peak RSS " << peak_rss << " MiB\n";
+              << "\n  packing: " << stats.flushes << " flushes, "
+              << stats.packed_steps << " steps, occupancy "
+              << lane_occupancy << ", gather " << stats.gather_records
+              << ", scalar " << stats.scalar_records << " ("
+              << vpred::simdBackendName(vpred::activeSimdBackend())
+              << ")\n  peak RSS " << peak_rss << " MiB\n";
 
     vpred::harness::ResultsJsonWriter json("service", 1.0,
                                            service.shards());
     json.setWallSeconds(wall);
+    vpred::harness::SweepExecution exec;
+    exec.simd_backend =
+            vpred::simdBackendName(vpred::activeSimdBackend());
+    exec.vector_width =
+            vpred::simdVectorBits(vpred::activeSimdBackend());
+    json.setExecution(exec);
     json.addMetric("service_ingest_records_per_sec", rate);
     json.addMetric("service_p50_ingest_to_predict_ns",
                    static_cast<double>(p50));
@@ -190,6 +212,24 @@ main()
              {"evictions", static_cast<double>(stats.evictions)},
              {"restores", static_cast<double>(stats.restores)},
              {"pump_calls", static_cast<double>(pumps)}});
+    json.addSection(
+            "packing",
+            {{"flushes", static_cast<double>(stats.flushes)},
+             {"packed_steps", static_cast<double>(stats.packed_steps)},
+             {"mean_lane_occupancy", lane_occupancy},
+             {"gather_records",
+              static_cast<double>(stats.gather_records)},
+             {"scalar_records",
+              static_cast<double>(stats.scalar_records)}});
+    json.addSection(
+            "drain_batches",
+            {{"drains", static_cast<double>(drain_batches.count())},
+             {"p50_records",
+              static_cast<double>(drain_batches.quantileNs(0.50))},
+             {"p90_records",
+              static_cast<double>(drain_batches.quantileNs(0.90))},
+             {"p99_records",
+              static_cast<double>(drain_batches.quantileNs(0.99))}});
     if (!json.write())
         return 1;
     return 0;

@@ -16,7 +16,11 @@
  *
  * — verifies the paths agree bit-for-bit, prints a table, and emits
  * results/BENCH_throughput.json (records/sec and speedups under
- * "metrics") through the shared results_json emitter.
+ * "metrics") through the shared results_json emitter. A fourth
+ * measurement covers the stream-packed tier (feedTracePacked): a
+ * round-robin multi-stream batch through the sequential feed, the
+ * packed scalar schedule and the packed SIMD dispatch, with level-1
+ * state and counter identity checked in-process.
  *
  * Passing any google-benchmark flag (e.g. --benchmark_filter=.*) or
  * setting REPRO_GBENCH=1 additionally runs the microbenchmark suite
@@ -25,6 +29,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -217,6 +222,101 @@ compareColumn(PredictorKind kind, std::span<const TraceRecord> trace,
                   TablePrinter::fmt(multi_rps / 1e6, 1),
                   TablePrinter::fmt(scalar_s / multi_s, 2),
                   TablePrinter::fmt(virt_s / multi_s, 2)});
+}
+
+/**
+ * The stream-packed tier head-to-head: round-robin records from 2^12
+ * independent streams (the service drain's steady state — every
+ * 16-lane step fills from distinct streams) through the sequential
+ * feed, the packed scalar schedule, and the packed SIMD dispatch.
+ * Round-robin preserves each stream's record order globally, so the
+ * sequential path must land on bit-identical level-1 state; the two
+ * packed runs must agree on every counter (the canonical schedule is
+ * backend-independent). Aborts loudly on any mismatch.
+ */
+void
+comparePackedTier(harness::ResultsJsonWriter& json,
+                  harness::SweepExecution& exec)
+{
+    MultiGeomConfig geom;
+    geom.l1_bits = 12;
+    geom.l2_bits = harness::paperL2Bits();
+
+    const std::uint64_t streams = std::uint64_t{1} << geom.l1_bits;
+    const std::uint64_t rounds = 96;
+    ValueTrace batch;
+    batch.reserve(streams * rounds);
+    for (std::uint64_t r = 0; r < rounds; ++r)
+        for (std::uint64_t s = 0; s < streams; ++s)
+            batch.push_back({Pc{s},
+                             (s * 0x9e3779b97f4a7c15ull
+                              + r * ((s & 31) + 1))
+                                     & 0xffffffffull});
+    const std::span<const TraceRecord> span{batch.data(), batch.size()};
+
+    constexpr int kRepeats = 3;
+    std::uint64_t sink = 0;
+    std::vector<PredictorStats> seq_stats, ps_stats, pv_stats;
+    const double seq_s = bestSeconds(kRepeats, sink, [&] {
+        MultiGeomDfcmKernel kernel(geom);
+        seq_stats = kernel.feedTrace(span);
+        return seq_stats.back().correct;
+    });
+    const double packed_scalar_s = bestSeconds(kRepeats, sink, [&] {
+        MultiGeomDfcmKernel kernel(geom);
+        ps_stats = kernel.feedTracePacked(span, SimdBackend::Scalar);
+        return ps_stats.back().correct;
+    });
+    const double packed_s = bestSeconds(kRepeats, sink, [&] {
+        MultiGeomDfcmKernel kernel(geom);
+        pv_stats = kernel.feedTracePacked(span);
+        return pv_stats.back().correct;
+    });
+    exec.trace_walks += 3 * kRepeats;
+    benchmark::DoNotOptimize(sink);
+
+    MultiGeomDfcmKernel seq_kernel(geom), packed_kernel(geom);
+    seq_kernel.feedTrace(span, SimdBackend::Scalar);
+    packed_kernel.feedTracePacked(span);
+    for (std::uint64_t e = 0; e < streams; ++e) {
+        if (!std::ranges::equal(seq_kernel.entryHists(e),
+                                packed_kernel.entryHists(e))
+            || seq_kernel.lastValue(e) != packed_kernel.lastValue(e)) {
+            std::cerr << "FATAL: packed tier level-1 state diverges "
+                         "from the sequential feed at entry "
+                      << e << "\n";
+            std::exit(1);
+        }
+    }
+    for (std::size_t c = 0; c < ps_stats.size(); ++c) {
+        if (ps_stats[c] != pv_stats[c]) {
+            std::cerr << "FATAL: packed counters differ between "
+                         "scalar schedule and SIMD dispatch\n";
+            std::exit(1);
+        }
+    }
+
+    // Cell-records (records x columns), matching the column table.
+    const double n = static_cast<double>(batch.size())
+            * static_cast<double>(geom.l2_bits.size());
+    json.addMetric("dfcm_packed_sequential_records_per_sec",
+                   n / seq_s);
+    json.addMetric("dfcm_packed_scalar_records_per_sec",
+                   n / packed_scalar_s);
+    json.addMetric("dfcm_packed_simd_records_per_sec", n / packed_s);
+    json.addMetric("dfcm_packed_simd_speedup_vs_sequential",
+                   seq_s / packed_s);
+    json.addMetric("dfcm_packed_simd_speedup_vs_packed_scalar",
+                   packed_scalar_s / packed_s);
+    std::cout << "\nstream-packed tier (dfcm, " << streams
+              << " streams round-robin, whole l2 column, Mrps as "
+                 "above):\n  sequential "
+              << n / seq_s / 1e6 << ", packed-scalar "
+              << n / packed_scalar_s / 1e6 << ", packed-simd "
+              << n / packed_s / 1e6 << " (x"
+              << packed_scalar_s / packed_s
+              << " vs packed-scalar, x" << seq_s / packed_s
+              << " vs sequential; state and counters verified)\n";
 }
 
 /** Single-config kernel-vs-virtual ratio for one family. */
@@ -413,6 +513,7 @@ main(int argc, char** argv)
     table.print(std::cout);
     std::cout << "(Mrps = million cell-records per second over the "
                  "whole l2 column; all paths verified bit-identical)\n";
+    comparePackedTier(json, exec);
 
     for (PredictorKind kind :
          {PredictorKind::Lvp, PredictorKind::Stride,

@@ -29,6 +29,25 @@ cpuHasAvx2()
 #endif
 }
 
+/**
+ * Whether the running CPU can execute AVX-512F (the foundation subset
+ * is all the packed kernel uses: 32-bit gather/scatter, mask compare
+ * and variable shifts). The TU is only compiled when the AVX2 TU is
+ * too (see core/CMakeLists.txt), so AVX-512 availability implies AVX2
+ * availability both at build time and — architecturally — at run time.
+ */
+bool
+cpuHasAvx512()
+{
+#if defined(REPRO_SIMD_HAS_AVX512) \
+        && (defined(__x86_64__) || defined(__i386__))
+    static const bool has = __builtin_cpu_supports("avx512f") > 0;
+    return has;
+#else
+    return false;
+#endif
+}
+
 std::vector<SimdBackend>
 probeBackends()
 {
@@ -43,6 +62,8 @@ probeBackends()
 #endif
     if (cpuHasAvx2())
         backends.push_back(SimdBackend::Avx2);
+    if (cpuHasAvx512())
+        backends.push_back(SimdBackend::Avx512);
     return backends;
 }
 
@@ -76,6 +97,7 @@ simdBackendName(SimdBackend backend)
       case SimdBackend::Sse2: return "sse2";
       case SimdBackend::Avx2: return "avx2";
       case SimdBackend::Neon: return "neon";
+      case SimdBackend::Avx512: return "avx512";
     }
     return "unknown";
 }
@@ -88,6 +110,7 @@ simdVectorBits(SimdBackend backend)
       case SimdBackend::Sse2: return 128;
       case SimdBackend::Avx2: return 256;
       case SimdBackend::Neon: return 128;
+      case SimdBackend::Avx512: return 512;
     }
     return 0;
 }
@@ -131,6 +154,8 @@ activeSimdBackend()
         requested = SimdBackend::Sse2;
     } else if (v == "avx2") {
         requested = SimdBackend::Avx2;
+    } else if (v == "avx512") {
+        requested = SimdBackend::Avx512;
     } else if (v == "neon") {
         requested = SimdBackend::Neon;
     } else {
@@ -138,7 +163,8 @@ activeSimdBackend()
         // not a preference — it used to silently select "best", so a
         // typo like REPRO_SIMD=sse3 measured the wrong kernel.
         envUsageError("REPRO_SIMD", *env,
-                      "one of scalar/sse2/avx2/neon/best/0/1/on/off");
+                      "one of scalar/sse2/avx2/avx512/neon/best/0/1/"
+                      "on/off");
     }
     // A real backend name that this build or CPU cannot run is an
     // environmental condition, not a typo: warn and degrade to the

@@ -17,8 +17,8 @@
  *   1. the REPRO_SIMD environment variable, when set:
  *        "0" / "off" / "false" / "scalar"  -> scalar reference path
  *        "1" / "on" / "best" / ""          -> best available backend
- *        "sse2" / "avx2" / "neon"          -> that backend; falls back
- *                                             to scalar (with a
+ *        "sse2" / "avx2" / "avx512" /      -> that backend; falls back
+ *        "neon"                               to scalar (with a
  *                                             one-time stderr warning)
  *                                             when it is not compiled
  *                                             in or not supported by
@@ -47,9 +47,11 @@ enum class SimdBackend
     Sse2,    //!< x86-64 baseline, 128-bit lanes
     Avx2,    //!< x86-64 with AVX2, 256-bit lanes
     Neon,    //!< AArch64 baseline, 128-bit lanes
+    Avx512,  //!< x86-64 with AVX-512F, 512-bit lanes (packed tier)
 };
 
-/** Short lowercase name: "scalar", "sse2", "avx2", "neon". */
+/** Short lowercase name: "scalar", "sse2", "avx2", "avx512",
+ *  "neon". */
 const char* simdBackendName(SimdBackend backend);
 
 /** Integer vector width in bits (64 for scalar: one u32 pair of

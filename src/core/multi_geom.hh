@@ -68,7 +68,24 @@ namespace vpred
 namespace detail
 {
 struct MgSimdView;
+struct MgPackedView;
 }
+
+/**
+ * Observability counters for one feedTracePacked() call: how many
+ * 16-lane steps the canonical packing produced, how many records rode
+ * in them (mean lane occupancy = records / (steps * 16)), and which
+ * execution path ran them — a gather-capable vector backend or the
+ * scalar packed reference. The service aggregates these into the
+ * BENCH_service.json "packing" section.
+ */
+struct PackedFeedInfo
+{
+    std::uint64_t steps = 0;    //!< 16-lane steps executed
+    std::uint64_t records = 0;  //!< records scheduled (active lanes)
+    std::uint64_t gather_records = 0;  //!< ran on a gather backend
+    std::uint64_t scalar_records = 0;  //!< ran on the scalar reference
+};
 
 /**
  * One level-1 row of a sweep grid: the shared geometry plus the
@@ -155,6 +172,27 @@ class MultiGeomKernelBase
      */
     detail::MgSimdView makeView(std::uint64_t* correct);
 
+    /**
+     * Build the canonical stream-packed schedule for @p trace into
+     * the kernel-owned scratch arrays, returning the step count.
+     *
+     * Records are grouped by level-1 entry in first-appearance order;
+     * wave j takes the j-th record of every group that still has one,
+     * and each wave is cut into 16-lane steps (a step never spans
+     * waves, so its lane entries are pairwise distinct — the packed
+     * kernels' no-collision precondition for the history scatter).
+     * Each group's records keep their trace order across waves, which
+     * is what makes per-stream level-1 state independent of batching.
+     * The schedule is a pure function of the (entry, value) sequence,
+     * so packed counters are deterministic for a given batch order.
+     */
+    std::size_t packTrace(std::span<const TraceRecord> trace);
+
+    /** Flatten kernel state + the schedule packTrace() just built.
+     *  Same contract as makeView; @p steps is packTrace()'s result. */
+    detail::MgPackedView makePackedView(std::uint64_t* correct,
+                                        std::size_t steps);
+
     MultiGeomConfig cfg_;
     std::uint64_t l1_mask_;
     std::uint64_t value_mask_;
@@ -181,6 +219,30 @@ class MultiGeomKernelBase
     /** Columns whose level-2 table is big enough that software
      *  prefetch pays for itself (see kPrefetchMinL2Bytes). */
     std::vector<std::uint32_t> prefetch_cols_;
+
+    /** Whether every history-bank gather index fits a signed 32-bit
+     *  lane (l1Entries * padded_n bounded); when false the packed
+     *  entry points always use the scalar reference. */
+    bool packed_simd_ok_;
+
+    // packTrace() scratch, reused across calls. The per-entry stamp
+    // pair gives O(batch) grouping without clearing l1Entries() words
+    // per call (allocated lazily on the first packed feed).
+    std::vector<std::uint32_t> pack_stamp_;  //!< epoch per l1 entry
+    std::vector<std::uint32_t> pack_gid_;    //!< group id per l1 entry
+    std::uint32_t pack_epoch_ = 0;
+    std::vector<std::uint32_t> pk_group_entry_;   //!< group -> entry
+    std::vector<std::uint32_t> pk_group_count_;   //!< records in group
+    std::vector<std::uint32_t> pk_group_off_;     //!< grouped-area base
+    std::vector<std::uint32_t> pk_group_cursor_;  //!< distribution aid
+    std::vector<std::uint32_t> pk_values_;  //!< grouped masked values
+    std::vector<std::uint8_t> pk_fits_;     //!< grouped fits flags
+    std::vector<std::uint32_t> pk_alive_;   //!< groups still emitting
+    // The emitted schedule (steps x kPackLanes lane arrays + masks).
+    std::vector<std::uint32_t> pk_lane_entry_;
+    std::vector<std::uint32_t> pk_lane_value_;
+    std::vector<std::uint16_t> pk_step_active_;
+    std::vector<std::uint16_t> pk_step_fits_;
 };
 
 /**
@@ -224,6 +286,25 @@ class MultiGeomFcmKernel : public MultiGeomKernelBase
     std::vector<PredictorStats>
     feedTrace(std::span<const TraceRecord> trace, SimdBackend backend);
 
+    /**
+     * Incremental feed through the *stream-packed* tier: records from
+     * distinct level-1 entries execute side by side in 16-lane steps
+     * (see packTrace), with gather/scatter level-2 probes on capable
+     * backends. Each entry's own records stay in trace order, so
+     * per-entry level-1 state is bit-identical to feedTrace() for any
+     * batching; the returned counters follow the canonical packed
+     * interleave instead of trace order, and are identical across
+     * every backend (including the scalar packed reference).
+     */
+    std::vector<PredictorStats>
+    feedTracePacked(std::span<const TraceRecord> trace);
+
+    /** As above on a specific backend, optionally reporting packing
+     *  observability (@p info is overwritten, not accumulated). */
+    std::vector<PredictorStats>
+    feedTracePacked(std::span<const TraceRecord> trace,
+                    SimdBackend backend, PackedFeedInfo* info = nullptr);
+
     /** Reset all state to power-on zeros. */
     void reset() { resetState(); }
 
@@ -256,6 +337,16 @@ class MultiGeomDfcmKernel : public MultiGeomKernelBase
     /** As above on a specific backend. */
     std::vector<PredictorStats>
     feedTrace(std::span<const TraceRecord> trace, SimdBackend backend);
+
+    /** See MultiGeomFcmKernel::feedTracePacked. */
+    std::vector<PredictorStats>
+    feedTracePacked(std::span<const TraceRecord> trace);
+
+    /** As above on a specific backend, optionally reporting packing
+     *  observability (@p info is overwritten, not accumulated). */
+    std::vector<PredictorStats>
+    feedTracePacked(std::span<const TraceRecord> trace,
+                    SimdBackend backend, PackedFeedInfo* info = nullptr);
 
     /** Reset all state (histories, level-2 tables, last values). */
     void reset();

@@ -25,4 +25,14 @@ runMgColumnsAvx2(const MgSimdView& view,
     runMgColumnsAll<simd::Native>(view, trace);
 }
 
+void
+runMgPackedAvx2(const MgPackedView& view)
+{
+    // Each 16-lane step runs as two 256-bit half-vectors; vpgatherdd
+    // covers the level-2 probes, and the (scatterless) lane-order
+    // store loop in simd.hh preserves the canonical duplicate-index
+    // tie-break.
+    runMgPackedAll<simd::Native>(view);
+}
+
 } // namespace vpred::detail

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * AVX-512 instantiation of the *stream-packed* multi-geometry kernel:
+ * one 512-bit vector carries a whole 16-lane step, vpgatherdd /
+ * vpscatterdd cover the level-2 probes and history writebacks, and
+ * the compare collapses to a single vpcmpeqd mask. Compiled with
+ * -mavx512f by src/core/CMakeLists.txt — and only when the AVX2 TU is
+ * also present, because the column-parallel tier dispatches AVX-512
+ * to the AVX2 column kernel (the history banks stay 8-lane padded;
+ * see core/multi_geom.cc). Only ever *called* after the runtime CPUID
+ * probe in core/cpu_features.cc says the machine executes AVX-512F.
+ */
+
+#define REPRO_SIMD_TU_AVX512 1
+
+#include "core/multi_geom_simd_impl.hh"
+
+namespace vpred::detail
+{
+
+static_assert(simd::Native::kBackend == SimdBackend::Avx512,
+              "simd.hh resolved the wrong backend for this TU");
+static_assert(simd::Native::kLanes == simd::kPackLanes,
+              "an AVX-512 step is exactly one vector");
+
+void
+runMgPackedAvx512(const MgPackedView& view)
+{
+    runMgPackedAll<simd::Native>(view);
+}
+
+} // namespace vpred::detail

@@ -39,6 +39,8 @@
 #ifndef DFCM_CORE_MULTI_GEOM_SIMD_IMPL_HH
 #define DFCM_CORE_MULTI_GEOM_SIMD_IMPL_HH
 
+#include <bit>
+
 #include "core/multi_geom_simd.hh"
 #include "core/simd.hh"
 
@@ -183,6 +185,167 @@ runMgColumnsAll(const MgSimdView& v, std::span<const TraceRecord> trace)
             runMgColumns<Ops, true, false>(v, trace);
     } else {
         runMgColumns<Ops, false, false>(v, trace);
+    }
+}
+
+/**
+ * The stream-packed kernel: execute a canonical 16-lane schedule
+ * (MgPackedView) in which every lane of a step carries one record
+ * from a distinct level-1 entry. Unlike the column kernel above —
+ * which walks *one* stream and vectorizes across geometry columns —
+ * this tier vectorizes across independent streams, which finally
+ * gives the level-2 probes a common gather base: all lanes of a
+ * column probe the same shard-owned table.
+ *
+ * Per (step, column) the observable order is fixed by contract:
+ *
+ *   1. gather the 16 pre-update hashes from the history bank;
+ *   2. gather the 16 level-2 slots and compare against the lane
+ *      values (prediction counters via mask popcount — a lane only
+ *      counts when its raw 64-bit value fits value_mask, which the
+ *      packer precomputed into step_fits);
+ *   3. scatter the stored values back in ascending lane order
+ *      (duplicate level-2 indices: highest lane wins, matching
+ *      vpscatterdd);
+ *   4. scatter the advanced hashes (lane entries are distinct within
+ *      a step, so these never collide).
+ *
+ * A backend narrower than 16 lanes (AVX2) runs each phase over all
+ * sub-vectors before the next phase, preserving the same order. The
+ * u32 widening argument for DFCM strides: (lastv + signextend32(st))
+ * & value_mask equals the 64-bit reference expression truncated to
+ * value_bits <= 32 bits, because both addends agree with the
+ * reference modulo 2^32.
+ */
+template <class Ops, bool kDfcm, bool kWiden>
+inline void
+runMgPacked(const MgPackedView& v)
+{
+    using Vec = typename Ops::Vec;
+    constexpr unsigned kW = simd::kPackLanes;
+    static_assert(kW % Ops::kLanes == 0 && Ops::kLanes <= kW,
+                  "pack width must be a whole number of vectors");
+    constexpr unsigned kSub = kW / Ops::kLanes;
+    constexpr std::uint32_t kSubMask =
+            static_cast<std::uint32_t>((1ull << Ops::kLanes) - 1);
+
+    const std::size_t n = v.n;
+    const Vec vmask = Ops::broadcast(v.value_mask);
+    const Vec smask = Ops::broadcast(v.stride_mask);
+    const Vec pnv =
+            Ops::broadcast(static_cast<std::uint32_t>(v.padded_n));
+    [[maybe_unused]] Vec wbit = Ops::broadcast(0);
+    if constexpr (kDfcm && kWiden)
+        wbit = Ops::broadcast(1u << (v.stride_bits - 1));
+
+    for (std::size_t s = 0; s < v.steps; ++s) {
+        const std::uint32_t* entries = v.lane_entry + s * kW;
+        const std::uint32_t* values = v.lane_value + s * kW;
+        const std::uint32_t active = v.step_active[s];
+        const std::uint32_t fits = v.step_fits[s];
+
+        Vec val[kSub];
+        Vec ebase[kSub];
+        [[maybe_unused]] Vec lastv[kSub];
+        Vec ins[kSub];
+        for (unsigned q = 0; q < kSub; ++q) {
+            val[q] = Ops::loadu(values + q * Ops::kLanes);
+            ebase[q] = Ops::mul(Ops::loadu(entries + q * Ops::kLanes),
+                                pnv);
+        }
+        if constexpr (kDfcm) {
+            // last[] is u64 per entry; a scalar gather into a lane
+            // buffer keeps the vector core 32-bit. Inactive lanes
+            // read entry 0 — harmless, masked out below.
+            alignas(64) std::uint32_t lastbuf[kW];
+            for (unsigned l = 0; l < kW; ++l)
+                lastbuf[l] = static_cast<std::uint32_t>(
+                        v.last[entries[l]]);
+            for (unsigned q = 0; q < kSub; ++q) {
+                lastv[q] = Ops::loadu(lastbuf + q * Ops::kLanes);
+                ins[q] = Ops::band(Ops::sub(val[q], lastv[q]), vmask);
+            }
+        } else {
+            for (unsigned q = 0; q < kSub; ++q)
+                ins[q] = val[q];
+        }
+
+        for (std::size_t c = 0; c < n; ++c) {
+            const Vec cv = Ops::broadcast(static_cast<std::uint32_t>(c));
+            Vec hidx[kSub];
+            Vec h[kSub];
+            Vec slot[kSub];
+            for (unsigned q = 0; q < kSub; ++q) {
+                hidx[q] = Ops::add(ebase[q], cv);
+                h[q] = Ops::gather32(v.hists, hidx[q]);
+            }
+            for (unsigned q = 0; q < kSub; ++q)
+                slot[q] = Ops::gather32(v.l2[c], h[q]);
+
+            std::uint32_t eq = 0;
+            for (unsigned q = 0; q < kSub; ++q) {
+                Vec pred;
+                if constexpr (kDfcm) {
+                    Vec st = slot[q];
+                    if constexpr (kWiden)
+                        st = Ops::sub(Ops::bxor(st, wbit), wbit);
+                    pred = Ops::band(Ops::add(lastv[q], st), vmask);
+                } else {
+                    pred = slot[q];
+                }
+                eq |= Ops::cmpeqMask(pred, val[q]) << (q * Ops::kLanes);
+            }
+            v.correct[c] += static_cast<unsigned>(
+                    std::popcount(eq & fits));
+
+            for (unsigned q = 0; q < kSub; ++q) {
+                const Vec stv = kDfcm ? Ops::band(ins[q], smask)
+                                      : val[q];
+                Ops::scatter32(v.l2[c], h[q], stv,
+                               (active >> (q * Ops::kLanes)) & kSubMask);
+            }
+
+            const Vec shv = Ops::broadcast(v.shifts[c]);
+            const Vec fbv = Ops::broadcast(v.fold_bits[c]);
+            const Vec fmv = Ops::broadcast(v.fold_masks[c]);
+            const Vec imv = Ops::broadcast(v.index_masks[c]);
+            for (unsigned q = 0; q < kSub; ++q) {
+                Vec f = Ops::broadcast(0);
+                Vec t = ins[q];
+                for (unsigned k = 0; k < v.chunks; ++k) {
+                    f = Ops::bxor(f, t);
+                    t = Ops::shr(t, fbv);
+                }
+                const Vec nh = Ops::band(
+                        Ops::bxor(Ops::shl(h[q], shv),
+                                  Ops::band(f, fmv)),
+                        imv);
+                Ops::scatter32(v.hists, hidx[q], nh,
+                               (active >> (q * Ops::kLanes)) & kSubMask);
+            }
+        }
+
+        if constexpr (kDfcm) {
+            for (unsigned l = 0; l < kW; ++l)
+                if (active & (1u << l))
+                    v.last[entries[l]] = values[l];
+        }
+    }
+}
+
+/** Route the runtime FCM/DFCM and stride-width flags to the right
+ *  compile-time packed instantiation. */
+template <class Ops>
+inline void
+runMgPackedAll(const MgPackedView& v)
+{
+    if (v.dfcm) {
+        if (v.widen)
+            runMgPacked<Ops, true, true>(v);
+        else
+            runMgPacked<Ops, true, false>(v);
+    } else {
+        runMgPacked<Ops, false, false>(v);
     }
 }
 

@@ -13,7 +13,8 @@
  * small surface is provided as a backend struct `Native`:
  *
  *     using Vec = ...;                  // kLanes x u32 register
- *     static constexpr unsigned kLanes; // 4 (SSE2/NEON) or 8 (AVX2)
+ *     static constexpr unsigned kLanes; // 4 (SSE2/NEON), 8 (AVX2)
+ *                                       // or 16 (AVX-512)
  *     static constexpr SimdBackend kBackend;
  *     static Vec  loadu(const std::uint32_t* p);
  *     static void storeu(std::uint32_t* p, Vec v);
@@ -22,6 +23,26 @@
  *     static Vec  band(Vec a, Vec b);
  *     static Vec  shl(Vec v, Vec counts);  // counts must be < 32
  *     static Vec  shr(Vec v, Vec counts);  // counts must be < 32
+ *
+ * The gather-capable backends (AVX2, AVX-512) additionally provide
+ * the stream-packed kernel surface (core/multi_geom_simd_impl.hh,
+ * runMgPacked), which probes one shared level-2 table at kLanes
+ * unrelated indices per step:
+ *
+ *     static Vec  add(Vec a, Vec b);        // per-lane u32 +
+ *     static Vec  sub(Vec a, Vec b);        // per-lane u32 -
+ *     static Vec  mul(Vec a, Vec b);        // per-lane u32 * (low 32)
+ *     static std::uint32_t cmpeqMask(Vec a, Vec b); // lane bitmask
+ *     static Vec  gather32(const std::uint32_t* base, Vec idx);
+ *     static void scatter32(std::uint32_t* base, Vec idx, Vec val,
+ *                           std::uint32_t mask);
+ *
+ * scatter32 stores active lanes in ascending lane order, so when two
+ * active lanes carry the same index the highest lane wins — the same
+ * tie-break AVX-512 vpscatterdd implements in hardware, and the order
+ * the scalar packed reference in core/multi_geom.cc replays. That
+ * shared convention is what keeps packed counters bit-identical
+ * across every backend.
  *
  * Which backend `Native` is resolves *per translation unit*: the
  * multi_geom_simd_<backend>.cc files define REPRO_SIMD_TU_<BACKEND>
@@ -47,6 +68,9 @@
 
 #include "core/cpu_features.hh"
 
+#if defined(REPRO_SIMD_TU_AVX512) && !defined(__AVX512F__)
+#error "multi_geom_simd_avx512.cc must be compiled with -mavx512f"
+#endif
 #if defined(REPRO_SIMD_TU_AVX2) && !defined(__AVX2__)
 #error "multi_geom_simd_avx2.cc must be compiled with -mavx2"
 #endif
@@ -57,7 +81,11 @@
 #error "multi_geom_simd_neon.cc requires an Advanced-SIMD target"
 #endif
 
-#if defined(REPRO_SIMD_TU_AVX2)                                         \
+#if defined(REPRO_SIMD_TU_AVX512)                                        \
+        || (!defined(REPRO_SIMD_TU_AVX2) && !defined(REPRO_SIMD_TU_SSE2) \
+            && !defined(REPRO_SIMD_TU_NEON) && defined(__AVX512F__))
+#define REPRO_SIMD_BACKEND_AVX512 1
+#elif defined(REPRO_SIMD_TU_AVX2)                                       \
         || (!defined(REPRO_SIMD_TU_SSE2) && !defined(REPRO_SIMD_TU_NEON) \
             && defined(__AVX2__))
 #define REPRO_SIMD_BACKEND_AVX2 1
@@ -70,7 +98,9 @@
 #define REPRO_SIMD_BACKEND_SCALAR 1
 #endif
 
-#if defined(REPRO_SIMD_BACKEND_AVX2) || defined(REPRO_SIMD_BACKEND_SSE2)
+#if defined(REPRO_SIMD_BACKEND_AVX512)                                  \
+        || defined(REPRO_SIMD_BACKEND_AVX2)                             \
+        || defined(REPRO_SIMD_BACKEND_SSE2)
 #include <immintrin.h>
 #elif defined(REPRO_SIMD_BACKEND_NEON)
 #include <arm_neon.h>
@@ -91,7 +121,87 @@ prefetchRead(const void* p)
 #endif
 }
 
-#if defined(REPRO_SIMD_BACKEND_AVX2)
+#if defined(REPRO_SIMD_BACKEND_AVX512)
+
+inline namespace backend_avx512
+{
+
+/** 16 x u32 lanes. Used by the stream-packed kernel tier; the
+ *  column-parallel tier keeps its 8-lane bank padding and dispatches
+ *  AVX-512 to the AVX2 column kernel (core/multi_geom.cc). */
+struct Native
+{
+    using Vec = __m512i;
+    static constexpr unsigned kLanes = 16;
+    static constexpr SimdBackend kBackend = SimdBackend::Avx512;
+
+    static Vec
+    loadu(const std::uint32_t* p)
+    {
+        return _mm512_loadu_si512(p);
+    }
+    static void
+    storeu(std::uint32_t* p, Vec v)
+    {
+        _mm512_storeu_si512(p, v);
+    }
+    static Vec
+    broadcast(std::uint32_t x)
+    {
+        return _mm512_set1_epi32(static_cast<int>(x));
+    }
+    static Vec bxor(Vec a, Vec b) { return _mm512_xor_si512(a, b); }
+    static Vec band(Vec a, Vec b) { return _mm512_and_si512(a, b); }
+    // Like gather32 below, the shifts use the full-mask forms: the
+    // unmasked intrinsics carry an undefined pass-through source that
+    // GCC's -Wmaybe-uninitialized flags under -Werror.
+    static Vec shl(Vec v, Vec counts)
+    {
+        return _mm512_mask_sllv_epi32(_mm512_setzero_si512(),
+                                      static_cast<__mmask16>(0xffff),
+                                      v, counts);
+    }
+    static Vec shr(Vec v, Vec counts)
+    {
+        return _mm512_mask_srlv_epi32(_mm512_setzero_si512(),
+                                      static_cast<__mmask16>(0xffff),
+                                      v, counts);
+    }
+    static Vec add(Vec a, Vec b) { return _mm512_add_epi32(a, b); }
+    static Vec sub(Vec a, Vec b) { return _mm512_sub_epi32(a, b); }
+    static Vec mul(Vec a, Vec b) { return _mm512_mullo_epi32(a, b); }
+    static std::uint32_t
+    cmpeqMask(Vec a, Vec b)
+    {
+        return static_cast<std::uint32_t>(
+                _mm512_cmpeq_epi32_mask(a, b));
+    }
+    static Vec
+    gather32(const std::uint32_t* base, Vec idx)
+    {
+        // The full-mask form, not _mm512_i32gather_epi32: the
+        // unmasked intrinsic's undefined pass-through source trips
+        // -Wmaybe-uninitialized inside GCC's intrinsic header under
+        // -Werror, and a zeroed source costs nothing.
+        return _mm512_mask_i32gather_epi32(
+                _mm512_setzero_si512(), static_cast<__mmask16>(0xffff),
+                idx, reinterpret_cast<const int*>(base), 4);
+    }
+    static void
+    scatter32(std::uint32_t* base, Vec idx, Vec val,
+              std::uint32_t mask)
+    {
+        // vpscatterdd: duplicate indices resolve to the highest
+        // active lane — the canonical packed store order.
+        _mm512_mask_i32scatter_epi32(reinterpret_cast<int*>(base),
+                                     static_cast<__mmask16>(mask),
+                                     idx, val, 4);
+    }
+};
+
+} // inline namespace backend_avx512
+
+#elif defined(REPRO_SIMD_BACKEND_AVX2)
 
 inline namespace backend_avx2
 {
@@ -126,6 +236,36 @@ struct Native
     static Vec shr(Vec v, Vec counts)
     {
         return _mm256_srlv_epi32(v, counts);
+    }
+    static Vec add(Vec a, Vec b) { return _mm256_add_epi32(a, b); }
+    static Vec sub(Vec a, Vec b) { return _mm256_sub_epi32(a, b); }
+    static Vec mul(Vec a, Vec b) { return _mm256_mullo_epi32(a, b); }
+    static std::uint32_t
+    cmpeqMask(Vec a, Vec b)
+    {
+        return static_cast<std::uint32_t>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))));
+    }
+    static Vec
+    gather32(const std::uint32_t* base, Vec idx)
+    {
+        return _mm256_i32gather_epi32(
+                reinterpret_cast<const int*>(base), idx, 4);
+    }
+    // AVX2 has gathers but no scatters; a lane-order store loop keeps
+    // the duplicate-index tie-break identical to vpscatterdd (highest
+    // active lane wins).
+    static void
+    scatter32(std::uint32_t* base, Vec idx, Vec val,
+              std::uint32_t mask)
+    {
+        alignas(32) std::uint32_t i[8];
+        alignas(32) std::uint32_t v[8];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(i), idx);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(v), val);
+        for (unsigned l = 0; l < 8; ++l)
+            if (mask & (1u << l))
+                base[i[l]] = v[l];
     }
 };
 
@@ -286,10 +426,22 @@ struct Native
 
 #endif
 
-/** The widest lane count any backend uses; per-entry history banks
- *  are padded to a multiple of this so every backend can process a
- *  bank in whole vectors (core/multi_geom.hh). */
+/** The widest lane count the *column-parallel* tier uses; per-entry
+ *  history banks are padded to a multiple of this so every backend
+ *  can process a bank in whole vectors (core/multi_geom.hh).
+ *  Deliberately stays 8 under AVX-512: 16-lane bank padding would
+ *  double history memory for geometries that rarely have more than
+ *  eight columns, and the AVX-512 dispatch reuses the AVX2 column
+ *  kernel instead (core/multi_geom.cc). */
 inline constexpr unsigned kMaxSimdLanes = 8;
+
+/** The canonical step width of the stream-packed kernel tier: every
+ *  packing (and every backend, including the scalar reference)
+ *  schedules records in 16-lane steps, so packed counters do not
+ *  depend on which backend executes the schedule. An AVX-512 step is
+ *  one 512-bit vector; AVX2 runs the same step as two 256-bit
+ *  half-vectors with the read/write phase ordering preserved. */
+inline constexpr unsigned kPackLanes = 16;
 
 } // namespace vpred::simd
 

@@ -7,19 +7,22 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 5; "execution", "metrics" and
+ * the files. Schema (schema_version 6; "execution", "metrics" and
  * addSection() objects appear only when set). Version 3 added the
  * trace-store fields to "execution": whether a persistent
  * REPRO_TRACE_DIR store was configured, how many traces it served
  * (hits) vs. regenerated (misses), and the wall time spent acquiring
  * traces. Version 4 added the SIMD dispatch fields: which
  * multi-geometry kernel backend ran ("scalar", "sse2", "avx2",
- * "neon") and its vector width in bits. Version 5 adds named
+ * "neon") and its vector width in bits. Version 5 added named
  * top-level sections of numeric pairs via addSection() — e.g. the
- * prediction service's "service" object in BENCH_service.json:
+ * prediction service's "service" object in BENCH_service.json.
+ * Version 6 adds "avx512" to the possible simd_backend labels (512
+ * vector_width) and, in BENCH_service.json, the stream-packing
+ * observability sections "packing" and "drain_batches":
  *
  *     {
- *       "schema_version": 5,
+ *       "schema_version": 6,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,

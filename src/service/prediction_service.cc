@@ -79,6 +79,10 @@ PredictionService::stats() const
         agg.restores += s.restores;
         if (!s.correct.empty())
             agg.correct_col0 += s.correct[0];
+        agg.flushes += s.flushes;
+        agg.packed_steps += s.packed_steps;
+        agg.gather_records += s.gather_records;
+        agg.scalar_records += s.scalar_records;
         agg.resident_streams += shard->residentStreams();
         agg.spilled_streams += shard->spilledStreams();
     }
@@ -91,6 +95,15 @@ PredictionService::latency() const
     LatencyHistogram merged;
     for (const auto& shard : shards_)
         merged.merge(shard->latency());
+    return merged;
+}
+
+LatencyHistogram
+PredictionService::drainBatchRecords() const
+{
+    LatencyHistogram merged;
+    for (const auto& shard : shards_)
+        merged.merge(shard->drainBatchRecords());
     return merged;
 }
 

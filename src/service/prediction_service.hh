@@ -49,6 +49,11 @@ struct ServiceStats
     std::uint64_t spilled_streams = 0;
     /** Correct predictions for the kernels' first level-2 column. */
     std::uint64_t correct_col0 = 0;
+    // Stream-packed feed observability (see ShardStats).
+    std::uint64_t flushes = 0;
+    std::uint64_t packed_steps = 0;
+    std::uint64_t gather_records = 0;
+    std::uint64_t scalar_records = 0;
 };
 
 class PredictionService
@@ -87,6 +92,8 @@ class PredictionService
     ServiceStats stats() const;
     /** Merged ingest-to-predict latency across shards. */
     LatencyHistogram latency() const;
+    /** Merged per-drain batch-size distribution across shards. */
+    LatencyHistogram drainBatchRecords() const;
 
     /** Per-stream level-1 state, wherever it lives. Quiescent only. */
     std::optional<StreamState> streamState(std::uint64_t stream) const;

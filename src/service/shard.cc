@@ -21,12 +21,17 @@ kernelConfig(const ServiceConfig& cfg)
     return kc;
 }
 
+constexpr std::uint32_t kNoSpill = ~std::uint32_t{0};
+
 } // namespace
 
 Shard::Shard(const ServiceConfig& cfg)
     : kernel_(kernelConfig(cfg)), capacity_(kernel_.l1Entries()),
-      map_(capacity_), slot_stream_(capacity_, 0),
-      slot_epoch_(capacity_, 0), spill_index_(16)
+      backend_(activeSimdBackend()), map_(capacity_),
+      slot_stream_(capacity_, 0), slot_epoch_(capacity_, 0),
+      slot_spill_(capacity_, kNoSpill),
+      flush_threshold_(std::max<std::size_t>(1, capacity_ / 2)),
+      spill_index_(16)
 {
     stats_.correct.assign(kernel_.columns(), 0);
     batch_.reserve(cfg.batch_records);
@@ -53,10 +58,26 @@ Shard::drain(std::uint64_t now_ns)
     stats_.max_queue = std::max(stats_.max_queue,
                                 std::uint64_t{pending_.size()});
 
-    batch_.clear();
-    for (const Update& u : pending_) {
+    // How far ahead of the admit loop to prefetch the two map home
+    // buckets: enough outstanding loads to cover a DRAM round trip.
+    constexpr std::size_t kAhead = 12;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const Update& u = pending_[i];
+        if (i + kAhead < pending_.size()) {
+            map_.prefetch(pending_[i + kAhead].stream);
+            spill_index_.prefetch(pending_[i + kAhead].stream);
+        }
+        // Segment boundary: cut the batch *here*, between updates,
+        // rather than inside admit() — eviction then only ever sees
+        // fully-flushed slots, and the kernel still receives large
+        // packed batches even when every admission evicts.
+        if (staged_streams_ >= flush_threshold_)
+            flushBatch();
         const std::uint32_t slot = admit(u.stream);
-        slot_epoch_[slot] = epoch_;
+        if (slot_epoch_[slot] != epoch_) {
+            slot_epoch_[slot] = epoch_;
+            ++staged_streams_;
+        }
         batch_.push_back({Pc{slot}, u.value});
         latency_.record(now_ns > u.tick_ns ? now_ns - u.tick_ns : 0);
     }
@@ -64,7 +85,7 @@ Shard::drain(std::uint64_t now_ns)
     stats_.ingested += drained;
     flushBatch();
     pending_.clear();
-    ++epoch_;
+    drain_batch_records_.record(drained);
     return drained;
 }
 
@@ -78,9 +99,9 @@ Shard::admit(std::uint64_t stream)
     if (next_unused_ < capacity_) {
         slot = static_cast<std::uint32_t>(next_unused_++);
     } else {
-        // Eviction exports kernel state, so every record already
-        // staged for the victim's slot must reach the kernel first.
-        flushBatch();
+        // The victim is guaranteed un-staged (evictOne() skips slots
+        // touched this segment), so its kernel state is current and
+        // spills bit-identically without flushing first.
         slot = evictOne();
     }
     map_.insert(stream, slot);
@@ -93,9 +114,11 @@ Shard::admit(std::uint64_t stream)
         const std::uint32_t* bank = &spill_hists_[*spill * pn];
         kernel_.setEntryHists(slot, {bank, pn});
         kernel_.setLastValue(slot, spill_last_[*spill]);
+        slot_spill_[slot] = *spill;
         ++stats_.restores;
     } else {
         kernel_.clearEntry(slot);
+        slot_spill_[slot] = kNoSpill;
     }
     return slot;
 }
@@ -105,35 +128,59 @@ Shard::flushBatch()
 {
     if (batch_.empty())
         return;
-    const std::vector<PredictorStats> s = kernel_.feedTrace(batch_);
+    PackedFeedInfo info;
+    const std::vector<PredictorStats> s =
+            kernel_.feedTracePacked(batch_, backend_, &info);
     for (std::size_t c = 0; c < s.size(); ++c)
         stats_.correct[c] += s[c].correct;
     stats_.predictions += batch_.size();
+    stats_.flushes += 1;
+    stats_.packed_steps += info.steps;
+    stats_.gather_records += info.gather_records;
+    stats_.scalar_records += info.scalar_records;
     batch_.clear();
+    staged_streams_ = 0;
+    ++epoch_;
 }
 
 std::uint32_t
 Shard::evictOne()
 {
-    // Clock scan: among a fixed window from the hand, evict the slot
-    // least recently touched. Slots touched this epoch are the
-    // streams of the batch being drained; with a full shard they can
-    // all be current, in which case the hand's slot goes (it has no
-    // staged records — the batch was flushed before eviction).
+    // Clock scan from the hand: consider the first kWindow slots
+    // that are *not* staged in the current segment (those still have
+    // records in batch_, so their kernel state is stale) and evict
+    // the least recently touched. The flush threshold caps staged
+    // slots at half the table, so a candidate always exists within
+    // one lap; the flush-and-retry is a defensive backstop only.
     constexpr std::size_t kWindow = 16;
-    std::size_t victim = hand_;
+    std::size_t victim = capacity_;
     std::uint64_t best = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < std::min(kWindow, capacity_); ++i) {
+    std::size_t considered = 0;
+    for (std::size_t i = 0; i < capacity_ && considered < kWindow;
+         ++i) {
         const std::size_t s = (hand_ + i) & (capacity_ - 1);
+        if (slot_epoch_[s] == epoch_)
+            continue;  // staged this segment
+        ++considered;
         if (slot_epoch_[s] < best) {
             best = slot_epoch_[s];
             victim = s;
         }
     }
+    if (victim == capacity_) {
+        flushBatch();
+        return evictOne();
+    }
     hand_ = (victim + 1) & (capacity_ - 1);
 
     const std::uint64_t stream = slot_stream_[victim];
-    spillTo(spillSlotFor(stream), static_cast<std::uint32_t>(victim));
+    // admit() cached the stream's spill slot on entry, so at steady
+    // state (every stream spilled at least once) eviction never
+    // probes the big spill index.
+    std::uint32_t spill_slot = slot_spill_[victim];
+    if (spill_slot == kNoSpill)
+        spill_slot = spillSlotFor(stream);
+    spillTo(spill_slot, static_cast<std::uint32_t>(victim));
 
     map_.erase(stream);
     kernel_.clearEntry(victim);
@@ -247,6 +294,7 @@ Shard::installStream(std::uint64_t stream, const StreamState& state)
     if (const auto slot = map_.find(stream)) {
         kernel_.setEntryHists(*slot, state.hists);
         kernel_.setLastValue(*slot, state.last);
+        slot_spill_[*slot] = spill_slot;
     }
 }
 

@@ -11,8 +11,16 @@
  * thread enqueue() (pc, value) updates into the shard's MPSC queue;
  * the shard's pump thread drain()s the queue, admits streams
  * (restoring spilled state bit-identically when a cold stream
- * returns), and feeds the whole batch through the fused
- * multi-geometry kernel in one incremental feedTrace() call.
+ * returns), and feeds the batch through the kernel's *stream-packed*
+ * tier (feedTracePacked): records from distinct resident streams
+ * execute 16 to a vector step with gather/scatter level-2 probes.
+ *
+ * The drain is segmented so eviction and batching compose: a slot
+ * whose records are staged in the current segment is never an
+ * eviction victim (its kernel state would be stale), and the segment
+ * is flushed once the staged-stream count reaches half the slot
+ * table — so under heavy stream churn the kernel still sees large
+ * packed batches instead of one feed per eviction.
  *
  * Concurrency contract: enqueue() is thread-safe against everything;
  * drain(), snapshots and state queries must be externally serialized
@@ -75,6 +83,10 @@ struct ShardStats
     std::uint64_t evictions = 0;
     std::uint64_t restores = 0;     //!< spilled streams re-admitted
     std::uint64_t max_queue = 0;    //!< deepest queue seen at drain
+    std::uint64_t flushes = 0;      //!< packed segments fed
+    std::uint64_t packed_steps = 0; //!< 16-lane steps executed
+    std::uint64_t gather_records = 0;  //!< records on a gather backend
+    std::uint64_t scalar_records = 0;  //!< records on the scalar path
     /** Correct predictions per kernel column. */
     std::vector<std::uint64_t> correct;
 };
@@ -102,6 +114,12 @@ class Shard
 
     const ShardStats& stats() const { return stats_; }
     const LatencyHistogram& latency() const { return latency_; }
+    /** Per-drain batch-size distribution (records per drain() call
+     *  that moved at least one record). */
+    const LatencyHistogram& drainBatchRecords() const
+    {
+        return drain_batch_records_;
+    }
 
     /**
      * The level-1 state of @p stream, resident or spilled; nullopt
@@ -139,14 +157,24 @@ class Shard
 
     MultiGeomDfcmKernel kernel_;
     std::size_t capacity_;
+    SimdBackend backend_;  //!< packed-feed backend, resolved once
 
-    // Resident-stream bookkeeping, indexed by kernel slot.
+    // Resident-stream bookkeeping, indexed by kernel slot. The epoch
+    // advances once per segment flush, so slot_epoch_[s] == epoch_
+    // identifies exactly the slots with records staged in batch_ —
+    // the slots eviction must not touch (epoch 0 is reserved for
+    // never-touched slots; epoch_ starts at 1).
     SlotMap map_;
     std::vector<std::uint64_t> slot_stream_;
     std::vector<std::uint64_t> slot_epoch_;
+    /** Resident slot -> spill slot (kNoSpill before first spill):
+     *  lets eviction skip the spill-index probe at steady state. */
+    std::vector<std::uint32_t> slot_spill_;
     std::size_t next_unused_ = 0;  //!< slots never yet allocated
     std::size_t hand_ = 0;         //!< eviction clock hand
-    std::uint64_t epoch_ = 0;      //!< advances once per drain
+    std::uint64_t epoch_ = 1;      //!< advances once per segment flush
+    std::size_t staged_streams_ = 0;  //!< distinct slots in batch_
+    std::size_t flush_threshold_;     //!< staged streams per segment
 
     // Spill area: flat banks indexed by spill slot; a stream keeps
     // its spill slot for life, so repeated evictions overwrite in
@@ -165,6 +193,7 @@ class Shard
 
     ShardStats stats_;
     LatencyHistogram latency_;
+    LatencyHistogram drain_batch_records_;
 };
 
 } // namespace vpred::service

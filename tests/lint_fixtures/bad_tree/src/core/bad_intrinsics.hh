@@ -7,6 +7,7 @@ inline void badVectorCode(unsigned* p)
 {
     _mm256_storeu_si256(nullptr, _mm256_setzero_si256());
     vld1q_u32(p);
+    _mm512_storeu_si512(p, _mm512_setzero_si512());
     _mm_pause();  // repro-lint: allow(portability)
 }
 #endif

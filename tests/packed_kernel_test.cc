@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the stream-packed multi-geometry kernel tier
+ * (feedTracePacked): per-entry level-1 state must be bit-identical to
+ * a reference kernel fed each entry's records alone — for every
+ * compiled backend, any batch shape and any chunking — and packed
+ * counters must be identical across backends (the canonical 16-lane
+ * schedule plus the fixed intra-step phase order make them
+ * backend-independent). Adversarial shapes: all records from one
+ * stream, W-1 ragged tails, duplicate/aliasing stream ids
+ * interleaved, empty batches and part-filled steps, and raw values
+ * wider than value_mask (which may never count a hit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/multi_geom.hh"
+
+namespace vpred
+{
+namespace
+{
+
+/** Every backend the packed entry points accept: all available ones
+ *  (non-gather backends take the scalar packed reference internally)
+ *  plus the explicit scalar request. */
+std::vector<SimdBackend>
+packedBackends()
+{
+    std::vector<SimdBackend> backends = availableSimdBackends();
+    bool has_scalar = false;
+    for (SimdBackend b : backends)
+        has_scalar |= b == SimdBackend::Scalar;
+    if (!has_scalar)
+        backends.push_back(SimdBackend::Scalar);
+    return backends;
+}
+
+MultiGeomConfig
+smallConfig()
+{
+    MultiGeomConfig cfg;
+    cfg.l1_bits = 6;
+    cfg.l2_bits = {6, 8, 10};
+    return cfg;
+}
+
+/** A geometry that exercises the widen path (narrow stored strides)
+ *  and a sub-32-bit value mask, so fits-lane handling matters. */
+MultiGeomConfig
+narrowConfig()
+{
+    MultiGeomConfig cfg;
+    cfg.l1_bits = 5;
+    cfg.value_bits = 20;
+    cfg.stride_bits = 9;
+    cfg.l2_bits = {5, 7, 9, 11, 13};
+    return cfg;
+}
+
+/** Deterministic per-stream value sequence; every 5th value gets
+ *  bits above any <= 32-bit value mask, so it can never be a hit. */
+Value
+valueOf(std::uint64_t stream, std::uint64_t step)
+{
+    Value v = stream * 0x9e3779b9ull + step * ((stream & 7) + 1)
+            + (step >> 2);
+    if ((stream + step) % 5 == 0)
+        v |= Value{1} << 40;
+    return v;
+}
+
+ValueTrace
+roundRobinBatch(std::uint64_t streams, std::uint64_t steps)
+{
+    ValueTrace batch;
+    for (std::uint64_t t = 0; t < steps; ++t)
+        for (std::uint64_t s = 0; s < streams; ++s)
+            batch.push_back({Pc{s}, valueOf(s, t)});
+    return batch;
+}
+
+/** W-1 streams with ragged per-stream counts 1..15, interleaved. */
+ValueTrace
+raggedBatch()
+{
+    ValueTrace batch;
+    for (std::uint64_t t = 0; t < 15; ++t)
+        for (std::uint64_t s = 0; s < 15; ++s)
+            if (t <= s)
+                batch.push_back({Pc{s}, valueOf(s, t)});
+    return batch;
+}
+
+/** Duplicate stream ids interleaved, including ids that alias to the
+ *  same level-1 entry as another id (pc above the l1 mask). */
+ValueTrace
+duplicateBatch(unsigned l1_bits)
+{
+    const std::uint64_t alias = std::uint64_t{1} << l1_bits;
+    const std::uint64_t ids[] = {3, 7, 3, 3 + alias, 7, 3, 11,
+                                 7 + alias, 3, 7, 11 + 2 * alias, 3};
+    ValueTrace batch;
+    std::uint64_t t = 0;
+    for (std::uint64_t id : ids)
+        batch.push_back({Pc{id}, valueOf(id, t++)});
+    return batch;
+}
+
+/**
+ * The ground truth for any batch: group records by level-1 entry
+ * (batch order within a group), feed each group alone into a fresh
+ * reference kernel via the sequential scalar path, and demand the
+ * packed kernel's per-entry state matches bit for bit.
+ */
+template <class Kernel>
+void
+expectMatchesPerEntryReference(const MultiGeomConfig& cfg,
+                               const Kernel& packed,
+                               const ValueTrace& batch,
+                               const char* what)
+{
+    const std::uint64_t l1_mask = maskBits(cfg.l1_bits);
+    std::map<std::uint64_t, ValueTrace> by_entry;
+    for (const TraceRecord& rec : batch)
+        by_entry[rec.pc & l1_mask].push_back(rec);
+
+    for (const auto& [entry, own] : by_entry) {
+        Kernel ref(cfg);
+        ref.feedTrace(own, SimdBackend::Scalar);
+        EXPECT_TRUE(std::ranges::equal(packed.entryHists(entry),
+                                       ref.entryHists(entry)))
+                << what << ": entry " << entry;
+        if constexpr (std::is_same_v<Kernel, MultiGeomDfcmKernel>) {
+            EXPECT_EQ(packed.lastValue(entry), ref.lastValue(entry))
+                    << what << ": entry " << entry;
+        }
+    }
+}
+
+/** Run @p batch through every backend; assert per-entry state against
+ *  the reference and counters against the scalar packed schedule. */
+template <class Kernel>
+void
+expectPackedInvariants(const MultiGeomConfig& cfg,
+                       const ValueTrace& batch, const char* what)
+{
+    Kernel scalar_kernel(cfg);
+    const std::vector<PredictorStats> scalar_stats =
+            scalar_kernel.feedTracePacked(batch, SimdBackend::Scalar);
+    expectMatchesPerEntryReference(cfg, scalar_kernel, batch, what);
+
+    for (SimdBackend backend : packedBackends()) {
+        Kernel kernel(cfg);
+        PackedFeedInfo info;
+        const std::vector<PredictorStats> stats =
+                kernel.feedTracePacked(batch, backend, &info);
+
+        expectMatchesPerEntryReference(cfg, kernel, batch, what);
+        ASSERT_EQ(stats.size(), scalar_stats.size());
+        for (std::size_t c = 0; c < stats.size(); ++c) {
+            EXPECT_EQ(stats[c].predictions, batch.size())
+                    << what << ": " << simdBackendName(backend)
+                    << " col " << c;
+            EXPECT_EQ(stats[c].correct, scalar_stats[c].correct)
+                    << what << ": " << simdBackendName(backend)
+                    << " col " << c;
+        }
+        EXPECT_EQ(info.records, batch.size())
+                << what << ": " << simdBackendName(backend);
+        EXPECT_EQ(info.gather_records + info.scalar_records,
+                  batch.size())
+                << what << ": " << simdBackendName(backend);
+        if (!batch.empty()) {
+            EXPECT_GE(info.steps * 16, info.records)
+                    << what << ": " << simdBackendName(backend);
+        } else {
+            EXPECT_EQ(info.steps, 0u);
+        }
+    }
+}
+
+template <class Kernel>
+void
+runShapes(const MultiGeomConfig& cfg)
+{
+    expectPackedInvariants<Kernel>(cfg, roundRobinBatch(37, 9),
+                                   "round-robin");
+    expectPackedInvariants<Kernel>(cfg, roundRobinBatch(1, 40),
+                                   "single stream");
+    expectPackedInvariants<Kernel>(cfg, roundRobinBatch(5, 1),
+                                   "part-filled step");
+    expectPackedInvariants<Kernel>(cfg, raggedBatch(), "ragged tails");
+    expectPackedInvariants<Kernel>(cfg, duplicateBatch(cfg.l1_bits),
+                                   "duplicates+aliases");
+    expectPackedInvariants<Kernel>(cfg, {}, "empty batch");
+}
+
+TEST(PackedKernel, DfcmMatchesReferenceAcrossBackendsAndShapes)
+{
+    runShapes<MultiGeomDfcmKernel>(smallConfig());
+}
+
+TEST(PackedKernel, DfcmNarrowStrideGeometry)
+{
+    runShapes<MultiGeomDfcmKernel>(narrowConfig());
+}
+
+TEST(PackedKernel, FcmMatchesReferenceAcrossBackendsAndShapes)
+{
+    runShapes<MultiGeomFcmKernel>(smallConfig());
+}
+
+TEST(PackedKernel, ChunkingIsInvisibleToLevel1State)
+{
+    // Feeding the same records in any chunking — and mixing packed
+    // and sequential feeds — must land on the same per-entry level-1
+    // state (counters legitimately differ: the canonical interleave
+    // depends on batch boundaries).
+    const MultiGeomConfig cfg = smallConfig();
+    const ValueTrace batch = roundRobinBatch(23, 12);
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{16}, std::size_t{64}}) {
+        MultiGeomDfcmKernel chunked(cfg);
+        for (std::size_t at = 0; at < batch.size(); at += chunk) {
+            const std::size_t len = std::min(chunk, batch.size() - at);
+            chunked.feedTracePacked(
+                    std::span(batch).subspan(at, len));
+        }
+        expectMatchesPerEntryReference(cfg, chunked, batch, "chunked");
+    }
+
+    MultiGeomDfcmKernel mixed(cfg);
+    const std::size_t third = batch.size() / 3;
+    mixed.feedTrace(std::span(batch).subspan(0, third));
+    mixed.feedTracePacked(std::span(batch).subspan(third, third));
+    mixed.feedTrace(std::span(batch).subspan(2 * third));
+    expectMatchesPerEntryReference(cfg, mixed, batch, "mixed feeds");
+}
+
+TEST(PackedKernel, GatherPathRunsWhereSupported)
+{
+    // Where a gather backend is available, the packed feed must
+    // report its records on the gather path; the explicit scalar
+    // request must report the scalar path. This pins the dispatch
+    // logic the service-side observability counters rely on.
+    const MultiGeomConfig cfg = smallConfig();
+    const ValueTrace batch = roundRobinBatch(20, 4);
+    for (SimdBackend backend :
+         {SimdBackend::Avx2, SimdBackend::Avx512}) {
+        if (!simdBackendAvailable(backend))
+            continue;
+        MultiGeomDfcmKernel kernel(cfg);
+        PackedFeedInfo info;
+        kernel.feedTracePacked(batch, backend, &info);
+        EXPECT_EQ(info.gather_records, batch.size())
+                << simdBackendName(backend);
+        EXPECT_EQ(info.scalar_records, 0u) << simdBackendName(backend);
+    }
+    MultiGeomDfcmKernel kernel(cfg);
+    PackedFeedInfo info;
+    kernel.feedTracePacked(batch, SimdBackend::Scalar, &info);
+    EXPECT_EQ(info.scalar_records, batch.size());
+    EXPECT_EQ(info.gather_records, 0u);
+}
+
+} // namespace
+} // namespace vpred

@@ -238,7 +238,7 @@ TEST(ResultsJson, SerializesSchemaFields)
     exec.vector_width = 256;
     json.setExecution(exec);
     const std::string s = json.toJson();
-    EXPECT_NE(s.find("\"schema_version\": 5"), std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": 6"), std::string::npos);
     EXPECT_NE(s.find("\"simd_backend\": \"avx2\""), std::string::npos);
     EXPECT_NE(s.find("\"vector_width\": 256"), std::string::npos);
     EXPECT_NE(s.find("\"trace_store_enabled\": true"),

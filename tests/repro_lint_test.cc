@@ -145,20 +145,23 @@ TEST(ReproLintPortability, IntrinsicHeadersAndCallsAreFlagged)
 {
     const auto hits = findingsAt("src/core/bad_intrinsics.hh",
                                  "portability/raw-intrinsic");
-    ASSERT_EQ(hits.size(), 4u);
+    ASSERT_EQ(hits.size(), 5u);
     EXPECT_EQ(hits[0].line, 4);  // #include <immintrin.h>
     EXPECT_NE(hits[0].message.find("immintrin.h"), std::string::npos);
-    EXPECT_EQ(hits[1].line, 5);  // #include <arm_neon.h>
-    EXPECT_EQ(hits[2].line, 8);  // _mm256_storeu_si256
-    EXPECT_EQ(hits[3].line, 9);  // vld1q_u32
+    EXPECT_EQ(hits[1].line, 5);   // #include <arm_neon.h>
+    EXPECT_EQ(hits[2].line, 8);   // _mm256_storeu_si256
+    EXPECT_EQ(hits[3].line, 9);   // vld1q_u32
+    EXPECT_EQ(hits[4].line, 10);  // _mm512_storeu_si512: a stray
+                                  // AVX-512 intrinsic outside
+                                  // src/core/simd.hh must fire too
     EXPECT_NE(hits[2].message.find("src/core/simd.hh"),
               std::string::npos);
 }
 
 TEST(ReproLintPortability, AllowCommentSuppressesByPrefix)
 {
-    // Line 10 carries "// repro-lint: allow(portability)".
-    EXPECT_FALSE(anyFindingOnLine("src/core/bad_intrinsics.hh", 10));
+    // Line 11 carries "// repro-lint: allow(portability)".
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_intrinsics.hh", 11));
 }
 
 TEST(ReproLintPortability, SimdHeaderHomeIsExempt)

@@ -183,6 +183,21 @@ TEST(SimdKernel, ReproSimdSelectsNamedBackend)
     }
 }
 
+TEST(SimdKernel, ReproSimdParsesAvx512)
+{
+    // "avx512" is a recognized REPRO_SIMD value on every build: where
+    // the backend runs it is selected, elsewhere the request degrades
+    // to the scalar kernels (warning once) instead of erroring out —
+    // the same contract as every other real backend name.
+    EXPECT_EQ(simdVectorBits(SimdBackend::Avx512), 512u);
+    EXPECT_STREQ(simdBackendName(SimdBackend::Avx512), "avx512");
+    ScopedEnv pin("REPRO_SIMD", "avx512");
+    if (simdBackendAvailable(SimdBackend::Avx512))
+        EXPECT_EQ(activeSimdBackend(), SimdBackend::Avx512);
+    else
+        EXPECT_EQ(activeSimdBackend(), SimdBackend::Scalar);
+}
+
 TEST(SimdKernel, UnavailableBackendFallsBackToScalar)
 {
     // Requesting a backend this build/CPU cannot run must quietly use

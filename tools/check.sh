@@ -13,14 +13,17 @@
 #            bench_service_load in a scratch cwd) — exercises the
 #            sharded ingest/evict/spill path end to end and checks
 #            that BENCH_service.json is emitted
-#   perf     reduced-scale bench_throughput run in a scratch cwd,
-#            then bench-compare against the committed
-#            results/BENCH_throughput.json (>10% records/s drop
-#            fails; REPRO_PERF_WARN_ONLY=1 reports without failing,
-#            which is what CI uses on noisy shared runners — the
-#            bench's own bit-identity cross-check still hard-fails).
-#            REPRO_PERF_SCALE overrides the 0.25 trace scale; see
-#            EXPERIMENTS.md for the baseline-refresh workflow.
+#   perf     reduced-scale bench_throughput run plus a service smoke
+#            run in scratch cwds, then bench-compare against the
+#            committed results/BENCH_throughput.json and
+#            results/BENCH_service.json (records/s drop beyond
+#            REPRO_PERF_THRESHOLD, default 25%, fails after one
+#            retry; CI runs this enforcing, and
+#            REPRO_PERF_WARN_ONLY=1 reports without failing for
+#            underpowered dev machines — the bench's own bit-identity
+#            cross-check still hard-fails). REPRO_PERF_SCALE
+#            overrides the 0.25 trace scale; see EXPERIMENTS.md for
+#            the baseline-refresh workflow.
 #   figures  regenerate every figure CSV in a scratch directory and
 #            byte-diff it against the committed results/ copies
 #
@@ -118,18 +121,45 @@ if want perf; then
     PERF_DIR="$(mktemp -d "${TMPDIR:-/tmp}/vpred-perf.XXXXXX")"
     CLEANUP+=("$PERF_DIR")
     # The scratch cwd keeps the fresh BENCH JSON away from the
-    # committed baseline; bench_throughput itself exits non-zero if
-    # any execution path loses bit-identity, which stays a hard
-    # failure even under REPRO_PERF_WARN_ONLY.
-    (
-        cd "$PERF_DIR"
-        REPRO_TRACE_SCALE="${REPRO_PERF_SCALE:-0.25}" \
-            "$ROOT/build-check-release/bench/bench_throughput"
-    )
-    "$ROOT/build-check-release/tools/bench-compare" \
-        "$ROOT/results/BENCH_throughput.json" \
-        "$PERF_DIR/results/BENCH_throughput.json" \
-        ${REPRO_PERF_WARN_ONLY:+--warn-only}
+    # committed baseline; the benches themselves exit non-zero if any
+    # execution path loses bit-identity, which stays a hard failure
+    # even under REPRO_PERF_WARN_ONLY (a failing bench aborts the
+    # stage before any compare or retry).
+    #
+    # The compare threshold defaults to 25% — wider than the tool's
+    # 10% default because shared runners and virtualized dev machines
+    # show bursty host-level CPU steal — and one retry absorbs a
+    # burst that spans a whole run. A real regression fails both
+    # attempts. REPRO_PERF_THRESHOLD tightens or loosens the gate.
+    perf_gate() {  # <baseline-json> <bench-binary> <env-prefix...>
+        local baseline="$1" bench="$2"; shift 2
+        local fresh="$PERF_DIR/results/$(basename "$baseline")"
+        local attempt
+        for attempt in 1 2; do
+            (cd "$PERF_DIR" && env "$@" "$bench")
+            if "$ROOT/build-check-release/tools/bench-compare" \
+                    "$ROOT/$baseline" "$fresh" \
+                    --threshold "${REPRO_PERF_THRESHOLD:-0.25}" \
+                    ${REPRO_PERF_WARN_ONLY:+--warn-only}; then
+                return 0
+            fi
+            echo "perf: $(basename "$bench") compare failed" \
+                 "(attempt $attempt of 2)" >&2
+        done
+        return 1
+    }
+    perf_gate results/BENCH_throughput.json \
+        "$ROOT/build-check-release/bench/bench_throughput" \
+        REPRO_TRACE_SCALE="${REPRO_PERF_SCALE:-0.25}"
+    # The service baseline is gated the same way, against a smoke run
+    # (metrics the smoke shape does not produce are reported as
+    # one-sided and never fail; the smoke rate sits above the
+    # full-scale committed rate because the working set shrinks with
+    # the stream population, mirroring the reduced-trace-scale
+    # throughput run above).
+    perf_gate results/BENCH_service.json \
+        "$ROOT/build-check-release/bench/bench_service_load" \
+        REPRO_SERVICE_SMOKE=1
 fi
 
 if want figures; then
