@@ -90,7 +90,7 @@ ResultsJsonWriter::toJson() const
 
     std::ostringstream os;
     os << "{\n"
-       << "  \"schema_version\": 6,\n"
+       << "  \"schema_version\": 7,\n"
        << "  \"experiment\": \"" << escape(experiment_) << "\",\n"
        << "  \"trace_scale\": " << jsonNumber(trace_scale_) << ",\n"
        << "  \"jobs\": " << jobs_ << ",\n"
@@ -123,6 +123,27 @@ ResultsJsonWriter::toJson() const
                << "\": " << jsonNumber(kvs[i].second);
         }
         os << "\n  },\n";
+    }
+    for (const Table& t : tables_) {
+        os << "  \"" << escape(t.name) << "\": {\n"
+           << "    \"columns\": [";
+        for (std::size_t i = 0; i < t.columns.size(); ++i)
+            os << (i == 0 ? "" : ", ") << "\"" << escape(t.columns[i])
+               << "\"";
+        os << "],\n    \"rows\": [";
+        for (std::size_t r = 0; r < t.rows.size(); ++r) {
+            os << (r == 0 ? "\n" : ",\n") << "      [";
+            for (std::size_t c = 0; c < t.rows[r].size(); ++c) {
+                const JsonValue& v = t.rows[r][c];
+                os << (c == 0 ? "" : ", ");
+                if (v.isText())
+                    os << "\"" << escape(v.text()) << "\"";
+                else
+                    os << jsonNumber(v.number());
+            }
+            os << "]";
+        }
+        os << (t.rows.empty() ? "]" : "\n    ]") << "\n  },\n";
     }
     if (!metrics_.empty()) {
         os << "  \"metrics\": {";

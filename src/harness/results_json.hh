@@ -7,7 +7,7 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 6; "execution", "metrics" and
+ * the files. Schema (schema_version 7; "execution", "metrics" and
  * addSection() objects appear only when set). Version 3 added the
  * trace-store fields to "execution": whether a persistent
  * REPRO_TRACE_DIR store was configured, how many traces it served
@@ -19,10 +19,21 @@
  * prediction service's "service" object in BENCH_service.json.
  * Version 6 adds "avx512" to the possible simd_backend labels (512
  * vector_width) and, in BENCH_service.json, the stream-packing
- * observability sections "packing" and "drain_batches":
+ * observability sections "packing" and "drain_batches". Version 7
+ * adds named top-level *tables* via addTable() — columns plus rows
+ * of mixed string/number cells — used by BENCH_service.json's
+ * "scaling" grid (one row per {backend, producers, shards} sweep
+ * point), and the ingest-fabric sections "ingest_fabric" and
+ * "producer_blocked":
+ *
+ *     "scaling": {
+ *       "columns": ["backend", "producers", "shards",
+ *                   "records_per_sec", "p99_ingest_to_predict_ns"],
+ *       "rows": [ ["avx512", 1, 1, 3.2e6, 1.1e7], ... ]
+ *     },
  *
  *     {
- *       "schema_version": 6,
+ *       "schema_version": 7,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,
@@ -64,6 +75,25 @@
 
 namespace vpred::harness
 {
+
+/** One table cell for ResultsJsonWriter::addTable — either a string
+ *  (emitted escaped and quoted) or a number (round-trippable). */
+class JsonValue
+{
+  public:
+    JsonValue(double v) : num_(v) {}
+    JsonValue(std::string s) : text_(std::move(s)), is_text_(true) {}
+    JsonValue(const char* s) : text_(s), is_text_(true) {}
+
+    bool isText() const { return is_text_; }
+    const std::string& text() const { return text_; }
+    double number() const { return num_; }
+
+  private:
+    std::string text_;
+    double num_ = 0.0;
+    bool is_text_ = false;
+};
 
 /** Accumulates sweep results and writes results/BENCH_<name>.json. */
 class ResultsJsonWriter
@@ -115,6 +145,20 @@ class ResultsJsonWriter
         sections_.emplace_back(name, std::move(kvs));
     }
 
+    /**
+     * Record a named top-level table (schema_version 7): an object
+     * with a "columns" array of names and a "rows" array of
+     * equal-length cell arrays, each cell a string or a number —
+     * e.g. the service bench's "scaling" grid. Tables are emitted
+     * after sections, before "metrics", in insertion order.
+     */
+    void
+    addTable(const std::string& name, std::vector<std::string> columns,
+             std::vector<std::vector<JsonValue>> rows)
+    {
+        tables_.push_back({name, std::move(columns), std::move(rows)});
+    }
+
     /** Serialize to a JSON string ("wall_seconds" = time since
      *  construction, or the setWallSeconds() override). */
     std::string toJson() const;
@@ -152,6 +196,13 @@ class ResultsJsonWriter
     std::vector<std::pair<
             std::string, std::vector<std::pair<std::string, double>>>>
             sections_;
+    struct Table
+    {
+        std::string name;
+        std::vector<std::string> columns;
+        std::vector<std::vector<JsonValue>> rows;
+    };
+    std::vector<Table> tables_;
     std::vector<Entry> entries_;
 };
 

@@ -1,8 +1,13 @@
+// repro-lint: hot-path (pump and the drain fan-out live here; the
+// producer-registration lock below is the explicitly-allowed cold
+// path)
+
 #include "service/prediction_service.hh"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <thread>
 
 #include "core/trace_io.hh"
@@ -54,6 +59,40 @@ PredictionService::PredictionService(const ServiceConfig& cfg)
 
 PredictionService::~PredictionService() = default;
 
+Producer
+PredictionService::registerProducer()
+{
+    // Registration is the cold path: the lock serializes slot
+    // assignment only; ingest and pump never take it.
+    const std::lock_guard<std::mutex> lock(  // repro-lint: allow(concurrency)
+            register_mutex_);
+    const std::size_t id =
+            next_producer_.load(std::memory_order_relaxed);
+    if (id >= cfg_.max_producers)
+        throw std::length_error(
+                "producer limit reached (REPRO_SERVICE_RING_PRODUCERS="
+                + std::to_string(cfg_.max_producers)
+                + "); ring slots are never reused");
+    next_producer_.store(id + 1, std::memory_order_relaxed);
+    for (const auto& shard : shards_)
+        shard->addProducerRing(id);
+    active_producers_.fetch_add(1, std::memory_order_relaxed);
+    return Producer(id);
+}
+
+void
+PredictionService::unregisterProducer(Producer& producer)
+{
+    if (!producer.valid())
+        return;
+    // Publish any partial batches so nothing strands, then retire
+    // the token. The rings stay sweepable — a drain running right
+    // now (or later) still consumes every published record.
+    flush(producer);
+    producer.id_ = Producer::kInvalid;
+    active_producers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 std::size_t
 PredictionService::pump(std::uint64_t now_ns)
 {
@@ -83,9 +122,32 @@ PredictionService::stats() const
         agg.packed_steps += s.packed_steps;
         agg.gather_records += s.gather_records;
         agg.scalar_records += s.scalar_records;
+        agg.max_backlog = std::max(agg.max_backlog, s.max_backlog);
+        agg.quota_grows += s.quota_grows;
+        agg.quota_shrinks += s.quota_shrinks;
         agg.resident_streams += shard->residentStreams();
         agg.spilled_streams += shard->spilledStreams();
     }
+    return agg;
+}
+
+IngestStats
+PredictionService::ingestStats() const
+{
+    IngestStats agg;
+    agg.producers_registered =
+            next_producer_.load(std::memory_order_relaxed);
+    agg.producers_active =
+            active_producers_.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+        const RingCounters c = shard->ringCounters();
+        agg.publishes += c.publishes;
+        agg.published_records += c.published_records;
+        agg.full_events += c.full_events;
+    }
+    agg.blocked_events =
+            blocked_events_.load(std::memory_order_relaxed);
+    agg.blocked_ns = blocked_ns_.load(std::memory_order_relaxed);
     return agg;
 }
 

@@ -1,3 +1,5 @@
+// repro-lint: hot-path (the drain sweep and admit loop live here)
+
 #include "service/shard.hh"
 
 #include <algorithm>
@@ -27,45 +29,160 @@ constexpr std::uint32_t kNoSpill = ~std::uint32_t{0};
 
 Shard::Shard(const ServiceConfig& cfg)
     : kernel_(kernelConfig(cfg)), capacity_(kernel_.l1Entries()),
-      backend_(activeSimdBackend()), map_(capacity_),
-      slot_stream_(capacity_, 0), slot_epoch_(capacity_, 0),
-      slot_spill_(capacity_, kNoSpill),
+      backend_(cfg.backend ? *cfg.backend : activeSimdBackend()),
+      map_(capacity_), slot_stream_(capacity_, 0),
+      slot_epoch_(capacity_, 0), slot_spill_(capacity_, kNoSpill),
       flush_threshold_(std::max<std::size_t>(1, capacity_ / 2)),
-      spill_index_(16)
+      spill_index_(16), rings_(cfg.max_producers),
+      ring_capacity_(cfg.ring_capacity),
+      publish_batch_(cfg.publish_batch),
+      sweep_quota_(cfg.sweep_quota_min),
+      sweep_quota_min_(cfg.sweep_quota_min),
+      sweep_quota_max_(cfg.sweep_quota_max),
+      drain_slo_ns_(cfg.drain_slo_ns)
 {
     stats_.correct.assign(kernel_.columns(), 0);
     batch_.reserve(cfg.batch_records);
-    queue_.reserve(cfg.batch_records);
-    pending_.reserve(cfg.batch_records);
+    pending_.reserve(std::max(cfg.batch_records, sweep_quota_min_));
+    ring_take_.assign(cfg.max_producers, 0);
 }
 
 void
-Shard::enqueue(std::uint64_t stream, Value value, std::uint64_t tick_ns)
+Shard::addProducerRing(std::size_t producer)
 {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    queue_.push_back({stream, value, tick_ns});
+    assert(producer < rings_.size());
+    assert(rings_[producer] == nullptr);
+    assert(producer == ring_count_.load(std::memory_order_relaxed));
+    rings_[producer] =
+            std::make_unique<SpscRing>(ring_capacity_, publish_batch_);
+    // The release store pairs with drain()'s acquire load: a sweep
+    // that sees the new count sees a fully constructed ring.
+    ring_count_.store(producer + 1, std::memory_order_release);
+}
+
+RingCounters
+Shard::ringCounters() const
+{
+    RingCounters agg;
+    const std::size_t n = ring_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RingCounters c = rings_[i]->counters();
+        agg.publishes += c.publishes;
+        agg.published_records += c.published_records;
+        agg.full_events += c.full_events;
+    }
+    return agg;
 }
 
 std::size_t
 Shard::drain(std::uint64_t now_ns)
 {
-    {
-        const std::lock_guard<std::mutex> lock(queue_mutex_);
-        pending_.swap(queue_);
-    }
-    if (pending_.empty())
+    const std::size_t n = ring_count_.load(std::memory_order_acquire);
+    if (n == 0)
         return 0;
-    stats_.max_queue = std::max(stats_.max_queue,
-                                std::uint64_t{pending_.size()});
 
+    // Snapshot the per-ring backlog once: this drain takes at most
+    // what was already published at entry, so every record it admits
+    // was stamped before now_ns and the latency histogram stays
+    // truthful. Records published while we drain wait for the next
+    // pump — that also bounds the drain against a producer that can
+    // refill as fast as we sweep.
+    std::size_t backlog = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ring_take_[i] = rings_[i]->occupancy();
+        backlog += ring_take_[i];
+    }
+    stats_.max_backlog = std::max(stats_.max_backlog,
+                                  std::uint64_t{backlog});
+
+    // Sweep the snapshot, bounded by the adaptive quota. Records
+    // move in kChunk pops: the staging buffer stays L2-resident
+    // however large the quota grows, and ring slots are freed
+    // incrementally instead of only after the whole sweep, so a
+    // blocked producer can resume mid-drain.
+    constexpr std::size_t kChunk = 8192;
+    const std::size_t quota = sweep_quota_;
+    LatencyHistogram drain_latency;
+    std::size_t drained = 0;
+    for (std::size_t i = 0; i < n && drained < quota; ++i) {
+        std::size_t take = std::min(ring_take_[i], quota - drained);
+        while (take > 0) {
+            pending_.clear();
+            const std::size_t got = rings_[i]->popInto(
+                    pending_, std::min(kChunk, take));
+            if (got == 0)
+                break;  // defensive: the snapshot says it's there
+            admitRange(now_ns, drain_latency);
+            drained += got;
+            take -= got;
+        }
+    }
+    if (drained == 0)
+        return 0;
+    stats_.ingested += drained;
+    flushBatch();
+    pending_.clear();
+    drain_batch_records_.record(drained);
+    latency_.merge(drain_latency);
+
+    // Adaptive quota: shrink when this drain's p99 busts the SLO
+    // (shed work to producers as accounted backpressure), else grow
+    // while the rings run hot — quota exhausted, or backlog still
+    // published behind us. Shrink deliberately wins over grow.
+    bool hot = drained >= quota;
+    for (std::size_t i = 0; !hot && i < n; ++i)
+        hot = rings_[i]->occupancy() > 0;
+    if (drain_latency.quantileNs(0.99) > drain_slo_ns_) {
+        if (sweep_quota_ > sweep_quota_min_) {
+            sweep_quota_ = std::max(sweep_quota_min_, sweep_quota_ / 2);
+            ++stats_.quota_shrinks;
+        }
+    } else if (hot && sweep_quota_ < sweep_quota_max_) {
+        sweep_quota_ = std::min(sweep_quota_max_, sweep_quota_ * 2);
+        ++stats_.quota_grows;
+    }
+    return drained;
+}
+
+void
+Shard::admitRange(std::uint64_t now_ns, LatencyHistogram& drain_latency)
+{
     // How far ahead of the admit loop to prefetch the two map home
     // buckets: enough outstanding loads to cover a DRAM round trip.
     constexpr std::size_t kAhead = 12;
+    // Second prefetch stage, closer in: by the time a record is
+    // kBank away its spill-index bucket (prefetched at kAhead) is
+    // cached, so probing it is cheap — and the probe yields the
+    // record's spill *bank*, the paddedColumns() block a restore
+    // will copy out of spill_hists_. That bank is a cold DRAM line
+    // in an array of millions of banks; without this stage every
+    // restore of a returning stream eats the full round trip.
+    constexpr std::size_t kBank = 6;
+    const std::size_t pn = kernel_.paddedColumns();
     for (std::size_t i = 0; i < pending_.size(); ++i) {
         const Update& u = pending_[i];
         if (i + kAhead < pending_.size()) {
             map_.prefetch(pending_[i + kAhead].stream);
             spill_index_.prefetch(pending_[i + kAhead].stream);
+        }
+        if (i + kBank < pending_.size()) {
+            if (const auto sp = spill_index_.find(
+                        pending_[i + kBank].stream)) {
+                __builtin_prefetch(&spill_hists_[*sp * pn]);
+                __builtin_prefetch(&spill_last_[*sp]);
+            }
+            // The eviction the admit below this one will run takes
+            // roughly the next clock slot, and spills into that
+            // slot's cached spill bank — pull the line in for
+            // writing. The guess is approximate (the scan skips
+            // staged slots); a miss just wastes one hint.
+            const std::size_t guess =
+                    (hand_ + kBank) & (capacity_ - 1);
+            const std::uint32_t gs = slot_spill_[guess];
+            if (gs != kNoSpill) {
+                __builtin_prefetch(&spill_hists_[gs * pn], 1);
+                __builtin_prefetch(&spill_last_[gs], 1);
+            }
         }
         // Segment boundary: cut the batch *here*, between updates,
         // rather than inside admit() — eviction then only ever sees
@@ -79,14 +196,9 @@ Shard::drain(std::uint64_t now_ns)
             ++staged_streams_;
         }
         batch_.push_back({Pc{slot}, u.value});
-        latency_.record(now_ns > u.tick_ns ? now_ns - u.tick_ns : 0);
+        drain_latency.record(now_ns > u.tick_ns ? now_ns - u.tick_ns
+                                                : 0);
     }
-    const std::size_t drained = pending_.size();
-    stats_.ingested += drained;
-    flushBatch();
-    pending_.clear();
-    drain_batch_records_.record(drained);
-    return drained;
 }
 
 std::uint32_t
@@ -152,7 +264,7 @@ Shard::evictOne()
     // the least recently touched. The flush threshold caps staged
     // slots at half the table, so a candidate always exists within
     // one lap; the flush-and-retry is a defensive backstop only.
-    constexpr std::size_t kWindow = 16;
+    constexpr std::size_t kWindow = 8;
     std::size_t victim = capacity_;
     std::uint64_t best = ~std::uint64_t{0};
     std::size_t considered = 0;
@@ -183,7 +295,10 @@ Shard::evictOne()
     spillTo(spill_slot, static_cast<std::uint32_t>(victim));
 
     map_.erase(stream);
-    kernel_.clearEntry(victim);
+    // No clearEntry here: admit() always overwrites the victim's
+    // kernel state — a restore installs the returning stream's bank,
+    // and the cold-miss path clears it — so clearing now would just
+    // write the bank twice.
     ++stats_.evictions;
     return static_cast<std::uint32_t>(victim);
 }

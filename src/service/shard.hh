@@ -1,19 +1,32 @@
 /**
  * @file
- * One shard of the always-on prediction service.
+ * One shard of the always-on prediction service. repro-lint: hot-path
  *
  * A shard exclusively owns the predictor state for its slice of the
  * stream-id space: a MultiGeomDfcmKernel whose 2^l1_bits level-1
  * entries hold the *resident* (hot) streams, a SlotMap assigning
  * dense kernel slots to stream ids, and a spill area holding the
  * relocatable level-1 state (hashed-history bank + last value) of
- * every stream that has been evicted to make room. Producers on any
- * thread enqueue() (pc, value) updates into the shard's MPSC queue;
- * the shard's pump thread drain()s the queue, admits streams
- * (restoring spilled state bit-identically when a cold stream
- * returns), and feeds the batch through the kernel's *stream-packed*
- * tier (feedTracePacked): records from distinct resident streams
- * execute 16 to a vector step with gather/scatter level-2 probes.
+ * every stream that has been evicted to make room.
+ *
+ * Ingest is a lock-free fabric: each registered producer owns one
+ * bounded SPSC ring into this shard (see spsc_ring.hh for the
+ * memory-order argument). Producers tryEnqueue() into their ring —
+ * ring-full is a retriable backpressure status, never a blocked
+ * thread — and the shard's pump thread drain()s by sweeping all
+ * rings into a staging vector, admitting streams (restoring spilled
+ * state bit-identically when a cold stream returns), and feeding the
+ * batch through the kernel's *stream-packed* tier (feedTracePacked):
+ * records from distinct resident streams execute 16 to a vector step
+ * with gather/scatter level-2 probes.
+ *
+ * The sweep is quota-bounded and adaptive: drain() moves at most
+ * sweep_quota_ records per call, doubling the quota while rings run
+ * hot (quota exhausted or backlog left behind) and halving it when
+ * the per-drain ingest-to-predict p99 exceeds the configured SLO.
+ * Shrink wins over grow — when the SLO is busted the fabric sheds
+ * work to the producers as explicit, accounted backpressure instead
+ * of letting drain latency compound.
  *
  * The drain is segmented so eviction and batching compose: a slot
  * whose records are staged in the current segment is never an
@@ -22,15 +35,18 @@
  * table — so under heavy stream churn the kernel still sees large
  * packed batches instead of one feed per eviction.
  *
- * Concurrency contract: enqueue() is thread-safe against everything;
- * drain(), snapshots and state queries must be externally serialized
- * (PredictionService runs one drain per shard at a time and
- * snapshots only a quiescent service).
+ * Concurrency contract: tryEnqueue()/flushProducer() are safe from
+ * the owning producer's thread concurrently with everything;
+ * addProducerRing() publishes new rings to a running drain via an
+ * acquire/release count. drain(), snapshots and state queries must
+ * be externally serialized (PredictionService runs one drain per
+ * shard at a time and snapshots only a quiescent service).
  *
  * Determinism contract: a stream's exported level-1 state depends
  * only on that stream's own value sequence — never on which shard it
- * lives in, which slot it occupies, or which other streams share the
- * kernel — so it is invariant across shard counts and eviction
+ * lives in, which slot it occupies, which producer ring carried it,
+ * or which other streams share the kernel — so it is invariant
+ * across shard counts, ring capacities, producer counts and eviction
  * schedules. (Shared level-2 tables are deliberately outside the
  * contract: level-2 hit rates legitimately vary with co-residency,
  * exactly like aliasing in the paper's shared tables.)
@@ -39,9 +55,10 @@
 #ifndef DFCM_SERVICE_SHARD_HH
 #define DFCM_SERVICE_SHARD_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -51,18 +68,10 @@
 #include "service/latency_histogram.hh"
 #include "service/service_config.hh"
 #include "service/slot_map.hh"
+#include "service/spsc_ring.hh"
 
 namespace vpred::service
 {
-
-/** One ingested update, stamped by the producer for the
- *  ingest-to-predict latency histogram. */
-struct Update
-{
-    std::uint64_t stream;
-    Value value;
-    std::uint64_t tick_ns;
-};
 
 /** The relocatable per-stream level-1 state: one hashed-history lane
  *  per kernel column (padded bank, exported verbatim) plus the DFCM
@@ -78,15 +87,18 @@ struct StreamState
 
 struct ShardStats
 {
-    std::uint64_t ingested = 0;     //!< updates drained from the queue
+    std::uint64_t ingested = 0;     //!< updates swept from the rings
     std::uint64_t predictions = 0;  //!< records fed to the kernel
     std::uint64_t evictions = 0;
     std::uint64_t restores = 0;     //!< spilled streams re-admitted
-    std::uint64_t max_queue = 0;    //!< deepest queue seen at drain
+    std::uint64_t max_backlog = 0;  //!< deepest summed ring occupancy
+                                    //!< seen at drain entry
     std::uint64_t flushes = 0;      //!< packed segments fed
     std::uint64_t packed_steps = 0; //!< 16-lane steps executed
     std::uint64_t gather_records = 0;  //!< records on a gather backend
     std::uint64_t scalar_records = 0;  //!< records on the scalar path
+    std::uint64_t quota_grows = 0;   //!< sweep-quota doublings
+    std::uint64_t quota_shrinks = 0; //!< sweep-quota halvings
     /** Correct predictions per kernel column. */
     std::vector<std::uint64_t> correct;
 };
@@ -96,14 +108,42 @@ class Shard
   public:
     explicit Shard(const ServiceConfig& cfg);
 
-    /** Thread-safe producer entry point. */
-    void enqueue(std::uint64_t stream, Value value,
-                 std::uint64_t tick_ns);
+    /**
+     * Create the SPSC ring for producer @p producer (a dense index
+     * assigned by PredictionService). Serialized by the service's
+     * registration lock; safe against a concurrent drain() — the
+     * ring becomes sweepable only after the release-store of the
+     * ring count. Each producer index is registered exactly once.
+     */
+    void addProducerRing(std::size_t producer);
 
     /**
-     * Drain everything enqueued so far through the kernel; pump
-     * thread only. @p now_ns is the drain timestamp used for the
-     * latency histogram (enqueue-to-drain). Returns records fed.
+     * Producer entry point: append one update to @p producer's ring.
+     * Owning producer thread only. Returns false — retriable
+     * backpressure — when the ring is full; everything pending is
+     * published before the rejection, so a retry after the next
+     * drain can succeed.
+     */
+    bool
+    tryEnqueue(std::size_t producer, std::uint64_t stream, Value value,
+               std::uint64_t tick_ns)
+    {
+        return rings_[producer]->tryPush({stream, value, tick_ns});
+    }
+
+    /** Publish @p producer's pending records (flush-on-ingest-idle).
+     *  Owning producer thread only. */
+    void
+    flushProducer(std::size_t producer)
+    {
+        rings_[producer]->publish();
+    }
+
+    /**
+     * Sweep up to the adaptive quota of published records from all
+     * producer rings through the kernel; pump thread only. @p now_ns
+     * is the drain timestamp used for the latency histogram
+     * (publish-to-drain). Returns records fed.
      */
     std::size_t drain(std::uint64_t now_ns);
 
@@ -113,6 +153,10 @@ class Shard
     std::size_t spilledStreams() const;
 
     const ShardStats& stats() const { return stats_; }
+    /** Aggregate producer-side ring counters (safe anytime). */
+    RingCounters ringCounters() const;
+    /** Current adaptive sweep quota (pump thread only). */
+    std::size_t sweepQuota() const { return sweep_quota_; }
     const LatencyHistogram& latency() const { return latency_; }
     /** Per-drain batch-size distribution (records per drain() call
      *  that moved at least one record). */
@@ -149,6 +193,10 @@ class Shard
     void installStream(std::uint64_t stream, const StreamState& state);
 
   private:
+    /** Feed every record in pending_ through admit and the packed
+     *  batch, with the two-stage prefetch pipeline. */
+    void admitRange(std::uint64_t now_ns,
+                    LatencyHistogram& drain_latency);
     std::uint32_t admit(std::uint64_t stream);
     void flushBatch();
     std::uint32_t evictOne();
@@ -184,11 +232,23 @@ class Shard
     std::vector<Value> spill_last_;
     std::vector<std::uint64_t> spill_streams_;  //!< spill slot -> id
 
-    // MPSC ingest queue: producers append under the mutex, drain()
-    // swaps the vector out and processes without the lock.
-    std::mutex queue_mutex_;
-    std::vector<Update> queue_;
-    std::vector<Update> pending_;  //!< drain-side swap target
+    // Ingest fabric: one SPSC ring per registered producer, slots
+    // pre-allocated to the lifetime cap so the array itself is never
+    // resized. ring_count_ publishes construction to the drain
+    // thread (release on add, acquire at sweep).
+    std::vector<std::unique_ptr<SpscRing>> rings_;
+    std::atomic<std::size_t> ring_count_{0};
+    std::size_t ring_capacity_;
+    std::size_t publish_batch_;
+
+    // Adaptive drain state (pump thread only).
+    std::size_t sweep_quota_;
+    std::size_t sweep_quota_min_;
+    std::size_t sweep_quota_max_;
+    std::uint64_t drain_slo_ns_;
+
+    std::vector<Update> pending_;  //!< drain-side sweep target
+    std::vector<std::size_t> ring_take_; //!< per-ring drain snapshot
     ValueTrace batch_;             //!< records staged for feedTrace
 
     ShardStats stats_;

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring for the service's
+ * lock-free ingest fabric. repro-lint: hot-path
+ *
+ * Each registered producer owns one ring per shard, so every ring has
+ * exactly one writer (that producer's thread) and exactly one reader
+ * (whichever thread runs that shard's drain — PredictionService runs
+ * one drain per shard at a time). That pairing is what makes the ring
+ * correct with nothing stronger than acquire/release on two indices:
+ *
+ *   - the producer writes records into slots, then *publishes* them
+ *     with one release store of the head index; the consumer's
+ *     acquire load of the head makes the slot writes visible
+ *     (release/acquire pairs on head_pub_);
+ *   - the consumer copies published records out, then frees the slots
+ *     with one release store of the tail index; the producer's
+ *     acquire load of the tail makes the reuse safe.
+ *
+ * Publishing is *batched*: pushes advance a producer-local head and
+ * only every publish_batch records pay the release store (and the
+ * cache-line ping to the consumer). publish() flushes the remainder —
+ * the flush-on-ingest-idle path — and tryPush() self-publishes when
+ * the ring fills, so a full ring always exposes everything it holds
+ * and records never strand behind an unpublished head.
+ *
+ * Backpressure is explicit: tryPush() returns false when the ring is
+ * full after a tail refresh, and the producer decides whether to
+ * retry, yield, or drop. There is no blocking and no convoying — a
+ * stalled consumer costs exactly one failed push, not a queue of
+ * producers parked on a mutex.
+ *
+ * Capacity is a power of two; indices are free-running 64-bit
+ * counters (head - tail is the occupancy; wraparound of the counters
+ * themselves would take centuries at any realistic rate).
+ */
+
+#ifndef DFCM_SERVICE_SPSC_RING_HH
+#define DFCM_SERVICE_SPSC_RING_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace vpred::service
+{
+
+/** One ingested update, stamped by the producer for the
+ *  ingest-to-predict latency histogram. */
+struct Update
+{
+    std::uint64_t stream;
+    Value value;
+    std::uint64_t tick_ns;
+};
+
+static_assert(std::is_trivially_copyable_v<Update>);
+
+/** Producer-side counters of one ring, read via SpscRing accessors
+ *  (relaxed atomics, so any thread may observe them at any time). */
+struct RingCounters
+{
+    std::uint64_t publishes = 0;         //!< release stores paid
+    std::uint64_t published_records = 0; //!< records those covered
+    std::uint64_t full_events = 0;       //!< tryPush rejections
+};
+
+class SpscRing
+{
+  public:
+    /**
+     * @param capacity Slot count; must be a power of two.
+     * @param publish_batch Records per release store (1 = publish
+     *        every push); must be in [1, capacity].
+     */
+    SpscRing(std::size_t capacity, std::size_t publish_batch)
+        : buf_(capacity), mask_(capacity - 1),
+          publish_batch_(publish_batch)
+    {
+        assert(capacity > 0 && (capacity & mask_) == 0);
+        assert(publish_batch >= 1 && publish_batch <= capacity);
+    }
+
+    // --- producer side (one thread) ---------------------------------
+
+    /**
+     * Append @p u, publishing automatically once publish_batch
+     * records are pending. Returns false — the retriable
+     * backpressure status — when the ring is full even after
+     * refreshing the cached tail; the failed push also publishes
+     * everything pending, so the consumer can always see (and free)
+     * the whole backlog.
+     */
+    bool
+    tryPush(const Update& u)
+    {
+        if (head_ - tail_cache_ == buf_.size()) {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (head_ - tail_cache_ == buf_.size()) {
+                publish();
+                counters_.full_events.fetch_add(
+                        1, std::memory_order_relaxed);
+                return false;
+            }
+        }
+        buf_[head_ & mask_] = u;
+        ++head_;
+        if (head_ - head_pub_.load(std::memory_order_relaxed)
+            >= publish_batch_)
+            publish();
+        return true;
+    }
+
+    /** Release-store every pending record to the consumer (the
+     *  flush-on-idle path). No-op when nothing is pending. */
+    void
+    publish()
+    {
+        const std::uint64_t pending =
+                head_ - head_pub_.load(std::memory_order_relaxed);
+        if (pending == 0)
+            return;
+        head_pub_.store(head_, std::memory_order_release);
+        counters_.publishes.fetch_add(1, std::memory_order_relaxed);
+        counters_.published_records.fetch_add(
+                pending, std::memory_order_relaxed);
+    }
+
+    /** Records pushed but not yet published (producer thread only). */
+    std::uint64_t
+    unpublished() const
+    {
+        return head_ - head_pub_.load(std::memory_order_relaxed);
+    }
+
+    // --- consumer side (one thread) ---------------------------------
+
+    /**
+     * Copy up to @p max published records into @p out (appending) and
+     * free their slots. Returns the number copied; 0 when nothing is
+     * published.
+     */
+    std::size_t
+    popInto(std::vector<Update>& out, std::size_t max)
+    {
+        const std::uint64_t tail =
+                tail_.load(std::memory_order_relaxed);
+        std::uint64_t avail = head_cache_ - tail;
+        if (avail == 0) {
+            head_cache_ = head_pub_.load(std::memory_order_acquire);
+            avail = head_cache_ - tail;
+            if (avail == 0)
+                return 0;
+        }
+        const std::size_t n = static_cast<std::size_t>(
+                avail < max ? avail : max);
+        // At most two contiguous segments (the copy may wrap), each a
+        // straight memcpy — Update is trivially copyable, and a
+        // per-record push_back would pay a capacity check per record.
+        const std::size_t start =
+                static_cast<std::size_t>(tail) & mask_;
+        const std::size_t first =
+                std::min(n, buf_.size() - start);
+        const std::size_t base = out.size();
+        out.resize(base + n);
+        std::memcpy(out.data() + base, buf_.data() + start,
+                    first * sizeof(Update));
+        if (first < n)
+            std::memcpy(out.data() + base + first, buf_.data(),
+                        (n - first) * sizeof(Update));
+        tail_.store(tail + n, std::memory_order_release);
+        return n;
+    }
+
+    /** Published records not yet consumed. Exact from the consumer
+     *  thread; from any other thread the two indices cannot be read
+     *  as one snapshot, so the difference is clamped to
+     *  [0, capacity()] and is approximate. */
+    std::size_t
+    occupancy() const
+    {
+        // Tail before head: tail never passes the published head, so
+        // with a fresh head the difference cannot go negative — but a
+        // *stale* tail can overstate it (the consumer may drain many
+        // batches between the two loads), hence the capacity clamp.
+        const std::uint64_t tail =
+                tail_.load(std::memory_order_acquire);
+        const std::uint64_t head =
+                head_pub_.load(std::memory_order_acquire);
+        const std::uint64_t occ = head > tail ? head - tail : 0;
+        return static_cast<std::size_t>(
+                std::min<std::uint64_t>(occ, buf_.size()));
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Snapshot of the producer-side counters (relaxed reads). */
+    RingCounters
+    counters() const
+    {
+        return {counters_.publishes.load(std::memory_order_relaxed),
+                counters_.published_records.load(
+                        std::memory_order_relaxed),
+                counters_.full_events.load(std::memory_order_relaxed)};
+    }
+
+  private:
+    std::vector<Update> buf_;
+    std::size_t mask_;
+    std::size_t publish_batch_;
+
+    struct AtomicCounters
+    {
+        std::atomic<std::uint64_t> publishes{0};
+        std::atomic<std::uint64_t> published_records{0};
+        std::atomic<std::uint64_t> full_events{0};
+    };
+
+    // Producer-owned fields on their own cache line: the local head,
+    // the cached consumer tail (refreshed only when the ring looks
+    // full), and the stats counters only the producer writes.
+    alignas(64) std::uint64_t head_ = 0;
+    std::uint64_t tail_cache_ = 0;
+    AtomicCounters counters_;
+
+    // The two shared indices each get a dedicated cache line so a
+    // publish never invalidates the consumer's tail line and a
+    // consume never invalidates the producer's head line.
+    alignas(64) std::atomic<std::uint64_t> head_pub_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+
+    // Consumer-owned: the cached published head (refreshed only when
+    // the ring looks empty).
+    alignas(64) std::uint64_t head_cache_ = 0;
+};
+
+} // namespace vpred::service
+
+#endif // DFCM_SERVICE_SPSC_RING_HH

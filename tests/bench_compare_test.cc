@@ -224,6 +224,125 @@ TEST(BenchCompareGate, CleanComparisonHasNoFailure)
     EXPECT_FALSE(cmp.anyFailure());
 }
 
+TEST(BenchCompareLatency, ClassifierNeedsQuantileTagAndNsSuffix)
+{
+    // Both tag orders the benches emit are latency quantiles...
+    EXPECT_TRUE(bench_compare::isLatencyQuantileMetric(
+            "service_p99_ingest_to_predict_ns"));
+    EXPECT_TRUE(bench_compare::isLatencyQuantileMetric(
+            "drain_batch_p50_ns"));
+    // ...but a bare duration is ungated, as is a quantile of a
+    // non-duration counter.
+    EXPECT_FALSE(bench_compare::isLatencyQuantileMetric(
+            "trace_generate_ns"));
+    EXPECT_FALSE(
+            bench_compare::isLatencyQuantileMetric("backlog_p99_count"));
+    EXPECT_FALSE(bench_compare::isLatencyQuantileMetric(
+            "x_records_per_sec"));
+}
+
+TEST(BenchCompareLatency, RisePastThresholdFails)
+{
+    // p99 6.5ms -> 9.0ms is a 38% rise: past the 25% latency
+    // threshold even though it would pass the throughput rule.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"service_p99_ingest_to_predict_ns\": 6.5e6"),
+            doc("    \"service_p99_ingest_to_predict_ns\": 9.0e6"),
+            0.10, 0.25);
+    EXPECT_TRUE(cmp.errors.empty());
+    EXPECT_TRUE(cmp.anyRegression());
+    const MetricDelta* d =
+            find(cmp, "service_p99_ingest_to_predict_ns");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->regressed);
+    ASSERT_TRUE(d->ratio.has_value());
+    EXPECT_NEAR(*d->ratio, 9.0 / 6.5, 1e-12);
+}
+
+TEST(BenchCompareLatency, RiseWithinThresholdPasses)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"service_p50_ingest_to_predict_ns\": 6.5e6"),
+            doc("    \"service_p50_ingest_to_predict_ns\": 7.5e6"),
+            0.10, 0.25);
+    EXPECT_FALSE(cmp.anyFailure());
+}
+
+TEST(BenchCompareLatency, ImprovementPasses)
+{
+    // Latency gates the opposite direction from throughput: a 50%
+    // *drop* is an improvement, not a regression.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"service_p99_ingest_to_predict_ns\": 6.5e6"),
+            doc("    \"service_p99_ingest_to_predict_ns\": 3.2e6"),
+            0.10, 0.25);
+    EXPECT_FALSE(cmp.anyFailure());
+}
+
+TEST(BenchCompareLatency, AbsentFromBaselineIsComparableByAbsence)
+{
+    // A baseline committed before the quantile metrics existed must
+    // keep passing: the new metrics are reported, never failed.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"service_ingest_records_per_sec\": 3.0e6"),
+            doc("    \"service_ingest_records_per_sec\": 3.1e6,\n"
+                "    \"service_p50_ingest_to_predict_ns\": 6.5e6,\n"
+                "    \"service_p99_ingest_to_predict_ns\": 4.8e7"),
+            0.10, 0.25);
+    EXPECT_FALSE(cmp.anyFailure());
+    const MetricDelta* d =
+            find(cmp, "service_p99_ingest_to_predict_ns");
+    ASSERT_NE(d, nullptr);
+    EXPECT_FALSE(d->baseline.has_value());
+    EXPECT_FALSE(d->regressed);
+    EXPECT_FALSE(d->incomparable);
+}
+
+TEST(BenchCompareLatency, ZeroQuantileIsIncomparableAndFails)
+{
+    // A 0 ns quantile is a clamped or missing producer timestamp —
+    // exactly the measurement bug this gate must refuse to bless.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"service_p50_ingest_to_predict_ns\": 6.5e6"),
+            doc("    \"service_p50_ingest_to_predict_ns\": 0.0"), 0.10,
+            0.25);
+    EXPECT_TRUE(cmp.anyIncomparable());
+    EXPECT_TRUE(cmp.anyFailure());
+}
+
+TEST(BenchCompareLatency, ThresholdIsIndependentOfThroughputs)
+{
+    // One doc, both kinds: a throughput well within its 10% band and
+    // a quantile just past its own 25% band — only the latency fails.
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_records_per_sec\": 3.0e8,\n"
+                "    \"x_p99_ns\": 1.0e6"),
+            doc("    \"x_records_per_sec\": 2.9e8,\n"
+                "    \"x_p99_ns\": 1.3e6"),
+            0.10, 0.25);
+    EXPECT_TRUE(cmp.anyRegression());
+    const MetricDelta* thr = find(cmp, "x_records_per_sec");
+    ASSERT_NE(thr, nullptr);
+    EXPECT_FALSE(thr->regressed);
+    const MetricDelta* lat = find(cmp, "x_p99_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_TRUE(lat->regressed);
+}
+
+TEST(BenchCompareReport, LatencyVerdictLineCountsQuantiles)
+{
+    const Comparison cmp = bench_compare::compare(
+            doc("    \"x_p99_ns\": 1.0e6"),
+            doc("    \"x_p99_ns\": 2.0e6"), 0.10, 0.25);
+    std::ostringstream os;
+    bench_compare::printReport(os, cmp, 0.10, 0.25);
+    EXPECT_NE(os.str().find("REGRESSED x_p99_ns"), std::string::npos);
+    EXPECT_NE(os.str().find(
+                      "1 latency quantile(s) more than 25% above"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+}
+
 TEST(BenchCompareReport, MarksIncomparableAndFailsVerdict)
 {
     const Comparison cmp = bench_compare::compare(

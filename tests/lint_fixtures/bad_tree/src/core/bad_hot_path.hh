@@ -1,0 +1,15 @@
+// A deliberately lock-infested file that opted into the lock-free
+// contract: repro-lint: hot-path
+#pragma once
+#include <mutex>
+#include <condition_variable>
+#include <atomic>  // atomics stay legal on the hot path
+
+struct BadHotPath
+{
+    std::mutex m;
+    std::condition_variable cv;
+    void f() { const std::lock_guard<std::mutex> g(m); }
+    std::mutex cold_path_lock;  // repro-lint: allow(concurrency)
+    std::atomic<int> fine{0};
+};

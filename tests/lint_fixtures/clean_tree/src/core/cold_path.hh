@@ -1,0 +1,15 @@
+// A cold-path file: no "hot-path" marker, so blocking primitives are
+// perfectly legal here — the concurrency rule is strictly opt-in.
+#pragma once
+#include <mutex>
+
+struct ColdPathRegistry
+{
+    std::mutex m;
+    int value = 0;
+    void set(int v)
+    {
+        const std::lock_guard<std::mutex> g(m);
+        value = v;
+    }
+};

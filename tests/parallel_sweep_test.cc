@@ -238,7 +238,7 @@ TEST(ResultsJson, SerializesSchemaFields)
     exec.vector_width = 256;
     json.setExecution(exec);
     const std::string s = json.toJson();
-    EXPECT_NE(s.find("\"schema_version\": 6"), std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": 7"), std::string::npos);
     EXPECT_NE(s.find("\"simd_backend\": \"avx2\""), std::string::npos);
     EXPECT_NE(s.find("\"vector_width\": 256"), std::string::npos);
     EXPECT_NE(s.find("\"trace_store_enabled\": true"),
@@ -257,6 +257,24 @@ TEST(ResultsJson, SerializesSchemaFields)
     EXPECT_NE(s.find("\"workload\": \"norm\""), std::string::npos);
     EXPECT_NE(s.find("\"accuracy\": "), std::string::npos);
     EXPECT_EQ(json.resultCount(), 1u);
+}
+
+TEST(ResultsJson, SerializesTables)
+{
+    ResultsJsonWriter json("unit_test_table", 1.0, 1);
+    json.setWallSeconds(0.0);
+    json.addTable("scaling", {"backend", "producers", "rate"},
+                  {{"avx512", 1.0, 2.5e6}, {"scalar", 4.0, 1.25e6}});
+    json.addTable("empty_table", {"only_columns"}, {});
+    const std::string s = json.toJson();
+    EXPECT_NE(s.find("\"scaling\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"columns\": [\"backend\", \"producers\","
+                     " \"rate\"]"),
+              std::string::npos);
+    EXPECT_NE(s.find("[\"avx512\", 1, 2500000]"), std::string::npos);
+    EXPECT_NE(s.find("[\"scalar\", 4, 1250000]"), std::string::npos);
+    EXPECT_NE(s.find("\"empty_table\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"rows\": []"), std::string::npos);
 }
 
 TEST(ResultsJson, WritesBenchFile)

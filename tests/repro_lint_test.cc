@@ -176,6 +176,41 @@ TEST(ReproLintPortability, SimdHeaderHomeIsExempt)
     EXPECT_TRUE(out.empty());
 }
 
+TEST(ReproLintConcurrency, LocksInHotPathFileAreFlagged)
+{
+    const auto hits = findingsAt("src/core/bad_hot_path.hh",
+                                 "concurrency/lock-in-hot-path");
+    ASSERT_EQ(hits.size(), 5u);
+    EXPECT_EQ(hits[0].line, 4);  // #include <mutex>
+    EXPECT_NE(hits[0].message.find("<mutex>"), std::string::npos);
+    EXPECT_EQ(hits[1].line, 5);   // #include <condition_variable>
+    EXPECT_EQ(hits[2].line, 10);  // std::mutex member
+    EXPECT_EQ(hits[3].line, 11);  // std::condition_variable member
+    EXPECT_EQ(hits[4].line, 12);  // lock_guard (one finding per line)
+    EXPECT_NE(hits[2].message.find("SPSC rings"), std::string::npos)
+            << hits[2].message;
+    // <atomic> and std::atomic stay legal on the hot path.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_hot_path.hh", 6));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_hot_path.hh", 14));
+}
+
+TEST(ReproLintConcurrency, AllowCommentMarksTheColdPath)
+{
+    // Line 13 carries "// repro-lint: allow(concurrency)".
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_hot_path.hh", 13));
+}
+
+TEST(ReproLintConcurrency, FilesWithoutTheMarkerAreExempt)
+{
+    // clean_tree's cold_path.hh is full of mutexes but never opts
+    // in; the rule must not touch it.
+    const Tree tree = repro_lint::loadTree(fixtureDir() / "clean_tree");
+    ASSERT_NE(tree.find("src/core/cold_path.hh"), nullptr);
+    std::vector<Finding> out;
+    repro_lint::checkConcurrency(tree, out);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(ReproLintFormat, FindingFormatsAsFileLineRuleMessage)
 {
     const Finding f{"src/core/x.hh", 12, "layering/cc-include", "boom"};

@@ -17,6 +17,7 @@
 #include <filesystem>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,18 +54,33 @@ valueOf(std::uint64_t stream, std::uint64_t step)
     return (stream * 7 + step * stride + (step >> 3)) & 0xffffffffull;
 }
 
-/** Feed @p steps rounds of @p n_streams through @p service, pumping
- *  every round (single producer, so per-stream order is global
- *  order). */
+/** Push one update through @p prod, relieving ring backpressure by
+ *  pumping (single-threaded tests have no drain thread, so a full
+ *  ring would otherwise never empty). */
+void
+push(PredictionService& service, const Producer& prod,
+     std::uint64_t stream, Value value, std::uint64_t tick)
+{
+    while (!service.tryIngest(prod, stream, value, tick))
+        service.pump(tick + 1);
+}
+
+/** Feed @p steps rounds of @p n_streams through @p service, flushing
+ *  and pumping every round (single producer, so per-stream order is
+ *  global order). */
 void
 feed(PredictionService& service, std::uint64_t n_streams,
      std::uint64_t steps)
 {
+    Producer prod = service.registerProducer();
     for (std::uint64_t step = 0; step < steps; ++step) {
         for (std::uint64_t s = 0; s < n_streams; ++s)
-            service.ingest(s, valueOf(s, step), step);
-        service.pump(step + 1);
+            push(service, prod, s, valueOf(s, step), step);
+        service.flush(prod);
+        while (service.pump(step + 1) != 0) {
+        }
     }
+    service.unregisterProducer(prod);
 }
 
 class TempDir
@@ -171,14 +187,20 @@ TEST(ServiceSnapshot, EvictSnapshotRestoreIsBitIdentical)
 
     // The restored service must *continue* identically at level 1:
     // feed both the same tail and re-compare.
+    Producer pa = a.registerProducer();
+    Producer pb = b.registerProducer();
     for (std::uint64_t step = kSteps; step < kSteps + 4; ++step) {
         for (std::uint64_t s = 0; s < kStreams; ++s) {
-            a.ingest(s, valueOf(s, step), step);
-            b.ingest(s, valueOf(s, step), step);
+            push(a, pa, s, valueOf(s, step), step);
+            push(b, pb, s, valueOf(s, step), step);
         }
+        a.flush(pa);
+        b.flush(pb);
         a.pump(step);
         b.pump(step);
     }
+    a.unregisterProducer(pa);
+    b.unregisterProducer(pb);
     for (std::uint64_t s = 0; s < kStreams; ++s)
         EXPECT_EQ(*a.streamState(s), *b.streamState(s))
                 << "stream " << s;
@@ -229,10 +251,14 @@ TEST(ServiceSnapshot, RejectsCorruptSnapshot)
 TEST(ServiceIngest, ConcurrentProducersLoseNothing)
 {
     // Multi-producer ingest racing a pumping consumer; run under
-    // TSan via the "concurrency" CTest label. Totals must balance
-    // and every stream must end with its full update count applied.
+    // TSan via the "concurrency" CTest label. Each thread registers
+    // its own producer (registration itself races ingest and pump),
+    // rides out backpressure with a yield loop, and unregisters —
+    // which flushes its partial batches — before the final pump.
+    // Totals must balance.
     ServiceConfig cfg = tinyConfig(2);
     cfg.l1_bits = 6;
+    cfg.ring_capacity = 256;  // small enough to exercise ring-full
     PredictionService service(cfg);
 
     constexpr unsigned kProducers = 4;
@@ -240,11 +266,17 @@ TEST(ServiceIngest, ConcurrentProducersLoseNothing)
     std::vector<std::thread> producers;
     for (unsigned p = 0; p < kProducers; ++p) {
         producers.emplace_back([&service, p] {
+            Producer prod = service.registerProducer();
             for (std::uint64_t i = 0; i < kPerProducer; ++i) {
                 const std::uint64_t stream =
                         p * kPerProducer + i % 97;
-                service.ingest(stream, valueOf(stream, i), i);
+                while (!service.tryIngest(prod, stream,
+                                          valueOf(stream, i), i)) {
+                    service.noteBlocked(prod, 1);
+                    std::this_thread::yield();
+                }
             }
+            service.unregisterProducer(prod);
         });
     }
     std::uint64_t drained = 0;
@@ -261,6 +293,132 @@ TEST(ServiceIngest, ConcurrentProducersLoseNothing)
     EXPECT_EQ(drained, kProducers * kPerProducer);
     EXPECT_EQ(service.stats().ingested, kProducers * kPerProducer);
     EXPECT_EQ(service.stats().predictions, kProducers * kPerProducer);
+    const IngestStats ing = service.ingestStats();
+    EXPECT_EQ(ing.producers_registered, kProducers);
+    EXPECT_EQ(ing.producers_active, 0u);
+    EXPECT_EQ(ing.published_records, kProducers * kPerProducer);
+    EXPECT_EQ(ing.blocked_events, ing.blocked_ns);
+}
+
+TEST(ServiceIngest, DeterminismAcrossRingCapacityAndProducerCount)
+{
+    // The same contract StreamStateInvariantAcrossShardCounts pins
+    // for shards, extended to the ingest fabric: per-stream level-1
+    // state must not depend on ring capacity, publish batch, or how
+    // streams are partitioned across producers — only on each
+    // stream's own value sequence. The tiny ring forces the
+    // backpressure path (push() pumps to relieve it), and three
+    // producers change the cross-stream drain interleaving without
+    // touching any single stream's order.
+    constexpr std::uint64_t kStreams = 120;
+    constexpr std::uint64_t kSteps = 10;
+
+    PredictionService ref(tinyConfig(2));
+    feed(ref, kStreams, kSteps);
+
+    ServiceConfig cfg = tinyConfig(2);
+    cfg.ring_capacity = 8;
+    cfg.publish_batch = 8;
+    PredictionService svc(cfg);
+    std::vector<Producer> prods;
+    for (int p = 0; p < 3; ++p)
+        prods.push_back(svc.registerProducer());
+    for (std::uint64_t step = 0; step < kSteps; ++step) {
+        for (std::uint64_t s = 0; s < kStreams; ++s)
+            push(svc, prods[s % 3], s, valueOf(s, step), step);
+        for (const Producer& p : prods)
+            svc.flush(p);
+        while (svc.pump(step + 1) != 0) {
+        }
+    }
+    EXPECT_GT(svc.ingestStats().full_events, 0u)
+            << "ring too big to exercise backpressure";
+
+    for (std::uint64_t s = 0; s < kStreams; ++s) {
+        const auto a = ref.streamState(s);
+        const auto b = svc.streamState(s);
+        ASSERT_TRUE(a.has_value()) << "stream " << s;
+        ASSERT_TRUE(b.has_value()) << "stream " << s;
+        EXPECT_EQ(*a, *b) << "stream " << s;
+    }
+    for (Producer& p : prods)
+        svc.unregisterProducer(p);
+}
+
+TEST(ServiceIngest, FlushOnIdlePublishesPartialBatches)
+{
+    // With publish_batch > records pushed, nothing is visible to
+    // pump until flush() — and after flush everything is.
+    ServiceConfig cfg = tinyConfig(1);
+    cfg.publish_batch = 64;
+    PredictionService service(cfg);
+    Producer prod = service.registerProducer();
+    for (std::uint64_t s = 0; s < 10; ++s)
+        ASSERT_TRUE(service.tryIngest(prod, s, valueOf(s, 0), 0));
+    EXPECT_EQ(service.pump(1), 0u) << "unpublished records drained";
+    service.flush(prod);
+    EXPECT_EQ(service.pump(1), 10u);
+    service.unregisterProducer(prod);
+}
+
+TEST(ServiceIngest, UnregisterPublishesAndCapIsEnforced)
+{
+    ServiceConfig cfg = tinyConfig(1);
+    cfg.publish_batch = 64;
+    cfg.max_producers = 2;
+    PredictionService service(cfg);
+
+    Producer a = service.registerProducer();
+    ASSERT_TRUE(service.tryIngest(a, 7, valueOf(7, 0), 0));
+    service.unregisterProducer(a);  // flushes the partial batch
+    EXPECT_FALSE(a.valid());
+    EXPECT_EQ(service.pump(1), 1u);
+
+    // Slots are never reused: the second registration takes the
+    // second (and last) slot, the third must fail loudly.
+    Producer b = service.registerProducer();
+    EXPECT_TRUE(b.valid());
+    EXPECT_THROW(service.registerProducer(), std::length_error);
+    service.unregisterProducer(b);
+}
+
+TEST(ServiceIngest, AdaptiveQuotaGrowsHotAndShrinksPastSlo)
+{
+    // Grow: keep the rings hotter than the quota floor with ticks
+    // equal to now (measured latency 0 stays inside the SLO), so
+    // the quota must double away from the floor. Shrink: then stamp
+    // ticks 1ms in the past so the per-drain p99 busts the 1us SLO
+    // and the quota must halve — shrink wins over hot.
+    ServiceConfig cfg = tinyConfig(1);
+    cfg.l1_bits = 8;
+    cfg.ring_capacity = 1024;
+    cfg.sweep_quota_min = 64;
+    cfg.sweep_quota_max = 512;
+    cfg.drain_slo_ns = 1000;
+    PredictionService service(cfg);
+    Producer prod = service.registerProducer();
+
+    for (std::uint64_t round = 0; round < 4; ++round) {
+        for (std::uint64_t i = 0; i < 256; ++i)
+            push(service, prod, i % 50, valueOf(i % 50, round), 1);
+        service.flush(prod);
+        service.pump(1);  // quota-bounded drain leaves backlog → hot
+    }
+    while (service.pump(1) != 0) {
+    }
+    EXPECT_GT(service.stats().quota_grows, 0u);
+    EXPECT_GT(service.stats().max_backlog, 64u);
+
+    for (std::uint64_t round = 0; round < 4; ++round) {
+        for (std::uint64_t i = 0; i < 200; ++i)
+            push(service, prod, i % 50, valueOf(i % 50, round), 0);
+        service.flush(prod);
+        service.pump(1'000'000);  // every record looks 1ms late
+    }
+    while (service.pump(1'000'000) != 0) {
+    }
+    EXPECT_GT(service.stats().quota_shrinks, 0u);
+    service.unregisterProducer(prod);
 }
 
 TEST(SlotMap, MatchesReferenceMapUnderChurn)

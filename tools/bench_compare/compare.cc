@@ -26,16 +26,32 @@ trim(const std::string& s)
 }
 
 bool
-isThroughput(const std::string& name)
+endsWith(const std::string& name, std::string_view suffix)
 {
-    constexpr std::string_view kSuffix = "_records_per_sec";
-    return name.size() >= kSuffix.size()
-            && name.compare(name.size() - kSuffix.size(), kSuffix.size(),
-                            kSuffix)
+    return name.size() >= suffix.size()
+            && name.compare(name.size() - suffix.size(), suffix.size(),
+                            suffix)
             == 0;
 }
 
 } // namespace
+
+bool
+isThroughputMetric(const std::string& name)
+{
+    return endsWith(name, "_records_per_sec");
+}
+
+bool
+isLatencyQuantileMetric(const std::string& name)
+{
+    // The quantile tag floats ("service_p99_..._ns" and "..._p99_ns"
+    // both occur) but the unit suffix anchors the classification: a
+    // "_p99_count" is not a latency and must stay ungated.
+    return endsWith(name, "_ns")
+            && (name.find("_p50") != std::string::npos
+                || name.find("_p99") != std::string::npos);
+}
 
 bool
 Comparison::anyRegression() const
@@ -109,7 +125,7 @@ parseMetrics(const std::string& json, const std::string& label,
 
 Comparison
 compare(const std::string& baseline_json, const std::string& fresh_json,
-        double threshold)
+        double threshold, double latency_threshold)
 {
     Comparison cmp;
     const auto base =
@@ -120,31 +136,37 @@ compare(const std::string& baseline_json, const std::string& fresh_json,
 
     std::map<std::string, double> fresh_by_name(fresh->begin(),
                                                 fresh->end());
-    // A throughput side is usable iff it is a finite, strictly
-    // positive rate: zero means the bench never ran, and a NaN is a
-    // malformed document that parsed as the literal "nan". Either
+    // A gated side is usable iff it is finite and strictly positive:
+    // a zero rate means the bench never ran, a 0 ns quantile means
+    // the producer timestamps were clamped or missing, and a NaN is
+    // a malformed document that parsed as the literal "nan". Either
     // used to be skipped silently, turning a corrupted baseline into
     // a vacuous pass.
-    const auto usableRate = [](double v) {
+    const auto usable = [](double v) {
         return std::isfinite(v) && v > 0.0;
     };
     for (const auto& [name, bval] : *base) {
+        const bool throughput = isThroughputMetric(name);
+        const bool latency = isLatencyQuantileMetric(name);
         MetricDelta d;
         d.name = name;
         d.baseline = bval;
         const auto it = fresh_by_name.find(name);
         if (it != fresh_by_name.end()) {
             d.fresh = it->second;
-            if (isThroughput(name)
-                && (!usableRate(bval) || !usableRate(it->second))) {
+            if ((throughput || latency)
+                && (!usable(bval) || !usable(it->second))) {
                 d.incomparable = true;
-            } else if (usableRate(bval)) {
+            } else if (usable(bval)) {
                 d.ratio = it->second / bval;
             }
-            d.regressed = isThroughput(name) && d.ratio
-                    && *d.ratio < 1.0 - threshold;
+            if (d.ratio) {
+                d.regressed = throughput
+                        ? *d.ratio < 1.0 - threshold
+                        : latency && *d.ratio > 1.0 + latency_threshold;
+            }
             fresh_by_name.erase(it);
-        } else if (isThroughput(name) && !usableRate(bval)) {
+        } else if ((throughput || latency) && !usable(bval)) {
             // A corrupt baseline with no fresh counterpart is still a
             // corrupt baseline; refuse to bless it.
             d.incomparable = true;
@@ -152,7 +174,9 @@ compare(const std::string& baseline_json, const std::string& fresh_json,
         cmp.deltas.push_back(std::move(d));
     }
     // Metrics only the fresh run has (new in this build): reported,
-    // never a regression.
+    // never a regression. This is what makes latency quantiles
+    // comparable by absence — a baseline committed before the
+    // quantiles existed gates nothing until it is refreshed.
     for (const auto& [name, fval] : *fresh) {
         if (fresh_by_name.count(name) == 0)
             continue;
@@ -165,7 +189,8 @@ compare(const std::string& baseline_json, const std::string& fresh_json,
 }
 
 void
-printReport(std::ostream& os, const Comparison& cmp, double threshold)
+printReport(std::ostream& os, const Comparison& cmp, double threshold,
+            double latency_threshold)
 {
     for (const std::string& e : cmp.errors)
         os << "error: " << e << "\n";
@@ -193,23 +218,34 @@ printReport(std::ostream& os, const Comparison& cmp, double threshold)
             os << "  (x" << std::setprecision(3) << *d.ratio << ")";
         os << "\n";
     }
-    const std::size_t regressions = static_cast<std::size_t>(
+    const std::size_t thr_regressions = static_cast<std::size_t>(
             std::count_if(cmp.deltas.begin(), cmp.deltas.end(),
                           [](const MetricDelta& d) {
-                              return d.regressed;
+                              return d.regressed
+                                      && isThroughputMetric(d.name);
+                          }));
+    const std::size_t lat_regressions = static_cast<std::size_t>(
+            std::count_if(cmp.deltas.begin(), cmp.deltas.end(),
+                          [](const MetricDelta& d) {
+                              return d.regressed
+                                      && !isThroughputMetric(d.name);
                           }));
     const std::size_t incomparable = static_cast<std::size_t>(
             std::count_if(cmp.deltas.begin(), cmp.deltas.end(),
                           [](const MetricDelta& d) {
                               return d.incomparable;
                           }));
-    os << (regressions + incomparable == 0 ? "OK" : "FAIL") << ": "
-       << regressions << " throughput metric(s) more than "
+    os << (thr_regressions + lat_regressions + incomparable == 0
+                   ? "OK"
+                   : "FAIL")
+       << ": " << thr_regressions << " throughput metric(s) more than "
        << std::setprecision(0) << threshold * 100.0
-       << "% below baseline";
+       << "% below baseline, " << lat_regressions
+       << " latency quantile(s) more than " << std::setprecision(0)
+       << latency_threshold * 100.0 << "% above baseline";
     if (incomparable != 0)
         os << ", " << incomparable
-           << " incomparable (zero/NaN throughput — corrupt baseline"
+           << " incomparable (zero/NaN gated metric — corrupt baseline"
               " or fresh run?)";
     os << "\n";
     os.flags(old_flags);

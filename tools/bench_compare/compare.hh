@@ -8,11 +8,18 @@
  * freshly measured run. Every metric whose name ends in
  * "_records_per_sec" is a throughput; a fresh value more than
  * `threshold` (default 10%) below the baseline is a regression and
- * fails the gate. A throughput metric with a zero, negative or NaN
- * value on either side is *incomparable* and also fails the gate —
- * a corrupted baseline must never make the gate vacuously pass.
- * Non-throughput metrics and metrics present on only one side are
- * reported but never fail.
+ * fails the gate. Every metric whose name ends in "_ns" and carries a
+ * "_p50" or "_p99" tag is a latency quantile; those regress in the
+ * *opposite* direction — a fresh value more than `latency_threshold`
+ * (default 25%, latency is noisier than throughput) above the
+ * baseline fails the gate. A gated metric with a zero, negative or
+ * NaN value on either side is *incomparable* and also fails — a
+ * corrupted baseline must never make the gate vacuously pass, and a
+ * 0 ns quantile is a broken timestamp, not a fast drain. Ungated
+ * metrics and metrics present on only one side are reported but
+ * never fail; in particular a baseline committed before a latency
+ * quantile existed is comparable by absence, so adding quantiles
+ * never breaks the gate against history.
  *
  * The parser handles exactly the emitter's output — a flat
  * `"metrics": { "name": number, ... }` object with one pair per line
@@ -40,19 +47,29 @@ struct MetricDelta
     std::optional<double> fresh;     //!< absent: metric disappeared
     /** fresh / baseline when both sides are present and positive. */
     std::optional<double> ratio;
-    /** True when this is a "_records_per_sec" throughput metric whose
-     *  fresh value fell more than the threshold below the baseline. */
+    /** True when this gated metric moved past its threshold in the
+     *  bad direction: a "_records_per_sec" throughput that fell more
+     *  than `threshold` below the baseline, or a "_p50"/"_p99" "_ns"
+     *  latency quantile that rose more than `latency_threshold`
+     *  above it. */
     bool regressed = false;
     /**
-     * True when this is a throughput metric that *cannot* be
-     * compared: a baseline or fresh value that is zero, negative or
-     * non-finite (a NaN survives JSON parsing as the literal "nan").
-     * Such a metric used to be silently skipped, so a corrupted
-     * baseline made the gate vacuously pass; now it fails the gate
-     * like a regression does.
+     * True when this is a gated (throughput or latency-quantile)
+     * metric that *cannot* be compared: a baseline or fresh value
+     * that is zero, negative or non-finite (a NaN survives JSON
+     * parsing as the literal "nan"). Such a metric used to be
+     * silently skipped, so a corrupted baseline made the gate
+     * vacuously pass; now it fails the gate like a regression does.
      */
     bool incomparable = false;
 };
+
+/** Is @p name a gated throughput ("_records_per_sec" suffix)? */
+bool isThroughputMetric(const std::string& name);
+
+/** Is @p name a gated latency quantile ("_ns" suffix with a "_p50"
+ *  or "_p99" tag anywhere in the name)? */
+bool isLatencyQuantileMetric(const std::string& name);
 
 /** Comparison of two metric sets at one threshold. */
 struct Comparison
@@ -78,16 +95,25 @@ std::optional<std::vector<std::pair<std::string, double>>>
 parseMetrics(const std::string& json, const std::string& label,
              std::vector<std::string>& errors);
 
+/** Default allowed fractional rise for latency quantiles: shared
+ *  runners jitter tail latency far more than throughput, so the
+ *  latency gate ships looser than the 10% throughput default. */
+inline constexpr double kDefaultLatencyThreshold = 0.25;
+
 /**
  * Compare two BENCH JSON documents. @p threshold is the allowed
- * fractional drop for throughput metrics (0.10 = 10%).
+ * fractional drop for throughput metrics (0.10 = 10%);
+ * @p latency_threshold the allowed fractional rise for latency
+ * quantiles (0.25 = 25%).
  */
 Comparison compare(const std::string& baseline_json,
-                   const std::string& fresh_json, double threshold);
+                   const std::string& fresh_json, double threshold,
+                   double latency_threshold = kDefaultLatencyThreshold);
 
 /** Human-readable report: one line per metric plus a verdict line. */
 void printReport(std::ostream& os, const Comparison& cmp,
-                 double threshold);
+                 double threshold,
+                 double latency_threshold = kDefaultLatencyThreshold);
 
 } // namespace bench_compare
 

@@ -3,19 +3,24 @@
  * CLI for the throughput-regression gate:
  *
  *     bench-compare <baseline.json> <fresh.json>
- *                   [--threshold <frac>] [--warn-only]
+ *                   [--threshold <frac>] [--latency-threshold <frac>]
+ *                   [--warn-only]
  *
  * Exit status: 0 when no "_records_per_sec" metric fell more than
- * the threshold (default 0.10) below the baseline and every
- * throughput metric was comparable, 1 on regression, incomparable
- * throughput (zero/negative/NaN on either side — a corrupt baseline
- * must not vacuously pass the gate) or parse error, 2 on usage
- * error. --warn-only prints the same report but always exits 0 on a
+ * the threshold (default 0.10) below the baseline, no "_p50"/"_p99"
+ * "_ns" latency quantile rose more than the latency threshold
+ * (default 0.25) above it, and every gated metric was comparable;
+ * 1 on regression, incomparable gated metric (zero/negative/NaN on
+ * either side — a corrupt baseline must not vacuously pass the gate)
+ * or parse error, 2 on usage error. A baseline that predates the
+ * latency quantiles simply has nothing to gate them against and
+ * passes. --warn-only prints the same report but always exits 0 on a
  * clean parse — CI uses it on noisy shared runners where a
  * wall-clock dip is not worth a red build, while tools/check.sh runs
  * the hard-failing default locally.
  */
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,7 +38,8 @@ int
 usage()
 {
     std::cerr << "usage: bench-compare <baseline.json> <fresh.json>"
-                 " [--threshold <frac>] [--warn-only]\n";
+                 " [--threshold <frac>] [--latency-threshold <frac>]"
+                 " [--warn-only]\n";
     return 2;
 }
 
@@ -56,6 +62,7 @@ main(int argc, char** argv)
     const char* paths[2] = {nullptr, nullptr};
     int n_paths = 0;
     double threshold = 0.10;
+    double latency_threshold = bench_compare::kDefaultLatencyThreshold;
     bool warn_only = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -72,6 +79,21 @@ main(int argc, char** argv)
                 return 2;
             }
             threshold = *t;
+        } else if (std::strcmp(argv[i], "--latency-threshold") == 0) {
+            // A latency rise past 100% is a legitimate bound to allow
+            // (tail latency doubles under load shifts), so unlike the
+            // throughput drop this fraction has no upper cap.
+            if (i + 1 >= argc)
+                return usage();
+            const std::optional<double> t =
+                    vpred::parseDouble(argv[++i]);
+            if (!t || !(*t >= 0.0) || !std::isfinite(*t)) {
+                std::cerr << "bench-compare: bad latency threshold '"
+                          << argv[i]
+                          << "' (want a non-negative fraction)\n";
+                return 2;
+            }
+            latency_threshold = *t;
         } else if (n_paths < 2) {
             paths[n_paths++] = argv[i];
         } else {
@@ -94,9 +116,10 @@ main(int argc, char** argv)
         return 1;
     }
 
-    const bench_compare::Comparison cmp =
-            bench_compare::compare(*base, *fresh, threshold);
-    bench_compare::printReport(std::cout, cmp, threshold);
+    const bench_compare::Comparison cmp = bench_compare::compare(
+            *base, *fresh, threshold, latency_threshold);
+    bench_compare::printReport(std::cout, cmp, threshold,
+                               latency_threshold);
     if (!cmp.errors.empty())
         return 1;
     if (cmp.anyFailure())

@@ -33,6 +33,11 @@
  *   portability/raw-intrinsic     — SIMD intrinsics (_mm*, vld1*, ...)
  *                                   or their vendor headers outside
  *                                   src/core/simd.hh
+ *   concurrency/lock-in-hot-path  — blocking primitives (std::mutex,
+ *                                   condition variables, lock RAII
+ *                                   types, their headers) in a file
+ *                                   carrying the "repro-lint:
+ *                                   hot-path" marker
  *
  * Suppression: append "// repro-lint: allow(<rule>)" to the flagged
  * line; <rule> is a full rule id or a prefix ("parse" allows every
@@ -118,6 +123,7 @@ void checkDeterminism(const Tree& tree, std::vector<Finding>& out);
 void checkPredictorContract(const Tree& tree, std::vector<Finding>& out);
 void checkRawParse(const Tree& tree, std::vector<Finding>& out);
 void checkPortability(const Tree& tree, std::vector<Finding>& out);
+void checkConcurrency(const Tree& tree, std::vector<Finding>& out);
 
 /** All rules, findings sorted by (file, line, rule), suppressions
  *  already applied. */

@@ -28,6 +28,7 @@ constexpr const char* kRules[] = {
     "predictor/fused-without-reference",
     "parse/raw-call",
     "portability/raw-intrinsic",
+    "concurrency/lock-in-hot-path",
 };
 
 int

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * concurrency/lock-in-hot-path: blocking synchronization primitives
+ * are banned in files that declare themselves part of the service's
+ * lock-free ingest fabric.
+ *
+ * The ingest fabric's whole performance argument is that producers
+ * and the drain share nothing but two acquire/release indices per
+ * SPSC ring (src/service/spsc_ring.hh): a producer never blocks, a
+ * stalled consumer costs one failed push, and backpressure is an
+ * explicit, accounted status instead of a queue of threads parked on
+ * a mutex. One std::mutex on that path silently reintroduces the
+ * convoying the fabric was built to remove — and no compiler flag or
+ * test notices until the scaling curve flattens. So hot-path files
+ * opt in with a "repro-lint: hot-path" marker comment, and inside
+ * them every blocking primitive (mutexes, locks, condition
+ * variables, and their headers) is a finding. Cold paths in the same
+ * file — registration, snapshot — stay legal via the usual
+ * same-line "// repro-lint: allow(concurrency)" escape, which keeps
+ * each exception visible and reviewed where it stands.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <cctype>
+#include <string>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+/** The marker a file uses to opt into the rule. */
+constexpr const char* kHotPathMarker = "repro-lint: hot-path";
+
+/** Standard headers that exist only to provide blocking
+ *  synchronization. (<atomic> and <thread> stay legal: the fabric is
+ *  built from atomics, and the pump owns threads.) */
+constexpr const char* kBlockingHeaders[] = {
+    "<mutex>",
+    "<shared_mutex>",
+    "<condition_variable>",
+    "<semaphore>",
+};
+
+/** Blocking primitives and the RAII lock types that imply them. */
+constexpr const char* kBlockingTypes[] = {
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::recursive_timed_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::condition_variable",
+    "std::condition_variable_any",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "std::counting_semaphore",
+    "std::binary_semaphore",
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Does @p line use @p token at identifier boundaries? Longer type
+ *  names sharing a prefix ("std::condition_variable_any" vs
+ *  "std::condition_variable") are kept apart by the boundary check,
+ *  so the table order does not matter. */
+bool
+usesToken(const std::string& line, const std::string& token)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool boundary = pos == 0 || !identChar(line[pos - 1]);
+        const std::size_t end = pos + token.size();
+        const bool whole = end >= line.size() || !identChar(line[end]);
+        if (boundary && whole)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+bool
+isHotPathFile(const SourceFile& f)
+{
+    for (const std::string& line : f.raw_lines)
+        if (line.find(kHotPathMarker) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+checkConcurrency(const Tree& tree, std::vector<Finding>& out)
+{
+    for (const SourceFile& f : tree.files) {
+        if (!isHotPathFile(f))
+            continue;
+
+        for (std::size_t i = 0; i < f.nocomment_lines.size(); ++i) {
+            const std::string& line = f.nocomment_lines[i];
+            if (line.find("#include") == std::string::npos)
+                continue;
+            for (const char* hdr : kBlockingHeaders) {
+                if (line.find(hdr) != std::string::npos) {
+                    emitFinding(f, static_cast<int>(i) + 1,
+                                "concurrency/lock-in-hot-path",
+                                std::string("blocking header ") + hdr
+                                        + " in a hot-path file; the"
+                                          " ingest fabric is lock-free"
+                                          " (see spsc_ring.hh)",
+                                out);
+                    break;  // one header finding per line
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+            const std::string& line = f.code_lines[i];
+            for (const char* type : kBlockingTypes) {
+                if (usesToken(line, type)) {
+                    emitFinding(f, static_cast<int>(i) + 1,
+                                "concurrency/lock-in-hot-path",
+                                std::string("blocking primitive '")
+                                        + type
+                                        + "' in a hot-path file; use"
+                                          " the SPSC rings or mark the"
+                                          " cold path with allow("
+                                          "concurrency)",
+                                out);
+                    break;  // one finding per line
+                }
+            }
+        }
+    }
+}
+
+} // namespace repro_lint

@@ -297,6 +297,7 @@ runAllRules(const Tree& tree)
     checkPredictorContract(tree, out);
     checkRawParse(tree, out);
     checkPortability(tree, out);
+    checkConcurrency(tree, out);
     std::sort(out.begin(), out.end(),
               [](const Finding& a, const Finding& b) {
                   return std::tie(a.file, a.line, a.rule, a.message)
