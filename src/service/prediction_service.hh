@@ -164,7 +164,7 @@ class PredictionService
      * retriable backpressure status — when that ring is full; retry
      * after the next pump, or account the wait via noteBlocked().
      */
-    bool
+    [[nodiscard]] bool
     tryIngest(const Producer& producer, std::uint64_t stream,
               Value value, std::uint64_t tick_ns)
     {

@@ -216,7 +216,8 @@ Shard::admit(std::uint64_t stream)
         // spills bit-identically without flushing first.
         slot = evictOne();
     }
-    map_.insert(stream, slot);
+    [[maybe_unused]] const bool inserted = map_.insert(stream, slot);
+    assert(inserted);  // find() above proved the key absent
     slot_stream_[slot] = stream;
 
     if (const auto spill = spill_index_.find(stream)) {
@@ -294,7 +295,8 @@ Shard::evictOne()
         spill_slot = spillSlotFor(stream);
     spillTo(spill_slot, static_cast<std::uint32_t>(victim));
 
-    map_.erase(stream);
+    [[maybe_unused]] const bool erased = map_.erase(stream);
+    assert(erased);  // the victim slot always has a resident stream
     // No clearEntry here: admit() always overwrites the victim's
     // kernel state — a restore installs the returning stream's bank,
     // and the cold-miss path clears it — so clearing now would just
@@ -313,7 +315,9 @@ Shard::spillSlotFor(std::uint64_t stream)
     spill_hists_.resize(spill_hists_.size() + kernel_.paddedColumns());
     spill_last_.push_back(0);
     spill_streams_.push_back(stream);
-    spill_index_.insert(stream, spill_slot);
+    [[maybe_unused]] const bool fresh =
+            spill_index_.insert(stream, spill_slot);
+    assert(fresh);  // find() above proved the stream never spilled
     return spill_slot;
 }
 

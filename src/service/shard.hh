@@ -124,7 +124,7 @@ class Shard
      * published before the rejection, so a retry after the next
      * drain can succeed.
      */
-    bool
+    [[nodiscard]] bool
     tryEnqueue(std::size_t producer, std::uint64_t stream, Value value,
                std::uint64_t tick_ns)
     {

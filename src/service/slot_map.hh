@@ -15,7 +15,6 @@
 #ifndef DFCM_SERVICE_SLOT_MAP_HH
 #define DFCM_SERVICE_SLOT_MAP_HH
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -76,31 +75,40 @@ class SlotMap
         __builtin_prefetch(&buckets_[mixStreamId(stream) & mask_]);
     }
 
-    /** Insert @p stream -> @p slot. The key must not be present
-     *  (asserted in debug builds). Grows to stay at most half full,
-     *  so the map also serves the unbounded spill index. */
-    void
+    /** Insert @p stream -> @p slot. Returns false (and changes
+     *  nothing) when the key is already present — residency
+     *  bookkeeping gone wrong must surface as a checkable status,
+     *  not a corrupted table. Grows to stay at most half full, so
+     *  the map also serves the unbounded spill index. */
+    [[nodiscard]] bool
     insert(std::uint64_t stream, std::uint32_t slot)
     {
         if ((size_ + 1) * 2 > mask_ + 1)
             grow();
         std::size_t b = mixStreamId(stream) & mask_;
         while (buckets_[b].used) {
-            assert(buckets_[b].key != stream);
+            if (buckets_[b].key == stream)
+                return false;
             b = (b + 1) & mask_;
         }
         buckets_[b] = {stream, slot, 1};
         ++size_;
+        return true;
     }
 
-    /** Remove @p stream (must be present). Backward-shift deletion
-     *  keeps every remaining key reachable without tombstones. */
-    void
+    /** Remove @p stream. Returns false when the key is not present
+     *  (previously an infinite probe loop — absence now reports
+     *  instead of hanging the drain). Backward-shift deletion keeps
+     *  every remaining key reachable without tombstones. */
+    [[nodiscard]] bool
     erase(std::uint64_t stream)
     {
         std::size_t b = mixStreamId(stream) & mask_;
-        while (!buckets_[b].used || buckets_[b].key != stream)
+        while (buckets_[b].key != stream || !buckets_[b].used) {
+            if (!buckets_[b].used)
+                return false;
             b = (b + 1) & mask_;
+        }
 
         std::size_t hole = b;
         for (std::size_t next = (hole + 1) & mask_;
@@ -119,6 +127,7 @@ class SlotMap
         }
         buckets_[hole].used = 0;
         --size_;
+        return true;
     }
 
   private:

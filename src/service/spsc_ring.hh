@@ -98,7 +98,7 @@ class SpscRing
      * everything pending, so the consumer can always see (and free)
      * the whole backlog.
      */
-    bool
+    [[nodiscard]] bool
     tryPush(const Update& u)
     {
         if (head_ - tail_cache_ == buf_.size()) {

@@ -42,7 +42,12 @@ class ScopedEnv
 TEST(EnvUtil, UnsetAndEmptySelectTheDefault)
 {
     ::unsetenv("REPRO_TEST_KNOB");
-    EXPECT_DOUBLE_EQ(envDoubleOr("REPRO_TEST_KNOB", 1.5, 0.0, 10.0), 1.5);
+    // REPRO_TEST_KNOB is this test's synthetic knob, not a real
+    // configuration surface — keep it out of docs/api.md.
+    EXPECT_DOUBLE_EQ(
+            envDoubleOr("REPRO_TEST_KNOB",  // repro-lint: allow(api/env-doc-drift)
+                        1.5, 0.0, 10.0),
+            1.5);
     EXPECT_EQ(envUIntOr("REPRO_TEST_KNOB", 7, 1, 100), 7u);
     EXPECT_TRUE(envFlagOr("REPRO_TEST_KNOB", true));
     ScopedEnv empty("REPRO_TEST_KNOB", "");

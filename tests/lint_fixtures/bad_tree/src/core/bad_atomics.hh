@@ -1,0 +1,27 @@
+// Defaulted-order atomics on a file that opted into the lock-free
+// contract: repro-lint: hot-path
+#pragma once
+#include <atomic>
+
+struct NotAtomic
+{
+    unsigned load() const { return 7; }
+};
+
+struct BadAtomics
+{
+    std::atomic<unsigned> head{0};
+    std::atomic<unsigned> tail{0};
+    NotAtomic plain;
+
+    unsigned
+    drain()
+    {
+        const unsigned h = head.load();
+        head.store(h + 1);
+        tail.fetch_add(1, std::memory_order_relaxed);
+        head.store(h, std::memory_order_seq_cst);  // explicit: legal
+        tail.exchange(h);  // repro-lint: allow(concurrency/implicit-seq-cst)
+        return tail.load(std::memory_order_acquire) + plain.load();
+    }
+};

@@ -1,0 +1,10 @@
+// Env reads for the env-doc-drift fixture: one documented, one not.
+#include <cstdlib>
+
+int
+knobs()
+{
+    const char* a = std::getenv("REPRO_FIX_DOCUMENTED");
+    const char* b = std::getenv("REPRO_FIX_UNDOCUMENTED");
+    return (a != nullptr) + (b != nullptr);
+}

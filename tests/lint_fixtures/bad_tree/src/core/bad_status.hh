@@ -1,0 +1,14 @@
+// Status APIs on the hot path: repro-lint: hot-path
+#pragma once
+
+struct BadRing
+{
+    bool tryPush(int v);
+    [[nodiscard]] bool tryPop(int& v);
+    void tryReset();
+};
+
+struct BadMap
+{
+    [[nodiscard]] bool insert(int key);
+};

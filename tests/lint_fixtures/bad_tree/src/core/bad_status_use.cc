@@ -1,0 +1,20 @@
+// Call sites discarding (and consuming) hot-path statuses.
+#include "core/bad_status.hh"
+
+#include <set>
+
+int
+driver(BadRing& r, BadMap& m)
+{
+    int v = 0;
+    r.tryPop(v);
+    (void) r.tryPop(v);
+    if (r.tryPop(v))
+        r.tryPop(v);
+    const bool ok = r.tryPop(v);
+    m.insert(1);
+    std::set<int> s;
+    s.insert(2);
+    r.tryPush(3);
+    return static_cast<int>(ok) + static_cast<int>(s.size());
+}

@@ -1,0 +1,16 @@
+// A disciplined lock-free file: repro-lint: hot-path
+#pragma once
+#include <atomic>
+
+struct CleanFabric
+{
+    std::atomic<unsigned> head{0};
+
+    [[nodiscard]] bool
+    tryPush(unsigned v)
+    {
+        const unsigned h = head.load(std::memory_order_acquire);
+        head.store(h + v, std::memory_order_release);
+        return true;
+    }
+};

@@ -1,0 +1,16 @@
+// Every status consumed, every intentional drop explicit.
+#include "core/fabric.hh"
+
+#include <cstdlib>
+
+bool
+pump(CleanFabric& f)
+{
+    const char* knob = std::getenv("REPRO_CLEAN_KNOB");
+    if (f.tryPush(1))
+        return true;
+    (void) f.tryPush(2);
+    while (!f.tryPush(3)) {
+    }
+    return knob != nullptr;
+}

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -209,6 +210,204 @@ TEST(ReproLintConcurrency, FilesWithoutTheMarkerAreExempt)
     std::vector<Finding> out;
     repro_lint::checkConcurrency(tree, out);
     EXPECT_TRUE(out.empty());
+}
+
+TEST(ReproLintAtomics, DefaultedOrdersInHotPathAreFlagged)
+{
+    const auto hits = findingsAt("src/core/bad_atomics.hh",
+                                 "concurrency/implicit-seq-cst");
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].line, 20);  // head.load()
+    EXPECT_EQ(hits[1].line, 21);  // head.store(h + 1)
+    EXPECT_NE(hits[0].message.find("head.load"), std::string::npos);
+    // Explicit relaxed (22) and seq_cst (23) orders, the allow
+    // comment (24), and the non-atomic receiver plain.load() (25)
+    // all stay clean.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_atomics.hh", 22));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_atomics.hh", 23));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_atomics.hh", 24));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_atomics.hh", 25));
+}
+
+TEST(ReproLintStatus, TryApiWithoutNodiscardIsFlaggedAtItsDecl)
+{
+    const auto hits = findingsAt("src/core/bad_status.hh",
+                                 "api/missing-nodiscard");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 6);
+    EXPECT_NE(hits[0].message.find("BadRing::tryPush"),
+              std::string::npos);
+    // tryPop already carries [[nodiscard]] (7); tryReset returns
+    // void (8); neither is a finding.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status.hh", 7));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status.hh", 8));
+}
+
+TEST(ReproLintStatus, DiscardedStatusesAreFlaggedOnlyWhenResolved)
+{
+    const auto hits = findingsAt("src/core/bad_status_use.cc",
+                                 "api/unconsumed-status");
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0].line, 10);  // r.tryPop(v); at statement level
+    EXPECT_EQ(hits[1].line, 13);  // discarded inside an if body
+    EXPECT_EQ(hits[2].line, 15);  // m.insert(1); receiver resolved
+    EXPECT_NE(hits[0].message.find("BadRing::tryPop"),
+              std::string::npos);
+    EXPECT_NE(hits[2].message.find("BadMap::insert"),
+              std::string::npos);
+    // The sanctioned (void) cast (11), the consumed condition (12),
+    // the assignment (14), the std::set receiver (17), and the
+    // not-yet-[[nodiscard]] tryPush (18) all stay clean.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status_use.cc", 11));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status_use.cc", 12));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status_use.cc", 14));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status_use.cc", 17));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_status_use.cc", 18));
+}
+
+TEST(ReproLintEnvDoc, DriftIsFlaggedInBothDirections)
+{
+    const auto undoc =
+            findingsAt("src/core/bad_env.cc", "api/env-doc-drift");
+    ASSERT_EQ(undoc.size(), 1u);
+    EXPECT_EQ(undoc[0].line, 8);
+    EXPECT_NE(undoc[0].message.find("REPRO_FIX_UNDOCUMENTED"),
+              std::string::npos);
+    const auto ghost = findingsAt("docs/api.md", "api/env-doc-drift");
+    ASSERT_EQ(ghost.size(), 1u);
+    EXPECT_EQ(ghost[0].line, 4);
+    EXPECT_NE(ghost[0].message.find("REPRO_FIX_GHOST"),
+              std::string::npos);
+    // The documented knob read on line 7 is clean in both places.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_env.cc", 7));
+}
+
+TEST(ReproLintToken, RawStringWithCustomDelimiterIsOneToken)
+{
+    const auto toks = repro_lint::tokenize(
+            "auto s = R\"x(\"quote\" // not a comment)x\"; int y;");
+    int strings = 0;
+    int comments = 0;
+    bool saw_y = false;
+    std::string contents;
+    for (const repro_lint::Token& t : toks) {
+        if (t.kind == repro_lint::TokKind::String) {
+            ++strings;
+            contents = repro_lint::tokenContents(t);
+        }
+        if (t.kind == repro_lint::TokKind::Comment)
+            ++comments;
+        if (t.kind == repro_lint::TokKind::Identifier
+            && t.spelling == "y")
+            saw_y = true;
+    }
+    EXPECT_EQ(strings, 1);
+    EXPECT_EQ(comments, 0);  // the // lives inside the raw string
+    EXPECT_TRUE(saw_y);      // tokenization resumes after it
+    EXPECT_EQ(contents, "\"quote\" // not a comment");
+}
+
+TEST(ReproLintToken, DigitSeparatorsAreNotCharLiterals)
+{
+    const auto toks =
+            repro_lint::tokenize("int x = 1'000'000; char c = 'a';");
+    int numbers = 0;
+    int chars = 0;
+    for (const repro_lint::Token& t : toks) {
+        if (t.kind == repro_lint::TokKind::Number) {
+            ++numbers;
+            EXPECT_EQ(t.spelling, "1'000'000");
+        }
+        if (t.kind == repro_lint::TokKind::CharLit) {
+            ++chars;
+            EXPECT_EQ(repro_lint::tokenContents(t), "a");
+        }
+    }
+    EXPECT_EQ(numbers, 1);  // one pp-number, not three char openers
+    EXPECT_EQ(chars, 1);
+}
+
+TEST(ReproLintToken, LineSplicedCommentSwallowsTheContinuation)
+{
+    const auto toks = repro_lint::tokenize(
+            "// spliced \\\nstd::mutex m;\nint z = 0;");
+    bool saw_mutex = false;
+    int z_line = 0;
+    for (const repro_lint::Token& t : toks) {
+        if (t.kind == repro_lint::TokKind::Identifier
+            && t.spelling == "mutex")
+            saw_mutex = true;
+        if (t.kind == repro_lint::TokKind::Identifier
+            && t.spelling == "z")
+            z_line = t.line;
+    }
+    EXPECT_FALSE(saw_mutex);  // line 2 is comment continuation
+    EXPECT_EQ(z_line, 3);     // raw line numbers survive the splice
+}
+
+TEST(ReproLintSarif, LogCarriesRulesAndResultLocations)
+{
+    const std::vector<Finding> fs{{"src/core/x.hh", 12,
+                                   "api/unconsumed-status",
+                                   "boom \"quoted\""}};
+    const std::string sarif = repro_lint::formatSarif(fs);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"api/unconsumed-status\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"src/core/x.hh\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+    EXPECT_NE(sarif.find("\\\"quoted\\\""), std::string::npos);
+    // Every cataloged rule is declared in the driver table.
+    for (const repro_lint::RuleInfo& r : repro_lint::ruleCatalog())
+        EXPECT_NE(sarif.find(std::string("\"id\": \"") + r.id + "\""),
+                  std::string::npos)
+                << r.id;
+}
+
+TEST(ReproLintBaseline, EntriesMatchIgnoringLineAndReportStale)
+{
+    std::vector<Finding> fs{
+        {"a.cc", 10, "r/one", "m1"},
+        {"b.cc", 20, "r/two", "m2"},
+    };
+    const std::vector<repro_lint::BaselineEntry> base{
+        {"a.cc", "r/one", "m1"},   // matches even at a new line
+        {"c.cc", "r/gone", "m3"},  // matches nothing: stale
+    };
+    std::vector<repro_lint::BaselineEntry> stale;
+    const auto kept =
+            repro_lint::applyBaseline(std::move(fs), base, &stale);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].file, "b.cc");
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0].file, "c.cc");
+}
+
+TEST(ReproLintBaseline, RoundTripsThroughAFile)
+{
+    const Finding f{"src/x.cc", 3, "api/env-doc-drift",
+                    "msg with | pipe"};
+    const std::filesystem::path p =
+            std::filesystem::path(::testing::TempDir())
+            / "repro_lint_baseline.txt";
+    {
+        std::ofstream out(p);
+        out << "# comment line\n\n"
+            << repro_lint::formatBaselineEntry(f) << "\n";
+    }
+    const auto loaded = repro_lint::loadBaseline(p);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), 1u);
+    // Only the first two '|' split; the message keeps its own.
+    EXPECT_EQ((*loaded)[0].message, "msg with | pipe");
+    std::vector<repro_lint::BaselineEntry> stale;
+    const auto kept = repro_lint::applyBaseline({f}, *loaded, &stale);
+    EXPECT_TRUE(kept.empty());
+    EXPECT_TRUE(stale.empty());
+    EXPECT_FALSE(
+            repro_lint::loadBaseline(p.string() + ".missing")
+                    .has_value());
 }
 
 TEST(ReproLintFormat, FindingFormatsAsFileLineRuleMessage)

@@ -430,11 +430,11 @@ TEST(SlotMap, MatchesReferenceMapUnderChurn)
         x = mixStreamId(x);
         const std::uint64_t key = x % 997;
         if ((x >> 32) % 3 == 0 && ref.count(key)) {
-            map.erase(key);
+            EXPECT_TRUE(map.erase(key));
             ref.erase(key);
         } else if (!ref.count(key)) {
             const auto slot = static_cast<std::uint32_t>(x & 0xffff);
-            map.insert(key, slot);
+            EXPECT_TRUE(map.insert(key, slot));
             ref[key] = slot;
         }
         if (i % 97 == 0) {
@@ -445,11 +445,24 @@ TEST(SlotMap, MatchesReferenceMapUnderChurn)
     }
 }
 
+TEST(SlotMap, ReportsDuplicateInsertAndAbsentErase)
+{
+    SlotMap map(16);
+    EXPECT_TRUE(map.insert(5, 1));
+    EXPECT_FALSE(map.insert(5, 2));  // duplicate: table unchanged
+    EXPECT_EQ(map.find(5), std::optional<std::uint32_t>(1));
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_FALSE(map.erase(6));  // absent key reports, never probes
+    EXPECT_TRUE(map.erase(5));   // forever through empty buckets
+    EXPECT_FALSE(map.erase(5));
+    EXPECT_EQ(map.size(), 0u);
+}
+
 TEST(SlotMap, GrowsPastInitialCapacity)
 {
     SlotMap map(4);
     for (std::uint64_t k = 0; k < 1000; ++k)
-        map.insert(k, static_cast<std::uint32_t>(k * 3));
+        ASSERT_TRUE(map.insert(k, static_cast<std::uint32_t>(k * 3)));
     EXPECT_EQ(map.size(), 1000u);
     for (std::uint64_t k = 0; k < 1000; ++k)
         ASSERT_EQ(map.find(k),

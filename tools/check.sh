@@ -81,13 +81,25 @@ fi
 
 if want lint; then
     note "lint: repro-lint over the tree"
-    if [ ! -x "$ROOT/build-check-release/tools/repro-lint" ]; then
-        cmake -B "$ROOT/build-check-release" -S "$ROOT" \
-              -DCMAKE_BUILD_TYPE=Release >/dev/null
-        cmake --build "$ROOT/build-check-release" -j "$JOBS" \
-              --target repro-lint
+    # Always configure + build. An existence check here once let a
+    # renamed rule TU leave a stale binary linting green; configure is
+    # cheap against a warm build tree and a no-op build costs nothing.
+    cmake -B "$ROOT/build-check-release" -S "$ROOT" \
+          -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build "$ROOT/build-check-release" -j "$JOBS" \
+          --target repro-lint
+    # Human findings go to stdout; a SARIF 2.1.0 log is always written
+    # too. Set REPRO_LINT_SARIF to keep it (CI uploads it to code
+    # scanning); by default it lands in a scratch dir and is removed.
+    if [ -n "${REPRO_LINT_SARIF:-}" ]; then
+        LINT_SARIF="$REPRO_LINT_SARIF"
+    else
+        LINT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/vpred-lint.XXXXXX")"
+        CLEANUP+=("$LINT_DIR")
+        LINT_SARIF="$LINT_DIR/repro-lint.sarif"
     fi
-    "$ROOT/build-check-release/tools/repro-lint" --root "$ROOT"
+    "$ROOT/build-check-release/tools/repro-lint" --root "$ROOT" \
+        --format "sarif=$LINT_SARIF"
 fi
 
 if want asan; then

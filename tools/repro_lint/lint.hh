@@ -5,14 +5,18 @@
  *
  * The reproduction's scientific contract is bit-identical figure
  * regeneration across every execution path (serial, fused,
- * multi-geometry, mmap'd). That contract rests on invariants no
- * compiler flag checks: the layering DAG between src/ libraries,
- * determinism of everything that feeds a figure CSV, the
- * fused/reference parity the batch-kernel tests diff against, and
- * checked parsing of every number that enters the system. This tool
- * enforces them with a self-contained C++20 text pass — target
- * machines have g++ but no libclang, so the scanner works on
- * comment- and string-scrubbed source text rather than an AST.
+ * multi-geometry, mmap'd) plus a lock-free service whose scaling
+ * argument lives entirely in atomics discipline. Those invariants
+ * are not checked by any compiler flag: the layering DAG between
+ * src/ libraries, determinism of everything that feeds a figure CSV,
+ * the fused/reference parity the batch-kernel tests diff against,
+ * checked parsing of every number that enters the system, explicit
+ * memory orders and consumed backpressure statuses on the ingest
+ * fabric, and documentation of every REPRO_* knob. This tool
+ * enforces them with a self-contained C++20 analysis pass — target
+ * machines have g++ but no libclang, so the pass runs on a real
+ * token stream (token.hh) plus a cross-TU symbol index
+ * (symbol_index.hh) rather than an AST.
  *
  * Rule catalog (see docs/analysis.md for rationale and examples):
  *   layering/include-dag          — src/ layer includes must follow
@@ -28,7 +32,7 @@
  *   predictor/fused-without-reference — predictAndUpdate/runTraceSpan
  *                                   override without the virtual
  *                                   predict()/update() reference path
- *   parse/raw-call                — bare atoi/strtol/stoul/... outside
+ *   parse/raw-call                — bare atoi/strtol/stoi/... outside
  *                                   src/core/parse_util.hh
  *   portability/raw-intrinsic     — SIMD intrinsics (_mm*, vld1*, ...)
  *                                   or their vendor headers outside
@@ -38,22 +42,44 @@
  *                                   types, their headers) in a file
  *                                   carrying the "repro-lint:
  *                                   hot-path" marker
+ *   concurrency/implicit-seq-cst  — a std::atomic load/store/RMW in a
+ *                                   hot-path file with no explicit
+ *                                   std::memory_order argument
+ *                                   (implicit seq_cst = silent fence)
+ *   api/missing-nodiscard         — a try*() status API declared in a
+ *                                   hot-path file without
+ *                                   [[nodiscard]]
+ *   api/unconsumed-status         — a call to a [[nodiscard]]-indexed
+ *                                   status API whose result is
+ *                                   discarded (not consumed and not
+ *                                   explicitly (void)-cast)
+ *   api/env-doc-drift             — a REPRO_* knob read in code but
+ *                                   missing from docs/api.md, or
+ *                                   documented there but read nowhere
  *
  * Suppression: append "// repro-lint: allow(<rule>)" to the flagged
  * line; <rule> is a full rule id or a prefix ("parse" allows every
- * parse rule under that prefix).
+ * parse rule under that prefix). Findings can also be accepted into
+ * a baseline file (--baseline / --write-baseline, see main.cc and
+ * docs/analysis.md) — entries match on (file, rule, message) so line
+ * drift never invalidates them.
  */
 
 #ifndef DFCM_TOOLS_REPRO_LINT_LINT_HH
 #define DFCM_TOOLS_REPRO_LINT_LINT_HH
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "repro_lint/token.hh"
+
 namespace repro_lint
 {
+
+struct SymbolIndex;  // symbol_index.hh
 
 /** One rule violation at a source location. */
 struct Finding
@@ -81,9 +107,16 @@ struct SourceFile
      *  every identifier-level rule reads, so banned tokens inside
      *  documentation or diagnostics never trip a rule. */
     std::vector<std::string> code_lines;
+    /** The token stream (token.hh) — comments included; the scrubbed
+     *  views above are rebuilt from it, so both agree on what is
+     *  code and what is not. */
+    std::vector<Token> tokens;
     /** Per line (1-based index into allows-1): the rule ids named by a
      *  "repro-lint: allow(...)" comment on that line. */
     std::vector<std::vector<std::string>> allows;
+    /** True when the file carries the "repro-lint: hot-path" marker
+     *  that opts it into the lock-free-fabric rules. */
+    bool hot_path = false;
 
     /** True when @p rule is suppressed on @p line (exact id match or
      *  prefix at a '/' boundary). */
@@ -125,13 +158,70 @@ void checkRawParse(const Tree& tree, std::vector<Finding>& out);
 void checkPortability(const Tree& tree, std::vector<Finding>& out);
 void checkConcurrency(const Tree& tree, std::vector<Finding>& out);
 
+// Symbol-index-backed rule families (PR 9). runAllRules builds the
+// index once and threads it through; the split signatures exist so
+// the fixture tests can drive one family at a time.
+void checkAtomicOrders(const Tree& tree, const SymbolIndex& index,
+                       std::vector<Finding>& out);
+void checkStatusUse(const Tree& tree, const SymbolIndex& index,
+                    std::vector<Finding>& out);
+void checkEnvDoc(const Tree& tree, const SymbolIndex& index,
+                 std::vector<Finding>& out);
+
 /** All rules, findings sorted by (file, line, rule), suppressions
  *  already applied. */
 std::vector<Finding> runAllRules(const Tree& tree);
 
-/** "file:line: [rule] message" — the one output format, also what the
- *  fixture tests assert against. */
+/** "file:line: [rule] message" — the human output format, also what
+ *  the fixture tests assert against. */
 std::string formatFinding(const Finding& f);
+
+// --- machine-readable output and the baseline workflow --------------
+
+/** One rule id + one-line summary, for --list-rules and the SARIF
+ *  tool.driver.rules table. */
+struct RuleInfo
+{
+    const char* id;
+    const char* summary;
+};
+
+const std::vector<RuleInfo>& ruleCatalog();
+
+/** Findings as a SARIF 2.1.0 log (one run, driver "repro-lint",
+ *  repo-relative artifact URIs, 1-based startLine regions). */
+std::string formatSarif(const std::vector<Finding>& findings);
+
+/** One accepted finding. Matches on (file, rule, message) — never on
+ *  the line number, so unrelated edits shifting a file do not
+ *  invalidate a baseline. */
+struct BaselineEntry
+{
+    std::string file;
+    std::string rule;
+    std::string message;
+
+    bool operator==(const BaselineEntry&) const = default;
+};
+
+/** Baseline-file line for @p f: "file|rule|message". */
+std::string formatBaselineEntry(const Finding& f);
+
+/** Parse a baseline file ('#' comments and blank lines skipped);
+ *  nullopt when the file cannot be read. */
+std::optional<std::vector<BaselineEntry>>
+loadBaseline(const std::filesystem::path& path);
+
+/**
+ * Drop every finding matched by @p baseline. Entries that matched
+ * nothing are appended to @p stale (when non-null) — a stale entry
+ * means the underlying issue was fixed and the baseline should
+ * shrink.
+ */
+std::vector<Finding>
+applyBaseline(std::vector<Finding> findings,
+              const std::vector<BaselineEntry>& baseline,
+              std::vector<BaselineEntry>* stale);
 
 } // namespace repro_lint
 

@@ -3,14 +3,36 @@
  * repro-lint CLI. Usage:
  *
  *     repro-lint [--root DIR] [--list-rules]
+ *                [--format human|sarif|sarif=PATH]
+ *                [--baseline FILE] [--write-baseline FILE]
  *
  * Walks src/, bench/, examples/, and tests/ under DIR (default: the
- * current directory), runs every rule, and prints findings as
- * "file:line: [rule] message". Exit code 0 when the tree is clean,
- * 1 when there are findings, 2 on usage errors.
+ * current directory) and runs every rule.
+ *
+ * Output:
+ *   --format human        findings as "file:line: [rule] message"
+ *                         (the default)
+ *   --format sarif        a SARIF 2.1.0 log on stdout instead
+ *   --format sarif=PATH   human findings on stdout AND the SARIF log
+ *                         written to PATH — what tools/check.sh uses
+ *                         so the terminal stays readable while CI
+ *                         uploads the machine-readable artifact
+ *
+ * Baseline workflow (accepting pre-existing findings so the gate can
+ * turn on before the cleanup lands):
+ *   --write-baseline FILE write every current finding as an accepted
+ *                         "file|rule|message" entry and exit 0
+ *   --baseline FILE       drop findings matched by FILE; entries that
+ *                         no longer match anything are reported as
+ *                         stale on stderr (fix: delete them — the
+ *                         baseline only ever shrinks)
+ *
+ * Exit code 0 when the tree is clean after baseline suppression,
+ * 1 when findings remain, 2 on usage errors.
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -19,22 +41,12 @@
 namespace
 {
 
-constexpr const char* kRules[] = {
-    "layering/include-dag",
-    "layering/cc-include",
-    "determinism/banned-call",
-    "determinism/unordered-iteration",
-    "predictor/missing-test",
-    "predictor/fused-without-reference",
-    "parse/raw-call",
-    "portability/raw-intrinsic",
-    "concurrency/lock-in-hot-path",
-};
-
 int
 usage()
 {
-    std::cerr << "usage: repro-lint [--root DIR] [--list-rules]\n";
+    std::cerr << "usage: repro-lint [--root DIR] [--list-rules]"
+                 " [--format human|sarif|sarif=PATH]"
+                 " [--baseline FILE] [--write-baseline FILE]\n";
     return 2;
 }
 
@@ -44,21 +56,47 @@ int
 main(int argc, char** argv)
 {
     std::filesystem::path root = ".";
+    std::string format = "human";
+    std::string sarif_path;
+    std::string baseline_path;
+    std::string write_baseline_path;
+
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--root") == 0) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
             if (i + 1 >= argc)
                 return usage();
             root = argv[++i];
-        } else if (std::strcmp(argv[i], "--list-rules") == 0) {
-            for (const char* rule : kRules)
-                std::cout << rule << "\n";
+        } else if (arg == "--format") {
+            if (i + 1 >= argc)
+                return usage();
+            format = argv[++i];
+            if (format.rfind("sarif=", 0) == 0) {
+                sarif_path = format.substr(6);
+                format = "human";
+                if (sarif_path.empty())
+                    return usage();
+            } else if (format != "human" && format != "sarif") {
+                return usage();
+            }
+        } else if (arg == "--baseline") {
+            if (i + 1 >= argc)
+                return usage();
+            baseline_path = argv[++i];
+        } else if (arg == "--write-baseline") {
+            if (i + 1 >= argc)
+                return usage();
+            write_baseline_path = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const repro_lint::RuleInfo& r :
+                 repro_lint::ruleCatalog())
+                std::cout << r.id << "\n";
             return 0;
-        } else if (std::strcmp(argv[i], "--help") == 0
-                   || std::strcmp(argv[i], "-h") == 0) {
+        } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
         } else {
-            std::cerr << "repro-lint: unknown option '" << argv[i]
+            std::cerr << "repro-lint: unknown option '" << arg
                       << "'\n";
             return usage();
         }
@@ -78,11 +116,68 @@ main(int argc, char** argv)
         return 2;
     }
 
-    const std::vector<repro_lint::Finding> findings =
+    std::vector<repro_lint::Finding> findings =
             repro_lint::runAllRules(tree);
-    for (const repro_lint::Finding& f : findings)
-        std::cout << repro_lint::formatFinding(f) << "\n";
+
+    if (!write_baseline_path.empty()) {
+        std::ofstream out(write_baseline_path);
+        if (!out.is_open()) {
+            std::cerr << "repro-lint: cannot write baseline '"
+                      << write_baseline_path << "'\n";
+            return 2;
+        }
+        out << "# repro-lint baseline: accepted findings, one"
+               " 'file|rule|message' per line.\n"
+               "# Matching ignores line numbers; delete entries as"
+               " the issues are fixed.\n";
+        for (const repro_lint::Finding& f : findings)
+            out << repro_lint::formatBaselineEntry(f) << "\n";
+        std::cerr << "repro-lint: wrote " << findings.size()
+                  << " baseline entr"
+                  << (findings.size() == 1 ? "y" : "ies") << " to "
+                  << write_baseline_path << "\n";
+        return 0;
+    }
+
+    std::size_t suppressed = 0;
+    if (!baseline_path.empty()) {
+        const auto baseline = repro_lint::loadBaseline(baseline_path);
+        if (!baseline.has_value()) {
+            std::cerr << "repro-lint: cannot read baseline '"
+                      << baseline_path << "'\n";
+            return 2;
+        }
+        std::vector<repro_lint::BaselineEntry> stale;
+        const std::size_t before = findings.size();
+        findings = repro_lint::applyBaseline(std::move(findings),
+                                             *baseline, &stale);
+        suppressed = before - findings.size();
+        for (const repro_lint::BaselineEntry& b : stale)
+            std::cerr << "repro-lint: stale baseline entry (issue"
+                         " fixed — delete the line): "
+                      << b.file << "|" << b.rule << "|" << b.message
+                      << "\n";
+    }
+
+    if (format == "sarif") {
+        std::cout << repro_lint::formatSarif(findings);
+    } else {
+        for (const repro_lint::Finding& f : findings)
+            std::cout << repro_lint::formatFinding(f) << "\n";
+        if (!sarif_path.empty()) {
+            std::ofstream out(sarif_path);
+            if (!out.is_open()) {
+                std::cerr << "repro-lint: cannot write SARIF log '"
+                          << sarif_path << "'\n";
+                return 2;
+            }
+            out << repro_lint::formatSarif(findings);
+        }
+    }
     std::cerr << "repro-lint: " << tree.files.size() << " files, "
-              << findings.size() << " finding(s)\n";
+              << findings.size() << " finding(s)";
+    if (suppressed > 0)
+        std::cerr << ", " << suppressed << " baseline-suppressed";
+    std::cerr << "\n";
     return findings.empty() ? 0 : 1;
 }

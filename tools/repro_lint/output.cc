@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Machine-readable output for repro-lint: the rule catalog, SARIF
+ * 2.1.0 serialization, and the baseline accept/suppress workflow.
+ *
+ * SARIF is the interchange format CI code-scanning UIs ingest; the
+ * log emitted here is deliberately minimal — one run, driver
+ * "repro-lint", the rule catalog as reportingDescriptors, and one
+ * result per finding with a repo-relative artifact URI and a 1-based
+ * startLine — which is the subset every consumer agrees on.
+ *
+ * The baseline file is one "file|rule|message" line per accepted
+ * finding. Matching ignores the line number on purpose: unrelated
+ * edits shift lines constantly, and a baseline that rots on every
+ * rebase teaches people to regenerate it blindly (which silently
+ * accepts new findings). Matching on the message keeps an entry
+ * pinned to one specific issue — if the message changes, the issue
+ * changed, and it should be re-reviewed. Entries that match nothing
+ * are reported as stale so the baseline only ever shrinks toward
+ * empty.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <fstream>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr const char* kHex = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[(c >> 4) & 0xF];
+                out += kHex[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<RuleInfo>&
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> kCatalog = {
+        {"layering/include-dag",
+         "src/ layer includes must follow the dependency DAG"},
+        {"layering/cc-include",
+         "no file may include a .cc translation unit"},
+        {"determinism/banned-call",
+         "nondeterministic call in a figure/CSV-emitting driver"},
+        {"determinism/unordered-iteration",
+         "unordered-container iteration in a figure-emitting driver"},
+        {"predictor/missing-test",
+         "factory-registered predictor without a tests/<name>_test.cc"},
+        {"predictor/fused-without-reference",
+         "fused-path override without the reference predict()/update()"},
+        {"parse/raw-call",
+         "unchecked numeric parse outside src/core/parse_util.hh"},
+        {"portability/raw-intrinsic",
+         "SIMD intrinsic or vendor header outside src/core/simd.hh"},
+        {"concurrency/lock-in-hot-path",
+         "blocking primitive in a lock-free hot-path file"},
+        {"concurrency/implicit-seq-cst",
+         "atomic access without an explicit std::memory_order in a"
+         " hot-path file"},
+        {"api/missing-nodiscard",
+         "try*() status API in a hot-path file without [[nodiscard]]"},
+        {"api/unconsumed-status",
+         "discarded result of a [[nodiscard]] status API"},
+        {"api/env-doc-drift",
+         "REPRO_* knob set in code and docs/api.md out of sync"},
+    };
+    return kCatalog;
+}
+
+std::string
+formatSarif(const std::vector<Finding>& findings)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n";
+    out += "    {\n";
+    out += "      \"tool\": {\n";
+    out += "        \"driver\": {\n";
+    out += "          \"name\": \"repro-lint\",\n";
+    out += "          \"informationUri\": "
+           "\"docs/analysis.md\",\n";
+    out += "          \"rules\": [\n";
+    const std::vector<RuleInfo>& catalog = ruleCatalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        out += "            {\"id\": \"";
+        out += jsonEscape(catalog[i].id);
+        out += "\", \"shortDescription\": {\"text\": \"";
+        out += jsonEscape(catalog[i].summary);
+        out += "\"}}";
+        out += i + 1 < catalog.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n";
+    out += "        }\n";
+    out += "      },\n";
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out += "        {\n";
+        out += "          \"ruleId\": \"" + jsonEscape(f.rule)
+                + "\",\n";
+        out += "          \"level\": \"error\",\n";
+        out += "          \"message\": {\"text\": \""
+                + jsonEscape(f.message) + "\"},\n";
+        out += "          \"locations\": [{\"physicalLocation\": {"
+               "\"artifactLocation\": {\"uri\": \""
+                + jsonEscape(f.file)
+                + "\"}, \"region\": {\"startLine\": "
+                + std::to_string(f.line > 0 ? f.line : 1) + "}}}]\n";
+        out += i + 1 < findings.size() ? "        },\n"
+                                       : "        }\n";
+    }
+    out += "      ]\n";
+    out += "    }\n";
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+formatBaselineEntry(const Finding& f)
+{
+    return f.file + "|" + f.rule + "|" + f.message;
+}
+
+std::optional<std::vector<BaselineEntry>>
+loadBaseline(const std::filesystem::path& path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return std::nullopt;
+    std::vector<BaselineEntry> entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t p1 = line.find('|');
+        const std::size_t p2 =
+                p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+        if (p2 == std::string::npos)
+            continue;  // malformed line: ignore, never crash the gate
+        entries.push_back({line.substr(0, p1),
+                           line.substr(p1 + 1, p2 - p1 - 1),
+                           line.substr(p2 + 1)});
+    }
+    return entries;
+}
+
+std::vector<Finding>
+applyBaseline(std::vector<Finding> findings,
+              const std::vector<BaselineEntry>& baseline,
+              std::vector<BaselineEntry>* stale)
+{
+    std::vector<bool> matched(baseline.size(), false);
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+        bool suppressed = false;
+        for (std::size_t i = 0; i < baseline.size(); ++i) {
+            const BaselineEntry& b = baseline[i];
+            if (b.file == f.file && b.rule == f.rule
+                && b.message == f.message) {
+                matched[i] = true;
+                suppressed = true;  // keep scanning: mark duplicates
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(f));
+    }
+    if (stale != nullptr)
+        for (std::size_t i = 0; i < baseline.size(); ++i)
+            if (!matched[i])
+                stale->push_back(baseline[i]);
+    return kept;
+}
+
+} // namespace repro_lint

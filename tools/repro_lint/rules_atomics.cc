@@ -1,0 +1,105 @@
+/**
+ * @file
+ * concurrency/implicit-seq-cst: every atomic access on the ingest
+ * fabric's hot path must spell out its memory order.
+ *
+ * The SPSC rings' correctness argument (spsc_ring.hh) is a short
+ * chain of acquire/release edges; its performance argument is that
+ * nothing on the path pays for an order stronger than that chain
+ * needs. A defaulted std::atomic operation is seq_cst — on x86 a
+ * store becomes a full fence (mfence/xchg), on ARM a stronger
+ * barrier — and the default is silent: the code reads exactly like
+ * the relaxed version and no test can tell them apart. Worse, a
+ * defaulted order hides *intent*: the next reader cannot tell a
+ * deliberate seq_cst fence from a forgotten argument. So in files
+ * carrying the "repro-lint: hot-path" marker, any load / store /
+ * exchange / fetch_* / compare_exchange_* on a receiver that the
+ * symbol index resolves to a std::atomic must pass an explicit
+ * std::memory_order argument. Deliberate seq_cst is still one
+ * keystroke away — write std::memory_order_seq_cst and the rule (and
+ * the reader) sees a decision instead of an accident.
+ *
+ * Receiver resolution keeps this to real atomics: the identifier
+ * before the '.'/'->'must be a variable the index declared with type
+ * std::atomic in a file reachable through the include graph, so
+ * "v.load()" on some unrelated type never trips the rule. Misses
+ * (casts, operator overloads, aliased references) degrade to
+ * silence.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <string_view>
+
+#include "repro_lint/symbol_index.hh"
+
+namespace repro_lint
+{
+
+namespace
+{
+
+/** std::atomic member operations that accept a memory-order
+ *  argument. (wait/notify are blocking-adjacent and already covered
+ *  by lock-in-hot-path conventions.) */
+bool
+isOrderedOp(std::string_view s)
+{
+    return s == "load" || s == "store" || s == "exchange"
+        || s == "fetch_add" || s == "fetch_sub" || s == "fetch_and"
+        || s == "fetch_or" || s == "fetch_xor"
+        || s == "compare_exchange_weak"
+        || s == "compare_exchange_strong";
+}
+
+} // namespace
+
+void
+checkAtomicOrders(const Tree& tree, const SymbolIndex& index,
+                  std::vector<Finding>& out)
+{
+    for (const SourceFile& f : tree.files) {
+        if (!f.hot_path)
+            continue;
+        const std::vector<const Token*> sig = significantTokens(f);
+
+        for (std::size_t i = 2; i + 1 < sig.size(); ++i) {
+            if (sig[i]->kind != TokKind::Identifier
+                || !isOrderedOp(sig[i]->spelling)
+                || sig[i + 1]->spelling != "(")
+                continue;
+            const std::string& dot = sig[i - 1]->spelling;
+            if (dot != "." && dot != "->")
+                continue;
+            if (sig[i - 2]->kind != TokKind::Identifier)
+                continue;  // complex receiver: cannot prove, stay silent
+
+            bool is_atomic = false;
+            for (const VarDecl* v :
+                 index.varsNamed(f.rel, sig[i - 2]->spelling))
+                is_atomic = is_atomic || v->type == "std::atomic";
+            if (!is_atomic)
+                continue;
+
+            const std::size_t close = matchForward(sig, i + 1);
+            bool has_order = false;
+            for (std::size_t a = i + 2; a < close; ++a) {
+                if (sig[a]->kind == TokKind::Identifier
+                    && sig[a]->spelling.rfind("memory_order", 0) == 0)
+                    has_order = true;
+            }
+            if (has_order)
+                continue;
+
+            emitFinding(f, sig[i]->line, "concurrency/implicit-seq-cst",
+                        "atomic '" + sig[i - 2]->spelling + "."
+                                + sig[i]->spelling
+                                + "()' defaults to seq_cst in a"
+                                  " hot-path file; pass an explicit"
+                                  " std::memory_order argument",
+                        out);
+        }
+    }
+}
+
+} // namespace repro_lint

@@ -31,9 +31,6 @@ namespace repro_lint
 namespace
 {
 
-/** The marker a file uses to opt into the rule. */
-constexpr const char* kHotPathMarker = "repro-lint: hot-path";
-
 /** Standard headers that exist only to provide blocking
  *  synchronization. (<atomic> and <thread> stay legal: the fabric is
  *  built from atomics, and the pump owns threads.) */
@@ -87,22 +84,13 @@ usesToken(const std::string& line, const std::string& token)
     return false;
 }
 
-bool
-isHotPathFile(const SourceFile& f)
-{
-    for (const std::string& line : f.raw_lines)
-        if (line.find(kHotPathMarker) != std::string::npos)
-            return true;
-    return false;
-}
-
 } // namespace
 
 void
 checkConcurrency(const Tree& tree, std::vector<Finding>& out)
 {
     for (const SourceFile& f : tree.files) {
-        if (!isHotPathFile(f))
+        if (!f.hot_path)
             continue;
 
         for (std::size_t i = 0; i < f.nocomment_lines.size(); ++i) {

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * api/env-doc-drift: the REPRO_* knob surface in code and the one in
+ * docs/api.md must be the same set.
+ *
+ * Every reproduction knob is an environment variable funneled
+ * through the checked readers in src/core/env_util.hh (or a
+ * deliberate std::getenv for pre-main cases), and docs/api.md is the
+ * contract page a user tuning a run actually reads. The two drift in
+ * both directions: a knob added under deadline pressure never gets a
+ * docs entry (undiscoverable — users re-derive it from the source),
+ * and a knob removed in a refactor leaves a ghost entry (users set
+ * it and silently get the default). The symbol index already
+ * collects every REPRO_* string literal passed to an env reader, so
+ * the rule is a set comparison:
+ *
+ *   - a knob read in code but absent from docs/api.md is reported at
+ *     its first read site (one finding per knob, not per read);
+ *   - a knob documented in docs/api.md but read nowhere is reported
+ *     at its line in the markdown.
+ *
+ * A "REPRO_FOO_*" wildcard mention in prose is ignored rather than
+ * parsed as a knob — but wildcards cannot *satisfy* the
+ * documentation requirement either; every knob needs its own entry.
+ * Trees without a docs/api.md (e.g. minimal fixtures) skip the rule
+ * entirely.
+ */
+
+#include "repro_lint/lint.hh"
+
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "repro_lint/symbol_index.hh"
+
+namespace repro_lint
+{
+
+namespace
+{
+
+constexpr const char* kKnobChars =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+
+/** REPRO_* names mentioned in @p line (wildcard mentions skipped),
+ *  appended to @p out with @p lineno. */
+void
+scanDocLine(const std::string& line, int lineno,
+            std::map<std::string, int>& out)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find("REPRO_", pos)) != std::string::npos) {
+        std::size_t end = pos + 6;
+        while (end < line.size()
+               && std::string_view(kKnobChars).find(line[end])
+                       != std::string_view::npos)
+            ++end;
+        const std::string name = line.substr(pos, end - pos);
+        const bool wildcard = end < line.size() && line[end] == '*';
+        if (name.size() > 6 && !wildcard)
+            out.emplace(name, lineno);  // keep the first mention
+        pos = end;
+    }
+}
+
+} // namespace
+
+void
+checkEnvDoc(const Tree& tree, const SymbolIndex& index,
+            std::vector<Finding>& out)
+{
+    const std::filesystem::path doc_path =
+            tree.root / "docs" / "api.md";
+    std::ifstream doc(doc_path);
+    if (!doc.is_open())
+        return;  // no contract page in this tree — nothing to drift
+
+    std::map<std::string, int> documented;  // knob -> first doc line
+    std::string line;
+    int lineno = 0;
+    while (std::getline(doc, line)) {
+        ++lineno;
+        scanDocLine(line, lineno, documented);
+    }
+
+    std::set<std::string> used;
+    std::set<std::string> reported;
+    for (const EnvUse& u : index.env_uses)
+        used.insert(u.var);
+    for (const EnvUse& u : index.env_uses) {
+        if (documented.count(u.var) > 0
+            || !reported.insert(u.var).second)
+            continue;  // documented, or already reported at first use
+        const SourceFile* f = tree.find(u.file);
+        if (f == nullptr)
+            continue;
+        emitFinding(*f, u.line, "api/env-doc-drift",
+                    "env knob '" + u.var
+                            + "' is read here but has no entry in"
+                              " docs/api.md",
+                    out);
+    }
+
+    for (const auto& [name, doc_line] : documented) {
+        if (used.count(name) > 0)
+            continue;
+        out.push_back({"docs/api.md", doc_line, "api/env-doc-drift",
+                       "env knob '" + name
+                               + "' is documented but no env reader"
+                                 " reads it; delete the entry or wire"
+                                 " the knob"});
+    }
+}
+
+} // namespace repro_lint

@@ -1,17 +1,26 @@
 /**
  * @file
- * File loading for repro-lint: directory walk, comment/string
- * scrubbing, and suppression-comment parsing.
+ * File loading for repro-lint: directory walk, tokenization,
+ * scrubbed-view reconstruction, and suppression-comment parsing.
+ *
+ * The two line-oriented views the PR-4 rules match against
+ * (nocomment_lines / code_lines) are rebuilt here from the token
+ * stream instead of a char-by-char scrubber, so both views and every
+ * token-level rule agree on what is code: raw strings with custom
+ * delimiters, digit separators, encoding prefixes, and line-spliced
+ * comments (a "// ... \" whose continuation line the old scrubber
+ * left visible) are all scrubbed correctly now.
  */
 
 #include "repro_lint/lint.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <tuple>
 #include <utility>
+
+#include "repro_lint/symbol_index.hh"
 
 namespace repro_lint
 {
@@ -36,113 +45,50 @@ hasFixtureComponent(const std::filesystem::path& p)
     return false;
 }
 
+/** The marker a file uses to opt into the hot-path rule families. */
+constexpr const char* kHotPathMarker = "repro-lint: hot-path";
+
 /**
- * Produce the two scrubbed views of @p raw in one pass: comments
- * blanked (nocomment) and comments plus string/char literal contents
- * blanked (code). Newlines are preserved so line numbers survive.
- * Handles //, block comments, escapes, and basic R"( )" raw strings.
+ * Rebuild the two scrubbed views from the token stream. Both start
+ * from the raw text so byte offsets line up exactly:
+ *
+ *   - nocomment: raw with every Comment span blanked;
+ *   - code: blank except the spans of Identifier/Number/Punct/
+ *     HeaderName tokens (copied verbatim) and the first + last byte
+ *     of each String/CharLit token (the delimiters, so paren/quote
+ *     structure survives while literal contents never trip a rule).
+ *
+ * Newlines are preserved everywhere so line numbers survive.
  */
 void
-scrub(const std::string& raw, std::string& nocomment, std::string& code)
+buildViews(const std::string& raw, const std::vector<Token>& tokens,
+           std::string& nocomment, std::string& code)
 {
-    enum class State
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-        RawString,
-    };
-
-    nocomment.assign(raw.size(), ' ');
+    nocomment = raw;
     code.assign(raw.size(), ' ');
-    State state = State::Code;
-    std::string raw_delim;  // delimiter of the active raw string
-
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-        const char c = raw[i];
-        const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
-        if (c == '\n') {
-            nocomment[i] = '\n';
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        if (raw[i] == '\n')
             code[i] = '\n';
-            if (state == State::LineComment)
-                state = State::Code;
-            continue;
-        }
-        switch (state) {
-          case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                ++i;
-            } else if (c == 'R' && next == '"'
-                       && (i == 0
-                           || (!std::isalnum(static_cast<unsigned char>(
-                                       raw[i - 1]))
-                               && raw[i - 1] != '_'))) {
-                // R"delim( ... )delim"
-                std::size_t p = i + 2;
-                while (p < raw.size() && raw[p] != '(')
-                    ++p;
-                raw_delim = raw.substr(i + 2, p - (i + 2));
-                nocomment[i] = c;
-                code[i] = c;
-                state = State::RawString;
-                // keep the opening R"delim( visible in nocomment
-                for (std::size_t k = i + 1; k <= p && k < raw.size();
-                     ++k)
-                    nocomment[k] = raw[k];
-                i = p;
-            } else if (c == '"') {
-                nocomment[i] = c;
-                code[i] = c;
-                state = State::String;
-            } else if (c == '\'') {
-                nocomment[i] = c;
-                code[i] = c;
-                state = State::Char;
-            } else {
-                nocomment[i] = c;
-                code[i] = c;
+
+    for (const Token& t : tokens) {
+        const std::size_t end = std::min(t.end_offset, raw.size());
+        switch (t.kind) {
+          case TokKind::Comment:
+            for (std::size_t i = t.offset; i < end; ++i)
+                if (raw[i] != '\n')
+                    nocomment[i] = ' ';
+            break;
+          case TokKind::String:
+          case TokKind::CharLit:
+            if (t.offset < end) {
+                code[t.offset] = raw[t.offset];
+                code[end - 1] = raw[end - 1];
             }
             break;
-          case State::LineComment:
-          case State::BlockComment:
-            if (state == State::BlockComment && c == '*' && next == '/') {
-                ++i;
-                state = State::Code;
-            }
+          default:
+            for (std::size_t i = t.offset; i < end; ++i)
+                code[i] = raw[i];
             break;
-          case State::String:
-          case State::Char: {
-            const char quote = state == State::String ? '"' : '\'';
-            nocomment[i] = c;
-            if (c == '\\') {
-                if (next != '\0')
-                    nocomment[i + 1] = next;
-                ++i;
-            } else if (c == quote) {
-                code[i] = c;
-                state = State::Code;
-            }
-            break;
-          }
-          case State::RawString: {
-            const std::string close = ")" + raw_delim + "\"";
-            if (raw.compare(i, close.size(), close) == 0) {
-                for (std::size_t k = 0;
-                     k < close.size() && i + k < raw.size(); ++k)
-                    nocomment[i + k] = raw[i + k];
-                code[i + close.size() - 1] = '"';
-                i += close.size() - 1;
-                state = State::Code;
-            } else {
-                nocomment[i] = c;
-            }
-            break;
-          }
         }
     }
 }
@@ -234,19 +180,24 @@ loadSourceFile(const std::filesystem::path& abs, std::string rel)
     buf << in.rdbuf();
     const std::string raw = buf.str();
 
-    std::string nocomment, code;
-    scrub(raw, nocomment, code);
-
     SourceFile f;
     std::replace(rel.begin(), rel.end(), '\\', '/');
     f.rel = std::move(rel);
     f.layer = layerOf(f.rel);
+    f.tokens = tokenize(raw);
+
+    std::string nocomment, code;
+    buildViews(raw, f.tokens, nocomment, code);
     f.raw_lines = splitLines(raw);
     f.nocomment_lines = splitLines(nocomment);
     f.code_lines = splitLines(code);
+
     f.allows.reserve(f.raw_lines.size());
-    for (const std::string& line : f.raw_lines)
+    for (const std::string& line : f.raw_lines) {
         f.allows.push_back(parseAllows(line));
+        if (line.find(kHotPathMarker) != std::string::npos)
+            f.hot_path = true;
+    }
     return f;
 }
 
@@ -298,6 +249,12 @@ runAllRules(const Tree& tree)
     checkRawParse(tree, out);
     checkPortability(tree, out);
     checkConcurrency(tree, out);
+
+    const SymbolIndex index = buildSymbolIndex(tree);
+    checkAtomicOrders(tree, index, out);
+    checkStatusUse(tree, index, out);
+    checkEnvDoc(tree, index, out);
+
     std::sort(out.begin(), out.end(),
               [](const Finding& a, const Finding& b) {
                   return std::tie(a.file, a.line, a.rule, a.message)

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Symbol-index construction (see symbol_index.hh for the contract).
+ *
+ * The scanners here run on significantTokens() — the comment- and
+ * preprocessor-free token view — with a hand-maintained scope stack:
+ * namespace / class bodies are "declaration scopes" where an
+ * identifier followed by '(' is a candidate function declaration;
+ * everything inside a plain '{' (function bodies, initializers,
+ * lambdas, enums) is a block where nothing is indexed. Candidates
+ * are then validated on both sides: the token *before* the name must
+ * be declaration-shaped (not '.', '->', ',', '=', ... which would
+ * make it a call or a member-initializer), and the token run *after*
+ * the closing ')' must end in '{', ';', '=' or a constructor
+ * init-list ':' after skipping cv/ref/noexcept/override/final and a
+ * trailing return type. Misses degrade to an unindexed declaration —
+ * which downstream rules treat as "cannot prove, stay silent".
+ */
+
+#include "repro_lint/symbol_index.hh"
+
+#include <algorithm>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+/** Identifiers that look like calls at declaration scope but are not
+ *  function declarations. */
+bool
+neverAFunction(std::string_view s)
+{
+    static const char* const kNames[] = {
+        "if",     "while",    "for",      "switch",   "return",
+        "sizeof", "alignof",  "alignas",  "decltype", "noexcept",
+        "static_assert",      "assert",   "catch",    "new",
+        "delete", "operator", "defined",  "throw",    "typeid",
+        "requires",
+    };
+    for (const char* n : kNames)
+        if (s == n)
+            return true;
+    return false;
+}
+
+bool
+isAccessSpec(std::string_view s)
+{
+    return s == "public" || s == "private" || s == "protected";
+}
+
+struct Scope
+{
+    enum Kind
+    {
+        Ns,
+        Cls,
+        Block
+    };
+    Kind kind;
+    std::string name;
+};
+
+/** File-local scanner state shared by the collection passes. */
+struct FileScan
+{
+    const SourceFile& f;
+    std::vector<const Token*> sig;
+
+    explicit FileScan(const SourceFile& file)
+        : f(file), sig(significantTokens(file))
+    {
+    }
+
+    const std::string&
+    sp(std::size_t i) const
+    {
+        static const std::string empty;
+        return i < sig.size() ? sig[i]->spelling : empty;
+    }
+
+    bool
+    isIdent(std::size_t i) const
+    {
+        return i < sig.size() && sig[i]->kind == TokKind::Identifier;
+    }
+};
+
+/**
+ * Validate + record the candidate function declaration whose name is
+ * sig[i] (sig[i+1] is '('). @p cls is the enclosing class from the
+ * scope stack; an out-of-class "Cls::name(" definition overrides it.
+ */
+void
+tryIndexFunction(const FileScan& fs, std::size_t i, std::string cls,
+                 std::vector<FunctionDecl>& out)
+{
+    const auto& sig = fs.sig;
+    const std::string& name = sig[i]->spelling;
+    if (neverAFunction(name))
+        return;
+
+    if (i > 0) {
+        const std::string& p = fs.sp(i - 1);
+        // Calls, member-initializers, default-argument expressions.
+        if (p == "." || p == "->" || p == "," || p == "(" || p == "="
+            || p == "~" || p == "!" || p == "&&" || p == "||"
+            || p == "return" || p == "co_return" || p == "?")
+            return;
+        if (p == "::") {
+            // Out-of-class definition: take the class from the
+            // qualifier. Qualified *calls* only occur inside blocks,
+            // which the caller already excluded.
+            if (i < 2 || !fs.isIdent(i - 2))
+                return;
+            cls = fs.sp(i - 2);
+        } else if (p == ":") {
+            // "public:" is fine; a constructor init-list ':' means
+            // this is a member initializer, not a declaration.
+            if (i < 2 || !isAccessSpec(fs.sp(i - 2)))
+                return;
+        }
+    }
+
+    const std::size_t close = matchForward(sig, i + 1);
+    if (close >= sig.size())
+        return;
+
+    // After the parameter list: cv/ref qualifiers, noexcept(...),
+    // override/final, then a declaration terminator.
+    std::size_t j = close + 1;
+    while (j < sig.size()) {
+        const std::string& s = fs.sp(j);
+        if (s == "const" || s == "override" || s == "final"
+            || s == "&" || s == "&&" || s == "volatile"
+            || s == "mutable") {
+            ++j;
+        } else if (s == "noexcept") {
+            ++j;
+            if (fs.sp(j) == "(")
+                j = matchForward(sig, j) + 1;
+        } else if (s == "->") {
+            // Trailing return type: skip to the terminator.
+            ++j;
+            while (j < sig.size() && fs.sp(j) != "{" && fs.sp(j) != ";"
+                   && fs.sp(j) != "=") {
+                if (fs.sp(j) == "<") {
+                    const std::size_t k = skipTemplateArgs(sig, j);
+                    j = k == j ? j + 1 : k;
+                } else {
+                    ++j;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    if (j >= sig.size())
+        return;
+    const std::string& term = fs.sp(j);
+    const bool ctor_colon = term == ":" && name == cls;
+    if (term != "{" && term != ";" && term != "=" && !ctor_colon)
+        return;
+
+    // Backward over the return type + attributes to the previous
+    // declaration boundary.
+    bool saw_nodiscard = false;
+    bool saw_void = false;
+    bool saw_ptr = false;
+    std::size_t b = i;
+    while (b > 0) {
+        const std::string& p = fs.sp(b - 1);
+        if (p == ";" || p == "{" || p == "}" || p == "(" || p == ","
+            || p == ")")
+            break;
+        if (p == ":") {
+            break;  // access specifier (or unexpected) — stop either way
+        }
+        if (fs.isIdent(b - 1)) {
+            if (p == "nodiscard")
+                saw_nodiscard = true;
+            else if (p == "void")
+                saw_void = true;
+        } else if (p == "*") {
+            saw_ptr = true;
+        }
+        --b;
+    }
+
+    FunctionDecl d;
+    d.name = name;
+    d.cls = std::move(cls);
+    d.file = fs.f.rel;
+    d.line = sig[i]->line;
+    d.nodiscard = saw_nodiscard;
+    d.returns_void = (saw_void && !saw_ptr) || name == d.cls;
+    out.push_back(std::move(d));
+}
+
+/** Scope-tracking walk over one file collecting function decls. */
+void
+collectFunctions(const FileScan& fs, std::vector<FunctionDecl>& out)
+{
+    const auto& sig = fs.sig;
+    std::vector<Scope> scopes;
+
+    std::size_t i = 0;
+    while (i < sig.size()) {
+        const Token& t = *sig[i];
+        const std::string& s = t.spelling;
+
+        if (t.kind == TokKind::Identifier) {
+            if (s == "template" && fs.sp(i + 1) == "<") {
+                // Never let "class T" in a parameter list open a scope.
+                const std::size_t k = skipTemplateArgs(sig, i + 1);
+                i = k == i + 1 ? i + 2 : k;
+                continue;
+            }
+            if (s == "namespace") {
+                std::size_t j = i + 1;
+                std::string name;
+                while (j < sig.size()
+                       && (fs.isIdent(j) || fs.sp(j) == "::")) {
+                    name += fs.sp(j);
+                    ++j;
+                }
+                if (fs.sp(j) == "{") {
+                    scopes.push_back({Scope::Ns, std::move(name)});
+                    i = j + 1;
+                } else {
+                    i = j;  // namespace alias / using-directive tail
+                }
+                continue;
+            }
+            if (s == "enum") {
+                std::size_t j = i + 1;
+                while (j < sig.size() && fs.sp(j) != "{"
+                       && fs.sp(j) != ";")
+                    ++j;
+                if (fs.sp(j) == "{")
+                    scopes.push_back({Scope::Block, {}});
+                i = j + 1;
+                continue;
+            }
+            if (s == "class" || s == "struct" || s == "union") {
+                // Find the class name, skipping attributes.
+                std::size_t j = i + 1;
+                std::string name;
+                while (j < sig.size()) {
+                    if (fs.sp(j) == "[") {
+                        j = matchForward(sig, j) + 1;
+                        continue;
+                    }
+                    if (fs.sp(j) == "alignas"
+                        && fs.sp(j + 1) == "(") {
+                        j = matchForward(sig, j + 1) + 1;
+                        continue;
+                    }
+                    if (fs.isIdent(j) && fs.sp(j) != "final") {
+                        name = fs.sp(j);
+                        ++j;
+                    }
+                    break;
+                }
+                // Scan to the body '{' or a forward-decl ';', hopping
+                // over template arguments and base-clause parens.
+                while (j < sig.size() && fs.sp(j) != "{"
+                       && fs.sp(j) != ";") {
+                    if (fs.sp(j) == "<") {
+                        const std::size_t k = skipTemplateArgs(sig, j);
+                        j = k == j ? j + 1 : k;
+                    } else if (fs.sp(j) == "(") {
+                        j = matchForward(sig, j) + 1;
+                    } else {
+                        ++j;
+                    }
+                }
+                if (fs.sp(j) == "{") {
+                    scopes.push_back({Scope::Cls, std::move(name)});
+                    i = j + 1;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if (fs.sp(i + 1) == "("
+                && (scopes.empty()
+                    || scopes.back().kind != Scope::Block)) {
+                const std::string cls =
+                        (!scopes.empty()
+                         && scopes.back().kind == Scope::Cls)
+                        ? scopes.back().name
+                        : std::string();
+                tryIndexFunction(fs, i, cls, out);
+            }
+            ++i;
+            continue;
+        }
+
+        if (s == "{") {
+            scopes.push_back({Scope::Block, {}});
+        } else if (s == "}") {
+            if (!scopes.empty())
+                scopes.pop_back();
+        }
+        ++i;
+    }
+}
+
+/**
+ * Collect variable/member declarations whose type head is in
+ * @p interesting ("std::atomic" or an indexed class name). The shape
+ * matched is
+ *
+ *     Q(::Q)* (<...>)? (&|*|const)* name  terminator
+ *
+ * with terminator one of ; = { ( , ) [  — covering members, locals,
+ * parameters, and constructor-call initializers.
+ */
+void
+collectVars(const FileScan& fs, const std::set<std::string>& interesting,
+            std::vector<VarDecl>& out)
+{
+    const auto& sig = fs.sig;
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+        if (!fs.isIdent(i))
+            continue;
+        // Qualified type head.
+        std::size_t j = i;
+        std::string head = fs.sp(i);
+        std::string last = fs.sp(i);
+        while (fs.sp(j + 1) == "::" && fs.isIdent(j + 2)) {
+            j += 2;
+            head += "::" + fs.sp(j);
+            last = fs.sp(j);
+        }
+        if (head != "std::atomic" && interesting.count(last) == 0)
+            continue;
+        const std::string type =
+                head == "std::atomic" ? head : last;
+
+        std::size_t k = j + 1;
+        if (fs.sp(k) == "<") {
+            const std::size_t after = skipTemplateArgs(sig, k);
+            if (after == k)
+                continue;  // comparison, not a template-argument list
+            k = after;
+        }
+        while (fs.sp(k) == "&" || fs.sp(k) == "*"
+               || fs.sp(k) == "const")
+            ++k;
+        if (!fs.isIdent(k))
+            continue;
+        const std::string& term = fs.sp(k + 1);
+        if (term != ";" && term != "=" && term != "{" && term != "("
+            && term != "," && term != ")" && term != "[")
+            continue;
+
+        VarDecl v;
+        v.name = fs.sp(k);
+        v.type = type;
+        v.file = fs.f.rel;
+        v.line = sig[k]->line;
+        out.push_back(std::move(v));
+        i = k;
+    }
+}
+
+/** Collect REPRO_* string literals inside env-reader call arguments. */
+void
+collectEnvUses(const FileScan& fs, std::vector<EnvUse>& out)
+{
+    static const char* const kReaders[] = {
+        "getenv", "envRaw", "envUIntOr", "envDoubleOr", "envFlagOr",
+    };
+    const auto& sig = fs.sig;
+    for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+        if (!fs.isIdent(i) || fs.sp(i + 1) != "(")
+            continue;
+        bool reader = false;
+        for (const char* r : kReaders)
+            reader = reader || fs.sp(i) == r;
+        if (!reader)
+            continue;
+        const std::size_t close = matchForward(sig, i + 1);
+        for (std::size_t a = i + 2; a < close && a < sig.size(); ++a) {
+            if (sig[a]->kind != TokKind::String)
+                continue;
+            const std::string var = tokenContents(*sig[a]);
+            if (var.rfind("REPRO_", 0) != 0)
+                continue;
+            if (var.find_first_not_of(
+                        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+                != std::string::npos)
+                continue;
+            out.push_back({var, fs.f.rel, sig[a]->line});
+        }
+    }
+}
+
+/** Resolve one quoted include to a tree-relative path, or "". */
+std::string
+resolveInclude(const Tree& tree, const std::string& from,
+               const std::string& inc)
+{
+    // The build adds src/ and the repo root to the include path;
+    // fall back to sibling-relative for good measure.
+    if (tree.find("src/" + inc) != nullptr)
+        return "src/" + inc;
+    if (tree.find(inc) != nullptr)
+        return inc;
+    const std::size_t slash = from.rfind('/');
+    if (slash != std::string::npos) {
+        const std::string sib = from.substr(0, slash + 1) + inc;
+        if (tree.find(sib) != nullptr)
+            return sib;
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<const Token*>
+significantTokens(const SourceFile& f)
+{
+    std::vector<const Token*> sig;
+    sig.reserve(f.tokens.size());
+    for (const Token& t : f.tokens)
+        if (t.kind != TokKind::Comment && !t.in_pp)
+            sig.push_back(&t);
+    return sig;
+}
+
+std::size_t
+matchForward(const std::vector<const Token*>& sig, std::size_t open)
+{
+    if (open >= sig.size())
+        return sig.size();
+    const std::string& o = sig[open]->spelling;
+    std::string_view c;
+    if (o == "(")
+        c = ")";
+    else if (o == "[")
+        c = "]";
+    else if (o == "{")
+        c = "}";
+    else
+        return sig.size();
+    int depth = 0;
+    for (std::size_t i = open; i < sig.size(); ++i) {
+        if (sig[i]->spelling == o)
+            ++depth;
+        else if (sig[i]->spelling == c && --depth == 0)
+            return i;
+    }
+    return sig.size();
+}
+
+std::size_t
+skipTemplateArgs(const std::vector<const Token*>& sig, std::size_t at)
+{
+    int depth = 0;
+    for (std::size_t j = at; j < sig.size(); ++j) {
+        const std::string& s = sig[j]->spelling;
+        if (s == "<") {
+            depth += 1;
+        } else if (s == "<<") {
+            depth += 2;
+        } else if (s == ">") {
+            if (--depth == 0)
+                return j + 1;
+        } else if (s == ">>") {
+            depth -= 2;
+            if (depth <= 0)
+                return j + 1;
+        } else if (s == ";" || s == "{" || s == "}") {
+            return at;
+        }
+        if (depth < 0)
+            return at;
+    }
+    return at;
+}
+
+bool
+SymbolIndex::reachable(std::string_view from, std::string_view to) const
+{
+    if (from == to)
+        return true;
+    const auto it = reach.find(std::string(from));
+    return it != reach.end() && it->second.count(std::string(to)) > 0;
+}
+
+std::vector<const FunctionDecl*>
+SymbolIndex::functionsNamed(std::string_view name) const
+{
+    std::vector<const FunctionDecl*> out;
+    for (const FunctionDecl& d : functions)
+        if (d.name == name)
+            out.push_back(&d);
+    return out;
+}
+
+std::vector<const VarDecl*>
+SymbolIndex::varsNamed(std::string_view from, std::string_view name) const
+{
+    std::vector<const VarDecl*> out;
+    for (const VarDecl& v : vars)
+        if (v.name == name && reachable(from, v.file))
+            out.push_back(&v);
+    return out;
+}
+
+SymbolIndex
+buildSymbolIndex(const Tree& tree)
+{
+    SymbolIndex index;
+
+    std::vector<FileScan> scans;
+    scans.reserve(tree.files.size());
+    for (const SourceFile& f : tree.files)
+        scans.emplace_back(f);
+
+    for (const FileScan& fs : scans)
+        collectFunctions(fs, index.functions);
+
+    std::set<std::string> interesting;
+    for (const FunctionDecl& d : index.functions)
+        if (!d.cls.empty())
+            interesting.insert(d.cls);
+    for (const FileScan& fs : scans) {
+        collectVars(fs, interesting, index.vars);
+        collectEnvUses(fs, index.env_uses);
+    }
+
+    // Quoted-include graph over tree files.
+    for (const SourceFile& f : tree.files) {
+        std::vector<std::string>& edges = index.includes[f.rel];
+        for (const Token& t : f.tokens) {
+            if (!t.in_pp || t.pp_directive != "include"
+                || t.kind != TokKind::String)
+                continue;
+            const std::string target =
+                    resolveInclude(tree, f.rel, tokenContents(t));
+            if (!target.empty())
+                edges.push_back(target);
+        }
+    }
+
+    // Reflexive transitive closure (BFS per file; the tree is small).
+    for (const SourceFile& f : tree.files) {
+        std::set<std::string>& closed = index.reach[f.rel];
+        std::vector<std::string> work{f.rel};
+        closed.insert(f.rel);
+        while (!work.empty()) {
+            const std::string cur = std::move(work.back());
+            work.pop_back();
+            const auto it = index.includes.find(cur);
+            if (it == index.includes.end())
+                continue;
+            for (const std::string& next : it->second)
+                if (closed.insert(next).second)
+                    work.push_back(next);
+        }
+    }
+
+    return index;
+}
+
+} // namespace repro_lint

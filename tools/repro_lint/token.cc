@@ -1,0 +1,411 @@
+/**
+ * @file
+ * The repro-lint tokenizer (see token.hh for the contract).
+ *
+ * Phase 1 removes backslash-newline splices into a logical text,
+ * keeping a per-byte map back to raw offsets. Phase 2 scans the
+ * logical text with a hand-rolled lexer; every token records the raw
+ * span of its first and last logical byte, so line numbers (and the
+ * scrubbed views scan.cc rebuilds) always refer to the file on disk.
+ */
+
+#include "repro_lint/token.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace repro_lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+digit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Encoding prefixes that may precede a string or char literal. */
+bool
+isEncodingPrefix(std::string_view s)
+{
+    return s == "u8" || s == "u" || s == "U" || s == "L";
+}
+
+/** Prefixes (encoding prefix + R) that open a raw string. */
+bool
+isRawPrefix(std::string_view s)
+{
+    return s == "R" || s == "u8R" || s == "uR" || s == "UR"
+        || s == "LR";
+}
+
+/** Multi-character punctuators, longest first (maximal munch). */
+constexpr std::string_view kPuncts[] = {
+    "<=>", "<<=", ">>=", "...", "->*",
+    "::",  "->",  ".*",  "<<",  ">>",  "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=",
+    "^=",  "++",  "--",  "##",
+};
+
+struct Lexer
+{
+    const std::string& logical;       //!< splice-free text
+    const std::vector<std::size_t>& raw_of;  //!< logical -> raw offset
+    const std::vector<std::size_t>& line_starts;  //!< raw line starts
+
+    std::vector<Token> out;
+
+    // Preprocessor state: a '#' first-on-a-logical-line opens a
+    // directive that runs to the next (unspliced) newline.
+    bool at_line_start = true;
+    bool in_pp = false;
+    std::string pp_directive;
+    bool pp_want_directive = false;  //!< next identifier names it
+
+    void
+    locate(std::size_t raw_offset, int& line, int& col) const
+    {
+        const auto it = std::upper_bound(line_starts.begin(),
+                                         line_starts.end(), raw_offset);
+        const std::size_t l =
+                static_cast<std::size_t>(it - line_starts.begin()) - 1;
+        line = static_cast<int>(l) + 1;
+        col = static_cast<int>(raw_offset - line_starts[l]) + 1;
+    }
+
+    void
+    emit(TokKind kind, std::size_t begin, std::size_t end)
+    {
+        Token t;
+        t.kind = kind;
+        t.spelling = logical.substr(begin, end - begin);
+        t.offset = raw_of[begin];
+        t.end_offset = end > begin ? raw_of[end - 1] + 1 : t.offset;
+        locate(t.offset, t.line, t.col);
+        t.in_pp = in_pp;
+        t.pp_directive = in_pp ? pp_directive : std::string();
+        out.push_back(std::move(t));
+        if (kind != TokKind::Comment)
+            at_line_start = false;
+    }
+
+    char
+    at(std::size_t i) const
+    {
+        return i < logical.size() ? logical[i] : '\0';
+    }
+
+    /** End of the string literal opening at @p i (the '"'). */
+    std::size_t
+    scanString(std::size_t i) const
+    {
+        ++i;  // opening quote
+        while (i < logical.size()) {
+            if (logical[i] == '\\' && i + 1 < logical.size())
+                i += 2;
+            else if (logical[i] == '"')
+                return i + 1;
+            else if (logical[i] == '\n')
+                return i;  // unterminated: stop at the line end
+            else
+                ++i;
+        }
+        return i;
+    }
+
+    /** End of the raw string whose '"' is at @p i. */
+    std::size_t
+    scanRawString(std::size_t i) const
+    {
+        std::size_t p = i + 1;
+        while (p < logical.size() && logical[p] != '('
+               && logical[p] != '\n')
+            ++p;
+        if (at(p) != '(')
+            return p;  // malformed opener: give up at the line end
+        std::string close;
+        close.reserve(p - i + 2);
+        close.push_back(')');
+        close.append(logical, i + 1, p - (i + 1));
+        close.push_back('"');
+        const std::size_t end = logical.find(close, p + 1);
+        return end == std::string::npos ? logical.size()
+                                        : end + close.size();
+    }
+
+    /** End of the char literal opening at @p i (the '\''). */
+    std::size_t
+    scanChar(std::size_t i) const
+    {
+        ++i;
+        while (i < logical.size()) {
+            if (logical[i] == '\\' && i + 1 < logical.size())
+                i += 2;
+            else if (logical[i] == '\'')
+                return i + 1;
+            else if (logical[i] == '\n')
+                return i;
+            else
+                ++i;
+        }
+        return i;
+    }
+
+    /** End of the pp-number starting at @p i. Digit separators join
+     *  only when flanked by identifier characters; e/E/p/P may take a
+     *  sign. */
+    std::size_t
+    scanNumber(std::size_t i) const
+    {
+        std::size_t p = i + 1;
+        while (p < logical.size()) {
+            const char c = logical[p];
+            if (identChar(c) || c == '.') {
+                ++p;
+            } else if (c == '\'' && p + 1 < logical.size()
+                       && identChar(logical[p + 1])) {
+                p += 2;
+            } else if ((c == '+' || c == '-')
+                       && (logical[p - 1] == 'e' || logical[p - 1] == 'E'
+                           || logical[p - 1] == 'p'
+                           || logical[p - 1] == 'P')) {
+                ++p;
+            } else {
+                break;
+            }
+        }
+        return p;
+    }
+
+    void
+    run()
+    {
+        std::size_t i = 0;
+        while (i < logical.size()) {
+            const char c = logical[i];
+            const char next = at(i + 1);
+
+            if (c == '\n') {
+                in_pp = false;
+                pp_directive.clear();
+                pp_want_directive = false;
+                at_line_start = true;
+                ++i;
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\v'
+                || c == '\f') {
+                ++i;
+                continue;
+            }
+
+            // Comments (before punctuators: '/' would munch).
+            if (c == '/' && next == '/') {
+                std::size_t end = logical.find('\n', i);
+                if (end == std::string::npos)
+                    end = logical.size();
+                emit(TokKind::Comment, i, end);
+                i = end;
+                continue;
+            }
+            if (c == '/' && next == '*') {
+                std::size_t end = logical.find("*/", i + 2);
+                end = end == std::string::npos ? logical.size()
+                                               : end + 2;
+                emit(TokKind::Comment, i, end);
+                i = end;
+                continue;
+            }
+
+            // Preprocessor directive opener.
+            if (c == '#' && at_line_start) {
+                in_pp = true;
+                pp_want_directive = true;
+                pp_directive.clear();
+                emit(TokKind::Punct, i, i + 1);
+                ++i;
+                continue;
+            }
+
+            // <header-name> directly inside #include.
+            if (c == '<' && in_pp && pp_directive == "include") {
+                std::size_t end = i + 1;
+                while (end < logical.size() && logical[end] != '>'
+                       && logical[end] != '\n')
+                    ++end;
+                if (at(end) == '>') {
+                    emit(TokKind::HeaderName, i, end + 1);
+                    i = end + 1;
+                    continue;
+                }
+            }
+
+            if (identStart(c)) {
+                std::size_t end = i + 1;
+                while (end < logical.size() && identChar(logical[end]))
+                    ++end;
+                const std::string_view ident(logical.data() + i,
+                                             end - i);
+                // A prefixed string/char literal swallows the ident.
+                if (at(end) == '"' && isRawPrefix(ident)) {
+                    const std::size_t lit = scanRawString(end);
+                    emit(TokKind::String, i, lit);
+                    i = lit;
+                    continue;
+                }
+                if (at(end) == '"' && isEncodingPrefix(ident)) {
+                    const std::size_t lit = scanString(end);
+                    emit(TokKind::String, i, lit);
+                    i = lit;
+                    continue;
+                }
+                if (at(end) == '\'' && isEncodingPrefix(ident)) {
+                    const std::size_t lit = scanChar(end);
+                    emit(TokKind::CharLit, i, lit);
+                    i = lit;
+                    continue;
+                }
+                emit(TokKind::Identifier, i, end);
+                if (pp_want_directive) {
+                    pp_directive.assign(ident);
+                    // Retag: the directive-name token itself carries
+                    // the directive it names.
+                    out.back().pp_directive = pp_directive;
+                    pp_want_directive = false;
+                }
+                i = end;
+                continue;
+            }
+
+            if (digit(c) || (c == '.' && digit(next))) {
+                const std::size_t end = scanNumber(i);
+                emit(TokKind::Number, i, end);
+                i = end;
+                continue;
+            }
+
+            if (c == '"') {
+                const std::size_t end = scanString(i);
+                emit(TokKind::String, i, end);
+                i = end;
+                continue;
+            }
+            if (c == '\'') {
+                const std::size_t end = scanChar(i);
+                emit(TokKind::CharLit, i, end);
+                i = end;
+                continue;
+            }
+
+            // Punctuators, longest match first.
+            bool matched = false;
+            for (const std::string_view p : kPuncts) {
+                if (logical.compare(i, p.size(), p) == 0) {
+                    emit(TokKind::Punct, i, i + p.size());
+                    i += p.size();
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                emit(TokKind::Punct, i, i + 1);
+                ++i;
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string& raw)
+{
+    // Phase 1: remove line splices (backslash + newline, tolerating a
+    // \r before the \n) and map every logical byte to its raw offset.
+    std::string logical;
+    std::vector<std::size_t> raw_of;
+    logical.reserve(raw.size());
+    raw_of.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '\\') {
+            if (i + 1 < raw.size() && raw[i + 1] == '\n') {
+                ++i;
+                continue;
+            }
+            if (i + 2 < raw.size() && raw[i + 1] == '\r'
+                && raw[i + 2] == '\n') {
+                i += 2;
+                continue;
+            }
+        }
+        logical.push_back(raw[i]);
+        raw_of.push_back(i);
+    }
+
+    std::vector<std::size_t> line_starts{0};
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        if (raw[i] == '\n')
+            line_starts.push_back(i + 1);
+
+    Lexer lex{logical, raw_of, line_starts, {}, true, false, {}, false};
+    lex.run();
+    return std::move(lex.out);
+}
+
+std::string
+tokenContents(const Token& t)
+{
+    const std::string& s = t.spelling;
+    switch (t.kind) {
+      case TokKind::HeaderName:
+        return s.size() >= 2 ? s.substr(1, s.size() - 2) : s;
+      case TokKind::CharLit:
+      case TokKind::String: {
+        std::size_t open = s.find('"');
+        char close_ch = '"';
+        if (t.kind == TokKind::CharLit) {
+            open = s.find('\'');
+            close_ch = '\'';
+        }
+        if (open == std::string::npos)
+            return s;
+        if (open >= 1 && s[open - 1] == 'R') {
+            // R"delim( ... )delim"
+            const std::size_t paren = s.find('(', open);
+            if (paren == std::string::npos)
+                return {};
+            const std::string delim =
+                    s.substr(open + 1, paren - (open + 1));
+            const std::string close = ")" + delim + "\"";
+            const std::size_t end = s.rfind(close);
+            if (end == std::string::npos || end < paren + 1)
+                return {};
+            return s.substr(paren + 1, end - (paren + 1));
+        }
+        const std::size_t end = s.rfind(close_ch);
+        if (end <= open)
+            return {};
+        return s.substr(open + 1, end - (open + 1));
+      }
+      default:
+        return s;
+    }
+}
+
+} // namespace repro_lint

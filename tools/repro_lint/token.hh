@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The C++ token stream repro-lint's rules read.
+ *
+ * PR 4's scanner matched regex-ish patterns against comment- and
+ * string-scrubbed *lines*; that cannot see call targets, argument
+ * lists, declaration structure, or anything that crosses a line
+ * break — and it had documented blind spots (digit separators read
+ * as char-literal openers, line-spliced comments leaking into the
+ * code view). This tokenizer replaces the scrubber as the analysis
+ * core: one pass over the raw bytes yields a vector of tokens with
+ *
+ *   - kind: identifier, number, string/char literal, punctuator,
+ *     comment, or #include header-name;
+ *   - spelling: the logical (splice-free) text;
+ *   - the raw byte span [offset, end_offset) and the 1-based
+ *     line/column of the first byte, so findings and the rebuilt
+ *     scrubbed views stay aligned with the file on disk;
+ *   - preprocessor awareness: tokens inside a directive carry
+ *     in_pp plus the directive name ("include", "define", ...).
+ *
+ * Correctly handled where the scrubber was not: backslash-newline
+ * splices (removed before tokenizing, so a spliced // comment blanks
+ * its continuation lines), raw string literals with custom
+ * delimiters, encoding prefixes (u8"", L'x', u8R"x(...)x"), digit
+ * separators (1'000'000 is one Number token, not a char literal),
+ * and pp-number exponent signs (1e+5). The tokenizer never fails:
+ * unterminated literals end at the line (or file) end, and any
+ * unrecognized byte becomes a one-character punctuator, so a
+ * half-edited file still lints.
+ */
+
+#ifndef DFCM_TOOLS_REPRO_LINT_TOKEN_HH
+#define DFCM_TOOLS_REPRO_LINT_TOKEN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace repro_lint
+{
+
+enum class TokKind
+{
+    Identifier,  //!< identifiers and keywords (no keyword table)
+    Number,      //!< pp-number: 0x1F, 1'000'000, 1e+5, 3.14f
+    String,      //!< "..." with any prefix, including raw strings
+    CharLit,     //!< 'x' with any prefix
+    Punct,       //!< operators and punctuation, maximal munch
+    Comment,     //!< // or /* */, one token per comment
+    HeaderName,  //!< <...> directly after #include
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string spelling;  //!< logical text, line splices removed
+    int line = 0;          //!< 1-based line of the first raw byte
+    int col = 0;           //!< 1-based column of the first raw byte
+    std::size_t offset = 0;      //!< raw byte offset of the first byte
+    std::size_t end_offset = 0;  //!< one past the last raw byte
+    bool in_pp = false;          //!< inside a preprocessor directive
+    /** Directive name when in_pp ("include", "define", ...). */
+    std::string pp_directive;
+};
+
+/** Tokenize @p raw. Whitespace is not represented; everything else
+ *  (including comments) is. Never throws on malformed input. */
+std::vector<Token> tokenize(const std::string& raw);
+
+/** Literal contents of a String/CharLit/HeaderName token: encoding
+ *  prefix, quotes and raw-string delimiters stripped, escapes NOT
+ *  interpreted. Returns the spelling unchanged for other kinds. */
+std::string tokenContents(const Token& t);
+
+} // namespace repro_lint
+
+#endif // DFCM_TOOLS_REPRO_LINT_TOKEN_HH
