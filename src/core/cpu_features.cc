@@ -30,18 +30,22 @@ cpuHasAvx2()
 }
 
 /**
- * Whether the running CPU can execute AVX-512F (the foundation subset
- * is all the packed kernel uses: 32-bit gather/scatter, mask compare
- * and variable shifts). The TU is only compiled when the AVX2 TU is
- * too (see core/CMakeLists.txt), so AVX-512 availability implies AVX2
- * availability both at build time and — architecturally — at run time.
+ * Whether the running CPU can execute the AVX-512 TU: F (32-bit
+ * gather/scatter, mask compare, variable shifts) plus CD (vpconflictd,
+ * the gather column tier's in-batch duplicate detector). CD has
+ * shipped alongside F on every AVX-512 implementation, so requiring
+ * both costs no real hardware. The TU is only compiled when the AVX2
+ * TU is too (see core/CMakeLists.txt), so AVX-512 availability implies
+ * AVX2 availability both at build time and — architecturally — at run
+ * time.
  */
 bool
 cpuHasAvx512()
 {
 #if defined(REPRO_SIMD_HAS_AVX512) \
         && (defined(__x86_64__) || defined(__i386__))
-    static const bool has = __builtin_cpu_supports("avx512f") > 0;
+    static const bool has = __builtin_cpu_supports("avx512f") > 0
+            && __builtin_cpu_supports("avx512cd") > 0;
     return has;
 #else
     return false;

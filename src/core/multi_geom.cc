@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/env_util.hh"
 #include "core/multi_geom_simd.hh"
 #include "core/simd.hh"
 
@@ -201,6 +202,47 @@ runMgPackedScalar(const detail::MgPackedView& v)
     }
 }
 
+/**
+ * The gather *column* tier's entry point for @p backend, or nullptr
+ * when the backend has no gather surface (the dispatcher then keeps
+ * the plain column kernel). Unlike the column tier, AVX-512 gets its
+ * own 16-record instantiation here — wide gathers are this tier's
+ * whole point — falling back to the 8-record AVX2 one in builds
+ * without the AVX-512 TU.
+ */
+MgKernelFn
+backendGatherKernel(SimdBackend backend)
+{
+    if (!simdBackendAvailable(backend))
+        return nullptr;
+    switch (backend) {
+#if defined(REPRO_SIMD_HAS_AVX2)
+      case SimdBackend::Avx2:
+        return &detail::runMgGatherAvx2;
+      case SimdBackend::Avx512:
+#if defined(REPRO_SIMD_HAS_AVX512)
+        return &detail::runMgGatherAvx512;
+#else
+        return &detail::runMgGatherAvx2;
+#endif
+#endif
+      default:
+        return nullptr;
+    }
+}
+
+/**
+ * The gather tier's default size threshold: columns with l2_bits >=
+ * this probe through runMgGather (overridable via
+ * REPRO_GATHER_COLUMNS; 0 disables the tier). 2^18 u32 slots = 1 MiB
+ * is where the measured crossover sits on the reference machine: the
+ * table decisively exceeds per-core L2, most probes miss to L3 or
+ * DRAM, and batching W misses per vpgatherdd beats the scalar
+ * dependent-load chain (docs/perf.md has the numbers); below it the
+ * probes mostly hit cache and batch staging is pure overhead.
+ */
+constexpr unsigned kDefaultGatherMinBits = 18;
+
 /** The gather-capable packed entry point for @p backend, or nullptr
  *  for the scalar packed reference (the fallback for non-gather
  *  backends and for builds/CPUs without one). */
@@ -238,7 +280,7 @@ MultiGeomKernelBase::MultiGeomKernelBase(const MultiGeomConfig& config)
     for (unsigned l2 : config.l2_bits) {
         assert(l2 >= 1 && l2 <= 28);
         Column col{ShiftFoldHash::fsRk(l2, config.hash_shift), {}};
-        col.l2.resize(std::size_t{1} << l2, 0);
+        col.l2.resize(std::size_t{1} << l2);
         max_order_ = std::max(max_order_, col.hash.order());
         cols_.push_back(std::move(col));
     }
@@ -251,7 +293,7 @@ MultiGeomKernelBase::MultiGeomKernelBase(const MultiGeomConfig& config)
     const std::size_t n = cols_.size();
     padded_n_ = (n + simd::kMaxSimdLanes - 1) / simd::kMaxSimdLanes
             * simd::kMaxSimdLanes;
-    hists_.resize(l1Entries() * padded_n_, 0);
+    hists_.resize(l1Entries() * padded_n_);
     col_shifts_.assign(padded_n_, 0);
     col_fold_bits_.assign(padded_n_, 1);
     col_fold_masks_.assign(padded_n_, 0);
@@ -288,14 +330,48 @@ MultiGeomKernelBase::MultiGeomKernelBase(const MultiGeomConfig& config)
     packed_simd_ok_ =
             static_cast<std::uint64_t>(l1Entries()) * padded_n_
             < (std::uint64_t{1} << 31);
+
+    gather_min_bits_ = static_cast<unsigned>(envUIntOr(
+            "REPRO_GATHER_COLUMNS", kDefaultGatherMinBits, 0, 32));
+    planGatherColumns();
+}
+
+void
+MultiGeomKernelBase::planGatherColumns()
+{
+    gather_cols_.clear();
+    scalar_cols_.clear();
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        const bool gather = gather_min_bits_ != 0
+                && cols_[c].hash.indexBits() >= gather_min_bits_;
+        (gather ? gather_cols_ : scalar_cols_)
+                .push_back(static_cast<std::uint32_t>(c));
+    }
+}
+
+void
+MultiGeomKernelBase::setGatherMinBits(unsigned bits)
+{
+    gather_min_bits_ = bits;
+    planGatherColumns();
+}
+
+void
+MultiGeomKernelBase::setArenaMode(ArenaMode mode)
+{
+    hists_.setArenaMode(mode);
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        cols_[c].l2.setArenaMode(mode);
+        l2_ptrs_[c] = cols_[c].l2.data();  // re-homing moved the table
+    }
 }
 
 void
 MultiGeomKernelBase::resetState()
 {
-    std::fill(hists_.begin(), hists_.end(), 0);
+    hists_.fillZero();
     for (Column& col : cols_)
-        std::fill(col.l2.begin(), col.l2.end(), 0);
+        col.l2.fillZero();
 }
 
 void
@@ -339,6 +415,10 @@ MultiGeomKernelBase::makeView(std::uint64_t* correct)
     view.widen = false;
     view.prefetch_cols = prefetch_cols_.data();
     view.n_prefetch = prefetch_cols_.size();
+    view.gather_cols = gather_cols_.data();
+    view.n_gather = gather_cols_.size();
+    view.scalar_cols = scalar_cols_.data();
+    view.n_scalar = scalar_cols_.size();
     return view;
 }
 
@@ -510,7 +590,13 @@ MultiGeomFcmKernel::feedTrace(std::span<const TraceRecord> trace,
     const std::size_t n = cols_.size();
     std::vector<std::uint64_t> correct(n, 0);
 
-    if (const MgKernelFn kernel = backendKernel(backend)) {
+    if (MgKernelFn kernel = backendKernel(backend)) {
+        // Plan says some columns are big enough for batched gather
+        // probes and the backend has a gather surface: take the
+        // gather tier (bit-identical, so this never changes results).
+        if (!gather_cols_.empty())
+            if (const MgKernelFn g = backendGatherKernel(backend))
+                kernel = g;
         const detail::MgSimdView view = makeView(correct.data());
         kernel(view, trace);
         return gatherStats(trace, correct);
@@ -623,7 +709,10 @@ MultiGeomDfcmKernel::feedTrace(std::span<const TraceRecord> trace,
     const std::size_t n = cols_.size();
     std::vector<std::uint64_t> correct(n, 0);
 
-    if (const MgKernelFn kernel = backendKernel(backend)) {
+    if (MgKernelFn kernel = backendKernel(backend)) {
+        if (!gather_cols_.empty())
+            if (const MgKernelFn g = backendGatherKernel(backend))
+                kernel = g;
         detail::MgSimdView view = makeView(correct.data());
         view.stride_mask = stride_mask_;
         view.stride_bits = cfg_.stride_bits;

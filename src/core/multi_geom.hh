@@ -60,6 +60,7 @@
 #include "core/cpu_features.hh"
 #include "core/hash_function.hh"
 #include "core/stats.hh"
+#include "core/table_arena.hh"
 #include "core/types.hh"
 
 namespace vpred
@@ -130,7 +131,10 @@ class MultiGeomKernelBase
     struct Column
     {
         ShiftFoldHash hash;
-        std::vector<std::uint32_t> l2;
+        /** Arena-backed (64-byte aligned, huge-page hinted when big
+         *  enough): the level-2 tables are the kernel's dominant
+         *  working set and the arena's raison d'être. */
+        TableBuffer<std::uint32_t> l2;
     };
 
     /** Bank stride: columns() rounded up to a whole vector, so every
@@ -155,6 +159,34 @@ class MultiGeomKernelBase
      *  must hold exactly paddedColumns() lanes. */
     void setEntryHists(std::size_t entry,
                        std::span<const std::uint32_t> hists);
+
+    /**
+     * Re-plan which columns the gather tier probes: columns with
+     * l2_bits >= @p bits batch their level-2 probes through the
+     * vector gather path (on gather-capable backends); 0 disables the
+     * tier. Construction seeds this from REPRO_GATHER_COLUMNS (see
+     * docs/api.md); this setter is the programmatic override the
+     * bench and the bit-identity tests use. Selection never changes
+     * results — the gather path is bit-identical to the scalar probe
+     * order — only which execution path runs.
+     */
+    void setGatherMinBits(unsigned bits);
+
+    /** The active gather threshold (0 = tier disabled). */
+    unsigned gatherMinBits() const { return gather_min_bits_; }
+
+    /** How many columns the current plan probes via gather. */
+    std::size_t gatherColumnCount() const { return gather_cols_.size(); }
+
+    /**
+     * Re-home every hot table (level-2 columns and the history bank)
+     * under an explicit arena mode, preserving contents. The big-L2
+     * benchmark uses this to time the plain-page std::vector
+     * -equivalent baseline and the huge-page arena path head-to-head
+     * in one process; results are unaffected — only where the bytes
+     * live changes.
+     */
+    void setArenaMode(ArenaMode mode);
 
   protected:
     /** Zero one entry's history bank (power-on state). */
@@ -202,9 +234,10 @@ class MultiGeomKernelBase
      * Hashed histories, paddedColumns() per level-1 entry
      * (entry-major, so one record's bank is contiguous; the padding
      * lanes are dead state only the vector path writes). 32 bits
-     * suffice: level-2 indices are at most 28 bits wide.
+     * suffice: level-2 indices are at most 28 bits wide. Arena-backed:
+     * at big level-1 geometries the bank rivals the tables.
      */
-    std::vector<std::uint32_t> hists_;
+    TableBuffer<std::uint32_t> hists_;
     std::size_t padded_n_;
     /** Shared worst-case fold chunk count across the columns. */
     unsigned max_chunks_;
@@ -219,6 +252,16 @@ class MultiGeomKernelBase
     /** Columns whose level-2 table is big enough that software
      *  prefetch pays for itself (see kPrefetchMinL2Bytes). */
     std::vector<std::uint32_t> prefetch_cols_;
+
+    /** Split the plan computes from gather_min_bits_: columns probed
+     *  through the vector gather tier vs the scalar probe loop
+     *  (disjoint, together covering every real column). */
+    std::vector<std::uint32_t> gather_cols_;
+    std::vector<std::uint32_t> scalar_cols_;
+    unsigned gather_min_bits_ = 0;
+
+    /** Recompute gather_cols_/scalar_cols_ from gather_min_bits_. */
+    void planGatherColumns();
 
     /** Whether every history-bank gather index fits a signed 32-bit
      *  lane (l1Entries * padded_n bounded); when false the packed

@@ -68,6 +68,20 @@ struct MgSimdView
      */
     const std::uint32_t* prefetch_cols = nullptr;
     std::size_t n_prefetch = 0;
+
+    /**
+     * The gather-tier column split (MultiGeomKernelBase's plan, from
+     * l2_bits >= REPRO_GATHER_COLUMNS): gather_cols are probed W
+     * records at a time via vector gather/scatter by runMgGather*,
+     * scalar_cols keep the per-record scalar probe loop. Disjoint and
+     * together covering all n real columns; the column kernels ignore
+     * them, and the gather entry points are only dispatched when
+     * n_gather > 0.
+     */
+    const std::uint32_t* gather_cols = nullptr;
+    std::size_t n_gather = 0;
+    const std::uint32_t* scalar_cols = nullptr;
+    std::size_t n_scalar = 0;
 };
 
 /**
@@ -134,9 +148,13 @@ void runMgColumnsSse2(const MgSimdView& view,
 void runMgColumnsAvx2(const MgSimdView& view,
                       std::span<const TraceRecord> trace);
 void runMgPackedAvx2(const MgPackedView& view);
+void runMgGatherAvx2(const MgSimdView& view,
+                     std::span<const TraceRecord> trace);
 #endif
 #if defined(REPRO_SIMD_HAS_AVX512)
 void runMgPackedAvx512(const MgPackedView& view);
+void runMgGatherAvx512(const MgSimdView& view,
+                       std::span<const TraceRecord> trace);
 #endif
 #if defined(REPRO_SIMD_HAS_NEON)
 void runMgColumnsNeon(const MgSimdView& view,

@@ -35,4 +35,14 @@ runMgPackedAvx2(const MgPackedView& view)
     runMgPackedAll<simd::Native>(view);
 }
 
+void
+runMgGatherAvx2(const MgSimdView& view,
+                std::span<const TraceRecord> trace)
+{
+    // Gather column tier: 8-record batches per big level-2 column
+    // (NativeCol == Native here — the 8-lane bank padding is the
+    // native width).
+    runMgGatherAll<simd::Native, simd::NativeCol>(view, trace);
+}
+
 } // namespace vpred::detail

@@ -1,11 +1,12 @@
 /**
  * @file
- * AVX-512 instantiation of the *stream-packed* multi-geometry kernel:
- * one 512-bit vector carries a whole 16-lane step, vpgatherdd /
- * vpscatterdd cover the level-2 probes and history writebacks, and
- * the compare collapses to a single vpcmpeqd mask. Compiled with
- * -mavx512f by src/core/CMakeLists.txt — and only when the AVX2 TU is
- * also present, because the column-parallel tier dispatches AVX-512
+ * AVX-512 instantiation of the *stream-packed* and *gather column*
+ * multi-geometry kernels: one 512-bit vector carries a whole 16-lane
+ * step (or a 16-record probe batch), vpgatherdd / vpscatterdd cover
+ * the level-2 probes and history writebacks, and the compare
+ * collapses to a single vpcmpeqd mask. Compiled with -mavx512f by
+ * src/core/CMakeLists.txt — and only when the AVX2 TU is also
+ * present, because the plain column-parallel tier dispatches AVX-512
  * to the AVX2 column kernel (the history banks stay 8-lane padded;
  * see core/multi_geom.cc). Only ever *called* after the runtime CPUID
  * probe in core/cpu_features.cc says the machine executes AVX-512F.
@@ -27,6 +28,19 @@ void
 runMgPackedAvx512(const MgPackedView& view)
 {
     runMgPackedAll<simd::Native>(view);
+}
+
+void
+runMgGatherAvx512(const MgSimdView& view,
+                  std::span<const TraceRecord> trace)
+{
+    // Gather column tier: 16-record batches per big level-2 column
+    // through 512-bit vpgatherdd/vpscatterdd, while the history
+    // advance stays on the 8-lane NativeCol to match the bank
+    // padding (kMaxSimdLanes).
+    static_assert(simd::NativeCol::kLanes == simd::kMaxSimdLanes,
+                  "bank advance width must match the bank padding");
+    runMgGatherAll<simd::Native, simd::NativeCol>(view, trace);
 }
 
 } // namespace vpred::detail

@@ -40,6 +40,7 @@
 #define DFCM_CORE_MULTI_GEOM_SIMD_IMPL_HH
 
 #include <bit>
+#include <vector>
 
 #include "core/multi_geom_simd.hh"
 #include "core/simd.hh"
@@ -185,6 +186,295 @@ runMgColumnsAll(const MgSimdView& v, std::span<const TraceRecord> trace)
             runMgColumns<Ops, true, false>(v, trace);
     } else {
         runMgColumns<Ops, false, false>(v, trace);
+    }
+}
+
+/**
+ * The gather column tier: the column kernel above with the scalar
+ * per-record probe loop replaced — for the *big* level-2 columns the
+ * plan selected (MgSimdView::gather_cols) — by batched vector
+ * gather/scatter probes over W = Ops::kLanes consecutive records.
+ *
+ * Why: at l2_bits >= ~20 a column is megabytes of near-uniformly
+ * probed memory, so each scalar probe is a dependent cache+TLB miss
+ * the out-of-order window can only partially hide. Batching W
+ * post-update hashes per column and issuing one vpgatherdd lets the
+ * memory system service W misses in flight, and the capture-time
+ * prefetch starts the lines even earlier.
+ *
+ * Execution order per full W-record batch:
+ *
+ *   Phase A, per record r in batch order — exactly the column
+ *   kernel's per-record work except the gather columns' probes:
+ *     - scalar level-1 lookup (+ next-record bank prefetch);
+ *     - scalar probe/update for every *scalar* column, the
+ *       per-config rule verbatim;
+ *     - for every *gather* column: capture the pre-update hash
+ *       h[c][r] into the staging area and prefetch the slot;
+ *     - vector history advance of the whole padded bank (ColOps —
+ *       8-lane even under AVX-512, matching the bank padding),
+ *       DFCM last-value update.
+ *
+ *   Phase B, per gather column c — the W deferred probes:
+ *     - gather the W slots of l2[c] at the staged hashes;
+ *     - conflict forwarding: record r's scalar probe would read
+ *       *after* records 0..r-1 stored, so a lane whose hash equals an
+ *       earlier lane's must see that lane's store, not memory. For
+ *       s = 1..W-1 ascending, rotate the hash vector up by s and
+ *       compare: a match at shift s is lane r's *nearest* earlier
+ *       equal — i.e. the last store before its read — and the store
+ *       values (column-independent: the masked value or masked
+ *       stride of record r-s) rotate identically into place. First
+ *       match wins; resolved lanes drop out of the mask.
+ *     - masked compare + popcount into correct[c] (a lane counts only
+ *       when its raw 64-bit value fits value_mask, as everywhere);
+ *     - scatter the W stores (highest lane wins on duplicate
+ *       indices = the scalar loop's last-store-wins).
+ *
+ * Bit-identity to the scalar column kernel: columns never read each
+ * other's tables and histories never read any table, so deferring a
+ * column's probes past other columns' work is unobservable; within a
+ * column the forwarding replays the exact read-after-write chain and
+ * the scatter replays the final memory state; and the per-column
+ * counters are sums, indifferent to evaluation order. The trailing
+ * size % W records run with every column probed scalar (phase A with
+ * gather columns treated as scalar), which is the reference path
+ * itself. Asserted in tests/gather_column_test.cc, including
+ * adversarial same-slot collision batches.
+ */
+template <class Ops, class ColOps, bool kDfcm, bool kWiden>
+inline void
+runMgGather(const MgSimdView& v, std::span<const TraceRecord> trace)
+{
+    using Vec = typename Ops::Vec;
+    using CVec = typename ColOps::Vec;
+    constexpr unsigned kW = Ops::kLanes;
+    constexpr std::uint32_t kFull =
+            static_cast<std::uint32_t>((1ull << kW) - 1);
+
+    const std::size_t pn = v.padded_n;
+    const std::size_t ng = v.n_gather;
+    const std::size_t ns = v.n_scalar;
+    const std::size_t size = trace.size();
+
+    // Staged pre-update hashes, column-major: hstage[g * kW + r].
+    std::vector<std::uint32_t> hstage(ng * kW);
+    alignas(64) std::uint32_t val32[kW];
+    alignas(64) std::uint32_t stv32[kW];
+    alignas(64) std::uint32_t lastv32[kW];
+
+    const Vec vmaskv =
+            Ops::broadcast(static_cast<std::uint32_t>(v.value_mask));
+    [[maybe_unused]] Vec wbit = Ops::broadcast(0);
+    if constexpr (kDfcm && kWiden)
+        wbit = Ops::broadcast(1u << (v.stride_bits - 1));
+
+    // One scalar probe/update, the per-config rule verbatim (shared
+    // by the scalar columns of every batch and by the whole tail).
+    const auto scalarProbe = [&](std::uint32_t c, std::uint32_t h,
+                                 const TraceRecord& rec, Value last,
+                                 Value masked, Value inserted) {
+        std::uint32_t* slot = v.l2[c] + h;
+        if constexpr (kDfcm) {
+            Value stored = Value{*slot};
+            if constexpr (kWiden)
+                stored = signExtend(stored, v.stride_bits)
+                        & v.value_mask;
+            v.correct[c] +=
+                    ((last + stored) & v.value_mask) == rec.value;
+            *slot = static_cast<std::uint32_t>(inserted
+                                               & v.stride_mask);
+        } else {
+            (void)last;
+            v.correct[c] += Value{*slot} == rec.value;
+            *slot = static_cast<std::uint32_t>(masked);
+        }
+    };
+
+    // The batch walk, parameterized over the bank advance (hoisted
+    // constants when one ColOps vector covers the bank, as in the
+    // column kernel).
+    const auto run = [&](auto&& advance) {
+        std::size_t i = 0;
+        while (i < size) {
+            const bool full = size - i >= kW;
+            const unsigned w =
+                    full ? kW : static_cast<unsigned>(size - i);
+            std::uint32_t fits = 0;
+
+            for (unsigned r = 0; r < w; ++r) {
+                const TraceRecord& rec = trace[i + r];
+                const std::size_t idx = rec.pc & v.l1_mask;
+                std::uint32_t* bank = v.hists + idx * pn;
+
+                std::size_t nidx = idx;
+                if (i + r + 1 < size) {
+                    nidx = trace[i + r + 1].pc & v.l1_mask;
+                    simd::prefetchRead(v.hists + nidx * pn);
+                }
+
+                const Value masked = rec.value & v.value_mask;
+                Value last = 0;
+                Value inserted = masked;
+                if constexpr (kDfcm) {
+                    last = v.last[idx];
+                    inserted = (masked - last) & v.value_mask;
+                }
+                val32[r] = static_cast<std::uint32_t>(masked);
+                lastv32[r] = static_cast<std::uint32_t>(last);
+                stv32[r] = static_cast<std::uint32_t>(
+                        kDfcm ? inserted & v.stride_mask : masked);
+                if ((rec.value & ~v.value_mask) == 0)
+                    fits |= 1u << r;
+
+                for (std::size_t j = 0; j < ns; ++j) {
+                    const std::uint32_t c = v.scalar_cols[j];
+                    scalarProbe(c, bank[c], rec, last, masked,
+                                inserted);
+                }
+
+                if (full) {
+                    // Prefetch even though the prefetch_cols pass
+                    // already touched this line one record earlier:
+                    // under full load-fill-buffer pressure prefetch
+                    // hints get dropped, and the second touch
+                    // measurably raises the landing rate on the
+                    // DRAM-bound shapes this tier exists for.
+                    for (std::size_t g = 0; g < ng; ++g) {
+                        const std::uint32_t c = v.gather_cols[g];
+                        const std::uint32_t h = bank[c];
+                        hstage[g * kW + r] = h;
+                        simd::prefetchRead(v.l2[c] + h);
+                    }
+                } else {
+                    // Tail: too few records to fill a batch — the
+                    // gather columns take the reference scalar path.
+                    for (std::size_t g = 0; g < ng; ++g) {
+                        const std::uint32_t c = v.gather_cols[g];
+                        scalarProbe(c, bank[c], rec, last, masked,
+                                    inserted);
+                    }
+                }
+
+                advance(bank,
+                        static_cast<std::uint32_t>(inserted));
+                if constexpr (kDfcm)
+                    v.last[idx] = masked;
+
+                if (i + r + 1 < size) {
+                    const std::uint32_t* nbank = v.hists + nidx * pn;
+                    for (std::size_t j = 0; j < v.n_prefetch; ++j) {
+                        const std::uint32_t c = v.prefetch_cols[j];
+                        simd::prefetchRead(v.l2[c] + nbank[c]);
+                    }
+                }
+            }
+
+            if (full) {
+                const Vec val = Ops::loadu(val32);
+                const Vec stv = Ops::loadu(stv32);
+                [[maybe_unused]] Vec lastv = Ops::broadcast(0);
+                if constexpr (kDfcm)
+                    lastv = Ops::loadu(lastv32);
+
+                for (std::size_t g = 0; g < ng; ++g) {
+                    const std::uint32_t c = v.gather_cols[g];
+                    const Vec h = Ops::loadu(hstage.data() + g * kW);
+                    Vec slot = Ops::gather32(v.l2[c], h);
+
+                    // Only lanes with an earlier duplicate ever need
+                    // forwarding; with none (the overwhelmingly common
+                    // batch) the loop body never runs.
+                    std::uint32_t unresolved = Ops::conflictMask(h);
+                    for (unsigned s = 1; s < kW && unresolved; ++s) {
+                        const std::uint32_t m =
+                                Ops::cmpeqMask(h, Ops::rotateUp(h, s))
+                                & (kFull << s) & unresolved;
+                        if (m) {
+                            slot = Ops::blendMask(
+                                    slot, Ops::rotateUp(stv, s), m);
+                            unresolved &= ~m;
+                        }
+                    }
+
+                    Vec pred;
+                    if constexpr (kDfcm) {
+                        Vec st = slot;
+                        if constexpr (kWiden)
+                            st = Ops::sub(Ops::bxor(st, wbit), wbit);
+                        pred = Ops::band(Ops::add(lastv, st), vmaskv);
+                    } else {
+                        pred = slot;
+                    }
+                    v.correct[c] += static_cast<unsigned>(
+                            std::popcount(Ops::cmpeqMask(pred, val)
+                                          & fits));
+
+                    Ops::scatter32(v.l2[c], h, stv, kFull);
+                }
+            }
+
+            i += w;
+        }
+    };
+
+    if (pn == ColOps::kLanes) {
+        const CVec sh = ColOps::loadu(v.shifts);
+        const CVec fb = ColOps::loadu(v.fold_bits);
+        const CVec fm = ColOps::loadu(v.fold_masks);
+        const CVec im = ColOps::loadu(v.index_masks);
+        run([&](std::uint32_t* bank, std::uint32_t ins) {
+            CVec f = ColOps::broadcast(0);
+            CVec t = ColOps::broadcast(ins);
+            for (unsigned k = 0; k < v.chunks; ++k) {
+                f = ColOps::bxor(f, t);
+                t = ColOps::shr(t, fb);
+            }
+            const CVec nh = ColOps::band(
+                    ColOps::bxor(ColOps::shl(ColOps::loadu(bank), sh),
+                                 ColOps::band(f, fm)),
+                    im);
+            ColOps::storeu(bank, nh);
+        });
+        return;
+    }
+
+    run([&](std::uint32_t* bank, std::uint32_t ins) {
+        const CVec vin = ColOps::broadcast(ins);
+        for (std::size_t b = 0; b < pn; b += ColOps::kLanes) {
+            const CVec fb = ColOps::loadu(v.fold_bits + b);
+            CVec f = ColOps::broadcast(0);
+            CVec t = vin;
+            for (unsigned k = 0; k < v.chunks; ++k) {
+                f = ColOps::bxor(f, t);
+                t = ColOps::shr(t, fb);
+            }
+            const CVec nh = ColOps::band(
+                    ColOps::bxor(
+                            ColOps::shl(ColOps::loadu(bank + b),
+                                        ColOps::loadu(v.shifts + b)),
+                            ColOps::band(f,
+                                         ColOps::loadu(v.fold_masks
+                                                       + b))),
+                    ColOps::loadu(v.index_masks + b));
+            ColOps::storeu(bank + b, nh);
+        }
+    });
+}
+
+/** Route the runtime FCM/DFCM and stride-width flags to the right
+ *  compile-time gather instantiation. */
+template <class Ops, class ColOps>
+inline void
+runMgGatherAll(const MgSimdView& v, std::span<const TraceRecord> trace)
+{
+    if (v.dfcm) {
+        if (v.widen)
+            runMgGather<Ops, ColOps, true, true>(v, trace);
+        else
+            runMgGather<Ops, ColOps, true, false>(v, trace);
+    } else {
+        runMgGather<Ops, ColOps, false, false>(v, trace);
     }
 }
 

@@ -36,6 +36,23 @@
  *     static Vec  gather32(const std::uint32_t* base, Vec idx);
  *     static void scatter32(std::uint32_t* base, Vec idx, Vec val,
  *                           std::uint32_t mask);
+ *     static Vec  rotateUp(Vec v, unsigned s);   // lane l <- (l-s)%W
+ *     static Vec  blendMask(Vec a, Vec b, std::uint32_t mask);
+ *     static std::uint32_t conflictMask(Vec v);  // lanes w/ earlier dup
+ *
+ * rotateUp, blendMask and conflictMask serve the gather column tier's
+ * in-batch conflict forwarding (multi_geom_simd_impl.hh, runMgGather):
+ * probing W consecutive records of *one* stream against a big level-2
+ * table means a later lane may need the value an earlier lane just
+ * stored. conflictMask names the lanes that have an earlier duplicate
+ * (vpconflictd under AVX-512 — the runtime dispatch gates that TU on
+ * CD, which every AVX-512F CPU carries; a rotate-compare loop on
+ * AVX2), and the rotate-compare-blend loop then replays exactly those
+ * read-after-write chains — zero iterations in the no-duplicate common
+ * case. Each gather-capable backend also exposes `NativeCol`, the
+ * vector type of the *column-parallel* history advance — 8 lanes even
+ * under AVX-512, where Native is 16 but banks stay padded to
+ * kMaxSimdLanes.
  *
  * scatter32 stores active lanes in ascending lane order, so when two
  * active lanes carry the same index the highest lane wins — the same
@@ -197,6 +214,73 @@ struct Native
                                      static_cast<__mmask16>(mask),
                                      idx, val, 4);
     }
+    static Vec
+    rotateUp(Vec v, unsigned s)
+    {
+        // Result lane l = source lane (l - s) mod 16; the gather
+        // tier's conflict-forwarding primitive (runMgGather).
+        alignas(64) static constexpr std::uint32_t iota[16] = {
+                0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+        const Vec idx = band(sub(loadu(iota), broadcast(s)),
+                             broadcast(15u));
+        // maskz with a full mask == plain vpermd, minus the
+        // _mm512_undefined_epi32 merge source GCC warns about.
+        return _mm512_maskz_permutexvar_epi32(__mmask16{0xffff}, idx, v);
+    }
+    static Vec
+    blendMask(Vec a, Vec b, std::uint32_t mask)
+    {
+        return _mm512_mask_blend_epi32(static_cast<__mmask16>(mask),
+                                       a, b);
+    }
+    static std::uint32_t
+    conflictMask(Vec v)
+    {
+        // Lanes equal to at least one *earlier* lane — vpconflictd's
+        // per-lane earlier-duplicate bitset, collapsed to a mask. The
+        // runtime dispatch gates this TU on AVX-512CD (cpu_features).
+        const Vec c = _mm512_conflict_epi32(v);
+        return _mm512_test_epi32_mask(c, c);
+    }
+};
+
+/**
+ * 8 x u32 companion for the gather tier's history advance: per-entry
+ * banks are padded to multiples of kMaxSimdLanes (8), so a 16-lane
+ * advance would overrun them. -mavx512f implies AVX2, so the 256-bit
+ * ops are available in this translation unit.
+ */
+struct NativeCol
+{
+    using Vec = __m256i;
+    static constexpr unsigned kLanes = 8;
+    static constexpr SimdBackend kBackend = SimdBackend::Avx512;
+
+    static Vec
+    loadu(const std::uint32_t* p)
+    {
+        return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    }
+    static void
+    storeu(std::uint32_t* p, Vec v)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+    }
+    static Vec
+    broadcast(std::uint32_t x)
+    {
+        return _mm256_set1_epi32(static_cast<int>(x));
+    }
+    static Vec bxor(Vec a, Vec b) { return _mm256_xor_si256(a, b); }
+    static Vec band(Vec a, Vec b) { return _mm256_and_si256(a, b); }
+    static Vec shl(Vec v, Vec counts)
+    {
+        return _mm256_sllv_epi32(v, counts);
+    }
+    static Vec shr(Vec v, Vec counts)
+    {
+        return _mm256_srlv_epi32(v, counts);
+    }
 };
 
 } // inline namespace backend_avx512
@@ -267,7 +351,44 @@ struct Native
             if (mask & (1u << l))
                 base[i[l]] = v[l];
     }
+    static Vec
+    rotateUp(Vec v, unsigned s)
+    {
+        // Result lane l = source lane (l - s) mod 8; the gather
+        // tier's conflict-forwarding primitive (runMgGather).
+        alignas(32) static constexpr std::uint32_t iota[8] = {
+                0, 1, 2, 3, 4, 5, 6, 7};
+        const Vec idx = band(sub(loadu(iota), broadcast(s)),
+                             broadcast(7u));
+        return _mm256_permutevar8x32_epi32(v, idx);
+    }
+    static Vec
+    blendMask(Vec a, Vec b, std::uint32_t mask)
+    {
+        // Expand the lane bitmask to full-lane selectors; blendv picks
+        // by each byte's top bit, which cmpeq's all-ones lanes set.
+        alignas(32) static constexpr std::uint32_t bit[8] = {
+                1, 2, 4, 8, 16, 32, 64, 128};
+        const Vec bv = loadu(bit);
+        const Vec sel = _mm256_cmpeq_epi32(band(broadcast(mask), bv), bv);
+        return _mm256_blendv_epi8(a, b, sel);
+    }
+    static std::uint32_t
+    conflictMask(Vec v)
+    {
+        // No vpconflictd below AVX-512CD: accumulate every
+        // rotate-compare against earlier lanes. Seven fixed-shift
+        // permutes, no data-dependent branches.
+        std::uint32_t acc = 0;
+        for (unsigned s = 1; s < kLanes; ++s)
+            acc |= cmpeqMask(v, rotateUp(v, s)) & (0xffu << s);
+        return acc & 0xffu;
+    }
 };
+
+/** The column-parallel ops are the native width here: bank padding
+ *  (kMaxSimdLanes) matches kLanes. */
+using NativeCol = Native;
 
 } // inline namespace backend_avx2
 
@@ -326,6 +447,8 @@ struct Native
     }
 };
 
+using NativeCol = Native;
+
 } // inline namespace backend_sse2
 
 #elif defined(REPRO_SIMD_BACKEND_NEON)
@@ -357,6 +480,8 @@ struct Native
         return vshlq_u32(v, vnegq_s32(vreinterpretq_s32_u32(counts)));
     }
 };
+
+using NativeCol = Native;
 
 } // inline namespace backend_neon
 
@@ -421,6 +546,8 @@ struct Native
         return v;
     }
 };
+
+using NativeCol = Native;
 
 } // inline namespace backend_scalar
 

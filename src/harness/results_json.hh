@@ -7,7 +7,7 @@
  * metadata (trace scale, worker count, wall time) — as one JSON file
  * named results/BENCH_<experiment>.json, so the accuracy/throughput
  * trajectory can be tracked across commits by diffing or ingesting
- * the files. Schema (schema_version 7; "execution", "metrics" and
+ * the files. Schema (schema_version 8; "execution", "metrics" and
  * addSection() objects appear only when set). Version 3 added the
  * trace-store fields to "execution": whether a persistent
  * REPRO_TRACE_DIR store was configured, how many traces it served
@@ -24,7 +24,10 @@
  * of mixed string/number cells — used by BENCH_service.json's
  * "scaling" grid (one row per {backend, producers, shards} sweep
  * point), and the ingest-fabric sections "ingest_fabric" and
- * "producer_blocked":
+ * "producer_blocked". Version 8 adds the gather-tier fields to
+ * "execution": the active gather threshold ("gather_min_bits", 0
+ * when the tier is disabled) and how many level-2 columns the sweep
+ * actually ran through the gather path ("gather_columns"):
  *
  *     "scaling": {
  *       "columns": ["backend", "producers", "shards",
@@ -33,7 +36,7 @@
  *     },
  *
  *     {
- *       "schema_version": 7,
+ *       "schema_version": 8,
  *       "experiment": "fig10_fcm_vs_dfcm",
  *       "trace_scale": 1.0,
  *       "jobs": 8,
@@ -43,7 +46,8 @@
  *         "trace_walks": 16, "sweep_wall_seconds": 1.208,
  *         "trace_store_enabled": true, "trace_store_hits": 8,
  *         "trace_store_misses": 0, "trace_acquisition_ms": 42.7,
- *         "simd_backend": "avx2", "vector_width": 256 },
+ *         "simd_backend": "avx2", "vector_width": 256,
+ *         "gather_min_bits": 18, "gather_columns": 24 },
  *       "metrics": { "dfcm_multigeom_records_per_sec": 1.2e8 },
  *       "results": [
  *         { "predictor": "dfcm(l1=16,l2=12)", "kind": "dfcm",

@@ -313,7 +313,7 @@ Shard::spillSlotFor(std::uint64_t stream)
     const auto spill_slot =
             static_cast<std::uint32_t>(spill_last_.size());
     spill_hists_.resize(spill_hists_.size() + kernel_.paddedColumns());
-    spill_last_.push_back(0);
+    spill_last_.resize(spill_last_.size() + 1);  // new slot, zeroed
     spill_streams_.push_back(stream);
     [[maybe_unused]] const bool fresh =
             spill_index_.insert(stream, spill_slot);

@@ -227,9 +227,13 @@ class Shard
     // Spill area: flat banks indexed by spill slot; a stream keeps
     // its spill slot for life, so repeated evictions overwrite in
     // place and memory stays proportional to distinct streams seen.
+    // The hot banks are arena-backed (TableBuffer): at service scale
+    // they reach hundreds of MiB, and the mmap backing's lazy zero
+    // pages are first touched by this shard's own drain thread —
+    // NUMA-correct placement without explicit pinning.
     SlotMap spill_index_;
-    std::vector<std::uint32_t> spill_hists_;
-    std::vector<Value> spill_last_;
+    TableBuffer<std::uint32_t> spill_hists_;
+    TableBuffer<Value> spill_last_;
     std::vector<std::uint64_t> spill_streams_;  //!< spill slot -> id
 
     // Ingest fabric: one SPSC ring per registered producer, slots

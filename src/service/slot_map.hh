@@ -18,7 +18,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <vector>
+
+#include "core/table_arena.hh"
 
 namespace vpred::service
 {
@@ -48,7 +49,7 @@ class SlotMap
         while (buckets < max_entries * 2)
             buckets *= 2;
         mask_ = buckets - 1;
-        buckets_.assign(buckets, Bucket{});
+        buckets_.assign(buckets);
     }
 
     std::size_t size() const { return size_; }
@@ -146,7 +147,7 @@ class SlotMap
     grow()
     {
         const std::size_t buckets = (mask_ + 1) * 2;
-        std::vector<Bucket> table(buckets, Bucket{});
+        TableBuffer<Bucket> table(buckets);
         const std::size_t mask = buckets - 1;
         for (std::size_t i = 0; i <= mask_; ++i) {
             if (!buckets_[i].used)
@@ -160,7 +161,12 @@ class SlotMap
         mask_ = mask;
     }
 
-    std::vector<Bucket> buckets_;
+    /** Arena-backed: the spill index's bucket array grows to tens of
+     *  MiB at service scale, exactly the huge-page regime, and the
+     *  mmap backing's lazy zero pages mean the drain thread that
+     *  probes the table is also the thread that faults it in
+     *  (first-touch NUMA placement). */
+    TableBuffer<Bucket> buckets_;
     std::size_t mask_ = 0;
     std::size_t size_ = 0;
 };

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Bit-identity of the gather column tier (runMgGather) against the
+ * scalar reference: forcing every column through the gather path must
+ * reproduce the scalar probe order exactly — over the full Figure 10
+ * l2 column on all paper workloads, under mixed gather/scalar splits,
+ * and on adversarial traces engineered so whole batches collide on
+ * one level-2 slot (the conflict-forwarding chain at its worst).
+ *
+ * The gather tier only changes *which execution path* probes a
+ * column; these tests are the proof that it never changes results,
+ * which is also what keeps every figure CSV byte-identical with the
+ * tier on or off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cpu_features.hh"
+#include "core/multi_geom.hh"
+#include "core/stats.hh"
+#include "harness/sweep.hh"
+#include "harness/trace_cache.hh"
+#include "tracegen/mixer.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace vpred;
+
+std::vector<SimdBackend>
+vectorBackends()
+{
+    std::vector<SimdBackend> out;
+    for (SimdBackend b : availableSimdBackends())
+        if (b != SimdBackend::Scalar)
+            out.push_back(b);
+    return out;
+}
+
+/** Run FCM and DFCM kernels over @p trace with the gather threshold
+ *  at @p gather_min_bits on every built vector backend, expecting the
+ *  scalar reference results (computed with the tier disabled). */
+void
+expectGatherMatchesScalar(const MultiGeomConfig& geom,
+                          std::span<const TraceRecord> trace,
+                          unsigned gather_min_bits)
+{
+    MultiGeomFcmKernel fcm(geom);
+    MultiGeomDfcmKernel dfcm(geom);
+
+    fcm.setGatherMinBits(0);
+    dfcm.setGatherMinBits(0);
+    const std::vector<PredictorStats> fcm_ref =
+            fcm.runTrace(trace, SimdBackend::Scalar);
+    const std::vector<PredictorStats> dfcm_ref =
+            dfcm.runTrace(trace, SimdBackend::Scalar);
+
+    fcm.setGatherMinBits(gather_min_bits);
+    dfcm.setGatherMinBits(gather_min_bits);
+    for (SimdBackend b : vectorBackends()) {
+        SCOPED_TRACE(std::string("backend ") + simdBackendName(b));
+        EXPECT_EQ(fcm.runTrace(trace, b), fcm_ref);
+        EXPECT_EQ(dfcm.runTrace(trace, b), dfcm_ref);
+    }
+}
+
+TEST(GatherColumn, PlanSplitsColumnsAtThreshold)
+{
+    MultiGeomConfig geom;
+    geom.l1_bits = 4;
+    geom.l2_bits = {4, 8, 12, 14, 16};
+    MultiGeomFcmKernel kernel(geom);
+
+    kernel.setGatherMinBits(0);
+    EXPECT_EQ(kernel.gatherColumnCount(), 0u);
+    kernel.setGatherMinBits(1);
+    EXPECT_EQ(kernel.gatherColumnCount(), geom.l2_bits.size());
+    kernel.setGatherMinBits(13);
+    EXPECT_EQ(kernel.gatherColumnCount(), 2u);  // 14 and 16
+    EXPECT_EQ(kernel.gatherMinBits(), 13u);
+    kernel.setGatherMinBits(28);
+    EXPECT_EQ(kernel.gatherColumnCount(), 0u);
+}
+
+TEST(GatherColumn, Fig10ColumnBitIdenticalOnAllPaperWorkloads)
+{
+    // Every column forced through the gather tier (threshold 1) on
+    // the full Figure 10 geometry, reduced trace scale.
+    harness::TraceCache cache(0.1);
+    MultiGeomConfig geom;
+    geom.l1_bits = 16;
+    geom.l2_bits = harness::paperL2Bits();
+    for (const std::string& name : workloads::benchmarkNames()) {
+        SCOPED_TRACE("workload " + name);
+        expectGatherMatchesScalar(geom, cache.getSpan(name), 1);
+    }
+}
+
+TEST(GatherColumn, MixedGatherScalarSplitBitIdentical)
+{
+    // A threshold inside the column range: some columns gather, some
+    // keep the scalar probe loop, exercising the two probe paths
+    // interleaved per record.
+    harness::TraceCache cache(0.05);
+    MultiGeomConfig geom;
+    geom.l1_bits = 12;
+    geom.l2_bits = harness::paperL2Bits();
+    for (const char* name : {"go", "compress"}) {
+        SCOPED_TRACE(std::string("workload ") + name);
+        expectGatherMatchesScalar(geom, cache.getSpan(name), 12);
+    }
+}
+
+TEST(GatherColumn, SameSlotCollisionBatchesForwardCorrectly)
+{
+    // Adversarial case 1: one PC, constant value. Every record's
+    // hashed history is identical after warm-up, so *every lane of
+    // every batch* probes the same level-2 slot — each lane must see
+    // the previous lane's store (which the conflict-forwarding chain
+    // replays), or the correct-prediction counters diverge.
+    MultiGeomConfig geom;
+    geom.l1_bits = 4;
+    geom.l2_bits = {1, 2, 6, 10};
+    ValueTrace trace;
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        trace.push_back({0x42, 7});
+    expectGatherMatchesScalar(geom, {trace.data(), trace.size()}, 1);
+}
+
+TEST(GatherColumn, TinyTablesCollideAcrossLanes)
+{
+    // Adversarial case 2: 2- and 4-entry tables with varied values —
+    // lanes collide in every pattern the 1- and 2-bit indices allow,
+    // including partial in-batch chains (lane k forwards from lane
+    // k-3, etc.), for both the FCM and the widened-DFCM compare.
+    MultiGeomConfig geom;
+    geom.l1_bits = 2;
+    geom.value_bits = 16;
+    geom.stride_bits = 9;  // narrowed strides: the widen path
+    geom.l2_bits = {1, 2, 3};
+    ValueTrace trace = tracegen::makeMixedTrace(
+            {.stride_instructions = 3,
+             .constant_instructions = 2,
+             .context_instructions = 3,
+             .random_instructions = 2,
+             .seed = 0xC0111DE},
+            8192);
+    // Values above the 16-bit value mask: the fits masking must keep
+    // such lanes out of the counters on the gather path too.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        trace.push_back({i % 4, (std::uint64_t{1} << 40) + i});
+    expectGatherMatchesScalar(geom, {trace.data(), trace.size()}, 1);
+}
+
+TEST(GatherColumn, TailShorterThanBatchTakesReferencePath)
+{
+    // Traces shorter than (and not divisible by) any batch width:
+    // the tail records run the reference scalar probes; identity must
+    // hold for every length including 0.
+    MultiGeomConfig geom;
+    geom.l1_bits = 3;
+    geom.l2_bits = {4, 9};
+    const ValueTrace full = tracegen::makeMixedTrace(
+            {.stride_instructions = 2,
+             .constant_instructions = 1,
+             .context_instructions = 2,
+             .random_instructions = 1,
+             .seed = 77},
+            64);
+    for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 33u}) {
+        SCOPED_TRACE("length " + std::to_string(len));
+        expectGatherMatchesScalar(geom, {full.data(), len}, 1);
+    }
+}
+
+TEST(GatherColumn, DispatchedRunMatchesScalarWithDefaultPlan)
+{
+    // Whatever REPRO_GATHER_COLUMNS resolved to for this process, the
+    // dispatched path must equal the scalar reference — the tier is
+    // invisible in results by construction.
+    MultiGeomConfig geom;
+    geom.l1_bits = 8;
+    geom.l2_bits = harness::paperL2Bits();
+    const ValueTrace trace = tracegen::makeMixedTrace(
+            {.stride_instructions = 5,
+             .constant_instructions = 2,
+             .context_instructions = 4,
+             .random_instructions = 1,
+             .seed = 11},
+            4096);
+    MultiGeomDfcmKernel kernel(geom);
+    EXPECT_EQ(kernel.runTrace({trace.data(), trace.size()}),
+              kernel.runTrace({trace.data(), trace.size()},
+                              SimdBackend::Scalar));
+}
+
+} // namespace

@@ -1,0 +1,17 @@
+// Fixture: page-level allocation APIs outside the table arena.
+#include <sys/mman.h>
+#include <cstdlib>
+
+void* badMapTable(std::size_t bytes)
+{
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    madvise(p, bytes, MADV_HUGEPAGE);
+    void* q = std::aligned_alloc(64, bytes);  // repro-lint: allow(portability)
+    std::free(q);
+    // A comment naming mmap and munmap is fine; only code uses flag.
+    const char* label = "mmap-backed";  // string mention is fine too
+    (void)label;
+    munmap(p, bytes);
+    return nullptr;
+}

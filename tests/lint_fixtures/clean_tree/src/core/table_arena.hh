@@ -1,0 +1,16 @@
+// Fixture: src/core/table_arena.hh is a sanctioned home of the
+// page-level allocation APIs, so this file must produce no
+// portability/raw-mmap findings.
+#ifndef FIXTURE_TABLE_ARENA_HH
+#define FIXTURE_TABLE_ARENA_HH
+#include <sys/mman.h>
+#include <cstdlib>
+inline void* fixtureMapArena(std::size_t bytes)
+{
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    madvise(p, bytes, MADV_HUGEPAGE);
+    munmap(p, bytes);
+    return std::aligned_alloc(64, bytes);
+}
+#endif

@@ -177,6 +177,41 @@ TEST(ReproLintPortability, SimdHeaderHomeIsExempt)
     EXPECT_TRUE(out.empty());
 }
 
+TEST(ReproLintPortability, RawMmapApisAreFlagged)
+{
+    const auto hits = findingsAt("src/core/bad_mmap.cc",
+                                 "portability/raw-mmap");
+    ASSERT_EQ(hits.size(), 4u);
+    EXPECT_EQ(hits[0].line, 2);  // #include <sys/mman.h>
+    EXPECT_NE(hits[0].message.find("sys/mman.h"), std::string::npos);
+    EXPECT_EQ(hits[1].line, 7);   // ::mmap — qualified call still hits
+    EXPECT_EQ(hits[2].line, 9);   // madvise
+    EXPECT_EQ(hits[3].line, 15);  // munmap
+    EXPECT_NE(hits[1].message.find("table_arena.hh"),
+              std::string::npos);
+}
+
+TEST(ReproLintPortability, RawMmapAllowCommentAndNonCodeAreExempt)
+{
+    // Line 10's aligned_alloc carries "repro-lint: allow(portability)";
+    // line 12 names mmap/munmap in a comment, line 13 in a string
+    // literal — none of them are uses.
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_mmap.cc", 10));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_mmap.cc", 12));
+    EXPECT_FALSE(anyFindingOnLine("src/core/bad_mmap.cc", 13));
+}
+
+TEST(ReproLintPortability, TableArenaHomeIsExemptFromRawMmap)
+{
+    // clean_tree carries a src/core/table_arena.hh full of mmap
+    // calls; the sanctioned-home exemption must keep it clean.
+    const Tree tree = repro_lint::loadTree(fixtureDir() / "clean_tree");
+    ASSERT_NE(tree.find("src/core/table_arena.hh"), nullptr);
+    std::vector<Finding> out;
+    repro_lint::checkPortability(tree, out);
+    EXPECT_TRUE(out.empty());
+}
+
 TEST(ReproLintConcurrency, LocksInHotPathFileAreFlagged)
 {
     const auto hits = findingsAt("src/core/bad_hot_path.hh",

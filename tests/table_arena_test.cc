@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Table arena contract tests: the backing-selection policy table, the
+ * alignment and zeroing guarantees of both allocation paths (including
+ * the huge-page mapping's 2 MiB alignment and its graceful fallback),
+ * and TableBuffer's vector-like surface — growth preserving contents
+ * with zeroed tails, shrink re-zeroing, assign, and move semantics.
+ * These pin the behavior the sanitizer jobs rely on when REPRO_ARENA
+ * =new routes every table through plain allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "core/table_arena.hh"
+
+namespace
+{
+
+using namespace vpred;
+namespace ta = vpred::table_arena;
+
+TEST(TableArena, PlanBackingPolicyTable)
+{
+    // Zero bytes never allocates, regardless of mode.
+    EXPECT_EQ(ta::planBackingFor(0, ArenaMode::Auto), ArenaBacking::None);
+    EXPECT_EQ(ta::planBackingFor(0, ArenaMode::Mmap), ArenaBacking::None);
+    EXPECT_EQ(ta::planBackingFor(0, ArenaMode::New), ArenaBacking::None);
+
+    // Forced modes ignore the size threshold.
+    EXPECT_EQ(ta::planBackingFor(1, ArenaMode::New), ArenaBacking::New);
+    EXPECT_EQ(ta::planBackingFor(std::size_t{1} << 30, ArenaMode::New),
+              ArenaBacking::New);
+    EXPECT_EQ(ta::planBackingFor(1, ArenaMode::Mmap), ArenaBacking::Mmap);
+
+    // Auto splits at the huge-page granule.
+    EXPECT_EQ(ta::planBackingFor(ta::kHugeThresholdBytes - 1,
+                                 ArenaMode::Auto),
+              ArenaBacking::New);
+    EXPECT_EQ(ta::planBackingFor(ta::kHugeThresholdBytes, ArenaMode::Auto),
+              ArenaBacking::Mmap);
+}
+
+TEST(TableArena, PlainAllocationIsAlignedAndZeroed)
+{
+    constexpr std::size_t kBytes = 4096;
+    ArenaBacking backing = ArenaBacking::Mmap;
+    void* p = ta::allocateWith(kBytes, ArenaMode::New, backing);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(backing, ArenaBacking::New);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % ta::kAlignBytes, 0u);
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < kBytes; ++i)
+        ASSERT_EQ(bytes[i], 0u) << "byte " << i;
+    ta::deallocate(p, kBytes, backing);
+}
+
+TEST(TableArena, MappedAllocationIsHugeAlignedAndZeroed)
+{
+    // Forcing the mapping path for a sub-threshold size still yields
+    // a granule-aligned window (or the documented fallback to New if
+    // the kernel refuses — the reported backing tells which).
+    constexpr std::size_t kBytes = 3 * 1024 * 1024;  // crosses a granule
+    ArenaBacking backing = ArenaBacking::None;
+    void* p = ta::allocateWith(kBytes, ArenaMode::Mmap, backing);
+    ASSERT_NE(p, nullptr);
+    if (backing == ArenaBacking::Mmap) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p)
+                          % ta::kHugeThresholdBytes,
+                  0u);
+    } else {
+        EXPECT_EQ(backing, ArenaBacking::New);  // kernel refused mmap
+    }
+    auto* bytes = static_cast<unsigned char*>(p);
+    for (std::size_t i = 0; i < kBytes; i += 997)
+        ASSERT_EQ(bytes[i], 0u) << "byte " << i;
+    // The buffer must be writable through the trimmed window's edges.
+    bytes[0] = 0xAB;
+    bytes[kBytes - 1] = 0xCD;
+    EXPECT_EQ(bytes[0], 0xAB);
+    EXPECT_EQ(bytes[kBytes - 1], 0xCD);
+    ta::deallocate(p, kBytes, backing);
+}
+
+TEST(TableArena, ActiveModeIsStable)
+{
+    // Whatever REPRO_ARENA resolved to, it is resolved exactly once.
+    EXPECT_EQ(ta::activeMode(), ta::activeMode());
+    ArenaBacking backing = ArenaBacking::None;
+    void* p = ta::allocate(123, backing);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(backing, ta::planBacking(123));
+    ta::deallocate(p, 123, backing);
+}
+
+TEST(TableBuffer, StartsEmptyAndZeroConstructs)
+{
+    TableBuffer<std::uint32_t> buf;
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.backing(), ArenaBacking::None);
+
+    TableBuffer<std::uint32_t> sized(64);
+    EXPECT_EQ(sized.size(), 64u);
+    EXPECT_NE(sized.backing(), ArenaBacking::None);
+    for (std::uint32_t v : sized)
+        ASSERT_EQ(v, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(sized.data())
+                      % ta::kAlignBytes,
+              0u);
+}
+
+TEST(TableBuffer, GrowthPreservesContentsAndZeroesTail)
+{
+    TableBuffer<std::uint32_t> buf(8);
+    for (std::size_t i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint32_t>(i + 1);
+    buf.resize(1000);  // forces reallocation well past capacity
+    ASSERT_EQ(buf.size(), 1000u);
+    for (std::size_t i = 0; i < 8; ++i)
+        ASSERT_EQ(buf[i], i + 1) << "slot " << i;
+    for (std::size_t i = 8; i < 1000; ++i)
+        ASSERT_EQ(buf[i], 0u) << "slot " << i;
+}
+
+TEST(TableBuffer, ShrinkThenRegrowSeesPowerOnState)
+{
+    TableBuffer<std::uint32_t> buf(32);
+    for (auto& v : buf)
+        v = 0xDEADBEEF;
+    buf.resize(4);
+    EXPECT_EQ(buf.size(), 4u);
+    buf.resize(32);  // regrow within the retained capacity
+    for (std::size_t i = 0; i < 4; ++i)
+        ASSERT_EQ(buf[i], 0xDEADBEEFu) << "slot " << i;
+    for (std::size_t i = 4; i < 32; ++i)
+        ASSERT_EQ(buf[i], 0u) << "slot " << i;
+}
+
+TEST(TableBuffer, AssignDiscardsContents)
+{
+    TableBuffer<std::uint64_t> buf(16);
+    for (auto& v : buf)
+        v = ~std::uint64_t{0};
+    buf.assign(24);
+    ASSERT_EQ(buf.size(), 24u);
+    for (std::uint64_t v : buf)
+        ASSERT_EQ(v, 0u);
+}
+
+TEST(TableBuffer, FillZeroResetsLiveSlots)
+{
+    TableBuffer<std::uint32_t> buf(10);
+    for (auto& v : buf)
+        v = 7;
+    buf.fillZero();
+    for (std::uint32_t v : buf)
+        ASSERT_EQ(v, 0u);
+}
+
+TEST(TableBuffer, MoveTransfersOwnership)
+{
+    TableBuffer<std::uint32_t> a(16);
+    a[3] = 99;
+    const std::uint32_t* data = a.data();
+    const ArenaBacking backing = a.backing();
+
+    TableBuffer<std::uint32_t> b(std::move(a));
+    EXPECT_EQ(b.data(), data);
+    EXPECT_EQ(b.backing(), backing);
+    EXPECT_EQ(b[3], 99u);
+    EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): pinned
+    EXPECT_EQ(a.backing(), ArenaBacking::None);
+
+    TableBuffer<std::uint32_t> c(4);
+    c = std::move(b);
+    EXPECT_EQ(c.data(), data);
+    EXPECT_EQ(c[3], 99u);
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(TableBuffer, SetArenaModeRehomesPreservingSizeAndContents)
+{
+    // Big enough that New and Auto plan different backings outside
+    // sanitizer builds, so the pin actually re-homes. The regression
+    // this guards: re-homing must preserve size() — an early version
+    // left the buffer reporting empty, which turned every later
+    // fillZero() reset into a silent no-op over stale table state.
+    const std::size_t n =
+            ta::kHugeThresholdBytes / sizeof(std::uint32_t) + 7;
+    TableBuffer<std::uint32_t> buf(n);
+    buf[0] = 11;
+    buf[n - 1] = 22;
+    for (ArenaMode m : {ArenaMode::New, ArenaMode::Auto,
+                        ArenaMode::Mmap, ArenaMode::New}) {
+        buf.setArenaMode(m);
+        ASSERT_EQ(buf.size(), n);
+        const ArenaBacking planned =
+                ta::planBackingFor(n * sizeof(std::uint32_t), m);
+        if (planned == ArenaBacking::Mmap)
+            // allocateWith degrades Mmap to New if the kernel
+            // refuses the mapping; both are live backings here.
+            EXPECT_NE(buf.backing(), ArenaBacking::None);
+        else
+            EXPECT_EQ(buf.backing(), planned);
+        EXPECT_EQ(buf[0], 11u);
+        EXPECT_EQ(buf[n - 1], 22u);
+        EXPECT_EQ(buf[n / 2], 0u);
+    }
+    buf.fillZero();
+    EXPECT_EQ(buf[0], 0u);
+    EXPECT_EQ(buf[n - 1], 0u);
+}
+
+TEST(TableBuffer, HugeBufferRoundTrip)
+{
+    // Big enough that Auto mode (non-sanitizer builds) takes the
+    // mapping path end to end through TableBuffer.
+    const std::size_t n = ta::kHugeThresholdBytes / sizeof(std::uint32_t)
+                          + 13;
+    TableBuffer<std::uint32_t> buf(n);
+    ASSERT_EQ(buf.size(), n);
+    buf[0] = 1;
+    buf[n - 1] = 2;
+    EXPECT_EQ(buf[0], 1u);
+    EXPECT_EQ(buf[n - 1], 2u);
+    for (std::size_t i = 1; i < n - 1; i += 4099)
+        ASSERT_EQ(buf[i], 0u) << "slot " << i;
+}
+
+} // namespace

@@ -123,16 +123,148 @@ parseMetrics(const std::string& json, const std::string& label,
     return out;
 }
 
+std::optional<std::vector<std::pair<std::string, double>>>
+parseScalingMetrics(const std::string& json, const std::string& label,
+                    std::vector<std::string>& errors)
+{
+    std::vector<std::pair<std::string, double>> out;
+    const std::size_t key = json.find("\"scaling\"");
+    if (key == std::string::npos)
+        return out;  // no sweep in this document; nothing to gate
+
+    const auto fail = [&](const std::string& what) {
+        errors.push_back(label + ": scaling table " + what);
+        return std::nullopt;
+    };
+
+    // The emitter writes the "columns" array on one line and each
+    // row as one bracketed line with no nested arrays, so bracket
+    // scanning is exact (same contract as the metrics parser: this
+    // reads ResultsJsonWriter's output, not general JSON).
+    const std::size_t cols_key = json.find("\"columns\"", key);
+    const std::size_t cols_open =
+            cols_key == std::string::npos ? cols_key
+                                          : json.find('[', cols_key);
+    const std::size_t cols_close = cols_open == std::string::npos
+            ? cols_open
+            : json.find(']', cols_open);
+    if (cols_close == std::string::npos)
+        return fail("has no \"columns\" array");
+    std::vector<std::string> columns;
+    std::size_t pos = cols_open + 1;
+    while (true) {
+        const std::size_t q1 = json.find('"', pos);
+        if (q1 == std::string::npos || q1 > cols_close)
+            break;
+        const std::size_t q2 = json.find('"', q1 + 1);
+        if (q2 == std::string::npos || q2 > cols_close)
+            return fail("has an unterminated column name");
+        columns.push_back(json.substr(q1 + 1, q2 - q1 - 1));
+        pos = q2 + 1;
+    }
+    const auto col_index = [&](std::string_view name) {
+        for (std::size_t i = 0; i < columns.size(); ++i)
+            if (columns[i] == name)
+                return static_cast<std::ptrdiff_t>(i);
+        return std::ptrdiff_t{-1};
+    };
+    const std::ptrdiff_t backend_col = col_index("backend");
+    const std::ptrdiff_t producers_col = col_index("producers");
+    const std::ptrdiff_t shards_col = col_index("shards");
+    if (backend_col < 0 || producers_col < 0 || shards_col < 0)
+        return fail("is missing a backend/producers/shards column");
+
+    const std::size_t rows_key = json.find("\"rows\"", cols_close);
+    const std::size_t rows_open =
+            rows_key == std::string::npos ? rows_key
+                                          : json.find('[', rows_key);
+    if (rows_open == std::string::npos)
+        return fail("has no \"rows\" array");
+    pos = rows_open + 1;
+    while (true) {
+        const std::size_t next = json.find_first_of("[]", pos);
+        if (next == std::string::npos)
+            return fail("has an unterminated \"rows\" array");
+        if (json[next] == ']')
+            break;  // end of the rows array
+        const std::size_t row_close = json.find(']', next);
+        if (row_close == std::string::npos)
+            return fail("has an unterminated row");
+        // Split the row's cells at commas (cells contain no nesting;
+        // backend names carry no commas).
+        std::vector<std::string> cells;
+        std::size_t cell_begin = next + 1;
+        while (cell_begin < row_close) {
+            std::size_t cell_end = json.find(',', cell_begin);
+            if (cell_end == std::string::npos || cell_end > row_close)
+                cell_end = row_close;
+            cells.push_back(trim(
+                    json.substr(cell_begin, cell_end - cell_begin)));
+            cell_begin = cell_end + 1;
+        }
+        if (cells.size() != columns.size())
+            return fail("has a row with " + std::to_string(cells.size())
+                        + " cells for " + std::to_string(columns.size())
+                        + " columns");
+        const auto cell_number = [&](std::size_t i) {
+            return vpred::parseDouble(cells[i]);
+        };
+        const std::string& backend_cell =
+                cells[static_cast<std::size_t>(backend_col)];
+        if (backend_cell.size() < 2 || backend_cell.front() != '"'
+            || backend_cell.back() != '"')
+            return fail("has a non-string backend cell '" + backend_cell
+                        + "'");
+        const auto producers =
+                cell_number(static_cast<std::size_t>(producers_col));
+        const auto shards =
+                cell_number(static_cast<std::size_t>(shards_col));
+        if (!producers || !shards)
+            return fail("has a non-numeric producers/shards cell");
+        const std::string stem = "scaling_"
+                + backend_cell.substr(1, backend_cell.size() - 2) + "_p"
+                + std::to_string(static_cast<long long>(*producers))
+                + "_s"
+                + std::to_string(static_cast<long long>(*shards));
+        // Only the throughput column becomes a gated metric. The
+        // per-row latency quantiles are deliberately left out: the
+        // smoke sweep runs a far smaller stream population than the
+        // committed grid, which moves tail latency by integer
+        // factors while per-row throughput stays comparable — gating
+        // them would fail every reduced-scale run on regime, not
+        // regression.
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            const std::string name = stem + "_" + columns[i];
+            if (!isThroughputMetric(name))
+                continue;
+            const auto v = cell_number(i);
+            if (!v)
+                return fail("has a non-numeric \"" + columns[i]
+                            + "\" cell");
+            out.emplace_back(name, *v);
+        }
+        pos = row_close + 1;
+    }
+    return out;
+}
+
 Comparison
 compare(const std::string& baseline_json, const std::string& fresh_json,
         double threshold, double latency_threshold)
 {
     Comparison cmp;
-    const auto base =
-            parseMetrics(baseline_json, "baseline", cmp.errors);
-    const auto fresh = parseMetrics(fresh_json, "fresh", cmp.errors);
-    if (!base || !fresh)
+    auto base = parseMetrics(baseline_json, "baseline", cmp.errors);
+    auto fresh = parseMetrics(fresh_json, "fresh", cmp.errors);
+    const auto base_scaling =
+            parseScalingMetrics(baseline_json, "baseline", cmp.errors);
+    const auto fresh_scaling =
+            parseScalingMetrics(fresh_json, "fresh", cmp.errors);
+    if (!base || !fresh || !base_scaling || !fresh_scaling)
         return cmp;
+    base->insert(base->end(), base_scaling->begin(),
+                 base_scaling->end());
+    fresh->insert(fresh->end(), fresh_scaling->begin(),
+                  fresh_scaling->end());
 
     std::map<std::string, double> fresh_by_name(fresh->begin(),
                                                 fresh->end());

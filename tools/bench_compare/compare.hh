@@ -21,11 +21,22 @@
  * quantile existed is comparable by absence, so adding quantiles
  * never breaks the gate against history.
  *
+ * Documents carrying a "scaling" table (the service bench's
+ * per-(backend, producers, shards) sweep) additionally gate each
+ * sweep point: every row's records_per_sec is synthesized into a
+ * metric named scaling_<backend>_p<producers>_s<shards>_records_per_sec
+ * and flows through the same threshold machinery, so a throughput
+ * regression in one corner of the committed scaling curve fails the
+ * gate even when the headline metric holds. Rows only one side has
+ * compare by absence, which keeps the reduced smoke sweep compatible
+ * with a full committed grid.
+ *
  * The parser handles exactly the emitter's output — a flat
  * `"metrics": { "name": number, ... }` object with one pair per line
- * — not general JSON. That keeps the tool dependency-free and is
- * safe because both inputs come from the same emitter; anything
- * unrecognized is a parse error, not a silent skip.
+ * and one bracketed line per table row — not general JSON. That
+ * keeps the tool dependency-free and is safe because both inputs
+ * come from the same emitter; anything unrecognized is a parse
+ * error, not a silent skip.
  */
 
 #ifndef DFCM_TOOLS_BENCH_COMPARE_COMPARE_HH
@@ -94,6 +105,28 @@ struct Comparison
 std::optional<std::vector<std::pair<std::string, double>>>
 parseMetrics(const std::string& json, const std::string& label,
              std::vector<std::string>& errors);
+
+/**
+ * Extract the "scaling" table (the service bench's per-(backend,
+ * producers, shards) sweep) as synthesized gated metrics:
+ *
+ *     scaling_<backend>_p<producers>_s<shards>_records_per_sec
+ *
+ * — one per row, so each sweep point's throughput flows through the
+ * same threshold machinery as a top-level metric. The per-row
+ * latency quantiles stay ungated: the smoke sweep's reduced stream
+ * population shifts tail latency by regime, not regression. Rows
+ * present in only one file compare by absence (reported, never
+ * failed), which is what lets a reduced smoke sweep (2 points) gate
+ * against a committed full grid. A document without a "scaling"
+ * table yields an empty list — the table is optional, unlike the
+ * "metrics" object. A table that is present but malformed (missing
+ * key columns, ragged rows, a non-numeric throughput cell) is an
+ * error.
+ */
+std::optional<std::vector<std::pair<std::string, double>>>
+parseScalingMetrics(const std::string& json, const std::string& label,
+                    std::vector<std::string>& errors);
 
 /** Default allowed fractional rise for latency quantiles: shared
  *  runners jitter tail latency far more than throughput, so the

@@ -37,6 +37,12 @@
  *   portability/raw-intrinsic     — SIMD intrinsics (_mm*, vld1*, ...)
  *                                   or their vendor headers outside
  *                                   src/core/simd.hh
+ *   portability/raw-mmap          — mmap/munmap/madvise/aligned_alloc
+ *                                   or <sys/mman.h> outside the table
+ *                                   arena (src/core/table_arena.*) and
+ *                                   the trace-mapping homes
+ *                                   (src/core/trace_io.*,
+ *                                   src/harness/trace_store.*)
  *   concurrency/lock-in-hot-path  — blocking primitives (std::mutex,
  *                                   condition variables, lock RAII
  *                                   types, their headers) in a file

@@ -88,6 +88,9 @@ ruleCatalog()
          "unchecked numeric parse outside src/core/parse_util.hh"},
         {"portability/raw-intrinsic",
          "SIMD intrinsic or vendor header outside src/core/simd.hh"},
+        {"portability/raw-mmap",
+         "mmap/munmap/madvise/aligned_alloc or <sys/mman.h> outside"
+         " the table arena and trace-store homes"},
         {"concurrency/lock-in-hot-path",
          "blocking primitive in a lock-free hot-path file"},
         {"concurrency/implicit-seq-cst",

@@ -12,6 +12,18 @@
  * forks the one place the per-backend semantics (shift masking,
  * lane-width truncation) are reasoned about. simd.hh is the single
  * sanctioned wrapper layer; everything else uses its Vec operations.
+ *
+ * portability/raw-mmap: the page-level allocation APIs (mmap,
+ * munmap, madvise, aligned_alloc and the <sys/mman.h> header) are
+ * banned everywhere except the table arena (src/core/table_arena.*),
+ * the trace container (src/core/trace_io.*) and the trace store
+ * (src/harness/trace_store.*). The arena is the repository's single
+ * home for hot-table memory — its huge-page hinting, sanitizer
+ * fallback and first-touch NUMA behaviour are reasoned about in one
+ * place, and a stray mmap elsewhere forks that reasoning (and on
+ * sanitizer builds silently escapes redzone instrumentation). The
+ * trace I/O pair predates the arena and maps read-only files, a
+ * different contract the arena does not cover.
  */
 
 #include "repro_lint/lint.hh"
@@ -49,6 +61,30 @@ bool
 identChar(char c)
 {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** The files allowed to call page-level allocation APIs directly:
+ *  the table arena (hot predictor state) and the two read-only
+ *  file-mapping homes that predate it. */
+constexpr const char* kMmapHomes[] = {
+    "src/core/table_arena.hh", "src/core/table_arena.cc",
+    "src/core/trace_io.hh",    "src/core/trace_io.cc",
+    "src/harness/trace_store.hh", "src/harness/trace_store.cc",
+};
+
+/** Whole identifiers only — `mmap` inside `warm_mmap_stats` is not a
+ *  use; boundary checks below enforce that. */
+constexpr const char* kMmapIdents[] = {
+    "mmap", "munmap", "madvise", "aligned_alloc",
+};
+
+bool
+isMmapHome(const std::string& rel)
+{
+    for (const char* home : kMmapHomes)
+        if (rel == home)
+            return true;
+    return false;
 }
 
 } // namespace
@@ -104,6 +140,56 @@ checkPortability(const Tree& tree, std::vector<Finding>& out)
                                           " behind simd::Native",
                                 out);
                         break;  // one finding per line per prefix
+                    }
+                    pos = end;
+                }
+            }
+        }
+
+        if (isMmapHome(f.rel))
+            continue;  // sanctioned homes of page-level allocation
+
+        for (std::size_t i = 0; i < f.nocomment_lines.size(); ++i) {
+            const std::string& line = f.nocomment_lines[i];
+            if (line.find("#include") == std::string::npos)
+                continue;
+            if (line.find("sys/mman.h") != std::string::npos) {
+                emitFinding(f, static_cast<int>(i) + 1,
+                            "portability/raw-mmap",
+                            "<sys/mman.h> outside the table arena;"
+                            " table memory goes through"
+                            " core::TableBuffer"
+                            " (src/core/table_arena.hh)",
+                            out);
+            }
+        }
+
+        for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+            const std::string& line = f.code_lines[i];
+            for (const char* ident : kMmapIdents) {
+                const std::size_t len = std::string(ident).size();
+                std::size_t pos = 0;
+                while ((pos = line.find(ident, pos))
+                       != std::string::npos) {
+                    // Whole-identifier match: boundaries on both
+                    // sides, so `::mmap(` and `mmap(` hit while
+                    // `warm_mmap` and `mmapped` do not.
+                    const bool boundary =
+                            pos == 0 || !identChar(line[pos - 1]);
+                    const std::size_t end = pos + len;
+                    const bool closes =
+                            end >= line.size() || !identChar(line[end]);
+                    if (boundary && closes) {
+                        emitFinding(
+                                f, static_cast<int>(i) + 1,
+                                "portability/raw-mmap",
+                                std::string("raw '") + ident
+                                        + "' outside the table arena;"
+                                          " table memory goes through"
+                                          " core::TableBuffer"
+                                          " (src/core/table_arena.hh)",
+                                out);
+                        break;  // one finding per line per identifier
                     }
                     pos = end;
                 }
